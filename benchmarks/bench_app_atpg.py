@@ -1,0 +1,48 @@
+"""Experiment A1 -- SAT-based ATPG over a circuit suite (Section 3).
+
+Regenerates the classic ATPG result table: per circuit, the fault
+count, SAT-detected / simulation-dropped / redundant splits, vector
+count and coverage.  Expected shape: full fault efficiency (every
+fault classified, no aborts) on every suite member, with fault
+dropping discharging a large share of faults without SAT calls.
+"""
+
+from repro.apps.atpg import ATPGEngine, TestOutcome
+from repro.circuits.generators import (
+    parity_tree,
+    random_circuit,
+    ripple_carry_adder,
+)
+from repro.circuits.library import c17, redundant_or_chain
+from repro.experiments.tables import format_table
+
+
+def suite():
+    return [c17(), ripple_carry_adder(3), parity_tree(5),
+            redundant_or_chain(), random_circuit(6, 25, seed=4)]
+
+
+def test_app_atpg(benchmark, show):
+    rows = []
+    for circuit in suite():
+        engine = ATPGEngine(circuit, fault_dropping=True)
+        report = engine.run()
+        rows.append([
+            circuit.name, len(report.results),
+            report.count(TestOutcome.DETECTED),
+            report.count(TestOutcome.DETECTED_BY_SIMULATION),
+            report.count(TestOutcome.REDUNDANT),
+            report.count(TestOutcome.ABORTED),
+            len(report.vectors),
+            f"{report.fault_coverage:.1%}",
+        ])
+        assert report.count(TestOutcome.ABORTED) == 0
+        assert report.fault_coverage == 1.0
+    show(format_table(
+        ["circuit", "faults", "SAT-det", "sim-det", "redundant",
+         "aborted", "vectors", "efficiency"], rows,
+        title="A1 -- SAT-based ATPG (Larrabee encoding, fault "
+              "dropping)"))
+
+    report = benchmark(lambda: ATPGEngine(c17()).run())
+    assert report.fault_coverage == 1.0

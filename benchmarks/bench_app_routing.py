@@ -1,0 +1,43 @@
+"""Experiment A6 -- SAT-based FPGA detailed routing (§3, [29, 30]).
+
+Routability vs track count on random channels: the SAT decision flips
+from UNSAT to SAT exactly at the channel density (the interval-graph
+optimum), reproducing the feasibility-threshold shape of the
+SAT-based layout papers.
+"""
+
+from repro.apps.routing import (
+    channel_density,
+    random_channel,
+    route,
+    validate_routing,
+)
+from repro.experiments.tables import format_table
+
+
+def test_app_routing(benchmark, show):
+    rows = []
+    for seed, num_nets in ((0, 8), (1, 12), (2, 16)):
+        nets = random_channel(num_nets, columns=20, seed=seed)
+        density = channel_density(nets)
+        verdicts = []
+        for tracks in range(max(1, density - 2), density + 3):
+            result = route(nets, tracks)
+            verdicts.append((tracks, result.routable))
+            if result.routable:
+                assert validate_routing(nets, result.assignment)
+            # Crossover exactly at the density certificate.
+            assert result.routable == (tracks >= density)
+        rows.append([f"channel{seed} ({num_nets} nets)", density,
+                     " ".join(f"{t}:{'S' if r else 'U'}"
+                              for t, r in verdicts)])
+    show(format_table(
+        ["instance", "density (optimum)",
+         "tracks:verdict sweep (U=unroutable, S=routable)"], rows,
+        title="A6 -- routability vs track count (crossover at channel "
+              "density)"))
+
+    nets = random_channel(12, columns=20, seed=1)
+    density = channel_density(nets)
+    result = benchmark(route, nets, density)
+    assert result.routable is True

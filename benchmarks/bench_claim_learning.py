@@ -1,0 +1,48 @@
+"""Experiment C3 -- Section 4.1 properties 2-3: clause recording,
+bounded deletion, relevance-based learning.
+
+Ablation sweep on UNSAT refutations: learning off / keep-all /
+size-bounded deletion / relevance-bounded deletion.  Expected shape:
+learning cuts decisions dramatically versus no learning; the bounded
+policies delete clauses ("large recorded clauses are eventually
+deleted") while staying close to keep-all effort.
+"""
+
+from repro.cnf.generators import pigeonhole
+from repro.experiments.tables import format_table
+from repro.solvers.cdcl import CDCLSolver
+
+
+def run(label, **kwargs):
+    solver = CDCLSolver(pigeonhole(5), **kwargs)
+    result = solver.solve()
+    assert result.is_unsat
+    stats = result.stats
+    return [label, stats.decisions, stats.conflicts,
+            stats.learned_clauses, stats.deleted_clauses]
+
+
+def test_claim_learning(benchmark, show):
+    rows = [
+        run("no learning", learning=False, max_decisions=500000),
+        run("keep all"),
+        run("size-bounded (k=8)", deletion="size", deletion_bound=8,
+            deletion_interval=50),
+        run("relevance-bounded (r=1)", deletion="relevance",
+            deletion_bound=1, deletion_interval=50),
+    ]
+    show(format_table(
+        ["policy", "decisions", "conflicts", "recorded", "deleted"],
+        rows,
+        title="C3 -- clause recording and deletion policies "
+              "(pigeonhole 5)"))
+
+    by_label = {row[0]: row for row in rows}
+    # Learning beats no-learning on decisions.
+    assert by_label["keep all"][1] <= by_label["no learning"][1]
+    # Bounded policies actually delete.
+    assert by_label["size-bounded (k=8)"][4] > 0
+    assert by_label["relevance-bounded (r=1)"][4] > 0
+
+    result = benchmark(lambda: CDCLSolver(pigeonhole(5)).solve())
+    assert result.is_unsat

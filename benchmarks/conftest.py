@@ -1,0 +1,24 @@
+"""Shared benchmark configuration.
+
+Every module in this tree regenerates one artifact of the paper
+(table, figure, or empirical claim -- see DESIGN.md's experiment
+index) and benchmarks its core computation via pytest-benchmark.
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to see the regenerated tables.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show():
+    """Print a regenerated table (visible with -s)."""
+
+    def _show(text):
+        print()
+        print(text)
+
+    return _show

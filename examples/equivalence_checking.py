@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Combinational equivalence checking of adder architectures.
+
+Section 3's verification staple: a ripple-carry adder (the spec) is
+checked against a carry-select adder (the implementation) by solving
+the miter CNF.  A seeded single-gate bug is then planted and the
+counterexample vector recovered.  Also shows the Section 6
+equivalency-reasoning preprocessing collapsing miter variables.
+
+Run:  python examples/equivalence_checking.py
+"""
+
+from repro import check_equivalence
+from repro.apps.equivalence import mutate_circuit
+from repro.circuits.generators import (
+    carry_select_adder,
+    ripple_carry_adder,
+)
+from repro.circuits.simulate import output_values, simulate
+from repro.experiments.tables import format_table
+
+
+def main():
+    width = 4
+    spec = ripple_carry_adder(width)
+    impl = carry_select_adder(width)
+    print(f"spec: {spec}\nimpl: {impl}\n")
+
+    print("=== Equivalent pair (miter must be UNSAT) ===")
+    rows = []
+    for label, preprocessing in (("plain", False), ("eq-reason", True)):
+        report = check_equivalence(spec, impl, simulation_vectors=0,
+                                   use_preprocessing=preprocessing)
+        rows.append([label, report.equivalent,
+                     report.variables_eliminated,
+                     report.stats.decisions, report.stats.conflicts])
+    print(format_table(
+        ["mode", "equivalent", "vars eliminated", "decisions",
+         "conflicts"], rows))
+
+    print("\n=== Buggy implementation (single gate swapped) ===")
+    buggy = mutate_circuit(impl, seed=7)
+    report = check_equivalence(spec, buggy)
+    print("equivalent:", report.equivalent)
+    if report.counterexample:
+        print("counterexample:", report.counterexample)
+        good = output_values(spec, simulate(spec, report.counterexample))
+        bad = output_values(buggy,
+                            simulate(buggy, report.counterexample))
+        print("spec outputs:", good)
+        print("impl outputs:", bad)
+        print("found by simulation prefilter:"
+              f" {report.refuted_by_simulation}"
+              f" (after {report.simulation_vectors} vectors)")
+
+
+if __name__ == "__main__":
+    main()

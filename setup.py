@@ -1,0 +1,19 @@
+"""Legacy setuptools shim.
+
+The offline build environment has no ``wheel`` package, so PEP 660
+editable installs cannot build; this file lets ``pip install -e .``
+fall back to ``setup.py develop``.  All metadata lives in
+pyproject.toml / here, kept deliberately minimal.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("SAT for EDA: reproduction of Marques-Silva & "
+                 "Sakallah, DAC 2000"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

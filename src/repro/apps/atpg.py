@@ -1,0 +1,325 @@
+"""SAT-based automatic test pattern generation (paper Section 3).
+
+The encoding follows Larrabee [20]: for a target stuck-at fault, the
+good circuit and the faulty circuit share their primary inputs; a test
+vector exists iff some primary output can differ, i.e. the miter output
+can be raised.  Satisfying assignments are test vectors; UNSAT proofs
+certify the fault *redundant* (undetectable).
+
+Three solving paths are provided:
+
+* plain CDCL on the miter CNF,
+* the Section 5 circuit layer (justification frontier + backtracing),
+  which returns *partial* test cubes instead of fully specified
+  vectors,
+* the incremental engine of Section 6 / [25], which keeps one solver
+  alive across the whole fault list so recorded clauses about the good
+  circuit are reused (experiment C8).
+
+The engine supports structural fault collapsing and simulation-based
+fault dropping, the standard complements of any deterministic ATPG.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.circuits.faults import (
+    StuckAtFault,
+    collapse_equivalent,
+    full_fault_list,
+    inject_fault,
+)
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Circuit
+from repro.circuits.simulate import simulate
+from repro.circuits.tseitin import encode_circuit, encode_miter
+from repro.solvers.cdcl import CDCLSolver
+from repro.solvers.circuit_sat import CircuitSATSolver
+from repro.solvers.incremental import IncrementalSolver
+from repro.solvers.result import SolverStats, Status
+
+
+class TestOutcome(enum.Enum):
+    """Classification of one target fault."""
+
+    # Not a pytest class, despite the domain-standard "Test" prefix.
+    __test__ = False
+
+    DETECTED = "DETECTED"            # SAT: vector generated
+    DETECTED_BY_SIMULATION = "DETECTED_BY_SIMULATION"
+    REDUNDANT = "REDUNDANT"          # UNSAT: no test exists
+    ABORTED = "ABORTED"              # budget exhausted
+
+
+@dataclass
+class FaultResult:
+    """Per-fault outcome."""
+
+    fault: StuckAtFault
+    outcome: TestOutcome
+    vector: Optional[Dict[str, Optional[bool]]] = None
+    stats: SolverStats = field(default_factory=SolverStats)
+
+
+@dataclass
+class ATPGReport:
+    """Aggregate outcome over a fault list."""
+
+    results: List[FaultResult] = field(default_factory=list)
+    vectors: List[Dict[str, bool]] = field(default_factory=list)
+
+    def count(self, outcome: TestOutcome) -> int:
+        """Number of faults with the given outcome."""
+        return sum(1 for r in self.results if r.outcome is outcome)
+
+    @property
+    def fault_coverage(self) -> float:
+        """Detected / total (redundant faults count as covered, the
+        usual fault-efficiency convention)."""
+        total = len(self.results)
+        if not total:
+            return 1.0
+        covered = (self.count(TestOutcome.DETECTED)
+                   + self.count(TestOutcome.DETECTED_BY_SIMULATION)
+                   + self.count(TestOutcome.REDUNDANT))
+        return covered / total
+
+
+def solve_fault(circuit: Circuit, fault: StuckAtFault,
+                method: str = "cdcl",
+                max_conflicts: Optional[int] = 20000) -> FaultResult:
+    """Generate a test for one fault (or prove it redundant).
+
+    *method*: ``"cdcl"`` solves the miter CNF directly;
+    ``"circuit"`` runs the Section 5 structural layer on the miter,
+    producing a partial test cube.
+    """
+    faulty = inject_fault(circuit, fault)
+    if method == "circuit":
+        from repro.circuits.tseitin import build_miter
+        miter, _ = build_miter(circuit, faulty)
+        solver = CircuitSATSolver(miter, {"miter_out": True},
+                                  max_conflicts=max_conflicts)
+        result = solver.solve()
+        if result.status is Status.SATISFIABLE:
+            return FaultResult(fault, TestOutcome.DETECTED,
+                               result.input_vector, result.stats)
+        if result.status is Status.UNSATISFIABLE:
+            return FaultResult(fault, TestOutcome.REDUNDANT,
+                               stats=result.stats)
+        return FaultResult(fault, TestOutcome.ABORTED, stats=result.stats)
+
+    encoding = encode_miter(circuit, faulty)
+    solver = CDCLSolver(encoding.formula, max_conflicts=max_conflicts)
+    result = solver.solve()
+    if result.is_sat:
+        vector = encoding.input_vector(result.assignment, default=False)
+        return FaultResult(fault, TestOutcome.DETECTED, vector,
+                           result.stats)
+    if result.is_unsat:
+        return FaultResult(fault, TestOutcome.REDUNDANT,
+                           stats=result.stats)
+    return FaultResult(fault, TestOutcome.ABORTED, stats=result.stats)
+
+
+class ATPGEngine:
+    """Deterministic test generation over a fault list.
+
+    Parameters
+    ----------
+    circuit:
+        combinational circuit under test.
+    method:
+        per-fault solving path (see :func:`solve_fault`).
+    fault_dropping:
+        simulate each generated vector against remaining faults and
+        drop the detected ones (the iterated-SAT usage of Section 6).
+    collapse:
+        apply structural fault collapsing before generation.
+    max_conflicts:
+        per-fault solver budget.
+    """
+
+    def __init__(self, circuit: Circuit, method: str = "cdcl",
+                 fault_dropping: bool = True, collapse: bool = False,
+                 random_patterns: int = 0,
+                 max_conflicts: Optional[int] = 20000,
+                 seed: int = 0):
+        circuit.validate()
+        if circuit.is_sequential():
+            raise ValueError("combinational ATPG only")
+        self.circuit = circuit
+        self.method = method
+        self.fault_dropping = fault_dropping
+        self.collapse = collapse
+        self.random_patterns = random_patterns
+        self.max_conflicts = max_conflicts
+        self.rng = random.Random(seed)
+
+    def fault_list(self) -> List[StuckAtFault]:
+        """The target fault universe (optionally collapsed)."""
+        faults = full_fault_list(self.circuit)
+        if self.collapse:
+            faults = collapse_equivalent(self.circuit, faults)
+        return faults
+
+    def run(self, faults: Optional[Sequence[StuckAtFault]] = None
+            ) -> ATPGReport:
+        """Process the fault list, returning vectors and outcomes."""
+        report = ATPGReport()
+        remaining = list(faults if faults is not None
+                         else self.fault_list())
+        detected_early: Dict[StuckAtFault, bool] = {}
+
+        if self.random_patterns > 0:
+            # Random-pattern grading phase (bit-parallel): the classic
+            # front-end that leaves only hard faults to the SAT engine.
+            from repro.circuits.parallel_sim import (
+                parallel_fault_simulate,
+            )
+            vectors = [
+                {name: self.rng.random() < 0.5
+                 for name in self.circuit.inputs}
+                for _ in range(self.random_patterns)]
+            detection = parallel_fault_simulate(self.circuit,
+                                                remaining, vectors)
+            used_indices = sorted({index for index in detection.values()
+                                   if index is not None})
+            report.vectors.extend(vectors[index]
+                                  for index in used_indices)
+            for fault, index in detection.items():
+                if index is not None:
+                    detected_early[fault] = True
+
+        for fault in remaining:
+            if detected_early.get(fault):
+                report.results.append(
+                    FaultResult(fault,
+                                TestOutcome.DETECTED_BY_SIMULATION))
+                continue
+            result = solve_fault(self.circuit, fault, self.method,
+                                 self.max_conflicts)
+            report.results.append(result)
+            if result.outcome is not TestOutcome.DETECTED:
+                continue
+            vector = self._complete_vector(result.vector)
+            report.vectors.append(vector)
+            if self.fault_dropping:
+                for other in remaining:
+                    if other == fault or detected_early.get(other):
+                        continue
+                    if self._detects(vector, other):
+                        detected_early[other] = True
+        return report
+
+    def _complete_vector(self, cube: Dict[str, Optional[bool]]
+                         ) -> Dict[str, bool]:
+        """Fill don't-care positions with random values (the usual
+        treatment before applying a cube on a tester)."""
+        return {name: (self.rng.random() < 0.5 if value is None
+                       else bool(value))
+                for name, value in cube.items()}
+
+    def _detects(self, vector: Dict[str, bool],
+                 fault: StuckAtFault) -> bool:
+        good = simulate(self.circuit, vector)
+        bad = simulate(self.circuit, vector,
+                       faults={fault.node: fault.value})
+        return any(good[out] != bad[out] for out in self.circuit.outputs)
+
+
+class IncrementalATPG:
+    """Iterative ATPG on a single persistent solver (Section 6, [25]).
+
+    The good circuit is encoded once.  For each target fault only the
+    faulty *fanout cone* is encoded (with fresh variables); a per-fault
+    difference literal is constrained equal to the OR of the output
+    XORs and passed as the solve assumption.  Clauses recorded while
+    processing one fault remain valid -- they reference good-circuit
+    and cone variables whose definitions never change -- so later
+    faults start with a primed clause database.
+    """
+
+    def __init__(self, circuit: Circuit,
+                 max_conflicts_per_fault: Optional[int] = 20000):
+        circuit.validate()
+        if circuit.is_sequential():
+            raise ValueError("combinational ATPG only")
+        self.circuit = circuit
+        self.encoding = encode_circuit(circuit)
+        self.solver = IncrementalSolver(
+            self.encoding.formula,
+            max_conflicts_per_call=max_conflicts_per_fault)
+
+    def solve_fault(self, fault: StuckAtFault) -> FaultResult:
+        """Target one fault through the shared solver."""
+        cone = sorted(self.circuit.transitive_fanout([fault.node]))
+        affected_outputs = [out for out in self.circuit.outputs
+                            if out in cone]
+        if not affected_outputs:
+            return FaultResult(fault, TestOutcome.REDUNDANT)
+
+        # Fresh variables for the faulty copies of the cone nodes.
+        faulty_var: Dict[str, int] = {}
+        for name in cone:
+            faulty_var[name] = self.solver.new_var()
+
+        def fanin_literal(name: str) -> int:
+            if name in faulty_var:
+                return faulty_var[name]
+            return self.encoding.var_of[name]
+
+        # The fault site is stuck: a unit definition of its faulty var.
+        site_var = faulty_var[fault.node]
+        self.solver.add_clause([site_var if fault.value else -site_var])
+        from repro.circuits.gates import gate_cnf_clauses
+        for name in cone:
+            if name == fault.node:
+                continue
+            node = self.circuit.node(name)
+            inputs = [fanin_literal(f) for f in node.fanins]
+            for clause in gate_cnf_clauses(node.gate_type,
+                                           faulty_var[name], inputs):
+                self.solver.add_clause(clause)
+
+        # diff <-> OR of per-output XORs; assumed true for this query.
+        xor_vars = []
+        for out in affected_outputs:
+            good = self.encoding.var_of[out]
+            bad = faulty_var[out]
+            xvar = self.solver.new_var()
+            for clause in gate_cnf_clauses(GateType.XOR, xvar,
+                                           [good, bad]):
+                self.solver.add_clause(clause)
+            xor_vars.append(xvar)
+        diff = self.solver.new_var()
+        for clause in gate_cnf_clauses(GateType.OR, diff, xor_vars):
+            self.solver.add_clause(clause)
+
+        result = self.solver.solve(assumptions=[diff])
+        if result.is_sat:
+            vector = self.encoding.input_vector(result.assignment,
+                                                default=False)
+            return FaultResult(fault, TestOutcome.DETECTED, vector,
+                               result.stats)
+        if result.is_unsat:
+            return FaultResult(fault, TestOutcome.REDUNDANT,
+                               stats=result.stats)
+        return FaultResult(fault, TestOutcome.ABORTED, stats=result.stats)
+
+    def run(self, faults: Optional[Sequence[StuckAtFault]] = None
+            ) -> ATPGReport:
+        """Process the fault list through the shared solver."""
+        report = ATPGReport()
+        for fault in (faults if faults is not None
+                      else full_fault_list(self.circuit)):
+            result = self.solve_fault(fault)
+            report.results.append(result)
+            if result.outcome is TestOutcome.DETECTED:
+                report.vectors.append({k: bool(v)
+                                       for k, v in result.vector.items()})
+        return report

@@ -1,0 +1,228 @@
+"""SAT-based covering and minimum-size prime implicants (Section 3).
+
+Two classic SAT-as-optimization formulations the paper cites:
+
+* **Unate covering** [9, 23]: choose a minimum-cost subset of columns
+  covering every row.  Encoded as one clause per row over the column
+  selection variables plus a cardinality bound on the selected count;
+  the optimum is found by binary search on the bound, each probe a SAT
+  call (the Davis-Putnam-based enumeration of [3] reduces to the same
+  sequence of decision problems).
+* **Minimum-size prime implicants** [22]: the smallest cube implying a
+  CNF-given function.  Every clause must be satisfied *by the cube
+  alone*, so each clause yields a constraint over literal-selection
+  variables; minimizing the number of selected variables and expanding
+  to primality gives a minimum prime implicant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cnf.cardinality import at_most_k
+from repro.cnf.formula import CNFFormula
+from repro.cnf.literals import variable
+from repro.solvers.cdcl import CDCLSolver
+from repro.solvers.result import Status
+
+
+@dataclass
+class CoveringSolution:
+    """Outcome of a covering optimization."""
+
+    selected: Optional[List[int]]        # chosen column indices
+    cost: Optional[int]
+    sat_calls: int = 0
+    proven_optimal: bool = False
+
+
+def _probe(num_columns: int, rows: Sequence[Sequence[int]],
+           bound: int, max_conflicts: Optional[int]
+           ) -> Optional[List[int]]:
+    """One decision problem: cover all rows with <= bound columns."""
+    formula = CNFFormula(num_columns)
+    for row in rows:
+        formula.add_clause([col + 1 for col in row])
+    at_most_k(formula, list(range(1, num_columns + 1)), bound)
+    solver = CDCLSolver(formula, max_conflicts=max_conflicts)
+    result = solver.solve()
+    if result.status is not Status.SATISFIABLE:
+        return None if result.status is Status.UNSATISFIABLE else None
+    return [col for col in range(num_columns)
+            if result.assignment.value_of(col + 1) is True]
+
+
+def solve_covering(num_columns: int, rows: Sequence[Sequence[int]],
+                   max_conflicts: Optional[int] = 100000
+                   ) -> CoveringSolution:
+    """Minimum unate covering by binary search on the cardinality bound.
+
+    *rows* lists, per row, the column indices (0-based) that cover it.
+    An empty row makes the instance infeasible.
+    """
+    if any(len(row) == 0 for row in rows):
+        return CoveringSolution(None, None, 0, True)
+    if not rows:
+        return CoveringSolution([], 0, 0, True)
+
+    solution = CoveringSolution(None, None)
+    low, high = 1, num_columns
+    best: Optional[List[int]] = None
+    while low <= high:
+        middle = (low + high) // 2
+        solution.sat_calls += 1
+        probe = _probe(num_columns, rows, middle, max_conflicts)
+        if probe is not None:
+            best = probe
+            high = min(middle, len(probe)) - 1
+        else:
+            low = middle + 1
+    if best is not None:
+        solution.selected = sorted(best)
+        solution.cost = len(best)
+        solution.proven_optimal = True
+    return solution
+
+
+def greedy_covering(num_columns: int,
+                    rows: Sequence[Sequence[int]]) -> Optional[List[int]]:
+    """The classical greedy heuristic (baseline for benchmark A5):
+    repeatedly pick the column covering the most uncovered rows."""
+    uncovered = {index: set(row) for index, row in enumerate(rows)}
+    if any(not row for row in uncovered.values()):
+        return None
+    chosen: List[int] = []
+    while uncovered:
+        counts: Dict[int, int] = {}
+        for row in uncovered.values():
+            for col in row:
+                counts[col] = counts.get(col, 0) + 1
+        best = max(sorted(counts), key=lambda c: counts[c])
+        chosen.append(best)
+        uncovered = {i: row for i, row in uncovered.items()
+                     if best not in row}
+    return sorted(chosen)
+
+
+@dataclass
+class ImplicantSolution:
+    """A cube (consistent literal set) implying the target function."""
+
+    literals: Optional[Tuple[int, ...]]
+    size: Optional[int]
+    sat_calls: int = 0
+    is_prime: bool = False
+
+
+def _implicant_probe(formula: CNFFormula, bound: Optional[int],
+                     max_conflicts: Optional[int]
+                     ) -> Optional[List[int]]:
+    """Find a cube of <= bound literals satisfying every clause.
+
+    Selection variables: for each original variable v, ``s_v`` (v is in
+    the cube) and ``p_v`` (its phase).  Clause (l1 + ... + lk) becomes
+    "some li is *selected true*": a disjunction over per-literal
+    satisfaction variables.
+    """
+    work = CNFFormula()
+    select: Dict[int, int] = {}
+    phase: Dict[int, int] = {}
+    for var in range(1, formula.num_vars + 1):
+        select[var] = work.new_var()
+        phase[var] = work.new_var()
+
+    sat_lit: Dict[int, int] = {}       # literal -> "cube satisfies it"
+
+    def satisfier(lit: int) -> int:
+        if lit in sat_lit:
+            return sat_lit[lit]
+        var = variable(lit)
+        t = work.new_var()
+        # t -> s_v ; t -> (p_v == polarity of lit)
+        work.add_clause([-t, select[var]])
+        if lit > 0:
+            work.add_clause([-t, phase[var]])
+            work.add_clause([t, -select[var], -phase[var]])
+        else:
+            work.add_clause([-t, -phase[var]])
+            work.add_clause([t, -select[var], phase[var]])
+        sat_lit[lit] = t
+        return t
+
+    for clause in formula:
+        work.add_clause([satisfier(lit) for lit in clause])
+    if bound is not None:
+        at_most_k(work, [select[v] for v in range(1, formula.num_vars + 1)],
+                  bound)
+
+    solver = CDCLSolver(work, max_conflicts=max_conflicts)
+    result = solver.solve()
+    if result.status is not Status.SATISFIABLE:
+        return None
+    cube = []
+    for var in range(1, formula.num_vars + 1):
+        if result.assignment.value_of(select[var]) is True:
+            positive = result.assignment.value_of(phase[var]) is True
+            cube.append(var if positive else -var)
+    return cube
+
+
+def minimum_size_implicant(formula: CNFFormula,
+                           max_conflicts: Optional[int] = 100000
+                           ) -> ImplicantSolution:
+    """The minimum-size implicant of the function given by *formula*
+    (Manquinho-Oliveira-Marques-Silva [22]), made prime afterwards.
+
+    Returns literals of the cube; ``None`` when the function is
+    unsatisfiable (no implicant exists).
+    """
+    solution = ImplicantSolution(None, None)
+    solution.sat_calls += 1
+    seed = _implicant_probe(formula, None, max_conflicts)
+    if seed is None:
+        return solution
+    best = seed
+    low, high = 0, len(seed) - 1
+    while low <= high:
+        middle = (low + high) // 2
+        solution.sat_calls += 1
+        probe = _implicant_probe(formula, middle, max_conflicts)
+        if probe is not None:
+            best = probe
+            high = min(middle, len(probe)) - 1
+        else:
+            low = middle + 1
+
+    prime = _expand_to_prime(formula, best)
+    solution.literals = tuple(sorted(prime, key=abs))
+    solution.size = len(prime)
+    solution.is_prime = True
+    return solution
+
+
+def _expand_to_prime(formula: CNFFormula,
+                     cube: List[int]) -> List[int]:
+    """Drop literals while the cube still satisfies every clause
+    (each clause must contain one of the cube's literals)."""
+
+    def is_implicant(lits: List[int]) -> bool:
+        cube_set = set(lits)
+        return all(any(lit in cube_set for lit in clause)
+                   for clause in formula)
+
+    current = list(cube)
+    for lit in list(current):
+        trial = [l for l in current if l != lit]
+        if is_implicant(trial):
+            current = trial
+    return current
+
+
+def is_implicant_of(formula: CNFFormula,
+                    cube: Sequence[int]) -> bool:
+    """True when every clause of *formula* contains a cube literal
+    (so every extension of the cube satisfies the formula)."""
+    cube_set = set(cube)
+    return all(any(lit in cube_set for lit in clause)
+               for clause in formula)

@@ -1,0 +1,172 @@
+"""Functional crosstalk noise analysis (paper Section 3, [8]).
+
+Chen & Keutzer's "Towards True Crosstalk Noise Analysis": electrical
+crosstalk estimates assume worst-case simultaneous switching of the
+aggressor nets coupled to a victim, but many switching combinations
+are *logically impossible*.  The SAT question is therefore:
+
+    over one clock transition (two circuit time frames), what is the
+    largest set of coupled aggressors that can switch simultaneously
+    -- in the noise-aligned direction -- while the victim holds a
+    stable value?
+
+The two-frame encoding reuses the Table 1 gate CNF for both frames,
+adds an XOR "switched" indicator per aggressor, fixes the victim
+stable, and maximizes the number (or coupling-weighted sum) of
+switching aggressors with a cardinality bound -- the *feasible* noise
+alignment, to compare against the structural worst case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuits.gates import GateType, gate_cnf_clauses
+from repro.circuits.netlist import Circuit
+from repro.circuits.simulate import simulate
+from repro.circuits.tseitin import encode_circuit
+from repro.cnf.cardinality import at_least_k
+from repro.cnf.formula import CNFFormula
+from repro.solvers.cdcl import CDCLSolver
+from repro.solvers.result import Status
+
+
+@dataclass(frozen=True)
+class CouplingScenario:
+    """A victim net and the aggressor nets capacitively coupled to it.
+
+    ``victim_value`` optionally pins the stable victim level (noise
+    margins differ for high/low victims); ``None`` allows either.
+    """
+
+    victim: str
+    aggressors: Tuple[str, ...]
+    victim_value: Optional[bool] = None
+
+
+@dataclass
+class CrosstalkReport:
+    """Outcome of a noise-alignment analysis."""
+
+    scenario: CouplingScenario
+    structural_worst_case: int = 0
+    feasible_worst_case: Optional[int] = None
+    witness: Optional[Tuple[Dict[str, bool], Dict[str, bool]]] = None
+    sat_calls: int = 0
+
+    @property
+    def overestimate(self) -> Optional[int]:
+        """Aggressors the electrical model counts but logic forbids."""
+        if self.feasible_worst_case is None:
+            return None
+        return self.structural_worst_case - self.feasible_worst_case
+
+
+class CrosstalkAnalyzer:
+    """Two-frame feasibility analysis for coupling scenarios."""
+
+    def __init__(self, circuit: Circuit):
+        circuit.validate()
+        if circuit.is_sequential():
+            raise ValueError("crosstalk analysis is combinational "
+                             "(state nets enter as pseudo-inputs)")
+        self.circuit = circuit
+
+    def _base_encoding(self, scenario: CouplingScenario
+                       ) -> Tuple[CNFFormula, object, object, List[int]]:
+        for net in (scenario.victim,) + scenario.aggressors:
+            if net not in self.circuit:
+                raise ValueError(f"unknown net {net!r}")
+        formula = CNFFormula()
+        frame1 = encode_circuit(self.circuit, formula, var_prefix="t1_")
+        frame2 = encode_circuit(self.circuit, formula, var_prefix="t2_")
+
+        # Victim stable across the transition (optionally at a level).
+        v1 = frame1.var_of[scenario.victim]
+        v2 = frame2.var_of[scenario.victim]
+        formula.add_clause([-v1, v2])
+        formula.add_clause([v1, -v2])
+        if scenario.victim_value is not None:
+            formula.add_clause(
+                [v1 if scenario.victim_value else -v1])
+
+        # switched_i <-> frame1[a_i] XOR frame2[a_i].
+        switch_vars = []
+        for net in scenario.aggressors:
+            switched = formula.new_var(f"sw_{net}")
+            for clause in gate_cnf_clauses(
+                    GateType.XOR, switched,
+                    [frame1.var_of[net], frame2.var_of[net]]):
+                formula.add_clause(clause)
+            switch_vars.append(switched)
+        return formula, frame1, frame2, switch_vars
+
+    def feasible_alignment(self, scenario: CouplingScenario,
+                           max_conflicts: Optional[int] = 100000
+                           ) -> CrosstalkReport:
+        """Maximum number of aggressors that can switch while the
+        victim is stable (binary search on the cardinality bound)."""
+        report = CrosstalkReport(
+            scenario,
+            structural_worst_case=len(scenario.aggressors))
+
+        # Descend from the structural worst case; the first satisfiable
+        # bound is the feasible maximum.  Bound 0 is always satisfiable
+        # (identical input vectors keep every net, victim included,
+        # stable), so the loop terminates with an answer.
+        for bound in range(len(scenario.aggressors), -1, -1):
+            formula, frame1, frame2, switches = \
+                self._base_encoding(scenario)
+            if bound > 0:
+                at_least_k(formula, switches, bound)
+            solver = CDCLSolver(formula, max_conflicts=max_conflicts)
+            result = solver.solve()
+            report.sat_calls += 1
+            if result.status is Status.UNKNOWN:
+                return report
+            if result.status is Status.SATISFIABLE:
+                count = sum(
+                    1 for var in switches
+                    if result.assignment.value_of(var) is True)
+                report.feasible_worst_case = max(count, bound)
+                if bound > 0:
+                    report.witness = (
+                        {k: bool(v) for k, v in frame1.input_vector(
+                            result.assignment, default=False).items()},
+                        {k: bool(v) for k, v in frame2.input_vector(
+                            result.assignment, default=False).items()})
+                return report
+        return report
+
+    def verify_witness(self, report: CrosstalkReport) -> bool:
+        """Simulation check: the witness really switches
+        ``feasible_worst_case`` aggressors with a stable victim."""
+        if report.witness is None:
+            return report.feasible_worst_case in (0, None)
+        vector1, vector2 = report.witness
+        values1 = simulate(self.circuit, vector1)
+        values2 = simulate(self.circuit, vector2)
+        scenario = report.scenario
+        if values1[scenario.victim] != values2[scenario.victim]:
+            return False
+        if scenario.victim_value is not None and \
+                values1[scenario.victim] != scenario.victim_value:
+            return False
+        switched = sum(1 for net in scenario.aggressors
+                       if values1[net] != values2[net])
+        return switched >= report.feasible_worst_case
+
+
+def worst_coupled_scenario(circuit: Circuit, victim: str,
+                           num_aggressors: Optional[int] = None
+                           ) -> CouplingScenario:
+    """A synthetic coupling list: the nets topologically nearest the
+    victim (standing in for physical adjacency, which a layout would
+    provide)."""
+    gates = [node.name for node in circuit
+             if node.is_gate and node.name != victim]
+    gates.sort()
+    if num_aggressors is not None:
+        gates = gates[:num_aggressors]
+    return CouplingScenario(victim, tuple(gates))

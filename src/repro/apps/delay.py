@@ -1,0 +1,210 @@
+"""SAT-based circuit delay computation (paper Section 3, [28, 36]).
+
+The topological (structural) delay of a circuit overestimates its true
+delay when the longest paths are *false* -- no input vector ever
+propagates a transition along them.  Following the path-sensitization
+line of [28], the true delay is computed by enumerating paths in
+decreasing length and asking SAT whether each is *statically
+sensitizable*: some input vector sets every side input of every gate
+on the path to a non-controlling value.  The first sensitizable path
+bounds the circuit delay from below; its length equals the static-
+sensitization delay estimate.
+
+Gate delays default to one unit per gate (buffers/inverters included);
+a per-node delay map may be supplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.circuits.gates import controlling_value
+from repro.circuits.netlist import Circuit
+from repro.circuits.tseitin import encode_circuit
+from repro.solvers.cdcl import CDCLSolver
+from repro.solvers.result import Status
+
+
+@dataclass
+class DelayReport:
+    """Delay analysis outcome."""
+
+    topological_delay: int
+    sensitizable_delay: Optional[int]
+    critical_path: Optional[List[str]] = None
+    sensitizing_vector: Optional[Dict[str, bool]] = None
+    false_paths_examined: int = 0
+
+    @property
+    def has_false_critical_path(self) -> bool:
+        """True when the topologically longest path is false."""
+        return (self.sensitizable_delay is not None
+                and self.sensitizable_delay < self.topological_delay)
+
+
+def node_delays(circuit: Circuit,
+                delays: Optional[Dict[str, int]] = None
+                ) -> Dict[str, int]:
+    """Per-node delay weights; default one per combinational gate."""
+    out = {}
+    for node in circuit:
+        if node.is_gate and node.fanins:
+            out[node.name] = 1
+        else:
+            out[node.name] = 0
+    if delays:
+        out.update(delays)
+    return out
+
+
+def arrival_times(circuit: Circuit,
+                  delays: Optional[Dict[str, int]] = None
+                  ) -> Dict[str, int]:
+    """Topological arrival time of every node."""
+    weight = node_delays(circuit, delays)
+    arrival: Dict[str, int] = {}
+    for name in circuit.topological_order():
+        node = circuit.node(name)
+        if node.is_gate and node.fanins:
+            arrival[name] = weight[name] + max(arrival[f]
+                                               for f in node.fanins)
+        else:
+            arrival[name] = 0
+    return arrival
+
+
+def topological_delay(circuit: Circuit,
+                      delays: Optional[Dict[str, int]] = None) -> int:
+    """The longest structural input-to-output path length."""
+    arrival = arrival_times(circuit, delays)
+    return max((arrival[out] for out in circuit.outputs), default=0)
+
+
+def enumerate_paths(circuit: Circuit, min_length: int = 0,
+                    delays: Optional[Dict[str, int]] = None
+                    ) -> Iterator[Tuple[int, List[str]]]:
+    """Yield input-to-output paths as ``(length, node list)`` in
+    non-increasing length order.
+
+    Uses best-first search guided by the remaining longest distance, so
+    the longest path appears first without enumerating everything.
+    """
+    import heapq
+
+    weight = node_delays(circuit, delays)
+    # Longest distance from each node to any primary output.
+    to_output: Dict[str, int] = {}
+    for name in reversed(circuit.topological_order()):
+        best = 0 if name in circuit.outputs else None
+        for fanout in circuit.fanout(name):
+            fanout_node = circuit.node(fanout)
+            if not fanout_node.is_gate:
+                continue
+            if fanout in to_output:
+                candidate = to_output[fanout] + weight[fanout]
+                if best is None or candidate > best:
+                    best = candidate
+        if best is not None:
+            to_output[name] = best
+
+    # Heap entries: (-priority, tiebreak, path, done, terminal).  For a
+    # live entry the priority is an upper bound (done + best possible
+    # completion); a terminal entry carries the exact path length, so
+    # popping it guarantees no longer path remains.
+    heap: List[Tuple[int, int, List[str], int, bool]] = []
+    outputs = set(circuit.outputs)
+    counter = 0
+
+    def push(path: List[str], done: int) -> None:
+        nonlocal counter
+        tail = path[-1]
+        if tail in outputs and done >= min_length:
+            heapq.heappush(heap, (-done, counter, path, done, True))
+            counter += 1
+        bound = done + to_output.get(tail, -1)
+        if to_output.get(tail, 0) > 0 and bound >= min_length:
+            heapq.heappush(heap, (-bound, counter, path, done, False))
+            counter += 1
+
+    for name in circuit.inputs + circuit.dffs:
+        if name in to_output:
+            push([name], 0)
+    while heap:
+        _, _, path, done, terminal = heapq.heappop(heap)
+        if terminal:
+            yield done, path
+            continue
+        tail = path[-1]
+        for fanout in circuit.fanout(tail):
+            node = circuit.node(fanout)
+            if not node.is_gate or fanout not in to_output:
+                continue
+            push(path + [fanout], done + weight[fanout])
+
+
+def sensitization_formula(circuit: Circuit, path: List[str]):
+    """CNF for static sensitizability of *path*.
+
+    Every side input of every on-path gate must take a non-controlling
+    value; XOR/XNOR and unary gates impose no side constraint.
+    Returns the encoding (solve its formula for a sensitizing vector).
+    """
+    encoding = encode_circuit(circuit)
+    for position in range(1, len(path)):
+        gate_name = path[position]
+        node = circuit.node(gate_name)
+        on_path = path[position - 1]
+        control = controlling_value(node.gate_type)
+        if control is None:
+            continue
+        for fanin in node.fanins:
+            if fanin == on_path:
+                continue
+            # Side input must be non-controlling.
+            encoding.formula.add_clause(
+                [encoding.literal(fanin, not control)])
+    return encoding
+
+
+def is_path_sensitizable(circuit: Circuit, path: List[str],
+                         max_conflicts: Optional[int] = 50000
+                         ) -> Tuple[Optional[bool],
+                                    Optional[Dict[str, bool]]]:
+    """SAT query: does a vector statically sensitize *path*?"""
+    encoding = sensitization_formula(circuit, path)
+    solver = CDCLSolver(encoding.formula, max_conflicts=max_conflicts)
+    result = solver.solve()
+    if result.status is Status.SATISFIABLE:
+        vector = encoding.input_vector(result.assignment, default=False)
+        return True, {k: bool(v) for k, v in vector.items()}
+    if result.status is Status.UNSATISFIABLE:
+        return False, None
+    return None, None
+
+
+def compute_delay(circuit: Circuit,
+                  delays: Optional[Dict[str, int]] = None,
+                  max_paths: int = 1000,
+                  max_conflicts: Optional[int] = 50000) -> DelayReport:
+    """Static-sensitization delay: the longest sensitizable path.
+
+    Walks paths longest-first; the first sensitizable one determines
+    the delay.  ``max_paths`` bounds the enumeration (a bound hit
+    leaves ``sensitizable_delay`` as ``None``).
+    """
+    circuit.validate()
+    structural = topological_delay(circuit, delays)
+    examined_false = 0
+    for index, (length, path) in enumerate(
+            enumerate_paths(circuit, delays=delays)):
+        if index >= max_paths:
+            break
+        sensitizable, vector = is_path_sensitizable(
+            circuit, path, max_conflicts)
+        if sensitizable:
+            return DelayReport(structural, length, path, vector,
+                               examined_false)
+        examined_false += 1
+    return DelayReport(structural, None,
+                       false_paths_examined=examined_false)

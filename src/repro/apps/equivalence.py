@@ -1,0 +1,148 @@
+"""SAT-based combinational equivalence checking (paper Section 3).
+
+"Combinational equivalence checking can easily be cast as an instance
+of SAT": build the miter of the two circuits and ask whether its
+output can be raised.  UNSAT proves equivalence; a model is a
+counterexample vector.
+
+Following the hybrid approaches the paper cites [16, 26], the checker
+optionally runs a random-simulation prefilter (fast refutation of
+inequivalent pairs) and CNF preprocessing with equivalency reasoning
+(Section 6), which collapses the internal equivalences miters are full
+of -- experiment C6 quantifies that effect.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.circuits.netlist import Circuit
+from repro.circuits.simulate import output_values, random_vector, simulate
+from repro.circuits.tseitin import encode_miter
+from repro.solvers.cdcl import CDCLSolver
+from repro.solvers.preprocess import preprocess
+from repro.solvers.result import SolverStats, Status
+
+
+@dataclass
+class EquivalenceReport:
+    """Outcome of an equivalence check.
+
+    ``equivalent`` is ``None`` when the solver budget ran out.
+    """
+
+    equivalent: Optional[bool]
+    counterexample: Optional[Dict[str, bool]] = None
+    refuted_by_simulation: bool = False
+    simulation_vectors: int = 0
+    variables_eliminated: int = 0
+    stats: SolverStats = field(default_factory=SolverStats)
+
+
+def check_equivalence(circuit_a: Circuit, circuit_b: Circuit,
+                      simulation_vectors: int = 32,
+                      use_preprocessing: bool = False,
+                      use_strash: bool = False,
+                      max_conflicts: Optional[int] = 100000,
+                      seed: int = 0) -> EquivalenceReport:
+    """Check functional equivalence of two combinational circuits.
+
+    The circuits must share input and output name lists (reorderings
+    are not reconciled).  ``use_preprocessing`` enables the Section 6
+    equivalency-reasoning pass on the miter CNF; ``use_strash`` merges
+    structurally identical miter gates first (the structural half of
+    the hybrid checkers [16, 26]).
+    """
+    rng = random.Random(seed)
+    for index in range(simulation_vectors):
+        vector = random_vector(circuit_a, rng)
+        out_a = output_values(circuit_a, simulate(circuit_a, vector))
+        out_b = output_values(circuit_b, simulate(circuit_b, vector))
+        if list(out_a.values()) != list(out_b.values()):
+            return EquivalenceReport(False, vector,
+                                     refuted_by_simulation=True,
+                                     simulation_vectors=index + 1)
+
+    if use_strash:
+        from repro.circuits.strash import structural_hash
+        from repro.circuits.tseitin import (
+            build_miter,
+            encode_with_objective,
+        )
+        miter, _ = build_miter(circuit_a, circuit_b)
+        miter = structural_hash(miter)
+        encoding = encode_with_objective(miter, {"miter_out": True})
+    else:
+        encoding = encode_miter(circuit_a, circuit_b)
+    formula = encoding.formula
+    eliminated = 0
+    lift = None
+    if use_preprocessing:
+        pre = preprocess(formula, equivalency=True)
+        if pre.unsat:
+            return EquivalenceReport(
+                True, simulation_vectors=simulation_vectors,
+                variables_eliminated=pre.variables_eliminated)
+        formula = pre.formula
+        eliminated = pre.variables_eliminated
+        lift = pre.lift_model
+
+    solver = CDCLSolver(formula, max_conflicts=max_conflicts)
+    result = solver.solve()
+    if result.status is Status.UNSATISFIABLE:
+        return EquivalenceReport(True,
+                                 simulation_vectors=simulation_vectors,
+                                 variables_eliminated=eliminated,
+                                 stats=result.stats)
+    if result.status is Status.SATISFIABLE:
+        model = lift(result.assignment) if lift else result.assignment
+        vector = encoding.input_vector(model, default=False)
+        witness = {k: bool(v) for k, v in vector.items()}
+        return EquivalenceReport(False, witness,
+                                 simulation_vectors=simulation_vectors,
+                                 variables_eliminated=eliminated,
+                                 stats=result.stats)
+    return EquivalenceReport(None,
+                             simulation_vectors=simulation_vectors,
+                             variables_eliminated=eliminated,
+                             stats=result.stats)
+
+
+def mutate_circuit(circuit: Circuit, seed: int = 0) -> Circuit:
+    """A copy with one random gate type swapped -- a realistic buggy
+    revision for negative equivalence tests and benchmarks."""
+    from repro.circuits.gates import GateType
+
+    rng = random.Random(seed)
+    swaps = {
+        GateType.AND: GateType.OR, GateType.OR: GateType.AND,
+        GateType.NAND: GateType.NOR, GateType.NOR: GateType.NAND,
+        GateType.XOR: GateType.XNOR, GateType.XNOR: GateType.XOR,
+        GateType.NOT: GateType.BUFFER, GateType.BUFFER: GateType.NOT,
+    }
+    candidates = [node.name for node in circuit
+                  if node.is_gate and node.gate_type in swaps]
+    if not candidates:
+        raise ValueError("no mutable gate found")
+    target = rng.choice(candidates)
+
+    mutated = Circuit(circuit.name + "_mut")
+    for node in circuit:
+        if node.is_input:
+            mutated.add_input(node.name)
+        elif node.gate_type is GateType.DFF:
+            mutated.add_dff(node.name,
+                            node.fanins[0] if node.fanins else None)
+        elif node.name == target:
+            mutated.add_gate(node.name, swaps[node.gate_type],
+                             node.fanins)
+        elif node.gate_type in (GateType.CONST0, GateType.CONST1):
+            mutated.add_const(node.name,
+                              node.gate_type is GateType.CONST1)
+        else:
+            mutated.add_gate(node.name, node.gate_type, node.fanins)
+    for out in circuit.outputs:
+        mutated.set_output(out)
+    return mutated

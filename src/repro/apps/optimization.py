@@ -1,0 +1,157 @@
+"""SAT-based linear pseudo-Boolean optimization (Section 3, [3]).
+
+Barth's Davis-Putnam-based enumeration solves
+
+    minimize  sum(c_i * x_i)
+    subject to  CNF clauses  and  linear PB constraints
+
+by a sequence of satisfiability queries with a shrinking cost bound.
+This module implements that loop on the CDCL engine, with both the
+classic *linear* descent (each model gives a new, tighter bound) and
+*binary* search over the cost range.  The covering problems of [9, 23]
+and minimum prime implicants of [22] are special cases; see
+:mod:`repro.apps.covering` for those front-ends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.formula import CNFFormula
+from repro.cnf.pseudo_boolean import evaluate_terms, pb_at_least, pb_at_most
+from repro.solvers.cdcl import CDCLSolver
+from repro.solvers.result import Status
+
+
+@dataclass
+class PBProblem:
+    """A pseudo-Boolean optimization instance.
+
+    ``objective`` is a list of ``(cost, literal)`` pairs (costs >= 1);
+    ``formula`` holds the hard CNF clauses; PB side constraints are
+    added via :meth:`add_at_most` / :meth:`add_at_least`.
+    """
+
+    formula: CNFFormula = field(default_factory=CNFFormula)
+    objective: List[Tuple[int, int]] = field(default_factory=list)
+
+    def new_var(self) -> int:
+        """Allocate a decision variable."""
+        return self.formula.new_var()
+
+    def add_clause(self, literals: Sequence[int]) -> None:
+        """Add a hard clause."""
+        self.formula.add_clause(list(literals))
+
+    def add_at_most(self, terms: Sequence[Tuple[int, int]],
+                    bound: int) -> None:
+        """Add ``sum(w_i * l_i) <= bound``."""
+        pb_at_most(self.formula, terms, bound)
+
+    def add_at_least(self, terms: Sequence[Tuple[int, int]],
+                     bound: int) -> None:
+        """Add ``sum(w_i * l_i) >= bound``."""
+        pb_at_least(self.formula, terms, bound)
+
+    def set_objective(self, terms: Sequence[Tuple[int, int]]) -> None:
+        """Set the cost function to minimize."""
+        for cost, _ in terms:
+            if cost < 1:
+                raise ValueError("objective costs must be >= 1")
+        self.objective = list(terms)
+
+    def cost_of(self, assignment: Assignment) -> int:
+        """Objective value of a model."""
+        return evaluate_terms(self.objective, assignment)
+
+
+@dataclass
+class PBSolution:
+    """Outcome of an optimization run."""
+
+    status: Status
+    cost: Optional[int] = None
+    assignment: Optional[Assignment] = None
+    sat_calls: int = 0
+    proven_optimal: bool = False
+
+
+def minimize(problem: PBProblem, strategy: str = "binary",
+             max_conflicts: Optional[int] = 200000) -> PBSolution:
+    """Minimize the objective (Barth's enumeration, two schedules).
+
+    ``strategy="linear"`` re-solves with bound ``best - 1`` after each
+    model (the original Davis-Putnam loop); ``"binary"`` bisects the
+    cost range.  UNSAT hard constraints yield
+    ``status=UNSATISFIABLE``.
+    """
+    if strategy not in ("linear", "binary"):
+        raise ValueError(f"unknown strategy {strategy!r}")
+    solution = PBSolution(Status.UNKNOWN)
+
+    def probe(bound: Optional[int]):
+        work = problem.formula.copy()
+        if bound is not None:
+            pb_at_most(work, problem.objective, bound)
+        solver = CDCLSolver(work, max_conflicts=max_conflicts)
+        result = solver.solve()
+        solution.sat_calls += 1
+        return result
+
+    first = probe(None)
+    if first.status is Status.UNSATISFIABLE:
+        return PBSolution(Status.UNSATISFIABLE, sat_calls=1,
+                          proven_optimal=True)
+    if first.status is Status.UNKNOWN:
+        return PBSolution(Status.UNKNOWN, sat_calls=1)
+
+    best_model = first.assignment
+    best_cost = problem.cost_of(best_model)
+
+    if strategy == "linear":
+        while best_cost > 0:
+            result = probe(best_cost - 1)
+            if result.status is Status.SATISFIABLE:
+                best_model = result.assignment
+                best_cost = problem.cost_of(best_model)
+            elif result.status is Status.UNSATISFIABLE:
+                break
+            else:
+                return PBSolution(Status.SATISFIABLE, best_cost,
+                                  best_model, solution.sat_calls)
+    else:
+        low, high = 0, best_cost - 1
+        while low <= high:
+            middle = (low + high) // 2
+            result = probe(middle)
+            if result.status is Status.SATISFIABLE:
+                best_model = result.assignment
+                best_cost = problem.cost_of(best_model)
+                high = min(middle, best_cost) - 1
+            elif result.status is Status.UNSATISFIABLE:
+                low = middle + 1
+            else:
+                return PBSolution(Status.SATISFIABLE, best_cost,
+                                  best_model, solution.sat_calls)
+
+    return PBSolution(Status.SATISFIABLE, best_cost, best_model,
+                      solution.sat_calls, proven_optimal=True)
+
+
+def knapsack_problem(weights: Sequence[int], values: Sequence[int],
+                     capacity: int) -> Tuple[PBProblem, List[int]]:
+    """A 0-1 knapsack as PB *minimization* (maximize value ==
+    minimize forgone value).  Returns the problem and the selection
+    variables; used by tests/benchmarks as a ground-truth workload.
+    """
+    if len(weights) != len(values):
+        raise ValueError("weights and values must align")
+    problem = PBProblem()
+    selections = [problem.new_var() for _ in weights]
+    problem.add_at_most(list(zip(weights, selections)), capacity)
+    # Minimize value of *unselected* items.
+    problem.set_objective([(value, -var)
+                           for value, var in zip(values, selections)])
+    return problem, selections

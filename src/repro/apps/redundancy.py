@@ -1,0 +1,221 @@
+"""Redundancy identification and removal (paper Section 3, [17]).
+
+A stuck-at fault with no test (the ATPG miter is UNSAT) is *redundant*:
+the circuit's function does not depend on that signal taking the
+non-stuck value, so the line can be replaced by the stuck constant and
+the logic simplified -- the RID-GRASP flow of [17] and the redundancy
+addition/removal loop of [12].
+
+:func:`find_redundancies` proves redundancies with SAT;
+:func:`remove_redundancy` rewires one; :func:`optimize` iterates to a
+fixpoint, re-proving after every removal (removals can expose new
+redundancies), and returns the simplified circuit together with an
+equivalence certificate obtained by a final SAT check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.atpg import TestOutcome, solve_fault
+from repro.apps.equivalence import check_equivalence
+from repro.circuits.faults import StuckAtFault, full_fault_list
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Circuit
+
+
+@dataclass
+class RedundancyReport:
+    """Outcome of redundancy optimization."""
+
+    original_gates: int
+    optimized_gates: int
+    redundant_faults: List[StuckAtFault] = field(default_factory=list)
+    removals: int = 0
+    equivalent: Optional[bool] = None
+
+
+def find_redundancies(circuit: Circuit,
+                      max_conflicts: Optional[int] = 20000
+                      ) -> List[StuckAtFault]:
+    """All provably redundant stuck-at faults on gate outputs."""
+    redundant = []
+    for fault in full_fault_list(circuit, include_inputs=False):
+        result = solve_fault(circuit, fault, max_conflicts=max_conflicts)
+        if result.outcome is TestOutcome.REDUNDANT:
+            redundant.append(fault)
+    return redundant
+
+
+def remove_redundancy(circuit: Circuit, fault: StuckAtFault) -> Circuit:
+    """Replace the redundant line by its stuck constant and sweep.
+
+    The fault site is re-driven by a constant; constant propagation and
+    dead-logic sweeping then shrink the netlist.
+    """
+    rewired = Circuit(circuit.name + "_opt")
+    const_name = f"{fault.node}__const"
+    rewired.add_const(const_name, fault.value)
+
+    def redirect(fanins):
+        return tuple(const_name if f == fault.node else f
+                     for f in fanins)
+
+    for node in circuit:
+        if node.is_input:
+            rewired.add_input(node.name)
+        elif node.gate_type is GateType.DFF:
+            fanins = redirect(node.fanins)
+            rewired.add_dff(node.name, fanins[0] if fanins else None)
+        elif node.gate_type in (GateType.CONST0, GateType.CONST1):
+            rewired.add_const(node.name,
+                              node.gate_type is GateType.CONST1)
+        else:
+            rewired.add_gate(node.name, node.gate_type,
+                             redirect(node.fanins))
+    for out in circuit.outputs:
+        rewired.set_output(const_name if out == fault.node else out)
+    return sweep(rewired)
+
+
+def sweep(circuit: Circuit) -> Circuit:
+    """Constant propagation plus dead-logic elimination, to fixpoint.
+
+    Gates whose value is fixed by constant fanins become constants;
+    nodes not in the transitive fanin of any output (or DFF) are
+    dropped.  Folding can strand nodes (a folded gate stops referencing
+    its constant), so passes repeat until the netlist stops shrinking.
+    """
+    current = circuit
+    for _ in range(len(circuit) + 1):
+        swept = _sweep_once(current)
+        if len(swept) == len(current):
+            return swept
+        current = swept
+    return current
+
+
+def _sweep_once(circuit: Circuit) -> Circuit:
+    """One constant-propagation + dead-logic pass."""
+    constant: Dict[str, bool] = {}
+    replacement: Dict[str, str] = {}
+
+    def resolve(name: str) -> str:
+        while name in replacement:
+            name = replacement[name]
+        return name
+
+    simplified = Circuit(circuit.name)
+    live = circuit.transitive_fanin(
+        list(circuit.outputs)
+        + [f for d in circuit.dffs for f in circuit.node(d).fanins])
+    live |= set(circuit.outputs) | set(circuit.dffs)
+
+    for node in circuit:
+        name = node.name
+        if name not in live and not node.is_input:
+            continue
+        if node.is_input:
+            simplified.add_input(name)
+            continue
+        if node.gate_type is GateType.DFF:
+            fanin = resolve(node.fanins[0]) if node.fanins else None
+            simplified.add_dff(name, fanin)
+            continue
+        if node.gate_type in (GateType.CONST0, GateType.CONST1):
+            constant[name] = node.gate_type is GateType.CONST1
+            simplified.add_const(name, constant[name])
+            continue
+
+        fanins = [resolve(f) for f in node.fanins]
+        known = [constant.get(f) for f in fanins]
+        kind, payload = _fold(node.gate_type, fanins, known)
+        if kind == "const":
+            constant[name] = payload
+            simplified.add_const(name, payload)
+        elif kind == "wire":
+            # Splice the wire out unless the node is an output (keep a
+            # buffer there for the name).
+            if name in circuit.outputs:
+                simplified.add_gate(name, GateType.BUFFER, [payload])
+            else:
+                replacement[name] = payload
+        else:
+            gate_type, reduced_fanins = payload
+            simplified.add_gate(name, gate_type, reduced_fanins)
+    for out in circuit.outputs:
+        simplified.set_output(resolve(out))
+    return simplified
+
+
+def _fold(gate_type: GateType, fanins: List[str],
+          known: List[Optional[bool]]):
+    """Constant-fold one gate.
+
+    Returns one of ``("const", bool)``, ``("wire", fanin_name)`` or
+    ``("gate", (gate_type, fanins))`` -- the last possibly with
+    non-controlling constant fanins stripped.
+    """
+    from repro.circuits.gates import (
+        controlling_value, evaluate_gate, inversion_parity)
+
+    if all(value is not None for value in known):
+        return "const", evaluate_gate(gate_type, [bool(v) for v in known])
+    control = controlling_value(gate_type)
+    parity = inversion_parity(gate_type)
+    if control is not None:
+        if any(v is control for v in known):
+            return "const", control != parity
+        # Remaining constants are all non-controlling: identities of
+        # the gate, so strip them.
+        kept = [f for f, v in zip(fanins, known) if v is None]
+        if len(kept) == 1:
+            if parity:                        # NAND/NOR of one live input
+                return "gate", (GateType.NOT, kept)
+            return "wire", kept[0]
+        if len(kept) < len(fanins):
+            return "gate", (gate_type, kept)
+        return "gate", (gate_type, fanins)
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        # Constant inputs fold into the output phase.
+        kept = [f for f, v in zip(fanins, known) if v is None]
+        ones = sum(1 for v in known if v is True)
+        flip = (ones % 2 == 1) != (gate_type is GateType.XNOR)
+        # flip == True means the reduced function is NOT(xor(kept)).
+        if len(kept) == len(fanins):
+            return "gate", (gate_type, fanins)
+        if len(kept) == 1:
+            return ("gate", (GateType.NOT, kept)) if flip \
+                else ("wire", kept[0])
+        reduced = GateType.XNOR if flip else GateType.XOR
+        return "gate", (reduced, kept)
+    return "gate", (gate_type, fanins)
+
+
+def optimize(circuit: Circuit, max_rounds: int = 10,
+             max_conflicts: Optional[int] = 20000) -> Tuple[Circuit,
+                                                            RedundancyReport]:
+    """Iterated redundancy removal to fixpoint (Section 3, [12, 17]).
+
+    Removes one proven redundancy at a time (removal invalidates the
+    remaining proofs), re-identifying after each rewrite.  The final
+    circuit is SAT-certified equivalent to the original.
+    """
+    report = RedundancyReport(original_gates=circuit.num_gates(),
+                              optimized_gates=circuit.num_gates())
+    current = circuit
+    for _ in range(max_rounds):
+        redundancies = find_redundancies(current, max_conflicts)
+        if not redundancies:
+            break
+        report.redundant_faults.extend(redundancies)
+        current = remove_redundancy(current, redundancies[0])
+        report.removals += 1
+
+    report.optimized_gates = current.num_gates()
+    if list(current.inputs) == list(circuit.inputs):
+        check = check_equivalence(circuit, current,
+                                  max_conflicts=max_conflicts)
+        report.equivalent = check.equivalent
+    return current, report

@@ -1,0 +1,164 @@
+"""Bounded sequential equivalence checking.
+
+Extends the combinational CEC of Section 3 to sequential circuits with
+the BMC machinery of [5]: unroll the *product machine* of the two
+designs k time frames from their reset states, sharing input variables
+per frame, and ask SAT whether any frame can produce differing
+outputs.  UNSAT through depth k proves k-step equivalence (full
+sequential equivalence needs an inductive or fixpoint argument, which
+bounded checking deliberately trades away -- exactly the trade
+bounded model checking made famous).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.circuits.gates import GateType, gate_cnf_clauses
+from repro.circuits.netlist import Circuit
+from repro.solvers.incremental import IncrementalSolver
+from repro.solvers.result import SolverStats
+
+
+@dataclass
+class SequentialEquivalenceReport:
+    """Outcome of a bounded product-machine check.
+
+    ``equivalent_through`` is the deepest frame proved equal;
+    ``failure_depth``/``trace`` report the first divergence if any.
+    """
+
+    equivalent_through: int = -1
+    failure_depth: Optional[int] = None
+    trace: List[Dict[str, bool]] = field(default_factory=list)
+    stats: SolverStats = field(default_factory=SolverStats)
+
+    @property
+    def bounded_equivalent(self) -> bool:
+        """True when no divergence exists within the bound."""
+        return self.failure_depth is None
+
+
+class SequentialEquivalenceChecker:
+    """Product-machine unrolling on one incremental solver."""
+
+    def __init__(self, circuit_a: Circuit, circuit_b: Circuit,
+                 initial_a: Optional[Dict[str, bool]] = None,
+                 initial_b: Optional[Dict[str, bool]] = None):
+        circuit_a.validate()
+        circuit_b.validate()
+        if list(circuit_a.inputs) != list(circuit_b.inputs):
+            raise ValueError("circuits must share input names")
+        if len(circuit_a.outputs) != len(circuit_b.outputs):
+            raise ValueError("circuits must have equally many outputs")
+        self.circuit_a = circuit_a
+        self.circuit_b = circuit_b
+        self.initial_a = {dff: False for dff in circuit_a.dffs}
+        self.initial_b = {dff: False for dff in circuit_b.dffs}
+        if initial_a:
+            self.initial_a.update(initial_a)
+        if initial_b:
+            self.initial_b.update(initial_b)
+        self.solver = IncrementalSolver()
+        #: per frame: (inputs, vars_a, vars_b, diff)
+        self.frames: List[tuple] = []
+
+    def _encode_machine(self, circuit: Circuit, frame_index: int,
+                        inputs: Dict[str, int],
+                        previous: Optional[Dict[str, int]],
+                        initial: Dict[str, bool]) -> Dict[str, int]:
+        var_of: Dict[str, int] = {}
+        for name in circuit.topological_order():
+            node = circuit.node(name)
+            if node.gate_type is GateType.INPUT:
+                var_of[name] = inputs[name]
+                continue
+            var_of[name] = self.solver.new_var()
+            if node.gate_type is GateType.DFF:
+                if frame_index == 0:
+                    value = initial[name]
+                    self.solver.add_clause(
+                        [var_of[name] if value else -var_of[name]])
+                else:
+                    data = previous[node.fanins[0]]
+                    self.solver.add_clause([-var_of[name], data])
+                    self.solver.add_clause([var_of[name], -data])
+                continue
+            operands = [var_of[f] for f in node.fanins]
+            for clause in gate_cnf_clauses(node.gate_type,
+                                           var_of[name], operands):
+                self.solver.add_clause(clause)
+        return var_of
+
+    def _add_frame(self) -> None:
+        frame_index = len(self.frames)
+        inputs = {name: self.solver.new_var()
+                  for name in self.circuit_a.inputs}
+        prev_a = self.frames[-1][1] if self.frames else None
+        prev_b = self.frames[-1][2] if self.frames else None
+        vars_a = self._encode_machine(self.circuit_a, frame_index,
+                                      inputs, prev_a, self.initial_a)
+        vars_b = self._encode_machine(self.circuit_b, frame_index,
+                                      inputs, prev_b, self.initial_b)
+        xor_vars = []
+        for out_a, out_b in zip(self.circuit_a.outputs,
+                                self.circuit_b.outputs):
+            xvar = self.solver.new_var()
+            for clause in gate_cnf_clauses(
+                    GateType.XOR, xvar, [vars_a[out_a], vars_b[out_b]]):
+                self.solver.add_clause(clause)
+            xor_vars.append(xvar)
+        diff = self.solver.new_var()
+        for clause in gate_cnf_clauses(GateType.OR, diff, xor_vars):
+            self.solver.add_clause(clause)
+        self.frames.append((inputs, vars_a, vars_b, diff))
+
+    def check(self, max_depth: int = 10
+              ) -> SequentialEquivalenceReport:
+        """Search for a divergence within ``max_depth + 1`` frames."""
+        report = SequentialEquivalenceReport()
+        for depth in range(max_depth + 1):
+            while len(self.frames) <= depth:
+                self._add_frame()
+            call = self.solver.solve(
+                assumptions=[self.frames[depth][3]])
+            report.stats.merge(call.stats)
+            if call.is_sat:
+                report.failure_depth = depth
+                report.trace = []
+                for frame in range(depth + 1):
+                    inputs = self.frames[frame][0]
+                    vector = {}
+                    for name, var in inputs.items():
+                        value = call.assignment.value_of(var)
+                        vector[name] = bool(value) \
+                            if value is not None else False
+                    report.trace.append(vector)
+                return report
+            report.equivalent_through = depth
+        return report
+
+
+def check_sequential_equivalence(circuit_a: Circuit,
+                                 circuit_b: Circuit,
+                                 max_depth: int = 10
+                                 ) -> SequentialEquivalenceReport:
+    """One-shot bounded sequential equivalence check."""
+    checker = SequentialEquivalenceChecker(circuit_a, circuit_b)
+    return checker.check(max_depth)
+
+
+def verify_divergence(circuit_a: Circuit, circuit_b: Circuit,
+                      report: SequentialEquivalenceReport) -> bool:
+    """Replay a divergence trace through both simulators."""
+    from repro.circuits.simulate import simulate_sequence
+
+    if report.failure_depth is None:
+        return False
+    frames_a = simulate_sequence(circuit_a, report.trace)
+    frames_b = simulate_sequence(circuit_b, report.trace)
+    frame = report.failure_depth
+    return any(frames_a[frame][out_a] != frames_b[frame][out_b]
+               for out_a, out_b in zip(circuit_a.outputs,
+                                       circuit_b.outputs))

@@ -1,0 +1,27 @@
+"""Reduced Ordered Binary Decision Diagrams.
+
+The paper's abstract frames its subject against BDDs: "SAT 'packages'
+are currently expected to have an impact on EDA applications similar
+to that of BDD packages since their introduction more than a decade
+ago", and the hybrid equivalence checkers it cites [16] combine both.
+This package provides the BDD baseline those comparisons need:
+
+* :mod:`repro.bdd.manager` -- a shared, hash-consed ROBDD manager with
+  ITE/apply, negation, quantification, counting and satisfying-cube
+  extraction;
+* :mod:`repro.bdd.circuit` -- building output BDDs for a netlist;
+* equivalence checking via canonicity (benchmark X1 compares it with
+  SAT-based CEC, reproducing the classic shape: BDDs are instant on
+  shallow logic but blow up on multipliers, where SAT miters stay
+  tractable).
+"""
+
+from repro.bdd.manager import BDDManager, BDDNode
+from repro.bdd.circuit import build_output_bdds, check_equivalence_bdd
+
+__all__ = [
+    "BDDManager",
+    "BDDNode",
+    "build_output_bdds",
+    "check_equivalence_bdd",
+]

@@ -1,0 +1,128 @@
+"""Circuit-to-BDD construction and BDD-based equivalence checking.
+
+The BDD baseline for the paper's equivalence-checking discussion:
+build output BDDs for both circuits over a shared manager and compare
+node references (canonical form makes equivalence a pointer check).
+Blow-up (e.g. on multipliers) raises through as
+:class:`repro.bdd.manager.BDDBlowup`, which the SAT-vs-BDD benchmark
+reports as the crossover the literature describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.bdd.manager import BDDManager, BDDNode
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Circuit
+
+
+def interleaved_order(circuit: Circuit) -> List[str]:
+    """An interleaved input order for bus-structured circuits.
+
+    Groups inputs by their trailing index (``a0, b0, a1, b1, ...``),
+    the classic good ordering for adders/comparators where the natural
+    declaration order (all of ``a`` then all of ``b``) inflates BDDs.
+    Inputs without a trailing index keep their relative position at
+    the end.
+    """
+    import re
+
+    indexed = []
+    plain = []
+    for position, name in enumerate(circuit.inputs):
+        match = re.search(r"(\d+)$", name)
+        if match:
+            indexed.append((int(match.group(1)), position, name))
+        else:
+            plain.append(name)
+    indexed.sort()
+    return [name for _, _, name in indexed] + plain
+
+
+def build_output_bdds(circuit: Circuit,
+                      manager: Optional[BDDManager] = None,
+                      input_order: Optional[Sequence[str]] = None
+                      ) -> Dict[str, BDDNode]:
+    """BDDs for every node of a combinational circuit.
+
+    Inputs become BDD variables 1..n in *input_order* (defaults to
+    declaration order).  Returns the full node-name -> BDD map; project
+    onto ``circuit.outputs`` for the output functions.
+    """
+    circuit.validate()
+    if circuit.is_sequential():
+        raise ValueError("BDD construction is combinational only")
+    order = list(input_order or circuit.inputs)
+    if sorted(order) != sorted(circuit.inputs):
+        raise ValueError("input_order must permute the circuit inputs")
+    manager = manager or BDDManager(len(order))
+    var_of = {name: index + 1 for index, name in enumerate(order)}
+
+    nodes: Dict[str, BDDNode] = {}
+    for name in circuit.topological_order():
+        node = circuit.node(name)
+        if node.gate_type is GateType.INPUT:
+            nodes[name] = manager.var(var_of[name])
+        elif node.gate_type is GateType.CONST0:
+            nodes[name] = manager.zero
+        elif node.gate_type is GateType.CONST1:
+            nodes[name] = manager.one
+        elif node.gate_type is GateType.NOT:
+            nodes[name] = manager.apply_not(nodes[node.fanins[0]])
+        elif node.gate_type is GateType.BUFFER:
+            nodes[name] = nodes[node.fanins[0]]
+        else:
+            operands = [nodes[fanin] for fanin in node.fanins]
+            nodes[name] = manager.apply_many(node.gate_type.value,
+                                             operands)
+    return nodes
+
+
+@dataclass
+class BDDEquivalenceReport:
+    """Outcome of a BDD-based equivalence check."""
+
+    equivalent: Optional[bool]
+    counterexample: Optional[Dict[str, bool]] = None
+    peak_nodes: int = 0
+    per_output: List[bool] = field(default_factory=list)
+
+
+def check_equivalence_bdd(circuit_a: Circuit, circuit_b: Circuit,
+                          max_nodes: int = 200_000
+                          ) -> BDDEquivalenceReport:
+    """Equivalence by canonicity: same BDD node <=> same function.
+
+    Circuits must share input and output name lists.  On blow-up the
+    report carries ``equivalent=None`` (the budget is the practical
+    limit BDDs hit on multiplier-like logic).
+    """
+    if list(circuit_a.inputs) != list(circuit_b.inputs):
+        raise ValueError("equivalence check requires matching inputs")
+    if len(circuit_a.outputs) != len(circuit_b.outputs):
+        raise ValueError("equivalence check requires matching outputs")
+    from repro.bdd.manager import BDDBlowup
+
+    manager = BDDManager(len(circuit_a.inputs), max_nodes=max_nodes)
+    try:
+        nodes_a = build_output_bdds(circuit_a, manager)
+        nodes_b = build_output_bdds(circuit_b, manager)
+    except BDDBlowup:
+        return BDDEquivalenceReport(None, peak_nodes=manager.num_nodes)
+
+    report = BDDEquivalenceReport(True, peak_nodes=manager.num_nodes)
+    input_names = list(circuit_a.inputs)
+    for out_a, out_b in zip(circuit_a.outputs, circuit_b.outputs):
+        same = nodes_a[out_a] is nodes_b[out_b]   # canonicity
+        report.per_output.append(same)
+        if not same and report.equivalent:
+            report.equivalent = False
+            difference = manager.apply_xor(nodes_a[out_a],
+                                           nodes_b[out_b])
+            model = manager.any_model(difference) or {}
+            report.counterexample = {
+                name: model.get(index + 1, False)
+                for index, name in enumerate(input_names)}
+    return report

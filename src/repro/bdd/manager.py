@@ -1,0 +1,298 @@
+"""A reduced ordered BDD manager (hash-consed, ITE-based).
+
+Classic Bryant-style implementation: nodes are unique triples
+``(level, low, high)`` interned in a unique table, so two functions
+are equal iff their node references are identical -- the canonicity
+property equivalence checking exploits.  All Boolean operations are
+derived from a memoized ``ite``.
+
+Node-count budgets guard against the exponential blow-ups BDDs are
+famous for (e.g. multiplier outputs); hitting the budget raises
+:class:`BDDBlowup`, which the comparison benchmarks catch to report
+the classic BDD-vs-SAT crossover.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+class BDDBlowup(RuntimeError):
+    """Raised when the manager exceeds its node budget."""
+
+
+class BDDNode:
+    """An internal decision node; terminals are the singletons
+    ``manager.zero`` / ``manager.one``."""
+
+    __slots__ = ("level", "low", "high", "_id")
+
+    def __init__(self, level: int, low: "BDDNode", high: "BDDNode",
+                 node_id: int):
+        self.level = level
+        self.low = low
+        self.high = high
+        self._id = node_id
+
+    def __repr__(self) -> str:
+        if self.level == _TERMINAL_LEVEL:
+            return f"<BDD {'1' if self is not None and self._id else '0'}>"
+        return f"<BDD node v{self.level} id={self._id}>"
+
+
+_TERMINAL_LEVEL = 1 << 30
+
+
+class BDDManager:
+    """Shared ROBDD manager over variables ``1..num_vars``.
+
+    Variable index equals decision level by default (lower index =
+    closer to the root); pass *order* to remap.  ``max_nodes`` bounds
+    the unique table (default one million).
+    """
+
+    def __init__(self, num_vars: int = 0,
+                 order: Optional[Sequence[int]] = None,
+                 max_nodes: int = 1_000_000):
+        self.max_nodes = max_nodes
+        self._unique: Dict[Tuple[int, int, int], BDDNode] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], BDDNode] = {}
+        self._next_id = 2
+        self.zero = BDDNode(_TERMINAL_LEVEL, None, None, 0)
+        self.one = BDDNode(_TERMINAL_LEVEL, None, None, 1)
+        self._level_of: Dict[int, int] = {}
+        self._var_at_level: Dict[int, int] = {}
+        if order is not None:
+            for level, var in enumerate(order):
+                self._install_var(var, level)
+            num_vars = max(num_vars, len(order))
+        for var in range(1, num_vars + 1):
+            if var not in self._level_of:
+                self._install_var(var, len(self._level_of))
+
+    def _install_var(self, var: int, level: int) -> None:
+        if var in self._level_of:
+            raise ValueError(f"variable {var} ordered twice")
+        self._level_of[var] = level
+        self._var_at_level[level] = var
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Internal (non-terminal) nodes currently interned."""
+        return len(self._unique)
+
+    def var(self, index: int) -> BDDNode:
+        """The BDD of the bare variable *index*."""
+        if index not in self._level_of:
+            self._install_var(index, len(self._level_of))
+        return self._mk(self._level_of[index], self.zero, self.one)
+
+    def nvar(self, index: int) -> BDDNode:
+        """The BDD of the complemented variable."""
+        if index not in self._level_of:
+            self._install_var(index, len(self._level_of))
+        return self._mk(self._level_of[index], self.one, self.zero)
+
+    def constant(self, value: bool) -> BDDNode:
+        """A terminal."""
+        return self.one if value else self.zero
+
+    def _mk(self, level: int, low: BDDNode, high: BDDNode) -> BDDNode:
+        if low is high:
+            return low                       # reduction rule
+        key = (level, low._id, high._id)
+        node = self._unique.get(key)
+        if node is None:
+            if len(self._unique) >= self.max_nodes:
+                raise BDDBlowup(
+                    f"unique table exceeded {self.max_nodes} nodes")
+            node = BDDNode(level, low, high, self._next_id)
+            self._next_id += 1
+            self._unique[key] = node
+        return node
+
+    # ------------------------------------------------------------------
+    # Core operation: ITE
+    # ------------------------------------------------------------------
+
+    def ite(self, cond: BDDNode, then: BDDNode,
+            otherwise: BDDNode) -> BDDNode:
+        """If-then-else; every binary operation reduces to it."""
+        if cond is self.one:
+            return then
+        if cond is self.zero:
+            return otherwise
+        if then is otherwise:
+            return then
+        if then is self.one and otherwise is self.zero:
+            return cond
+        key = (cond._id, then._id, otherwise._id)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        top = min(cond.level, then.level, otherwise.level)
+
+        def cofactor(node: BDDNode, positive: bool) -> BDDNode:
+            if node.level != top:
+                return node
+            return node.high if positive else node.low
+
+        high = self.ite(cofactor(cond, True), cofactor(then, True),
+                        cofactor(otherwise, True))
+        low = self.ite(cofactor(cond, False), cofactor(then, False),
+                       cofactor(otherwise, False))
+        result = self._mk(top, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Derived operations
+    # ------------------------------------------------------------------
+
+    def apply_not(self, node: BDDNode) -> BDDNode:
+        """Negation."""
+        return self.ite(node, self.zero, self.one)
+
+    def apply_and(self, left: BDDNode, right: BDDNode) -> BDDNode:
+        """Conjunction."""
+        return self.ite(left, right, self.zero)
+
+    def apply_or(self, left: BDDNode, right: BDDNode) -> BDDNode:
+        """Disjunction."""
+        return self.ite(left, self.one, right)
+
+    def apply_xor(self, left: BDDNode, right: BDDNode) -> BDDNode:
+        """Exclusive or."""
+        return self.ite(left, self.apply_not(right), right)
+
+    def apply_xnor(self, left: BDDNode, right: BDDNode) -> BDDNode:
+        """Equivalence."""
+        return self.ite(left, right, self.apply_not(right))
+
+    def apply_many(self, op: str, operands: Sequence[BDDNode]) -> BDDNode:
+        """Fold AND/OR/XOR (and their negations) over operands."""
+        table = {
+            "AND": (self.apply_and, self.one, False),
+            "NAND": (self.apply_and, self.one, True),
+            "OR": (self.apply_or, self.zero, False),
+            "NOR": (self.apply_or, self.zero, True),
+            "XOR": (self.apply_xor, self.zero, False),
+            "XNOR": (self.apply_xor, self.zero, True),
+        }
+        if op not in table:
+            raise ValueError(f"unknown operation {op!r}")
+        fold, unit, negate = table[op]
+        result = unit
+        for operand in operands:
+            result = fold(result, operand)
+        return self.apply_not(result) if negate else result
+
+    def restrict(self, node: BDDNode, var: int, value: bool) -> BDDNode:
+        """Cofactor with respect to ``var = value``."""
+        level = self._level_of[var]
+
+        def walk(current: BDDNode) -> BDDNode:
+            if current.level > level:
+                return current
+            if current.level == level:
+                return current.high if value else current.low
+            high = walk(current.high)
+            low = walk(current.low)
+            return self._mk(current.level, low, high)
+
+        return walk(node)
+
+    def exists(self, node: BDDNode, var: int) -> BDDNode:
+        """Existential quantification of one variable."""
+        return self.apply_or(self.restrict(node, var, False),
+                             self.restrict(node, var, True))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def evaluate(self, node: BDDNode,
+                 assignment: Dict[int, bool]) -> bool:
+        """Follow the decision path of a total assignment."""
+        current = node
+        while current.level != _TERMINAL_LEVEL:
+            var = self._var_at_level[current.level]
+            current = current.high if assignment[var] else current.low
+        return current is self.one
+
+    def count_solutions(self, node: BDDNode, num_vars: int) -> int:
+        """Number of satisfying assignments over ``1..num_vars``."""
+        levels = sorted(self._level_of[v]
+                        for v in range(1, num_vars + 1))
+        position = {level: index for index, level in enumerate(levels)}
+        total_levels = len(levels)
+        cache: Dict[int, int] = {}
+
+        def walk(current: BDDNode, depth: int) -> int:
+            if current.level == _TERMINAL_LEVEL:
+                remaining = total_levels - depth
+                return (1 << remaining) if current is self.one else 0
+            key = (current._id, depth)
+            if key in cache:
+                return cache[key]
+            here = position[current.level]
+            gap = here - depth
+            count = (walk(current.low, here + 1)
+                     + walk(current.high, here + 1)) << gap
+            cache[key] = count
+            return count
+
+        return walk(node, 0)
+
+    def any_model(self, node: BDDNode) -> Optional[Dict[int, bool]]:
+        """One satisfying partial assignment (None if node is zero)."""
+        if node is self.zero:
+            return None
+        model: Dict[int, bool] = {}
+        current = node
+        while current.level != _TERMINAL_LEVEL:
+            var = self._var_at_level[current.level]
+            if current.high is not self.zero:
+                model[var] = True
+                current = current.high
+            else:
+                model[var] = False
+                current = current.low
+        return model
+
+    def size(self, node: BDDNode) -> int:
+        """Nodes reachable from *node* (terminals excluded)."""
+        seen = set()
+
+        def walk(current: BDDNode) -> None:
+            if current.level == _TERMINAL_LEVEL or current._id in seen:
+                return
+            seen.add(current._id)
+            walk(current.low)
+            walk(current.high)
+
+        walk(node)
+        return len(seen)
+
+    def iter_cubes(self, node: BDDNode) -> Iterator[Dict[int, bool]]:
+        """Yield the satisfying cubes (paths to the 1 terminal)."""
+        path: List[Tuple[int, bool]] = []
+
+        def walk(current: BDDNode):
+            if current is self.one:
+                yield dict(path)
+                return
+            if current is self.zero:
+                return
+            var = self._var_at_level[current.level]
+            for value, child in ((False, current.low),
+                                 (True, current.high)):
+                path.append((var, value))
+                yield from walk(child)
+                path.pop()
+
+        yield from walk(node)

@@ -1,0 +1,23 @@
+"""Combinational/sequential circuit substrate (paper Sections 2 and 5).
+
+* :mod:`repro.circuits.gates` -- gate types, truth semantics, Table 1 CNF.
+* :mod:`repro.circuits.netlist` -- the :class:`Circuit` netlist model.
+* :mod:`repro.circuits.tseitin` -- circuit-to-CNF encoding.
+* :mod:`repro.circuits.simulate` -- 2- and 3-valued simulation.
+* :mod:`repro.circuits.bench_format` -- ISCAS-85/89 ``.bench`` I/O.
+* :mod:`repro.circuits.library` -- the paper's example circuits and classics.
+* :mod:`repro.circuits.generators` -- parameterized circuit families.
+* :mod:`repro.circuits.faults` -- the single stuck-at fault model.
+"""
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Circuit, Node
+from repro.circuits.tseitin import CircuitEncoding, encode_circuit
+
+__all__ = [
+    "Circuit",
+    "CircuitEncoding",
+    "GateType",
+    "Node",
+    "encode_circuit",
+]

@@ -1,0 +1,177 @@
+"""ISCAS-85/89 ``.bench`` netlist reader and writer.
+
+The ISCAS benchmark suites the paper's experiments historically used are
+distributed in the ``.bench`` format::
+
+    # comment
+    INPUT(G1)
+    OUTPUT(G17)
+    G10 = NAND(G1, G3)
+    G17 = NOT(G10)
+    G7 = DFF(G10)        # ISCAS-89 sequential extension
+
+Gate lines may appear in any order (forward references are legal);
+this parser resolves them by topologically re-ordering definitions.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from typing import Dict, List, Set, TextIO, Tuple, Union
+
+from repro.circuits.gates import GateType, gate_type_from_name
+from repro.circuits.netlist import Circuit, CircuitError
+
+
+class BenchFormatError(ValueError):
+    """Raised on malformed ``.bench`` input."""
+
+
+_DEF_RE = re.compile(
+    r"^\s*([^\s=]+)\s*=\s*([A-Za-z01]+)\s*\(\s*([^)]*)\s*\)\s*$")
+_IO_RE = re.compile(r"^\s*(INPUT|OUTPUT)\s*\(\s*([^)\s]+)\s*\)\s*$",
+                    re.IGNORECASE)
+
+
+def parse_bench(source: Union[str, TextIO], name: str = "bench") -> Circuit:
+    """Parse ``.bench`` text (a string or readable file object)."""
+    if isinstance(source, str):
+        source = io.StringIO(source)
+
+    inputs: List[str] = []
+    outputs: List[str] = []
+    definitions: Dict[str, Tuple[str, List[str]]] = {}
+    order: List[str] = []
+
+    for line_no, raw in enumerate(source, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            kind, signal = io_match.group(1).upper(), io_match.group(2)
+            (inputs if kind == "INPUT" else outputs).append(signal)
+            continue
+        def_match = _DEF_RE.match(line)
+        if def_match:
+            target, gate_name, args = def_match.groups()
+            fanins = [token.strip() for token in args.split(",")
+                      if token.strip()]
+            if target in definitions:
+                raise BenchFormatError(
+                    f"line {line_no}: node {target!r} redefined")
+            definitions[target] = (gate_name, fanins)
+            order.append(target)
+            continue
+        raise BenchFormatError(f"line {line_no}: cannot parse {line!r}")
+
+    circuit = Circuit(name)
+    for signal in inputs:
+        circuit.add_input(signal)
+
+    # Pass 1: declare DFF outputs first (they are sources; their data
+    # inputs may be defined later in the file).
+    dff_pending: List[Tuple[str, str]] = []
+    for target in order:
+        gate_name, fanins = definitions[target]
+        if gate_name.strip().upper() == "DFF":
+            if len(fanins) != 1:
+                raise BenchFormatError(
+                    f"DFF {target!r} must have exactly one input")
+            circuit.add_dff(target)
+            dff_pending.append((target, fanins[0]))
+
+    # Pass 2: add combinational gates in dependency order.
+    defined: Set[str] = set(circuit.inputs) | {d for d, _ in dff_pending}
+    remaining = [t for t in order
+                 if definitions[t][0].strip().upper() != "DFF"]
+    while remaining:
+        progressed = []
+        for target in remaining:
+            gate_name, fanins = definitions[target]
+            if all(f in defined for f in fanins):
+                gate_type = _parse_gate(gate_name, target)
+                if gate_type in (GateType.CONST0, GateType.CONST1):
+                    circuit.add_const(target, gate_type is GateType.CONST1)
+                else:
+                    circuit.add_gate(target, gate_type, fanins)
+                defined.add(target)
+                progressed.append(target)
+        if not progressed:
+            missing = sorted(
+                set(f for t in remaining for f in definitions[t][1])
+                - defined)
+            raise BenchFormatError(
+                "unresolvable definitions (cycle or undefined signals: "
+                f"{', '.join(missing[:5])})")
+        remaining = [t for t in remaining if t not in progressed]
+
+    for target, data_input in dff_pending:
+        if data_input not in defined:
+            raise BenchFormatError(
+                f"DFF {target!r} input {data_input!r} is undefined")
+        circuit.connect_dff(target, data_input)
+
+    for signal in outputs:
+        if signal not in circuit:
+            raise BenchFormatError(f"OUTPUT({signal}) is undefined")
+        circuit.set_output(signal)
+    try:
+        circuit.validate()
+    except CircuitError as exc:
+        raise BenchFormatError(str(exc)) from exc
+    return circuit
+
+
+def _parse_gate(gate_name: str, target: str) -> GateType:
+    key = gate_name.strip().upper()
+    if key in ("0", "GND", "CONST0"):
+        return GateType.CONST0
+    if key in ("1", "VDD", "CONST1"):
+        return GateType.CONST1
+    try:
+        return gate_type_from_name(key)
+    except ValueError:
+        raise BenchFormatError(
+            f"node {target!r}: unknown gate type {gate_name!r}") from None
+
+
+def load_bench(path: str) -> Circuit:
+    """Parse the ``.bench`` file at *path*."""
+    with open(path, "r", encoding="utf-8") as handle:
+        stem = path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+        return parse_bench(handle, name=stem)
+
+
+def write_bench(circuit: Circuit,
+                sink: Union[TextIO, None] = None) -> str:
+    """Serialize *circuit* to ``.bench`` text; returns the text."""
+    lines = [f"# {circuit.name}"]
+    for name in circuit.inputs:
+        lines.append(f"INPUT({name})")
+    for name in circuit.outputs:
+        lines.append(f"OUTPUT({name})")
+    for node in circuit:
+        if node.gate_type is GateType.INPUT:
+            continue
+        if node.gate_type is GateType.DFF:
+            data = node.fanins[0] if node.fanins else ""
+            lines.append(f"{node.name} = DFF({data})")
+        elif node.gate_type is GateType.CONST0:
+            lines.append(f"{node.name} = CONST0()")
+        elif node.gate_type is GateType.CONST1:
+            lines.append(f"{node.name} = CONST1()")
+        else:
+            args = ", ".join(node.fanins)
+            lines.append(f"{node.name} = {node.gate_type.value}({args})")
+    text = "\n".join(lines) + "\n"
+    if sink is not None:
+        sink.write(text)
+    return text
+
+
+def save_bench(circuit: Circuit, path: str) -> None:
+    """Write *circuit* to the ``.bench`` file at *path*."""
+    with open(path, "w", encoding="utf-8") as handle:
+        write_bench(circuit, handle)

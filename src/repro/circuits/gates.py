@@ -1,0 +1,303 @@
+"""Gate types, truth-table semantics and per-gate CNF (paper Table 1).
+
+The CNF formula of a gate "denotes the valid input-output assignments to
+the gate" (Section 2).  :func:`gate_cnf_clauses` reproduces Table 1 for
+simple gates of arbitrary fan-in; XOR/XNOR use the full 2^k expansion
+(fan-ins are small in practice -- encoders decompose wide XORs first).
+
+This module also centralizes the structural gate facts used throughout
+the library: controlling values (ATPG, backtracing) and the
+justification thresholds of Table 2.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+
+class GateType(enum.Enum):
+    """The simple gate types of Table 1, plus netlist bookkeeping types.
+
+    ``INPUT`` marks primary inputs, ``DFF`` marks D flip-flop outputs
+    (state variables for sequential circuits); neither carries
+    combinational CNF.  ``CONST0``/``CONST1`` are constant drivers used
+    by redundancy removal (Section 3).
+    """
+
+    AND = "AND"
+    NAND = "NAND"
+    OR = "OR"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    NOT = "NOT"
+    BUFFER = "BUFFER"
+    INPUT = "INPUT"
+    DFF = "DFF"
+    CONST0 = "CONST0"
+    CONST1 = "CONST1"
+
+
+#: Gate types whose output is a Boolean function of their fanins.
+COMBINATIONAL_TYPES = frozenset({
+    GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+    GateType.XOR, GateType.XNOR, GateType.NOT, GateType.BUFFER,
+    GateType.CONST0, GateType.CONST1,
+})
+
+#: Gate types with exactly one fanin.
+UNARY_TYPES = frozenset({GateType.NOT, GateType.BUFFER, GateType.DFF})
+
+#: Gate types taking two or more fanins.
+MULTI_INPUT_TYPES = frozenset({
+    GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+    GateType.XOR, GateType.XNOR,
+})
+
+
+class GateArityError(ValueError):
+    """Raised when a gate is built with an invalid number of fanins."""
+
+
+def check_arity(gate_type: GateType, num_inputs: int) -> None:
+    """Validate the fanin count for *gate_type* (raises on mismatch).
+
+    A DFF may temporarily have no fanin: netlist formats reference flip-
+    flop data inputs before defining them, so the connection is deferred
+    (``Circuit.validate`` enforces it eventually).
+    """
+    if gate_type is GateType.DFF:
+        if num_inputs > 1:
+            raise GateArityError(f"DFF takes at most 1 input, "
+                                 f"got {num_inputs}")
+        return
+    if gate_type in UNARY_TYPES and num_inputs != 1:
+        raise GateArityError(f"{gate_type.value} takes exactly 1 input, "
+                             f"got {num_inputs}")
+    if gate_type in MULTI_INPUT_TYPES and num_inputs < 1:
+        raise GateArityError(f"{gate_type.value} needs at least 1 input")
+    if gate_type in (GateType.INPUT, GateType.CONST0, GateType.CONST1) \
+            and num_inputs != 0:
+        raise GateArityError(f"{gate_type.value} takes no inputs, "
+                             f"got {num_inputs}")
+
+
+def evaluate_gate(gate_type: GateType, inputs: Sequence[bool]) -> bool:
+    """Two-valued gate evaluation.
+
+    >>> evaluate_gate(GateType.NAND, [True, True])
+    False
+    """
+    check_arity(gate_type, len(inputs))
+    if gate_type is GateType.AND:
+        return all(inputs)
+    if gate_type is GateType.NAND:
+        return not all(inputs)
+    if gate_type is GateType.OR:
+        return any(inputs)
+    if gate_type is GateType.NOR:
+        return not any(inputs)
+    if gate_type is GateType.XOR:
+        return sum(map(bool, inputs)) % 2 == 1
+    if gate_type is GateType.XNOR:
+        return sum(map(bool, inputs)) % 2 == 0
+    if gate_type is GateType.NOT:
+        return not inputs[0]
+    if gate_type is GateType.BUFFER:
+        return bool(inputs[0])
+    if gate_type is GateType.CONST0:
+        return False
+    if gate_type is GateType.CONST1:
+        return True
+    raise ValueError(f"{gate_type.value} has no combinational semantics")
+
+
+def evaluate_gate3(gate_type: GateType,
+                   inputs: Sequence[Optional[bool]]) -> Optional[bool]:
+    """Three-valued (0/1/X) gate evaluation; ``None`` encodes X.
+
+    A controlling value on any input determines the output even when
+    other inputs are X -- exactly the justification logic of Section 5.
+    """
+    check_arity(gate_type, len(inputs))
+    if gate_type in (GateType.CONST0, GateType.CONST1):
+        return gate_type is GateType.CONST1
+    if gate_type is GateType.NOT:
+        return None if inputs[0] is None else not inputs[0]
+    if gate_type is GateType.BUFFER:
+        return inputs[0]
+    if gate_type in (GateType.AND, GateType.NAND):
+        if any(value is False for value in inputs):
+            base: Optional[bool] = False
+        elif all(value is True for value in inputs):
+            base = True
+        else:
+            base = None
+        if base is None:
+            return None
+        return (not base) if gate_type is GateType.NAND else base
+    if gate_type in (GateType.OR, GateType.NOR):
+        if any(value is True for value in inputs):
+            base = True
+        elif all(value is False for value in inputs):
+            base = False
+        else:
+            base = None
+        if base is None:
+            return None
+        return (not base) if gate_type is GateType.NOR else base
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        if any(value is None for value in inputs):
+            return None
+        ones = sum(1 for value in inputs if value)
+        base = ones % 2 == 1
+        return (not base) if gate_type is GateType.XNOR else base
+    raise ValueError(f"{gate_type.value} has no combinational semantics")
+
+
+def controlling_value(gate_type: GateType) -> Optional[bool]:
+    """The input value that alone determines the gate output, if any.
+
+    AND/NAND are controlled by 0, OR/NOR by 1; XOR/XNOR and unary gates
+    have no controlling value.  Used by backtracing (Section 5) and by
+    ATPG path sensitization (Section 3).
+    """
+    if gate_type in (GateType.AND, GateType.NAND):
+        return False
+    if gate_type in (GateType.OR, GateType.NOR):
+        return True
+    return None
+
+
+def inversion_parity(gate_type: GateType) -> Optional[bool]:
+    """True when the gate inverts (NAND/NOR/NOT/XNOR), False when it
+    does not (AND/OR/BUFFER/XOR); ``None`` for non-logic types."""
+    if gate_type in (GateType.NAND, GateType.NOR, GateType.NOT,
+                     GateType.XNOR):
+        return True
+    if gate_type in (GateType.AND, GateType.OR, GateType.BUFFER,
+                     GateType.XOR):
+        return False
+    return None
+
+
+def justification_thresholds(gate_type: GateType,
+                             fanin_count: int) -> Tuple[int, int]:
+    """Table 2: thresholds ``(u0, u1)`` on suitably assigned inputs
+    needed to justify output values 0 and 1.
+
+    For an AND gate one 0-input justifies output 0 (``u0 = 1``) while
+    output 1 needs all inputs at 1 (``u1 = |FI|``); XOR/XNOR always need
+    every input assigned.  The paper notes ``u0, u1 in {1, |FI(x)|}``
+    for all simple gates.
+    """
+    check_arity(gate_type, fanin_count)
+    n = fanin_count
+    if gate_type is GateType.AND:
+        return 1, n
+    if gate_type is GateType.NAND:
+        return n, 1
+    if gate_type is GateType.OR:
+        return n, 1
+    if gate_type is GateType.NOR:
+        return 1, n
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        return n, n
+    if gate_type in (GateType.NOT, GateType.BUFFER):
+        return 1, 1
+    raise ValueError(f"{gate_type.value} has no justification thresholds")
+
+
+def counter_updates(gate_type: GateType,
+                    input_value: bool) -> Tuple[bool, bool]:
+    """Table 3: which justification counters an input assignment bumps.
+
+    Returns ``(bump_t0, bump_t1)`` -- whether assigning *input_value* to
+    a fanin increments the gate's ``t0`` and/or ``t1`` counter.  For an
+    AND gate a 0 input counts toward justifying output 0 and a 1 input
+    toward output 1; inverting gates swap the targets; XOR/XNOR inputs
+    count toward both outputs (any value restricts the parity).
+    """
+    if gate_type is GateType.AND:
+        return (not input_value, input_value)
+    if gate_type is GateType.NAND:
+        return (input_value, not input_value)
+    if gate_type is GateType.OR:
+        return (not input_value, input_value)
+    if gate_type is GateType.NOR:
+        return (input_value, not input_value)
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        return (True, True)
+    if gate_type is GateType.BUFFER:
+        return (not input_value, input_value)
+    if gate_type is GateType.NOT:
+        return (input_value, not input_value)
+    raise ValueError(f"{gate_type.value} has no justification counters")
+
+
+def gate_cnf_clauses(gate_type: GateType, output: int,
+                     inputs: Sequence[int]) -> List[List[int]]:
+    """Table 1: the CNF clauses relating *output* to *inputs*.
+
+    Arguments are DIMACS literals (normally positive variable indices;
+    callers may pass negated literals to fold an inversion into the
+    encoding).  The conjunction of the returned clauses is satisfied by
+    exactly the valid input-output assignments of the gate.
+
+    >>> gate_cnf_clauses(GateType.AND, 3, [1, 2])
+    [[1, -3], [2, -3], [-1, -2, 3]]
+    """
+    check_arity(gate_type, len(inputs))
+    x = output
+    w = list(inputs)
+
+    if gate_type is GateType.AND:
+        # x -> w_i  and  (all w_i) -> x
+        return [[wi, -x] for wi in w] + [[-wi for wi in w] + [x]]
+    if gate_type is GateType.NAND:
+        # x' -> w_i  and  (all w_i) -> x'
+        return [[wi, x] for wi in w] + [[-wi for wi in w] + [-x]]
+    if gate_type is GateType.OR:
+        # w_i -> x  and  x -> (some w_i)
+        return [[-wi, x] for wi in w] + [list(w) + [-x]]
+    if gate_type is GateType.NOR:
+        # w_i -> x'  and  x' -> (some w_i)
+        return [[-wi, -x] for wi in w] + [list(w) + [x]]
+    if gate_type is GateType.NOT:
+        return [[x, w[0]], [-x, -w[0]]]
+    if gate_type is GateType.BUFFER:
+        return [[x, -w[0]], [-x, w[0]]]
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        want_odd = gate_type is GateType.XOR
+        clauses = []
+        # For every input combination, the output is forced; emit the
+        # clause falsified exactly by that combination paired with the
+        # wrong output value (2^k clauses, k = fanin count).
+        for signs in itertools.product([False, True], repeat=len(w)):
+            ones = sum(signs)
+            value = (ones % 2 == 1) if want_odd else (ones % 2 == 0)
+            clause = [-wi if sign else wi for wi, sign in zip(w, signs)]
+            clause.append(x if value else -x)
+            clauses.append(clause)
+        return clauses
+    if gate_type is GateType.CONST0:
+        return [[-x]]
+    if gate_type is GateType.CONST1:
+        return [[x]]
+    raise ValueError(f"{gate_type.value} has no CNF encoding")
+
+
+def gate_type_from_name(name: str) -> GateType:
+    """Parse a gate-type name as found in ``.bench`` files.
+
+    Accepts the common aliases (``BUF``, ``BUFF``, ``INV``).
+    """
+    key = name.strip().upper()
+    aliases = {"BUF": "BUFFER", "BUFF": "BUFFER", "INV": "NOT"}
+    key = aliases.get(key, key)
+    try:
+        return GateType(key)
+    except ValueError:
+        raise ValueError(f"unknown gate type {name!r}") from None

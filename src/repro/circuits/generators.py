@@ -1,0 +1,349 @@
+"""Parameterized circuit families.
+
+The paper's contemporaries benchmarked on the ISCAS-85/89 netlists.
+Those files are not redistributable here, so these generators produce
+netlists of the same structural character -- arithmetic (adders,
+multipliers, ALUs), tree logic (parity, comparators, muxes), random
+DAGs, and small sequential machines for BMC.  Every generator is
+deterministic given its arguments (random circuits take a seed).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Circuit
+
+
+def _rng(seed: Union[int, random.Random, None]) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def full_adder(circuit: Circuit, a: str, b: str, cin: str,
+               prefix: str) -> Tuple[str, str]:
+    """Splice a full adder into *circuit*; returns ``(sum, carry)``."""
+    axb = circuit.add_gate(f"{prefix}_axb", GateType.XOR, [a, b])
+    total = circuit.add_gate(f"{prefix}_sum", GateType.XOR, [axb, cin])
+    anb = circuit.add_gate(f"{prefix}_anb", GateType.AND, [a, b])
+    cab = circuit.add_gate(f"{prefix}_cab", GateType.AND, [axb, cin])
+    carry = circuit.add_gate(f"{prefix}_cout", GateType.OR, [anb, cab])
+    return total, carry
+
+
+def ripple_carry_adder(width: int, name: Optional[str] = None) -> Circuit:
+    """An n-bit ripple-carry adder: inputs ``a0..``, ``b0..``, ``cin``;
+    outputs ``s0..`` and ``cout``.
+
+    The carry chain creates the long sensitizable paths that delay
+    computation (Section 3) and delay-fault ATPG care about.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    circuit = Circuit(name or f"rca{width}")
+    a = [circuit.add_input(f"a{i}") for i in range(width)]
+    b = [circuit.add_input(f"b{i}") for i in range(width)]
+    carry = circuit.add_input("cin")
+    for i in range(width):
+        total, carry = full_adder(circuit, a[i], b[i], carry, f"fa{i}")
+        circuit.add_gate(f"s{i}", GateType.BUFFER, [total])
+        circuit.set_output(f"s{i}")
+    circuit.add_gate("cout", GateType.BUFFER, [carry])
+    circuit.set_output("cout")
+    return circuit
+
+
+def carry_select_adder(width: int, block: int = 2,
+                       name: Optional[str] = None) -> Circuit:
+    """An n-bit carry-select adder (functionally equal to the RCA).
+
+    Pairs of structurally different but functionally equivalent adders
+    are the canonical equivalence-checking workload (Section 3).
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if block < 1:
+        raise ValueError("block must be >= 1")
+    circuit = Circuit(name or f"csa{width}")
+    a = [circuit.add_input(f"a{i}") for i in range(width)]
+    b = [circuit.add_input(f"b{i}") for i in range(width)]
+    carry = circuit.add_input("cin")
+
+    position = 0
+    block_id = 0
+    while position < width:
+        size = min(block, width - position)
+        zero = circuit.add_const(f"blk{block_id}_c0", False)
+        one = circuit.add_const(f"blk{block_id}_c1", True)
+        sums0, sums1 = [], []
+        c0, c1 = zero, one
+        for i in range(position, position + size):
+            s0, c0 = full_adder(circuit, a[i], b[i], c0,
+                                f"blk{block_id}_z{i}")
+            s1, c1 = full_adder(circuit, a[i], b[i], c1,
+                                f"blk{block_id}_o{i}")
+            sums0.append(s0)
+            sums1.append(s1)
+        # Select between the speculative sums with the incoming carry.
+        for offset, i in enumerate(range(position, position + size)):
+            sel1 = circuit.add_gate(f"sel1_{i}", GateType.AND,
+                                    [carry, sums1[offset]])
+            ncar = circuit.add_gate(f"ncar_{i}", GateType.NOT, [carry])
+            sel0 = circuit.add_gate(f"sel0_{i}", GateType.AND,
+                                    [ncar, sums0[offset]])
+            circuit.add_gate(f"s{i}", GateType.OR, [sel0, sel1])
+            circuit.set_output(f"s{i}")
+        car1 = circuit.add_gate(f"car1_{block_id}", GateType.AND,
+                                [carry, c1])
+        ncar_b = circuit.add_gate(f"ncar_b{block_id}", GateType.NOT,
+                                  [carry])
+        car0 = circuit.add_gate(f"car0_{block_id}", GateType.AND,
+                                [ncar_b, c0])
+        carry = circuit.add_gate(f"carry_{block_id}", GateType.OR,
+                                 [car0, car1])
+        position += size
+        block_id += 1
+    circuit.add_gate("cout", GateType.BUFFER, [carry])
+    circuit.set_output("cout")
+    return circuit
+
+
+def array_multiplier(width: int, name: Optional[str] = None) -> Circuit:
+    """An n-by-n array multiplier: inputs ``a0..``, ``b0..``; outputs
+    ``p0..p(2n-1)``.
+
+    Multipliers are the classic hard instances for both SAT-based
+    equivalence checking and ATPG.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    circuit = Circuit(name or f"mul{width}")
+    a = [circuit.add_input(f"a{i}") for i in range(width)]
+    b = [circuit.add_input(f"b{i}") for i in range(width)]
+
+    partial = [[circuit.add_gate(f"pp{i}_{j}", GateType.AND, [a[i], b[j]])
+                for j in range(width)] for i in range(width)]
+
+    # School-book accumulation: acc[w] holds the signal of weight w.
+    # Adding row i (shifted left by i) ripples a carry from weight i up;
+    # before processing row i the accumulator spans weights 0..width+i-2,
+    # so the last sum bit and the final carry each extend it by one.
+    zero = circuit.add_const("mzero", False)
+    acc: List[str] = list(partial[0])
+    for i in range(1, width):
+        carry = zero
+        for j in range(width):
+            weight = i + j
+            lhs = acc[weight] if weight < len(acc) else zero
+            total, carry = full_adder(circuit, partial[i][j], lhs, carry,
+                                      f"m{i}_{j}")
+            if weight < len(acc):
+                acc[weight] = total
+            else:
+                acc.append(total)
+        acc.append(carry)
+
+    for bit, signal in enumerate(acc[: 2 * width]):
+        circuit.add_gate(f"p{bit}", GateType.BUFFER, [signal])
+        circuit.set_output(f"p{bit}")
+    while len(acc) < 2 * width:  # width == 1: p1 is the (absent) carry
+        circuit.add_const(f"p{len(acc)}", False)
+        circuit.set_output(f"p{len(acc)}")
+        acc.append(f"p{len(acc)}")
+    return circuit
+
+
+def parity_tree(width: int, name: Optional[str] = None) -> Circuit:
+    """A balanced XOR tree computing the parity of *width* inputs."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    circuit = Circuit(name or f"parity{width}")
+    layer = [circuit.add_input(f"i{k}") for k in range(width)]
+    level = 0
+    while len(layer) > 1:
+        nxt = []
+        for k in range(0, len(layer) - 1, 2):
+            nxt.append(circuit.add_gate(f"x{level}_{k // 2}", GateType.XOR,
+                                        [layer[k], layer[k + 1]]))
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+        level += 1
+    circuit.add_gate("parity", GateType.BUFFER, [layer[0]])
+    circuit.set_output("parity")
+    return circuit
+
+
+def comparator(width: int, name: Optional[str] = None) -> Circuit:
+    """An n-bit equality comparator: output ``eq`` is 1 iff a == b."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    circuit = Circuit(name or f"cmp{width}")
+    bits = []
+    for i in range(width):
+        a = circuit.add_input(f"a{i}")
+        b = circuit.add_input(f"b{i}")
+        bits.append(circuit.add_gate(f"eq{i}", GateType.XNOR, [a, b]))
+    if len(bits) == 1:
+        circuit.add_gate("eq", GateType.BUFFER, bits)
+    else:
+        circuit.add_gate("eq", GateType.AND, bits)
+    circuit.set_output("eq")
+    return circuit
+
+
+def mux_tree(select_bits: int, name: Optional[str] = None) -> Circuit:
+    """A 2^k-to-1 multiplexer built from 2-to-1 muxes."""
+    if select_bits < 1:
+        raise ValueError("select_bits must be >= 1")
+    circuit = Circuit(name or f"mux{select_bits}")
+    data = [circuit.add_input(f"d{i}") for i in range(1 << select_bits)]
+    selects = [circuit.add_input(f"s{i}") for i in range(select_bits)]
+    layer = data
+    for level, sel in enumerate(selects):
+        nsel = circuit.add_gate(f"ns{level}", GateType.NOT, [sel])
+        nxt = []
+        for k in range(0, len(layer), 2):
+            lo = circuit.add_gate(f"m{level}_{k}_lo", GateType.AND,
+                                  [nsel, layer[k]])
+            hi = circuit.add_gate(f"m{level}_{k}_hi", GateType.AND,
+                                  [sel, layer[k + 1]])
+            nxt.append(circuit.add_gate(f"m{level}_{k}", GateType.OR,
+                                        [lo, hi]))
+        layer = nxt
+    circuit.add_gate("out", GateType.BUFFER, [layer[0]])
+    circuit.set_output("out")
+    return circuit
+
+
+def random_circuit(num_inputs: int, num_gates: int,
+                   seed: Union[int, random.Random, None] = 0,
+                   gate_types: Optional[Sequence[GateType]] = None,
+                   max_fanin: int = 3,
+                   name: Optional[str] = None) -> Circuit:
+    """A random combinational DAG.
+
+    Gates pick 1..max_fanin distinct existing nodes as fanins, biased
+    toward recent nodes so depth grows.  All sink nodes become outputs.
+    """
+    if num_inputs < 1 or num_gates < 1:
+        raise ValueError("need at least one input and one gate")
+    rng = _rng(seed)
+    types = list(gate_types or [GateType.AND, GateType.NAND, GateType.OR,
+                                GateType.NOR, GateType.XOR, GateType.NOT])
+    circuit = Circuit(name or f"rand{num_inputs}x{num_gates}")
+    pool = [circuit.add_input(f"i{k}") for k in range(num_inputs)]
+    for g in range(num_gates):
+        gate_type = rng.choice(types)
+        if gate_type in (GateType.NOT, GateType.BUFFER):
+            fanin_count = 1
+        else:
+            fanin_count = rng.randint(2, max(2, min(max_fanin, len(pool))))
+        # Bias toward the most recent half of the pool for depth.
+        candidates = pool[len(pool) // 2:] if len(pool) > 4 else pool
+        if fanin_count > len(candidates):
+            candidates = pool
+        fanins = rng.sample(candidates, fanin_count)
+        pool.append(circuit.add_gate(f"g{g}", gate_type, fanins))
+    for node_name in pool:
+        if not circuit.fanout(node_name) and \
+                not circuit.node(node_name).is_input:
+            circuit.set_output(node_name)
+    if not circuit.outputs:
+        circuit.set_output(pool[-1])
+    return circuit
+
+
+def alu(width: int, name: Optional[str] = None) -> Circuit:
+    """A small ALU slice: op-selected AND / OR / XOR / ADD.
+
+    Inputs ``a0..``, ``b0..`` and a 2-bit opcode ``op0 op1``
+    (00=AND, 01=OR, 10=XOR, 11=ADD with carry-in 0); outputs
+    ``y0..y(width-1)`` plus ``ovf`` (the adder carry, 0 for logic
+    ops).  A realistic mixed-logic workload for ATPG/CEC benchmarks.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    circuit = Circuit(name or f"alu{width}")
+    a = [circuit.add_input(f"a{i}") for i in range(width)]
+    b = [circuit.add_input(f"b{i}") for i in range(width)]
+    op0 = circuit.add_input("op0")
+    op1 = circuit.add_input("op1")
+
+    nop0 = circuit.add_gate("nop0", GateType.NOT, [op0])
+    nop1 = circuit.add_gate("nop1", GateType.NOT, [op1])
+    sel_and = circuit.add_gate("sel_and", GateType.AND, [nop1, nop0])
+    sel_or = circuit.add_gate("sel_or", GateType.AND, [nop1, op0])
+    sel_xor = circuit.add_gate("sel_xor", GateType.AND, [op1, nop0])
+    sel_add = circuit.add_gate("sel_add", GateType.AND, [op1, op0])
+
+    carry = circuit.add_const("alu_c0", False)
+    for i in range(width):
+        and_i = circuit.add_gate(f"and{i}", GateType.AND, [a[i], b[i]])
+        or_i = circuit.add_gate(f"or{i}", GateType.OR, [a[i], b[i]])
+        xor_i = circuit.add_gate(f"xor{i}", GateType.XOR, [a[i], b[i]])
+        sum_i, carry = full_adder(circuit, a[i], b[i], carry, f"alu_fa{i}")
+        terms = []
+        for sel, value, tag in ((sel_and, and_i, "and"),
+                                (sel_or, or_i, "or"),
+                                (sel_xor, xor_i, "xor"),
+                                (sel_add, sum_i, "add")):
+            terms.append(circuit.add_gate(f"t_{tag}{i}", GateType.AND,
+                                          [sel, value]))
+        circuit.add_gate(f"y{i}", GateType.OR, terms)
+        circuit.set_output(f"y{i}")
+    circuit.add_gate("ovf", GateType.AND, [sel_add, carry])
+    circuit.set_output("ovf")
+    return circuit
+
+
+def binary_counter(width: int, with_reset: bool = False,
+                   name: Optional[str] = None) -> Circuit:
+    """A sequential n-bit binary up-counter (for BMC, Section 3).
+
+    State bits ``q0..`` increment every cycle while input ``en`` is 1.
+    Output ``rollover`` pulses when all bits are 1 and ``en`` is 1 --
+    BMC finds the pulse at exactly depth 2^n with en held high.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    circuit = Circuit(name or f"cnt{width}")
+    enable = circuit.add_input("en")
+    state = [circuit.add_dff(f"q{i}") for i in range(width)]
+
+    carry = enable
+    for i in range(width):
+        toggle = circuit.add_gate(f"t{i}", GateType.XOR, [state[i], carry])
+        carry = circuit.add_gate(f"c{i}", GateType.AND, [state[i], carry])
+        next_bit = toggle
+        if with_reset:
+            reset = "rst" if "rst" in circuit else circuit.add_input("rst")
+            nreset = f"nrst{i}"
+            circuit.add_gate(nreset, GateType.NOT, [reset])
+            next_bit = circuit.add_gate(f"d{i}", GateType.AND,
+                                        [toggle, nreset])
+        circuit.connect_dff(f"q{i}", next_bit)
+
+    all_ones = circuit.add_gate("allones", GateType.AND, list(state))
+    circuit.add_gate("rollover", GateType.AND, [all_ones, enable])
+    circuit.set_output("rollover")
+    return circuit
+
+
+def shift_register(length: int, name: Optional[str] = None) -> Circuit:
+    """A serial-in shift register; output is the oldest bit."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    circuit = Circuit(name or f"shift{length}")
+    serial = circuit.add_input("sin")
+    stages = [circuit.add_dff(f"r{i}") for i in range(length)]
+    previous = serial
+    for i in range(length):
+        circuit.connect_dff(f"r{i}", previous)
+        previous = stages[i]
+    circuit.add_gate("sout", GateType.BUFFER, [previous])
+    circuit.set_output("sout")
+    return circuit

@@ -1,0 +1,143 @@
+"""The paper's example circuits and small classics.
+
+Figures 1 and 3 of the paper are partially garbled in the archival
+scan, so the circuits here are *reconstructions* chosen to reproduce
+every concrete artifact the text states:
+
+* Figure 1: a small circuit whose CNF formula is built gate-by-gate
+  from Table 1 and then extended "with property z = 0".
+* Figure 3: a circuit where the assignments ``w = 1``, ``y3 = 0`` and
+  the decision ``x1 = 1`` force ``y1 = y2 = 0``, which is inconsistent
+  with ``y3``; conflict analysis must derive the recorded clause
+  ``(x1' + w' + y3)``.
+
+c17 is the smallest ISCAS-85 benchmark (six NAND gates), reproduced
+from its public netlist.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Circuit
+
+
+def figure1_circuit() -> Circuit:
+    """Reconstruction of the paper's Figure 1 example circuit.
+
+    Inputs ``a``, ``b``, ``c``; gates::
+
+        w1 = AND(a, b)
+        x  = NOT(w1)
+        w2 = OR(x, c)
+        z  = AND(w1, w2)
+
+    The associated CNF formula is the conjunction of the Table 1
+    formulas of the four gates; the property of interest is ``z = 0``
+    (satisfiable -- e.g. a = 0 forces w1 = 0 hence z = 0).
+    """
+    circuit = Circuit("figure1")
+    circuit.add_input("a")
+    circuit.add_input("b")
+    circuit.add_input("c")
+    circuit.add_gate("w1", GateType.AND, ["a", "b"])
+    circuit.add_gate("x", GateType.NOT, ["w1"])
+    circuit.add_gate("w2", GateType.OR, ["x", "c"])
+    circuit.add_gate("z", GateType.AND, ["w1", "w2"])
+    circuit.set_output("z")
+    return circuit
+
+
+def figure3_circuit() -> Circuit:
+    """Reconstruction of the paper's Figure 3 conflict example.
+
+    Inputs ``x1``, ``w``; gates::
+
+        y1 = NOT(x1)
+        y2 = NOT(w)
+        y3 = NOR(y1, y2)        # y3 == AND(x1, w)
+
+    With ``w = 1`` and ``y3 = 0``, deciding ``x1 = 1`` implies
+    ``y1 = 0`` and ``y2 = 0``, which is inconsistent with ``y3 = 0``
+    (a NOR of two zeros is 1).  The conflict holds as long as the three
+    assignments hold, so the clause ``(x1' + w' + y3)`` is an implicate
+    of the circuit's CNF -- exactly the clause the paper derives.
+    """
+    circuit = Circuit("figure3")
+    circuit.add_input("x1")
+    circuit.add_input("w")
+    circuit.add_gate("y1", GateType.NOT, ["x1"])
+    circuit.add_gate("y2", GateType.NOT, ["w"])
+    circuit.add_gate("y3", GateType.NOR, ["y1", "y2"])
+    circuit.set_output("y3")
+    return circuit
+
+
+def c17() -> Circuit:
+    """ISCAS-85 c17: 5 inputs, 6 NAND gates, 2 outputs."""
+    circuit = Circuit("c17")
+    for name in ("G1", "G2", "G3", "G6", "G7"):
+        circuit.add_input(name)
+    circuit.add_gate("G10", GateType.NAND, ["G1", "G3"])
+    circuit.add_gate("G11", GateType.NAND, ["G3", "G6"])
+    circuit.add_gate("G16", GateType.NAND, ["G2", "G11"])
+    circuit.add_gate("G19", GateType.NAND, ["G11", "G7"])
+    circuit.add_gate("G22", GateType.NAND, ["G10", "G16"])
+    circuit.add_gate("G23", GateType.NAND, ["G16", "G19"])
+    circuit.set_output("G22")
+    circuit.set_output("G23")
+    return circuit
+
+
+def half_adder() -> Circuit:
+    """A half adder: sum = a XOR b, carry = a AND b."""
+    circuit = Circuit("half_adder")
+    circuit.add_input("a")
+    circuit.add_input("b")
+    circuit.add_gate("sum", GateType.XOR, ["a", "b"])
+    circuit.add_gate("carry", GateType.AND, ["a", "b"])
+    circuit.set_output("sum")
+    circuit.set_output("carry")
+    return circuit
+
+
+def majority3() -> Circuit:
+    """Three-input majority vote (carry function of a full adder)."""
+    circuit = Circuit("majority3")
+    for name in ("a", "b", "c"):
+        circuit.add_input(name)
+    circuit.add_gate("ab", GateType.AND, ["a", "b"])
+    circuit.add_gate("ac", GateType.AND, ["a", "c"])
+    circuit.add_gate("bc", GateType.AND, ["b", "c"])
+    circuit.add_gate("maj", GateType.OR, ["ab", "ac", "bc"])
+    circuit.set_output("maj")
+    return circuit
+
+
+def redundant_or_chain() -> Circuit:
+    """A circuit with an intentionally redundant gate.
+
+    ``y = OR(a, ab)`` where ``ab = AND(a, b)``: by absorption
+    ``y == a``, so the fault "ab stuck-at-0" is undetectable
+    (redundant).  Redundancy identification (Section 3) must prove it.
+    """
+    circuit = Circuit("redundant_or")
+    circuit.add_input("a")
+    circuit.add_input("b")
+    circuit.add_gate("ab", GateType.AND, ["a", "b"])
+    circuit.add_gate("y", GateType.OR, ["a", "ab"])
+    circuit.set_output("y")
+    return circuit
+
+
+def two_level_example() -> Circuit:
+    """f = ab + a'c -- the textbook two-level function used by the
+    prime-implicant / covering experiments (Section 3)."""
+    circuit = Circuit("two_level")
+    for name in ("a", "b", "c"):
+        circuit.add_input(name)
+    circuit.add_gate("na", GateType.NOT, ["a"])
+    circuit.add_gate("ab", GateType.AND, ["a", "b"])
+    circuit.add_gate("nac", GateType.AND, ["na", "c"])
+    circuit.add_gate("f", GateType.OR, ["ab", "nac"])
+    circuit.set_output("f")
+    return circuit

@@ -1,0 +1,87 @@
+"""Structural hashing (strash) for netlists.
+
+Merges gates computing syntactically identical functions -- same type,
+same (order-normalized) fanins -- into one representative.  Miters are
+the prime consumer (paper Section 3): structurally similar circuit
+pairs share most of their logic, and hashing the shared cone away
+before invoking SAT shrinks the instance, often collapsing identical
+regions to a constant.  This is the structural component of the hybrid
+equivalence checkers the paper cites [16, 26].
+
+Constant propagation hooks in through the existing sweep pass; DFFs
+are never merged (conservative for sequential semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Circuit
+
+#: gate types whose fanin order is irrelevant.
+_COMMUTATIVE = frozenset({
+    GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+    GateType.XOR, GateType.XNOR,
+})
+
+
+def structural_hash(circuit: Circuit) -> Circuit:
+    """A functionally equivalent copy with duplicate gates merged.
+
+    Primary outputs keep their names (a buffer is inserted when the
+    named node merged into a representative); inputs and DFFs are
+    preserved verbatim.
+    """
+    circuit.validate()
+    representative: Dict[str, str] = {}
+    by_key: Dict[Tuple, str] = {}
+    hashed = Circuit(circuit.name + "_strash")
+
+    def resolve(name: str) -> str:
+        while name in representative:
+            name = representative[name]
+        return name
+
+    for name in circuit.topological_order():
+        node = circuit.node(name)
+        if node.gate_type is GateType.INPUT:
+            hashed.add_input(name)
+            continue
+        if node.gate_type is GateType.DFF:
+            fanin = resolve(node.fanins[0]) if node.fanins else None
+            hashed.add_dff(name, fanin)
+            continue
+        fanins = tuple(resolve(f) for f in node.fanins)
+        if node.gate_type in _COMMUTATIVE:
+            key_fanins: Tuple = tuple(sorted(fanins))
+        else:
+            key_fanins = fanins
+        # A buffer is a wire: merge it with its driver outright unless
+        # its name must survive as an output.
+        if node.gate_type is GateType.BUFFER and \
+                name not in circuit.outputs:
+            representative[name] = fanins[0]
+            continue
+        key = (node.gate_type, key_fanins)
+        existing = by_key.get(key)
+        if existing is not None:
+            if name in circuit.outputs:
+                hashed.add_gate(name, GateType.BUFFER, [existing])
+            else:
+                representative[name] = existing
+            continue
+        by_key[key] = name
+        if node.gate_type in (GateType.CONST0, GateType.CONST1):
+            hashed.add_const(name,
+                             node.gate_type is GateType.CONST1)
+        else:
+            hashed.add_gate(name, node.gate_type, list(fanins))
+    for output in circuit.outputs:
+        hashed.set_output(resolve(output))
+    return hashed
+
+
+def merged_gate_count(circuit: Circuit) -> int:
+    """How many gates structural hashing removes from *circuit*."""
+    return circuit.num_gates() - structural_hash(circuit).num_gates()

@@ -1,0 +1,243 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Wraps the library's main flows for shell use:
+
+* ``solve FILE.cnf`` -- decide a DIMACS formula (prints a model).
+* ``atpg FILE.bench`` -- stuck-at test generation report.
+* ``cec A.bench B.bench`` -- combinational equivalence check.
+* ``bmc FILE.bench --output NAME`` -- bounded safety check.
+* ``delay FILE.bench`` -- topological vs sensitizable delay.
+* ``info FILE.bench`` -- netlist statistics.
+* ``optimize FILE.bench`` -- strash + sweep + redundancy removal,
+  equivalence-certified.
+
+Exit codes follow the SAT-competition convention for ``solve``
+(10 = SAT, 20 = UNSAT, 0 = unknown) and 0/1 = pass/fail elsewhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_solve(args) -> int:
+    from repro.cnf.dimacs import load_dimacs
+    from repro.solvers.cdcl import CDCLSolver
+    from repro.solvers.preprocess import preprocess
+
+    formula = load_dimacs(args.file)
+    lift = None
+    if args.preprocess:
+        pre = preprocess(formula)
+        if pre.unsat:
+            print("s UNSATISFIABLE")
+            return 20
+        lift = pre.lift_model
+        formula = pre.formula
+    solver = CDCLSolver(formula, max_conflicts=args.max_conflicts)
+    result = solver.solve()
+    if result.is_sat:
+        model = lift(result.assignment) if lift else result.assignment
+        print("s SATISFIABLE")
+        literals = " ".join(str(lit) for lit in model.to_literals())
+        print(f"v {literals} 0")
+        return 10
+    if result.is_unsat:
+        print("s UNSATISFIABLE")
+        return 20
+    print("s UNKNOWN")
+    return 0
+
+
+def _cmd_atpg(args) -> int:
+    from repro.apps.atpg import ATPGEngine, TestOutcome
+    from repro.circuits.bench_format import load_bench
+
+    circuit = load_bench(args.file)
+    engine = ATPGEngine(circuit, collapse=args.collapse,
+                        fault_dropping=not args.no_dropping)
+    report = engine.run()
+    print(f"faults:     {len(report.results)}")
+    print(f"detected:   {report.count(TestOutcome.DETECTED)} by SAT, "
+          f"{report.count(TestOutcome.DETECTED_BY_SIMULATION)} "
+          f"by simulation")
+    print(f"redundant:  {report.count(TestOutcome.REDUNDANT)}")
+    print(f"aborted:    {report.count(TestOutcome.ABORTED)}")
+    print(f"vectors:    {len(report.vectors)}")
+    print(f"efficiency: {report.fault_coverage:.2%}")
+    if args.vectors:
+        names = circuit.inputs
+        for vector in report.vectors:
+            print("".join("1" if vector[n] else "0" for n in names))
+    return 0 if report.count(TestOutcome.ABORTED) == 0 else 1
+
+
+def _cmd_cec(args) -> int:
+    from repro.apps.equivalence import check_equivalence
+    from repro.circuits.bench_format import load_bench
+
+    left = load_bench(args.left)
+    right = load_bench(args.right)
+    report = check_equivalence(left, right,
+                               use_preprocessing=args.preprocess,
+                               use_strash=args.strash)
+    if report.equivalent is True:
+        print("EQUIVALENT")
+        return 0
+    if report.equivalent is False:
+        print("NOT EQUIVALENT")
+        names = left.inputs
+        print("counterexample:",
+              " ".join(f"{n}={int(report.counterexample[n])}"
+                       for n in names))
+        return 1
+    print("UNKNOWN (budget exhausted)")
+    return 2
+
+
+def _cmd_bmc(args) -> int:
+    from repro.apps.bmc import check_safety
+    from repro.circuits.bench_format import load_bench
+
+    circuit = load_bench(args.file)
+    output = args.output or circuit.outputs[0]
+    result = check_safety(circuit, output, bad_value=not args.low,
+                          max_depth=args.depth)
+    if result.failure_depth is None:
+        print(f"property holds through depth {args.depth}")
+        return 0
+    print(f"counterexample at depth {result.failure_depth}")
+    for frame, vector in enumerate(result.trace):
+        bits = " ".join(f"{name}={int(value)}"
+                        for name, value in sorted(vector.items()))
+        print(f"  cycle {frame}: {bits}")
+    return 1
+
+
+def _cmd_delay(args) -> int:
+    from repro.apps.delay import compute_delay
+    from repro.circuits.bench_format import load_bench
+
+    circuit = load_bench(args.file)
+    report = compute_delay(circuit, max_paths=args.max_paths)
+    print(f"topological delay:  {report.topological_delay}")
+    print(f"sensitizable delay: {report.sensitizable_delay}")
+    print(f"false paths found:  {report.false_paths_examined}")
+    if report.critical_path:
+        print("critical path:      " + " -> ".join(report.critical_path))
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from repro.circuits.bench_format import load_bench
+
+    circuit = load_bench(args.file)
+    for key, value in circuit.stats().items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def _cmd_optimize(args) -> int:
+    from repro.apps.equivalence import check_equivalence
+    from repro.apps.redundancy import optimize, sweep
+    from repro.circuits.bench_format import load_bench, save_bench
+    from repro.circuits.strash import structural_hash
+
+    circuit = load_bench(args.file)
+    before = circuit.num_gates()
+    optimized = sweep(structural_hash(circuit))
+    if not args.no_redundancy and not optimized.is_sequential():
+        optimized, report = optimize(optimized)
+        removed_faults = len(report.redundant_faults)
+    else:
+        removed_faults = 0
+    print(f"gates: {before} -> {optimized.num_gates()}")
+    print(f"redundant faults removed: {removed_faults}")
+    if not circuit.is_sequential():
+        verdict = check_equivalence(circuit, optimized)
+        print(f"equivalence certified: {verdict.equivalent}")
+        if verdict.equivalent is False:
+            return 2
+    if args.output:
+        save_bench(optimized, args.output)
+        print(f"written: {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SAT for EDA (Marques-Silva & Sakallah, DAC 2000)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    solve = commands.add_parser("solve", help="solve a DIMACS CNF file")
+    solve.add_argument("file")
+    solve.add_argument("--preprocess", action="store_true",
+                       help="run Preprocess() incl. equivalency "
+                            "reasoning first")
+    solve.add_argument("--max-conflicts", type=int, default=None)
+    solve.set_defaults(handler=_cmd_solve)
+
+    atpg = commands.add_parser("atpg",
+                               help="stuck-at ATPG on a .bench netlist")
+    atpg.add_argument("file")
+    atpg.add_argument("--collapse", action="store_true",
+                      help="structural fault collapsing")
+    atpg.add_argument("--no-dropping", action="store_true",
+                      help="disable simulation fault dropping")
+    atpg.add_argument("--vectors", action="store_true",
+                      help="print the generated vectors")
+    atpg.set_defaults(handler=_cmd_atpg)
+
+    cec = commands.add_parser("cec",
+                              help="combinational equivalence check")
+    cec.add_argument("left")
+    cec.add_argument("right")
+    cec.add_argument("--preprocess", action="store_true")
+    cec.add_argument("--strash", action="store_true",
+                     help="structurally hash the miter first")
+    cec.set_defaults(handler=_cmd_cec)
+
+    bmc = commands.add_parser("bmc", help="bounded safety check")
+    bmc.add_argument("file")
+    bmc.add_argument("--output", default=None,
+                     help="output to watch (default: first PO)")
+    bmc.add_argument("--depth", type=int, default=10)
+    bmc.add_argument("--low", action="store_true",
+                     help="look for value 0 instead of 1")
+    bmc.set_defaults(handler=_cmd_bmc)
+
+    delay = commands.add_parser("delay",
+                                help="sensitizable-delay analysis")
+    delay.add_argument("file")
+    delay.add_argument("--max-paths", type=int, default=1000)
+    delay.set_defaults(handler=_cmd_delay)
+
+    info = commands.add_parser("info", help="netlist statistics")
+    info.add_argument("file")
+    info.set_defaults(handler=_cmd_info)
+
+    optimize = commands.add_parser(
+        "optimize",
+        help="strash + sweep + SAT redundancy removal")
+    optimize.add_argument("file")
+    optimize.add_argument("--output", default=None,
+                          help="write the optimized .bench here")
+    optimize.add_argument("--no-redundancy", action="store_true",
+                          help="skip the SAT redundancy-removal pass")
+    optimize.set_defaults(handler=_cmd_optimize)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Conjunctive Normal Form core (paper Section 2).
+
+This package provides the CNF substrate that every solver and every EDA
+application in :mod:`repro` builds upon:
+
+* :mod:`repro.cnf.literals` -- DIMACS-style integer literals.
+* :mod:`repro.cnf.clause` -- immutable clauses.
+* :mod:`repro.cnf.formula` -- mutable CNF formulas.
+* :mod:`repro.cnf.assignment` -- partial/total variable assignments.
+* :mod:`repro.cnf.dimacs` -- DIMACS CNF reader/writer.
+* :mod:`repro.cnf.simplify` -- formula-level preprocessing.
+* :mod:`repro.cnf.generators` -- synthetic formula families.
+"""
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.clause import Clause
+from repro.cnf.formula import CNFFormula
+from repro.cnf.literals import lit_from_var, negate, polarity, variable
+
+__all__ = [
+    "Assignment",
+    "Clause",
+    "CNFFormula",
+    "lit_from_var",
+    "negate",
+    "polarity",
+    "variable",
+]

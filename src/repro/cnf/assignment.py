@@ -1,0 +1,131 @@
+"""Partial and total variable assignments.
+
+The SAT problem (paper Section 2) asks for an assignment to the
+arguments of ``f(x1, ..., xn)`` making the function 1.  This module
+provides the assignment object returned by every solver in the library,
+with convenience queries used by the EDA applications (e.g. counting
+*specified* inputs, which experiment C5 uses to quantify the
+overspecification problem of Section 5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional
+
+from repro.cnf.literals import variable
+
+
+class Assignment:
+    """A mapping from variable index to Boolean value.
+
+    Unassigned variables are simply absent; ``value_of`` returns ``None``
+    for them.  The object behaves like a read-mostly dict but offers
+    literal-level queries.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Optional[Dict[int, bool]] = None):
+        self._values: Dict[int, bool] = {}
+        if values:
+            for var, val in values.items():
+                self.assign(var, val)
+
+    @classmethod
+    def from_literals(cls, literals: Iterable[int]) -> "Assignment":
+        """Build from literals: ``+v`` assigns True, ``-v`` assigns False.
+
+        >>> Assignment.from_literals([1, -3]).value_of(3)
+        False
+        """
+        out = cls()
+        for lit in literals:
+            out.assign(variable(lit), lit > 0)
+        return out
+
+    def assign(self, var: int, value: bool) -> None:
+        """Set *var* to *value* (overwriting any previous value)."""
+        if var <= 0:
+            raise ValueError(f"variable index must be >= 1, got {var}")
+        self._values[var] = bool(value)
+
+    def unassign(self, var: int) -> None:
+        """Remove *var* from the assignment (no-op when absent)."""
+        self._values.pop(var, None)
+
+    def value_of(self, var: int) -> Optional[bool]:
+        """The value of *var*, or ``None`` when unassigned."""
+        return self._values.get(var)
+
+    def literal_value(self, lit: int) -> Optional[bool]:
+        """The truth value of literal *lit* under this assignment."""
+        value = self._values.get(variable(lit))
+        if value is None:
+            return None
+        return value == (lit > 0)
+
+    def satisfies_literal(self, lit: int) -> bool:
+        """True when *lit* is assigned and satisfied."""
+        return self.literal_value(lit) is True
+
+    def is_assigned(self, var: int) -> bool:
+        """True when *var* has a value."""
+        return var in self._values
+
+    def assigned_variables(self) -> frozenset:
+        """The set of assigned variable indices."""
+        return frozenset(self._values)
+
+    def num_assigned(self) -> int:
+        """Number of assigned variables (the *specification* count of
+        experiment C5)."""
+        return len(self._values)
+
+    def as_dict(self) -> Dict[int, bool]:
+        """A fresh dict copy of the mapping."""
+        return dict(self._values)
+
+    def to_literals(self) -> tuple:
+        """The assignment as a sorted tuple of satisfied literals."""
+        return tuple(
+            var if val else -var for var, val in sorted(self._values.items())
+        )
+
+    def copy(self) -> "Assignment":
+        """An independent copy."""
+        return Assignment(self._values)
+
+    def extend_unassigned(self, variables: Iterable[int],
+                          default: bool = False) -> "Assignment":
+        """Return a copy where every variable in *variables* that is
+        currently unassigned gets *default*.
+
+        Used to turn a partial (justification-frontier) solution into a
+        total input vector when a downstream tool demands one.
+        """
+        out = self.copy()
+        for var in variables:
+            if var not in out._values:
+                out.assign(var, default)
+        return out
+
+    def __getitem__(self, var: int) -> bool:
+        return self._values[var]
+
+    def __contains__(self, var: int) -> bool:
+        return var in self._values
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Assignment) and self._values == other._values
+
+    def __repr__(self) -> str:
+        items = ", ".join(
+            f"x{var}={int(val)}" for var, val in sorted(self._values.items())
+        )
+        return f"Assignment({{{items}}})"

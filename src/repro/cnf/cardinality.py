@@ -1,0 +1,99 @@
+"""Cardinality constraints in CNF.
+
+SAT-based optimization (paper Section 3: covering problems, minimum-
+size prime implicants [22, 23], linear pseudo-Boolean optimization [3])
+reduces "cost <= k" bounds to CNF cardinality constraints and binary-
+searches on k.  This module provides the standard encodings:
+
+* pairwise at-most-one (small n),
+* sequential-counter at-most-k (Sinz-style; auxiliary variables are
+  allocated from the target formula),
+* at-least-k by duality, exactly-k by conjunction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Sequence
+
+from repro.cnf.formula import CNFFormula
+from repro.cnf.literals import check_literal
+
+
+def at_most_one_pairwise(formula: CNFFormula,
+                         literals: Sequence[int]) -> None:
+    """Pairwise encoding: O(n^2) clauses, no auxiliary variables."""
+    lits = [check_literal(lit) for lit in literals]
+    for lit_a, lit_b in itertools.combinations(lits, 2):
+        formula.add_clause([-lit_a, -lit_b])
+
+
+def exactly_one(formula: CNFFormula, literals: Sequence[int]) -> None:
+    """At least one plus pairwise at most one."""
+    lits = list(literals)
+    if not lits:
+        raise ValueError("exactly_one over an empty literal list")
+    formula.add_clause(lits)
+    at_most_one_pairwise(formula, lits)
+
+
+def at_most_k(formula: CNFFormula, literals: Sequence[int],
+              bound: int) -> None:
+    """Sequential-counter encoding of ``sum(literals) <= bound``.
+
+    Adds O(n*k) auxiliary variables and clauses.  ``bound >= n`` is a
+    no-op; ``bound == 0`` forces every literal false directly.
+    """
+    lits = [check_literal(lit) for lit in literals]
+    n = len(lits)
+    if bound < 0:
+        raise ValueError("bound must be >= 0")
+    if bound >= n:
+        return
+    if bound == 0:
+        for lit in lits:
+            formula.add_clause([-lit])
+        return
+
+    # register[i][j]: the first i+1 literals contain at least j+1 true.
+    register: List[List[int]] = [
+        [formula.new_var() for _ in range(bound)] for _ in range(n)]
+
+    # r[0][0] <-> lits[0]; r[0][j>0] = 0.
+    formula.add_clause([-lits[0], register[0][0]])
+    for j in range(1, bound):
+        formula.add_clause([-register[0][j]])
+    for i in range(1, n):
+        # Carry: r[i][j] is true if r[i-1][j] or (lits[i] and r[i-1][j-1]).
+        formula.add_clause([-lits[i], register[i][0]])
+        formula.add_clause([-register[i - 1][0], register[i][0]])
+        for j in range(1, bound):
+            formula.add_clause([-lits[i], -register[i - 1][j - 1],
+                                register[i][j]])
+            formula.add_clause([-register[i - 1][j], register[i][j]])
+        # Overflow: lits[i] true while already bound trues seen -> UNSAT.
+        formula.add_clause([-lits[i], -register[i - 1][bound - 1]])
+    return
+
+
+def at_least_k(formula: CNFFormula, literals: Sequence[int],
+               bound: int) -> None:
+    """``sum(literals) >= bound`` via at-most on the complements."""
+    lits = list(literals)
+    if bound <= 0:
+        return
+    if bound > len(lits):
+        # Unsatisfiable by construction.
+        formula.add_clause([])
+        return
+    if bound == 1:
+        formula.add_clause(lits)
+        return
+    at_most_k(formula, [-lit for lit in lits], len(lits) - bound)
+
+
+def exactly_k(formula: CNFFormula, literals: Sequence[int],
+              bound: int) -> None:
+    """``sum(literals) == bound``."""
+    at_most_k(formula, literals, bound)
+    at_least_k(formula, literals, bound)

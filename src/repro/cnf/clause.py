@@ -1,0 +1,157 @@
+"""Immutable CNF clauses.
+
+A clause is the disjunction of one or more literals (paper Section 2).
+Clauses are value objects: hashable, comparable, and safe to share
+between formulas, learned-clause databases and proof logs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional
+
+from repro.cnf.literals import check_literal, literal_to_str, negate, variable
+
+
+class Clause:
+    """A disjunction of literals, stored sorted and duplicate-free.
+
+    Duplicate literals are removed on construction.  A clause containing
+    both a literal and its complement is a *tautology*; tautologies are
+    representable (``is_tautology`` reports them) so that encoders can
+    detect and drop them explicitly.
+
+    The empty clause is representable as well: it is unsatisfiable and
+    signals conflict in resolution-style reasoning.
+    """
+
+    __slots__ = ("_lits", "_hash")
+
+    def __init__(self, literals: Iterable[int] = ()):
+        seen = set()
+        for lit in literals:
+            check_literal(lit)
+            seen.add(lit)
+        self._lits = tuple(sorted(seen, key=lambda l: (variable(l), l < 0)))
+        self._hash = hash(self._lits)
+
+    @property
+    def literals(self) -> tuple:
+        """The literals of the clause, sorted by variable index."""
+        return self._lits
+
+    def is_empty(self) -> bool:
+        """True for the (unsatisfiable) empty clause."""
+        return not self._lits
+
+    def is_unit(self) -> bool:
+        """True when the clause has exactly one literal."""
+        return len(self._lits) == 1
+
+    def is_tautology(self) -> bool:
+        """True when the clause contains some literal and its complement."""
+        lits = set(self._lits)
+        return any(-lit in lits for lit in lits)
+
+    def is_binary(self) -> bool:
+        """True when the clause has exactly two literals."""
+        return len(self._lits) == 2
+
+    def variables(self) -> frozenset:
+        """The set of variable indices mentioned by the clause."""
+        return frozenset(variable(lit) for lit in self._lits)
+
+    def contains(self, lit: int) -> bool:
+        """True when *lit* occurs (with that exact polarity)."""
+        return lit in set(self._lits)
+
+    def resolve(self, other: "Clause", var: int) -> "Clause":
+        """Return the resolvent of this clause with *other* on *var*.
+
+        One clause must contain ``var`` and the other ``-var``; otherwise
+        :class:`ValueError` is raised.  The result may be a tautology.
+        """
+        if self.contains(var) and other.contains(-var):
+            pos, neg = self, other
+        elif self.contains(-var) and other.contains(var):
+            pos, neg = other, self
+        else:
+            raise ValueError(f"clauses do not clash on variable {var}")
+        merged = [lit for lit in pos._lits if lit != var]
+        merged += [lit for lit in neg._lits if lit != -var]
+        return Clause(merged)
+
+    def subsumes(self, other: "Clause") -> bool:
+        """True when every literal of this clause occurs in *other*.
+
+        A subsuming clause makes the subsumed one redundant.
+        """
+        return set(self._lits) <= set(other._lits)
+
+    def evaluate(self, assignment: Dict[int, bool]) -> Optional[bool]:
+        """Evaluate under a (possibly partial) variable->bool mapping.
+
+        Returns ``True`` if some literal is satisfied, ``False`` if every
+        literal is falsified, ``None`` when undetermined.
+        """
+        undetermined = False
+        for lit in self._lits:
+            value = assignment.get(variable(lit))
+            if value is None:
+                undetermined = True
+            elif value == (lit > 0):
+                return True
+        return None if undetermined else False
+
+    def restrict(self, assignment: Dict[int, bool]) -> Optional["Clause"]:
+        """Apply *assignment*: drop falsified literals; return ``None``
+        when the clause is satisfied outright."""
+        kept = []
+        for lit in self._lits:
+            value = assignment.get(variable(lit))
+            if value is None:
+                kept.append(lit)
+            elif value == (lit > 0):
+                return None
+        return Clause(kept)
+
+    def map_variables(self, mapping: Dict[int, int]) -> "Clause":
+        """Rename variables through *mapping* (identity where missing).
+
+        A mapped-to negative value flips the literal's polarity, which is
+        what equivalency reasoning (paper Section 6) needs when replacing
+        ``y`` by ``x'``.
+        """
+        out = []
+        for lit in self._lits:
+            var = variable(lit)
+            target = mapping.get(var, var)
+            out.append(target if lit > 0 else negate(target))
+        return Clause(out)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._lits)
+
+    def __len__(self) -> int:
+        return len(self._lits)
+
+    def __contains__(self, lit: int) -> bool:
+        return lit in self._lits
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Clause) and self._lits == other._lits
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "Clause") -> bool:
+        return self._lits < other._lits
+
+    def __repr__(self) -> str:
+        return f"Clause({list(self._lits)})"
+
+    def to_str(self, names: dict = None) -> str:
+        """Pretty form matching the paper's notation, e.g. ``(x + w')``."""
+        if not self._lits:
+            return "()"
+        body = " + ".join(literal_to_str(lit, names) for lit in self._lits)
+        return f"({body})"

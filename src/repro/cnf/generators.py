@@ -1,0 +1,171 @@
+"""Synthetic CNF formula families used as solver workloads.
+
+The paper's empirical claims (Sections 4 and 6) are exercised on formula
+families with known properties:
+
+* uniform random k-SAT around the phase transition (hard SAT/UNSAT mix),
+* pigeonhole formulas (provably hard for resolution; exercise UNSAT
+  search and non-chronological backtracking),
+* XOR/parity chains (UNSAT instances rich in equivalences; exercise
+  equivalency reasoning, Section 6),
+* chains with known equivalent variable pairs (Section 6 directly).
+
+All generators take an explicit :class:`random.Random` or seed so every
+experiment in ``benchmarks/`` is deterministic.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import List, Optional, Sequence, Union
+
+from repro.cnf.formula import CNFFormula
+
+
+def _rng(seed: Union[int, random.Random, None]) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def random_ksat(num_vars: int, num_clauses: int, k: int = 3,
+                seed: Union[int, random.Random, None] = 0) -> CNFFormula:
+    """Uniform random k-SAT: each clause draws *k* distinct variables and
+    independent random polarities.
+
+    At clause/variable ratio ~4.26 (k=3) instances straddle the SAT/UNSAT
+    phase transition and are maximally hard on average.
+    """
+    if k > num_vars:
+        raise ValueError(f"k={k} exceeds num_vars={num_vars}")
+    rng = _rng(seed)
+    formula = CNFFormula(num_vars)
+    for _ in range(num_clauses):
+        variables = rng.sample(range(1, num_vars + 1), k)
+        clause = [var if rng.random() < 0.5 else -var for var in variables]
+        formula.add_clause(clause)
+    return formula
+
+
+def random_ksat_at_ratio(num_vars: int, ratio: float = 4.26, k: int = 3,
+                         seed: Union[int, random.Random, None] = 0
+                         ) -> CNFFormula:
+    """Random k-SAT with ``num_clauses = round(ratio * num_vars)``."""
+    return random_ksat(num_vars, round(ratio * num_vars), k, seed)
+
+
+def pigeonhole(holes: int) -> CNFFormula:
+    """The pigeonhole principle PHP(holes+1, holes), always UNSAT.
+
+    Variables ``p(i,j)`` say pigeon *i* sits in hole *j*.  Clauses state
+    every pigeon has a hole and no hole has two pigeons.  These formulas
+    require exponential-size resolution proofs, which makes them the
+    classic stress test for learning and backtracking strategies.
+    """
+    if holes < 1:
+        raise ValueError("need at least one hole")
+    pigeons = holes + 1
+
+    def var(i: int, j: int) -> int:
+        return i * holes + j + 1
+
+    formula = CNFFormula(pigeons * holes)
+    for i in range(pigeons):
+        formula.set_name(var(i, 0), f"p{i}_h0")
+        formula.add_clause([var(i, j) for j in range(holes)])
+    for j in range(holes):
+        for i1, i2 in itertools.combinations(range(pigeons), 2):
+            formula.add_clause([-var(i1, j), -var(i2, j)])
+    return formula
+
+
+def xor_clauses(variables: Sequence[int], parity: bool) -> List[List[int]]:
+    """CNF clauses asserting ``xor(variables) == parity``.
+
+    Exponential in ``len(variables)``; callers chain 2-3 variable XORs.
+    """
+    clauses = []
+    n = len(variables)
+    for signs in itertools.product([1, -1], repeat=n):
+        # The clause [s1*v1, ..., sn*vn] is falsified by exactly one
+        # assignment: vi = 1 iff si < 0.  Emit the clause when that
+        # assignment violates the requested parity.
+        ones = sum(1 for s in signs if s < 0)
+        if (ones % 2 == 1) != parity:
+            clauses.append([s * v for s, v in zip(signs, variables)])
+    return clauses
+
+
+def parity_chain(length: int, satisfiable: bool = False) -> CNFFormula:
+    """A chain of 3-variable XOR constraints.
+
+    ``x1 ^ x2 = c2, x2 ^ x3 = c3, ..., x(n-1) ^ xn = cn, x1 ^ xn = c``
+    with constants chosen so the instance is SAT or UNSAT as requested.
+    UNSAT parity chains are rich in binary equivalence clauses, the exact
+    structure equivalency reasoning (Section 6) exploits.
+    """
+    if length < 3:
+        raise ValueError("chain needs at least 3 variables")
+    formula = CNFFormula(length)
+    for i in range(1, length):
+        # x_i ^ x_{i+1} = 0  <=>  x_i == x_{i+1}
+        for clause in xor_clauses([i, i + 1], False):
+            formula.add_clause(clause)
+    # Closing constraint: x1 ^ xn = 0 keeps it SAT; = 1 makes it UNSAT
+    # (the chain forces x1 == xn).
+    closing = not satisfiable
+    for clause in xor_clauses([1, length], closing):
+        formula.add_clause(clause)
+    return formula
+
+
+def equivalence_ladder(pairs: int, payload_ratio: float = 2.0,
+                       seed: Union[int, random.Random, None] = 0
+                       ) -> CNFFormula:
+    """A formula with *pairs* explicit variable equivalences plus a
+    random 3-SAT payload over the representative variables.
+
+    Variables ``2i-1`` and ``2i`` are constrained equal via the two
+    binary clauses of Section 6; the payload mentions both members of
+    each pair, so substitution shrinks it.  Used by experiment C6.
+    """
+    rng = _rng(seed)
+    num_vars = 2 * pairs
+    formula = CNFFormula(num_vars)
+    for i in range(1, pairs + 1):
+        a, b = 2 * i - 1, 2 * i
+        formula.add_clause([a, -b])
+        formula.add_clause([-a, b])
+    payload_clauses = round(payload_ratio * num_vars)
+    for _ in range(payload_clauses):
+        variables = rng.sample(range(1, num_vars + 1), min(3, num_vars))
+        formula.add_clause([v if rng.random() < 0.5 else -v
+                            for v in variables])
+    return formula
+
+
+def graph_coloring(edges: Sequence, num_colors: int,
+                   num_nodes: Optional[int] = None) -> CNFFormula:
+    """k-coloring of a graph as CNF.
+
+    Variable ``c(v, k)`` means node *v* has color *k* (nodes are
+    0-indexed).  Encodes at-least-one color per node and different colors
+    across each edge.  Covering/physical-design experiments use this as a
+    structured workload.
+    """
+    if num_nodes is None:
+        num_nodes = 1 + max(max(u, v) for u, v in edges) if edges else 0
+
+    def var(node: int, color: int) -> int:
+        return node * num_colors + color + 1
+
+    formula = CNFFormula(num_nodes * num_colors)
+    for node in range(num_nodes):
+        formula.add_clause([var(node, c) for c in range(num_colors)])
+        for c1, c2 in itertools.combinations(range(num_colors), 2):
+            formula.add_clause([-var(node, c1), -var(node, c2)])
+    for u, v in edges:
+        for c in range(num_colors):
+            formula.add_clause([-var(u, c), -var(v, c)])
+    return formula

@@ -1,0 +1,89 @@
+"""DIMACS-style integer literals.
+
+The paper (Section 2) defines a literal as the occurrence of a variable
+``x`` or its complement ``x'``.  Following DIMACS convention -- the
+lingua franca of SAT solvers -- we represent a variable as a positive
+integer ``v >= 1`` and its two literals as ``+v`` (the variable itself)
+and ``-v`` (its complement).  Zero is reserved as the DIMACS clause
+terminator and is never a valid literal.
+
+All solver-facing code in this library manipulates plain ints for speed;
+this module centralizes the conventions and sanity checks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def variable(lit: int) -> int:
+    """Return the variable index (a positive int) underlying *lit*.
+
+    >>> variable(-7)
+    7
+    """
+    return lit if lit > 0 else -lit
+
+
+def polarity(lit: int) -> bool:
+    """Return ``True`` for a positive literal, ``False`` for a negative one.
+
+    >>> polarity(3), polarity(-3)
+    (True, False)
+    """
+    return lit > 0
+
+
+def negate(lit: int) -> int:
+    """Return the complementary literal.
+
+    >>> negate(5), negate(-5)
+    (-5, 5)
+    """
+    return -lit
+
+
+def lit_from_var(var: int, positive: bool = True) -> int:
+    """Build a literal from a variable index and a polarity.
+
+    >>> lit_from_var(4), lit_from_var(4, positive=False)
+    (4, -4)
+    """
+    if var <= 0:
+        raise ValueError(f"variable index must be >= 1, got {var}")
+    return var if positive else -var
+
+
+def check_literal(lit: int) -> int:
+    """Validate *lit* and return it unchanged.
+
+    Raises :class:`ValueError` on 0 (the DIMACS terminator) and
+    :class:`TypeError` on non-int input (bools are rejected too, since
+    ``True`` would silently alias literal 1).
+    """
+    if type(lit) is not int:
+        raise TypeError(f"literal must be int, got {type(lit).__name__}")
+    if lit == 0:
+        raise ValueError("0 is not a literal (reserved DIMACS terminator)")
+    return lit
+
+
+def check_literals(lits: Iterable[int]) -> tuple:
+    """Validate every literal in *lits*, returning them as a tuple."""
+    return tuple(check_literal(lit) for lit in lits)
+
+
+def literal_to_str(lit: int, names: dict = None) -> str:
+    """Render a literal for humans: ``x3`` / ``x3'`` or a named form.
+
+    The paper writes complements with a prime (``x'``); we follow suit.
+    *names* optionally maps variable index to a signal name.
+
+    >>> literal_to_str(3), literal_to_str(-3)
+    ("x3", "x3'")
+    >>> literal_to_str(-2, {2: 'w'})
+    "w'"
+    """
+    var = variable(lit)
+    base = names[var] if names and var in names else f"x{var}"
+    return base if lit > 0 else base + "'"

@@ -1,0 +1,135 @@
+"""Linear pseudo-Boolean constraints in CNF (paper Section 3, [3]).
+
+Barth's Davis-Putnam-based enumeration for "linear pseudo-Boolean
+optimization" reduces PB problems to sequences of SAT queries; the
+reduction needs CNF encodings of constraints
+
+    w1*l1 + w2*l2 + ... + wn*ln  <=  k        (wi >= 1, li literals)
+
+This module encodes them through the standard dynamic-programming /
+BDD construction (Een-Soersensson style): an auxiliary variable per
+reachable prefix-sum state asserts "the remaining literals can keep
+the total within bound given the amount already spent".  States above
+``k`` collapse into a single overflow terminal, so the encoding has at
+most ``n * (k + 2)`` auxiliaries.
+
+``at_least``/``equal`` forms derive from ``at_most`` by literal
+complementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cnf.formula import CNFFormula
+from repro.cnf.literals import check_literal
+
+
+def _normalize(terms: Sequence[Tuple[int, int]]
+               ) -> List[Tuple[int, int]]:
+    """Validate (weight, literal) terms; weights must be positive."""
+    normalized = []
+    for weight, literal in terms:
+        if weight < 0:
+            raise ValueError("negative weights: rewrite the constraint "
+                             "over the complemented literal first")
+        if weight == 0:
+            continue
+        normalized.append((weight, check_literal(literal)))
+    return normalized
+
+
+def pb_at_most(formula: CNFFormula,
+               terms: Sequence[Tuple[int, int]], bound: int) -> None:
+    """Encode ``sum(w_i * l_i) <= bound`` into *formula*.
+
+    *terms* is a sequence of ``(weight, literal)`` pairs with
+    ``weight >= 1``.
+    """
+    items = _normalize(terms)
+    if bound < 0:
+        formula.add_clause([])
+        return
+    total = sum(weight for weight, _ in items)
+    if total <= bound:
+        return
+
+    # aux[(index, spent)]: literals items[index:] can still fit within
+    # bound given *spent* already used.  spent > bound is infeasible.
+    aux: Dict[Tuple[int, int], int] = {}
+
+    def state(index: int, spent: int) -> int:
+        """Return a literal representing feasibility of the state;
+        constants are encoded by returning 0 (false) or None (true)."""
+        if spent > bound:
+            return 0                       # infeasible terminal
+        remaining = sum(w for w, _ in items[index:])
+        if spent + remaining <= bound:
+            return None                    # trivially feasible
+        key = (index, spent)
+        if key in aux:
+            return aux[key]
+        var = formula.new_var()
+        aux[key] = var
+        weight, literal = items[index]
+        taken = state(index + 1, spent + weight)
+        skipped = state(index + 1, spent)
+        # var -> (literal -> taken)
+        if taken == 0:
+            formula.add_clause([-var, -literal])
+        elif taken is not None:
+            formula.add_clause([-var, -literal, taken])
+        # var -> (not literal -> skipped); skipping never overflows.
+        if skipped == 0:
+            formula.add_clause([-var, literal])
+        elif skipped is not None:
+            formula.add_clause([-var, literal, skipped])
+        return var
+
+    root = state(0, 0)
+    if root == 0:
+        formula.add_clause([])
+    elif root is not None:
+        formula.add_clause([root])
+
+
+def pb_at_least(formula: CNFFormula,
+                terms: Sequence[Tuple[int, int]], bound: int) -> None:
+    """Encode ``sum(w_i * l_i) >= bound``.
+
+    Complement: sum over negated literals <= total - bound.
+    """
+    items = _normalize(terms)
+    total = sum(weight for weight, _ in items)
+    if bound <= 0:
+        return
+    if bound > total:
+        formula.add_clause([])
+        return
+    pb_at_most(formula, [(w, -l) for w, l in items], total - bound)
+
+
+def pb_equal(formula: CNFFormula,
+             terms: Sequence[Tuple[int, int]], bound: int) -> None:
+    """Encode ``sum(w_i * l_i) == bound``."""
+    pb_at_most(formula, terms, bound)
+    pb_at_least(formula, terms, bound)
+
+
+def evaluate_terms(terms: Sequence[Tuple[int, int]],
+                   assignment) -> int:
+    """The weighted sum of satisfied literals under *assignment*
+    (an :class:`repro.cnf.assignment.Assignment` or var->bool dict)."""
+    get = assignment.literal_value if hasattr(assignment,
+                                              "literal_value") else None
+    total = 0
+    for weight, literal in terms:
+        if get is not None:
+            value = get(literal)
+        else:
+            var_value = assignment.get(abs(literal))
+            value = None if var_value is None \
+                else var_value == (literal > 0)
+        if value:
+            total += weight
+    return total

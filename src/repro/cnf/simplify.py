@@ -1,0 +1,247 @@
+"""Formula-level preprocessing (the paper's ``Preprocess()`` hook, §4.1).
+
+These transformations operate on whole formulas before search.  They are
+satisfiability-preserving; ``SimplifyResult`` records the forced
+assignments discovered, so a model of the simplified formula can be
+extended back to a model of the original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.cnf.clause import Clause
+from repro.cnf.formula import CNFFormula
+from repro.cnf.literals import variable
+
+
+@dataclass
+class SimplifyResult:
+    """Outcome of a preprocessing pass.
+
+    ``formula`` is ``None`` exactly when preprocessing already proved the
+    input unsatisfiable (an empty clause was derived).
+    """
+
+    formula: Optional[CNFFormula]
+    forced: Dict[int, bool] = field(default_factory=dict)
+    removed_clauses: int = 0
+    removed_literals: int = 0
+
+    @property
+    def unsat(self) -> bool:
+        """True when preprocessing alone refuted the formula."""
+        return self.formula is None
+
+
+def propagate_units(formula: CNFFormula) -> SimplifyResult:
+    """Exhaustive unit propagation (Davis-Putnam rule 1).
+
+    Repeatedly assigns the literal of every unit clause, removing
+    satisfied clauses and falsified literals, until fixpoint or conflict.
+    """
+    forced: Dict[int, bool] = {}
+    clauses: List[Optional[List[int]]] = [list(c) for c in formula]
+    removed_clauses = 0
+    removed_literals = 0
+
+    queue = [c[0] for c in clauses if len(c) == 1]
+    while True:
+        # Apply currently known forced values to every live clause.
+        progress = False
+        for lit in queue:
+            var, val = variable(lit), lit > 0
+            if var in forced:
+                if forced[var] != val:
+                    return SimplifyResult(None, forced,
+                                          removed_clauses, removed_literals)
+                continue
+            forced[var] = val
+            progress = True
+        queue = []
+        if not progress and forced:
+            pass  # fall through to clause rewrite; loop exits when stable
+        rewritten = False
+        for idx, clause in enumerate(clauses):
+            if clause is None:
+                continue
+            kept = []
+            satisfied = False
+            for lit in clause:
+                value = forced.get(variable(lit))
+                if value is None:
+                    kept.append(lit)
+                elif value == (lit > 0):
+                    satisfied = True
+                    break
+                else:
+                    removed_literals += 1
+            if satisfied:
+                clauses[idx] = None
+                removed_clauses += 1
+                rewritten = True
+                continue
+            if len(kept) != len(clause):
+                clauses[idx] = kept
+                rewritten = True
+            if not kept:
+                return SimplifyResult(None, forced,
+                                      removed_clauses, removed_literals)
+            if len(kept) == 1 and variable(kept[0]) not in forced:
+                queue.append(kept[0])
+        if not queue and not rewritten:
+            break
+
+    out = CNFFormula(formula.num_vars)
+    for clause in clauses:
+        if clause is not None:
+            out.add_clause(clause)
+    for var, name in formula.names.items():
+        out.set_name(var, name)
+    return SimplifyResult(out, forced, removed_clauses, removed_literals)
+
+
+def eliminate_pure_literals(formula: CNFFormula) -> SimplifyResult:
+    """Pure-literal elimination (Davis-Putnam affirmative-negative rule).
+
+    A variable occurring with a single polarity can be assigned to
+    satisfy all its clauses without loss of satisfiability.
+    """
+    polarities: Dict[int, Set[bool]] = {}
+    for clause in formula:
+        for lit in clause:
+            polarities.setdefault(variable(lit), set()).add(lit > 0)
+    pure = {var: pols.pop() for var, pols in polarities.items()
+            if len(pols) == 1}
+
+    forced: Dict[int, bool] = {}
+    out = CNFFormula(formula.num_vars)
+    removed = 0
+    for clause in formula:
+        if any(variable(lit) in pure and pure[variable(lit)] == (lit > 0)
+               for lit in clause):
+            removed += 1
+            continue
+        out.add_clause(clause)
+    for var, val in pure.items():
+        forced[var] = val
+    for var, name in formula.names.items():
+        out.set_name(var, name)
+    return SimplifyResult(out, forced, removed, 0)
+
+
+def remove_tautologies(formula: CNFFormula) -> SimplifyResult:
+    """Drop clauses containing a literal and its complement."""
+    out = CNFFormula(formula.num_vars)
+    removed = 0
+    for clause in formula:
+        if clause.is_tautology():
+            removed += 1
+        else:
+            out.add_clause(clause)
+    for var, name in formula.names.items():
+        out.set_name(var, name)
+    return SimplifyResult(out, {}, removed, 0)
+
+
+def remove_duplicates(formula: CNFFormula) -> SimplifyResult:
+    """Drop repeated clauses, keeping first occurrences in order."""
+    seen: Set[Clause] = set()
+    out = CNFFormula(formula.num_vars)
+    removed = 0
+    for clause in formula:
+        if clause in seen:
+            removed += 1
+            continue
+        seen.add(clause)
+        out.add_clause(clause)
+    for var, name in formula.names.items():
+        out.set_name(var, name)
+    return SimplifyResult(out, {}, removed, 0)
+
+
+def remove_subsumed(formula: CNFFormula) -> SimplifyResult:
+    """Drop clauses subsumed by a (strictly shorter or equal) clause.
+
+    Quadratic in the worst case but pruned with a literal-occurrence
+    index; adequate for the formula sizes this library targets.
+    """
+    clauses = sorted(set(formula.clauses), key=len)
+    occurrences: Dict[int, List[int]] = {}
+    kept: List[Optional[Clause]] = list(clauses)
+
+    for idx, clause in enumerate(clauses):
+        # A kept (shorter-or-equal) clause subsumes this one when its
+        # literals are a subset; any such clause shares every one of
+        # its literals with this clause, so scanning the occurrence
+        # lists of this clause's literals finds all candidates.
+        subsumed = False
+        lits = set(clause)
+        candidates = set()
+        for lit in clause:
+            candidates.update(occurrences.get(lit, ()))
+        for j in candidates:
+            other = kept[j]
+            if other is not None and set(other) <= lits:
+                subsumed = True
+                break
+        if subsumed:
+            kept[idx] = None
+            continue
+        for lit in clause:
+            occurrences.setdefault(lit, []).append(idx)
+
+    out = CNFFormula(formula.num_vars)
+    removed = formula.num_clauses
+    for clause in kept:
+        if clause is not None:
+            out.add_clause(clause)
+            removed -= 1
+    for var, name in formula.names.items():
+        out.set_name(var, name)
+    return SimplifyResult(out, {}, removed, 0)
+
+
+def simplify(formula: CNFFormula, *, units: bool = True,
+             pure: bool = True, tautologies: bool = True,
+             duplicates: bool = True, subsumption: bool = False
+             ) -> SimplifyResult:
+    """Run the selected passes to fixpoint (at most a few rounds).
+
+    Matches the paper's generic ``Preprocess()`` step.  Subsumption is
+    off by default (cost grows with formula size).
+    """
+    forced: Dict[int, bool] = {}
+    removed_clauses = 0
+    removed_literals = 0
+    current = formula
+
+    for _ in range(formula.num_vars + 1):
+        changed = False
+        passes = []
+        if tautologies:
+            passes.append(remove_tautologies)
+        if duplicates:
+            passes.append(remove_duplicates)
+        if units:
+            passes.append(propagate_units)
+        if pure:
+            passes.append(eliminate_pure_literals)
+        if subsumption:
+            passes.append(remove_subsumed)
+        for run in passes:
+            result = run(current)
+            removed_clauses += result.removed_clauses
+            removed_literals += result.removed_literals
+            forced.update(result.forced)
+            if result.unsat:
+                return SimplifyResult(None, forced,
+                                      removed_clauses, removed_literals)
+            if (result.formula.num_clauses != current.num_clauses
+                    or result.forced):
+                changed = True
+            current = result.formula
+        if not changed:
+            break
+    return SimplifyResult(current, forced, removed_clauses, removed_literals)

@@ -1,0 +1,11 @@
+"""Experiment harness: workload suites, result tables, solver runners.
+
+Used by the ``benchmarks/`` tree to regenerate every table and figure
+of the paper and to validate its empirical claims (see DESIGN.md for
+the experiment index).
+"""
+
+from repro.experiments.tables import format_table
+from repro.experiments.workloads import figure4_formula
+
+__all__ = ["figure4_formula", "format_table"]

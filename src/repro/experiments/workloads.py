@@ -1,0 +1,107 @@
+"""Standard workloads shared by tests and benchmarks.
+
+Includes the paper's worked examples as ready-made objects (the Figure
+4 formula with its exact clause structure) and suite builders matching
+the instance families named in DESIGN.md's substitution note.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.cnf.formula import CNFFormula
+from repro.cnf.generators import (
+    parity_chain,
+    pigeonhole,
+    random_ksat_at_ratio,
+)
+from repro.circuits.generators import (
+    array_multiplier,
+    carry_select_adder,
+    parity_tree,
+    random_circuit,
+    ripple_carry_adder,
+)
+from repro.circuits.library import c17, figure1_circuit, figure3_circuit
+from repro.circuits.netlist import Circuit
+
+#: Variables of the Figure 4 formula, by name.
+FIGURE4_VARS: Dict[str, int] = {"u": 1, "w": 2, "x": 3, "y": 4, "z": 5}
+
+
+def figure4_formula() -> CNFFormula:
+    """The paper's Figure 4 CNF formula.
+
+    With variables (u, w, x, y, z) = (1..5)::
+
+        w1 = (u + x + w')
+        w2 = (x + y')
+        w3 = (w + y + z')
+
+    Under the assignments ``z = 1, u = 0``, satisfying ``w3`` requires
+    ``w = 1`` or ``y = 1``; either way ``x = 1`` follows (via ``w1``
+    resp. ``w2``), so recursive learning must derive the necessary
+    assignment ``x = 1`` and record the implicate ``(z' + u + x)``.
+    """
+    u, w, x, y, z = (FIGURE4_VARS[name] for name in "uwxyz")
+    formula = CNFFormula(5)
+    for name, var in FIGURE4_VARS.items():
+        formula.set_name(var, name)
+    formula.add_clause([u, x, -w])
+    formula.add_clause([x, -y])
+    formula.add_clause([w, y, -z])
+    return formula
+
+
+def figure4_condition() -> Dict[int, bool]:
+    """The Figure 4 working assignment {z = 1, u = 0}."""
+    return {FIGURE4_VARS["z"]: True, FIGURE4_VARS["u"]: False}
+
+
+def small_circuit_suite() -> List[Circuit]:
+    """Small circuits every application benchmark iterates over."""
+    return [
+        figure1_circuit(),
+        figure3_circuit(),
+        c17(),
+        ripple_carry_adder(3),
+        parity_tree(5),
+    ]
+
+
+def medium_circuit_suite(seed: int = 0) -> List[Circuit]:
+    """Larger (still laptop-scale) structural instances."""
+    return [
+        ripple_carry_adder(8),
+        carry_select_adder(8),
+        array_multiplier(3),
+        parity_tree(12),
+        random_circuit(8, 40, seed=seed),
+    ]
+
+
+def equivalence_pairs() -> List[Tuple[Circuit, Circuit]]:
+    """Functionally equivalent, structurally different circuit pairs."""
+    return [
+        (ripple_carry_adder(4), carry_select_adder(4)),
+        (ripple_carry_adder(6), carry_select_adder(6, block=3)),
+    ]
+
+
+def unsat_formula_suite(scale: int = 1) -> List[Tuple[str, CNFFormula]]:
+    """Unsatisfiable instances (the paper's UNSAT-dominant EDA mix)."""
+    return [
+        (f"php{4 + scale}", pigeonhole(4 + scale)),
+        (f"parity{8 * scale}", parity_chain(8 * scale,
+                                            satisfiable=False)),
+    ]
+
+
+def sat_formula_suite(num_vars: int = 30, count: int = 5,
+                      seed: int = 0) -> List[Tuple[str, CNFFormula]]:
+    """Satisfiable-leaning random 3-SAT below the phase transition."""
+    return [
+        (f"rand3sat_{num_vars}_{index}",
+         random_ksat_at_ratio(num_vars, ratio=3.8, seed=seed + index))
+        for index in range(count)
+    ]

@@ -1,0 +1,20 @@
+"""Cycle-level models of reconfigurable-hardware SAT accelerators.
+
+Paper Section 6: "the interest of the EDA community in solving SAT
+has led to the proposal of dedicated reconfigurable hardware
+architectures [2, 43] that, despite being significantly less
+sophisticated than software algorithms, can achieve significant
+speedups for specific classes of instances."
+
+We have no FPGA, so :mod:`repro.hw.accelerator` *simulates* the
+architecture of Zhong et al. [43] cycle by cycle: formula-specific
+logic evaluates every clause in parallel each clock, implications fire
+simultaneously, and backtracking is chronological with no learning.
+The model exposes cycle counts, letting benchmark X9 reproduce the
+paper's claim shape (huge per-step parallelism, weaker search) without
+hardware.
+"""
+
+from repro.hw.accelerator import HardwareSATAccelerator
+
+__all__ = ["HardwareSATAccelerator"]

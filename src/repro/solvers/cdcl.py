@@ -1,0 +1,623 @@
+"""GRASP-style conflict-driven clause learning (paper Section 4.1).
+
+The engine implements every "key property" the paper lists for modern
+backtrack search:
+
+1. **Non-chronological backtracking** -- conflict analysis computes the
+   backtrack level from the learned clause, skipping decision levels
+   deemed irrelevant (``backtrack_mode="nonchronological"``); the
+   chronological mode is retained for the C2 ablation.
+2. **Clause recording** -- every conflict records an implicate of the
+   function; recorded clauses prune the subsequent search.
+3. **Bounded learning** -- large recorded clauses are eventually
+   deleted (``deletion="size"``), and *relevance-based learning*
+   extends the life of clauses whose unassigned-literal count stays
+   small (``deletion="relevance"``), following rel_sat [4].
+
+Propagation uses two watched literals; decisions are delegated to the
+pluggable heuristics of :mod:`repro.solvers.heuristics`; restarts to
+:mod:`repro.solvers.restarts`.  Hook points (``on_assign``,
+``on_unassign``, ``decide_override``, ``early_sat_check``) let the
+circuit-structure layer of Section 5 ride on top of the unmodified
+engine, which is precisely the architectural claim of the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.clause import Clause
+from repro.cnf.formula import CNFFormula
+from repro.solvers.heuristics import DecisionHeuristic, VSIDSHeuristic
+from repro.solvers.restarts import NoRestarts, RestartPolicy
+from repro.solvers.result import SolverResult, SolverStats, Status
+
+
+class _ClauseRef:
+    """A clause as stored in the solver: mutable literal order for the
+    watched-literal scheme, plus learned-clause metadata."""
+
+    __slots__ = ("lits", "learned", "deleted", "activity")
+
+    def __init__(self, lits: List[int], learned: bool = False):
+        self.lits = lits
+        self.learned = learned
+        self.deleted = False
+        self.activity = 0.0
+
+    def __repr__(self) -> str:
+        tag = "L" if self.learned else "O"
+        return f"<{tag}{self.lits}>"
+
+
+class CDCLSolver:
+    """Conflict-driven SAT solver over a :class:`CNFFormula`.
+
+    Parameters
+    ----------
+    heuristic:
+        branching policy (default VSIDS).
+    restart_policy:
+        when to restart (default: never).
+    backtrack_mode:
+        ``"nonchronological"`` (default) or ``"chronological"``.
+    conflict_cut:
+        ``"1uip"`` (default) or ``"decision"`` (all-decision cut).
+    learning:
+        record conflict clauses (default True; disable for ablation C3).
+    deletion:
+        ``"keep"`` (default), ``"size"`` or ``"relevance"``.
+    deletion_bound:
+        size bound k / relevance bound r for the above.
+    deletion_interval:
+        conflicts between learned-database reductions.
+    minimize_learned:
+        self-subsumption minimization of recorded clauses (drop a
+        literal whose antecedent is covered by the clause itself).
+    phase_saving:
+        re-decide variables with their last assigned polarity.
+    max_conflicts, max_decisions:
+        effort budgets; exceeding either yields ``Status.UNKNOWN``.
+    """
+
+    def __init__(self, formula: CNFFormula,
+                 heuristic: Optional[DecisionHeuristic] = None,
+                 restart_policy: Optional[RestartPolicy] = None,
+                 backtrack_mode: str = "nonchronological",
+                 conflict_cut: str = "1uip",
+                 learning: bool = True,
+                 deletion: str = "keep",
+                 deletion_bound: int = 20,
+                 deletion_interval: int = 1000,
+                 minimize_learned: bool = False,
+                 phase_saving: bool = False,
+                 max_conflicts: Optional[int] = None,
+                 max_decisions: Optional[int] = None):
+        if backtrack_mode not in ("nonchronological", "chronological"):
+            raise ValueError(f"bad backtrack_mode {backtrack_mode!r}")
+        if conflict_cut not in ("1uip", "decision"):
+            raise ValueError(f"bad conflict_cut {conflict_cut!r}")
+        if deletion not in ("keep", "size", "relevance"):
+            raise ValueError(f"bad deletion policy {deletion!r}")
+
+        self.formula = formula
+        self.heuristic = heuristic or VSIDSHeuristic()
+        self.restart_policy = restart_policy or NoRestarts()
+        self.backtrack_mode = backtrack_mode
+        self.conflict_cut = conflict_cut
+        self.learning = learning
+        self.deletion = deletion
+        self.deletion_bound = deletion_bound
+        self.deletion_interval = deletion_interval
+        self.minimize_learned = minimize_learned
+        self.phase_saving = phase_saving
+        self.max_conflicts = max_conflicts
+        self.max_decisions = max_decisions
+        self.stats = SolverStats()
+        self._saved_phase: Dict[int, bool] = {}
+
+        # Hook points for the Section 5 structural layer.
+        self.on_assign: Optional[Callable[[int], None]] = None
+        self.on_unassign: Optional[Callable[[int], None]] = None
+        self.decide_override: Optional[Callable[[], Optional[int]]] = None
+        self.early_sat_check: Optional[Callable[[], bool]] = None
+
+        self._num_vars = formula.num_vars
+        n = self._num_vars + 1
+        self._values: List[Optional[bool]] = [None] * n
+        self._level: List[int] = [0] * n
+        self._antecedent: List[Optional[_ClauseRef]] = [None] * n
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        self._watches: Dict[int, List[_ClauseRef]] = {}
+        self._clauses: List[_ClauseRef] = []
+        self._learned: List[_ClauseRef] = []
+        self._root_conflict = False
+        self._pending_units: List[int] = []
+
+        for clause in formula.clauses:
+            self._attach_input_clause(clause)
+
+    # ------------------------------------------------------------------
+    # Clause management
+    # ------------------------------------------------------------------
+
+    def _attach_input_clause(self, clause: Clause) -> None:
+        if clause.is_tautology():
+            return
+        lits = list(clause)
+        if not lits:
+            self._root_conflict = True
+            return
+        if len(lits) == 1:
+            self._pending_units.append(lits[0])
+            return
+        self._attach(_ClauseRef(lits, learned=False), learned=False)
+
+    def _attach(self, ref: _ClauseRef, learned: bool) -> None:
+        (self._learned if learned else self._clauses).append(ref)
+        self._watches.setdefault(ref.lits[0], []).append(ref)
+        self._watches.setdefault(ref.lits[1], []).append(ref)
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a clause between solve calls (incremental interface).
+
+        Only legal at decision level 0; raises otherwise.
+        """
+        if self._trail_lim:
+            raise RuntimeError("add_clause only allowed at level 0")
+        clause = Clause(literals)
+        for lit in clause:
+            var = abs(lit)
+            if var > self._num_vars:
+                self._grow_to(var)
+        self._attach_input_clause(clause)
+
+    def _grow_to(self, var: int) -> None:
+        extra = var - self._num_vars
+        self._values.extend([None] * extra)
+        self._level.extend([0] * extra)
+        self._antecedent.extend([None] * extra)
+        self._num_vars = var
+
+    def learned_clauses(self) -> List[Clause]:
+        """The currently recorded (non-deleted) conflict clauses."""
+        return [Clause(ref.lits) for ref in self._learned
+                if not ref.deleted]
+
+    # ------------------------------------------------------------------
+    # Assignment and propagation
+    # ------------------------------------------------------------------
+
+    def value_of_literal(self, lit: int) -> Optional[bool]:
+        """Current truth value of *lit* (``None`` = unassigned)."""
+        value = self._values[abs(lit)]
+        if value is None:
+            return None
+        return value == (lit > 0)
+
+    def value_of(self, var: int) -> Optional[bool]:
+        """Current value of variable *var*."""
+        return self._values[var]
+
+    @property
+    def decision_level(self) -> int:
+        """The current decision level d of Figure 2."""
+        return len(self._trail_lim)
+
+    def _is_assigned(self, var: int) -> bool:
+        return self._values[var] is not None
+
+    def _enqueue(self, lit: int, reason: Optional[_ClauseRef]) -> bool:
+        """Assign *lit*; False when it contradicts the current value."""
+        current = self.value_of_literal(lit)
+        if current is not None:
+            return current
+        var = abs(lit)
+        self._values[var] = lit > 0
+        if self.phase_saving:
+            self._saved_phase[var] = lit > 0
+        self._level[var] = self.decision_level
+        self._antecedent[var] = reason
+        self._trail.append(lit)
+        if self.on_assign is not None:
+            self.on_assign(lit)
+        return True
+
+    def _propagate(self) -> Optional[_ClauseRef]:
+        """Two-watched-literal BCP; returns the conflicting clause."""
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            false_lit = -lit
+            watchers = self._watches.get(false_lit)
+            if not watchers:
+                continue
+            kept: List[_ClauseRef] = []
+            conflict: Optional[_ClauseRef] = None
+            for index, ref in enumerate(watchers):
+                if ref.deleted:
+                    continue
+                lits = ref.lits
+                # Normalize: the false watch sits at position 1.
+                if lits[0] == false_lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self.value_of_literal(first) is True:
+                    kept.append(ref)
+                    continue
+                moved = False
+                for k in range(2, len(lits)):
+                    if self.value_of_literal(lits[k]) is not False:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watches.setdefault(lits[1], []).append(ref)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                kept.append(ref)
+                if self.value_of_literal(first) is False:
+                    conflict = ref
+                    kept.extend(
+                        r for r in watchers[index + 1:] if not r.deleted)
+                    break
+                self._enqueue(first, ref)
+                self.stats.propagations += 1
+            self._watches[false_lit] = kept
+            if conflict is not None:
+                self._qhead = len(self._trail)
+                return conflict
+        return None
+
+    def _cancel_until(self, level: int) -> None:
+        """Erase(): undo every assignment above *level*."""
+        if self.decision_level <= level:
+            return
+        target = self._trail_lim[level]
+        for index in range(len(self._trail) - 1, target - 1, -1):
+            lit = self._trail[index]
+            var = abs(lit)
+            if self.on_unassign is not None:
+                self.on_unassign(lit)
+            self._values[var] = None
+            self._antecedent[var] = None
+        del self._trail[target:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (Diagnose)
+    # ------------------------------------------------------------------
+
+    def _analyze_1uip(self, conflict: _ClauseRef) -> Tuple[List[int], int]:
+        """First-UIP conflict analysis.
+
+        Returns the learned clause (asserting literal first) and the
+        backtrack level.
+        """
+        learned: List[int] = [0]          # placeholder for the UIP
+        seen = [False] * (self._num_vars + 1)
+        counter = 0
+        lit = None
+        reason_lits: Sequence[int] = conflict.lits
+        index = len(self._trail)
+
+        while True:
+            for q in reason_lits:
+                if lit is not None and q == lit:
+                    continue
+                var = abs(q)
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    if self._level[var] >= self.decision_level:
+                        counter += 1
+                    else:
+                        learned.append(q)
+            while True:
+                index -= 1
+                if seen[abs(self._trail[index])]:
+                    break
+            lit = self._trail[index]
+            var = abs(lit)
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                break
+            antecedent = self._antecedent[var]
+            reason_lits = antecedent.lits if antecedent is not None else ()
+        learned[0] = -lit
+
+        if self.minimize_learned and len(learned) > 2:
+            learned = self._self_subsume(learned)
+        if len(learned) == 1:
+            return learned, 0
+        backtrack = max(self._level[abs(q)] for q in learned[1:])
+        # Put a literal of the backtrack level in watch position 1 so
+        # the clause stays correctly watched after backjumping.
+        for k in range(1, len(learned)):
+            if self._level[abs(learned[k])] == backtrack:
+                learned[1], learned[k] = learned[k], learned[1]
+                break
+        return learned, backtrack
+
+    def _self_subsume(self, learned: List[int]) -> List[int]:
+        """Local learned-clause minimization (self-subsumption).
+
+        A non-asserting literal q is redundant when every other
+        literal of q's antecedent is at level 0 or already present in
+        the clause: resolving the clause with that antecedent on
+        var(q) then strictly shrinks it.
+        """
+        members = set(learned)
+        kept = [learned[0]]
+        for q in learned[1:]:
+            antecedent = self._antecedent[abs(q)]
+            if antecedent is None:
+                kept.append(q)
+                continue
+            redundant = True
+            for r in antecedent.lits:
+                if abs(r) == abs(q):
+                    continue
+                if self._level[abs(r)] == 0 or r in members:
+                    continue
+                redundant = False
+                break
+            if not redundant:
+                kept.append(q)
+        return kept
+
+    def _analyze_decision_cut(self, conflict: _ClauseRef
+                              ) -> Tuple[List[int], int]:
+        """All-decision conflict cut: resolve back to decision
+        variables only (the ablation alternative to 1-UIP)."""
+        seen = [False] * (self._num_vars + 1)
+        decisions: List[int] = []
+        stack = list(conflict.lits)
+        while stack:
+            q = stack.pop()
+            var = abs(q)
+            if seen[var] or self._level[var] == 0:
+                continue
+            seen[var] = True
+            antecedent = self._antecedent[var]
+            if antecedent is None:      # decision variable
+                value = self._values[var]
+                decisions.append(-var if value else var)
+            else:
+                stack.extend(antecedent.lits)
+
+        # Asserting literal: the (negated) current-level decision.
+        current = self.decision_level
+        learned = sorted(
+            decisions, key=lambda q: -self._level[abs(q)])
+        assert learned and self._level[abs(learned[0])] == current
+        if len(learned) == 1:
+            return learned, 0
+        backtrack = self._level[abs(learned[1])]
+        return learned, backtrack
+
+    def _analyze(self, conflict: _ClauseRef) -> Tuple[List[int], int]:
+        if self.conflict_cut == "1uip":
+            return self._analyze_1uip(conflict)
+        return self._analyze_decision_cut(conflict)
+
+    # ------------------------------------------------------------------
+    # Learned-database reduction
+    # ------------------------------------------------------------------
+
+    def _locked(self, ref: _ClauseRef) -> bool:
+        """A clause currently acting as an antecedent must stay."""
+        lit = ref.lits[0]
+        return (self.value_of_literal(lit) is True
+                and self._antecedent[abs(lit)] is ref)
+
+    def _reduce_learned(self) -> None:
+        """Apply the configured deletion policy (paper properties 2-3)."""
+        if self.deletion == "keep":
+            return
+        survivors: List[_ClauseRef] = []
+        for ref in self._learned:
+            if ref.deleted:
+                continue
+            if len(ref.lits) <= 2 or self._locked(ref):
+                survivors.append(ref)
+                continue
+            if self.deletion == "size":
+                drop = len(ref.lits) > self.deletion_bound
+            else:  # relevance-based learning [4]
+                unassigned = sum(
+                    1 for lit in ref.lits
+                    if self.value_of_literal(lit) is None)
+                drop = unassigned > self.deletion_bound
+            if drop:
+                ref.deleted = True
+                self.stats.deleted_clauses += 1
+            else:
+                survivors.append(ref)
+        self._learned = survivors
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+
+    def _decide(self) -> Optional[int]:
+        if self.decide_override is not None:
+            lit = self.decide_override()
+            if lit is not None:
+                return lit
+        lit = self.heuristic.decide(self._num_vars, self._is_assigned)
+        if lit is not None and self.phase_saving:
+            var = abs(lit)
+            saved = self._saved_phase.get(var)
+            if saved is not None:
+                return var if saved else -var
+        return lit
+
+    # ------------------------------------------------------------------
+    # Main search loop
+    # ------------------------------------------------------------------
+
+    def solve(self, assumptions: Sequence[int] = ()) -> SolverResult:
+        """Solve, optionally under *assumptions* (a literal list).
+
+        With assumptions the result is relative to them: UNSATISFIABLE
+        means "unsatisfiable under the assumptions"; recorded clauses
+        remain valid for later calls (incremental SAT, Section 6).
+        """
+        started = time.perf_counter()
+        self.heuristic.setup(self.formula)
+        try:
+            status = self._search(list(assumptions))
+        finally:
+            self.stats.time_seconds += time.perf_counter() - started
+        model = self._model() if status is Status.SATISFIABLE else None
+        self._cancel_until(0)
+        return SolverResult(status, model, self.stats)
+
+    def _model(self) -> Assignment:
+        model = Assignment()
+        for var in range(1, self._num_vars + 1):
+            if self._values[var] is not None:
+                model.assign(var, self._values[var])
+        return model
+
+    def _budget_blown(self) -> bool:
+        return ((self.max_conflicts is not None
+                 and self.stats.conflicts >= self.max_conflicts)
+                or (self.max_decisions is not None
+                    and self.stats.decisions >= self.max_decisions))
+
+    def _search(self, assumptions: List[int]) -> Status:
+        if self._root_conflict:
+            return Status.UNSATISFIABLE
+        self._cancel_until(0)
+        for lit in self._pending_units:
+            if not self._enqueue(lit, None):
+                self._root_conflict = True
+                return Status.UNSATISFIABLE
+
+        conflicts_since_restart = 0
+        conflicts_since_reduce = 0
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_since_restart += 1
+                conflicts_since_reduce += 1
+                if self.decision_level == 0:
+                    # A level-0 conflict refutes the formula for good;
+                    # remember it so later solve calls stay sound.
+                    self._root_conflict = True
+                    return Status.UNSATISFIABLE
+                if self.decision_level <= self._assumption_depth(
+                        assumptions):
+                    return Status.UNSATISFIABLE
+                self._handle_conflict(conflict)
+                if self._budget_blown():
+                    return Status.UNKNOWN
+                if self.restart_policy.should_restart(
+                        conflicts_since_restart):
+                    self.stats.restarts += 1
+                    self.restart_policy.on_restart()
+                    self.heuristic.on_restart()
+                    conflicts_since_restart = 0
+                    self._cancel_until(0)
+                if conflicts_since_reduce >= self.deletion_interval:
+                    conflicts_since_reduce = 0
+                    self._reduce_learned()
+                continue
+
+            if self.early_sat_check is not None and self.early_sat_check():
+                return Status.SATISFIABLE
+
+            decision = self._next_decision(assumptions)
+            if decision == "UNSAT":
+                return Status.UNSATISFIABLE
+            if decision is None:
+                return Status.SATISFIABLE
+            if self._budget_blown():
+                return Status.UNKNOWN
+            self.stats.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self.stats.max_decision_level = max(
+                self.stats.max_decision_level, self.decision_level)
+            self._enqueue(decision, None)
+
+    def _assumption_depth(self, assumptions: List[int]) -> int:
+        """How many leading decision levels were opened by assumption
+        literals.  A conflict while *every* open level is an assumption
+        level refutes the assumptions themselves.
+
+        Assumptions may also enter by propagation (no level of their
+        own), so the prefix is computed from the actual decision
+        literals on the trail rather than ``len(assumptions)``.
+        """
+        if not assumptions:
+            return 0
+        assumption_set = set(assumptions)
+        depth = 0
+        for level_start in self._trail_lim:
+            if self._trail[level_start] in assumption_set:
+                depth += 1
+            else:
+                break
+        return depth
+
+    def _next_decision(self, assumptions: List[int]):
+        """The next assumption to assert, a heuristic literal, ``None``
+        when everything is assigned, or ``"UNSAT"`` when an assumption
+        is already falsified."""
+        for lit in assumptions:
+            value = self.value_of_literal(lit)
+            if value is False:
+                return "UNSAT"
+            if value is None:
+                return lit
+        return self._decide()
+
+    def _handle_conflict(self, conflict: _ClauseRef) -> None:
+        learned_lits, backtrack = self._analyze(conflict)
+        self.heuristic.on_conflict(learned_lits)
+
+        if self.backtrack_mode == "chronological":
+            target = self.decision_level - 1
+        else:
+            target = backtrack
+            skipped = (self.decision_level - 1) - backtrack
+            if skipped > 0:
+                self.stats.nonchronological_backtracks += 1
+                self.stats.levels_skipped += skipped
+        self.stats.backtracks += 1
+        self._cancel_until(target)
+
+        asserting = learned_lits[0]
+        if self.learning and len(learned_lits) > 1:
+            ref = _ClauseRef(list(learned_lits), learned=True)
+            self._attach(ref, learned=True)
+            self.stats.learned_clauses += 1
+            self._enqueue(asserting, ref)
+        elif len(learned_lits) == 1:
+            # Unit implicates always persist (they go to level 0).
+            self._cancel_until(0)
+            self.stats.learned_clauses += 1
+            self._pending_units.append(asserting)
+            self._enqueue(asserting, None)
+        else:
+            # Learning disabled: the derived clause is still a valid
+            # implicate, so it serves as the (unrecorded) reason for the
+            # re-asserted literal; it is simply never watched, hence
+            # never prunes future search -- the paper's pre-learning
+            # baseline.
+            ref = _ClauseRef(list(learned_lits), learned=True)
+            self._enqueue(asserting, ref)
+
+
+def solve_cdcl(formula: CNFFormula, **kwargs) -> SolverResult:
+    """One-shot CDCL solve of *formula* (kwargs as for
+    :class:`CDCLSolver`)."""
+    return CDCLSolver(formula, **kwargs).solve()

@@ -1,0 +1,199 @@
+"""DPLL: the generic backtrack search of Figure 2, chronological form.
+
+The engine is deliberately organized around the paper's four functions
+-- ``Decide()``, ``Deduce()``, ``Diagnose()`` and ``Erase()`` -- so the
+code can be read side by side with Figure 2.  Diagnosis here is the
+*chronological* baseline: the backtrack level is always the most recent
+decision level with an untried value (Davis-Logemann-Loveland, 1962).
+The conflict-driven upgrades (non-chronological backtracking, clause
+recording) live in :mod:`repro.solvers.cdcl`; benchmark C2 compares the
+two on the same instances.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.formula import CNFFormula
+from repro.cnf.literals import variable
+from repro.solvers.heuristics import DecisionHeuristic, FixedOrderHeuristic
+from repro.solvers.result import SolverResult, SolverStats, Status
+
+_CONFLICT = "CONFLICT"
+_OK = "OK"
+
+
+class DPLLSolver:
+    """Chronological backtrack search with unit propagation.
+
+    Parameters
+    ----------
+    heuristic:
+        decision policy (default: fixed variable order).
+    max_decisions, max_conflicts:
+        effort budgets; exceeding either yields ``Status.UNKNOWN``.
+    """
+
+    def __init__(self, formula: CNFFormula,
+                 heuristic: Optional[DecisionHeuristic] = None,
+                 max_decisions: Optional[int] = None,
+                 max_conflicts: Optional[int] = None):
+        self.formula = formula
+        self.heuristic = heuristic or FixedOrderHeuristic()
+        self.max_decisions = max_decisions
+        self.max_conflicts = max_conflicts
+        self.stats = SolverStats()
+
+        self._num_vars = formula.num_vars
+        self._clauses: List[Tuple[int, ...]] = [
+            tuple(c) for c in formula.clauses]
+        self._values: List[Optional[bool]] = [None] * (self._num_vars + 1)
+        # Per decision level: (decision literal, flipped?, implied vars).
+        self._levels: List[Dict] = []
+
+    # -- Figure 2: Decide() -------------------------------------------
+
+    def _decide(self) -> Optional[int]:
+        """Select the next decision literal (None = all assigned)."""
+        return self.heuristic.decide(self._num_vars, self._is_assigned)
+
+    # -- Figure 2: Deduce() -------------------------------------------
+
+    def _deduce(self, implied: List[int]) -> str:
+        """Exhaustive unit propagation; returns CONFLICT or OK.
+
+        Implied variables are appended to *implied* so Erase() can
+        undo them.
+        """
+        changed = True
+        while changed:
+            changed = False
+            for clause in self._clauses:
+                unassigned = None
+                satisfied = False
+                count_unassigned = 0
+                for lit in clause:
+                    value = self._values[variable(lit)]
+                    if value is None:
+                        unassigned = lit
+                        count_unassigned += 1
+                    elif value == (lit > 0):
+                        satisfied = True
+                        break
+                if satisfied:
+                    continue
+                if count_unassigned == 0:
+                    return _CONFLICT
+                if count_unassigned == 1:
+                    self._assign(unassigned)
+                    implied.append(unassigned)
+                    self.stats.propagations += 1
+                    changed = True
+        return _OK
+
+    # -- Figure 2: Diagnose() -----------------------------------------
+
+    def _diagnose(self) -> Optional[int]:
+        """Chronological diagnosis: the deepest level with an untried
+        value, or ``None`` when the search space is exhausted."""
+        for depth in range(len(self._levels) - 1, -1, -1):
+            if not self._levels[depth]["flipped"]:
+                return depth
+        return None
+
+    # -- Figure 2: Erase() --------------------------------------------
+
+    def _erase(self, depth: int) -> None:
+        """Clear every assignment made at levels deeper than *depth*."""
+        while len(self._levels) > depth:
+            frame = self._levels.pop()
+            for lit in frame["implied"]:
+                self._values[variable(lit)] = None
+            self._values[variable(frame["decision"])] = None
+
+    # -- plumbing ------------------------------------------------------
+
+    def _is_assigned(self, var: int) -> bool:
+        return self._values[var] is not None
+
+    def _assign(self, lit: int) -> None:
+        self._values[variable(lit)] = lit > 0
+
+    def _budget_blown(self) -> bool:
+        return ((self.max_decisions is not None
+                 and self.stats.decisions > self.max_decisions)
+                or (self.max_conflicts is not None
+                    and self.stats.conflicts > self.max_conflicts))
+
+    def _extract_model(self) -> Assignment:
+        model = Assignment()
+        for var in range(1, self._num_vars + 1):
+            if self._values[var] is not None:
+                model.assign(var, self._values[var])
+        return model
+
+    # -- main loop -----------------------------------------------------
+
+    def solve(self) -> SolverResult:
+        """Run the search to completion or budget exhaustion."""
+        started = time.perf_counter()
+        self.heuristic.setup(self.formula)
+        try:
+            status = self._search()
+        finally:
+            self.stats.time_seconds = time.perf_counter() - started
+        model = self._extract_model() if status is Status.SATISFIABLE \
+            else None
+        return SolverResult(status, model, self.stats)
+
+    def _search(self) -> Status:
+        # Level-0 propagation (unit clauses in the input).
+        root_implied: List[int] = []
+        for clause in self._clauses:
+            if not clause:
+                return Status.UNSATISFIABLE
+        if self._deduce(root_implied) == _CONFLICT:
+            return Status.UNSATISFIABLE
+
+        while True:
+            if self._budget_blown():
+                return Status.UNKNOWN
+            decision = self._decide()
+            if decision is None:
+                return Status.SATISFIABLE
+            self.stats.decisions += 1
+            self.stats.max_decision_level = max(
+                self.stats.max_decision_level, len(self._levels) + 1)
+            self._assign(decision)
+            self._levels.append({"decision": decision, "flipped": False,
+                                 "implied": []})
+
+            while self._deduce(self._levels[-1]["implied"]) == _CONFLICT:
+                self.stats.conflicts += 1
+                if self._budget_blown():
+                    return Status.UNKNOWN
+                backtrack_level = self._diagnose()
+                if backtrack_level is None:
+                    return Status.UNSATISFIABLE
+                self.stats.backtracks += 1
+                # Erase deeper levels, then flip the decision in place.
+                frame = self._levels[backtrack_level]
+                self._erase(backtrack_level + 1)
+                for lit in frame["implied"]:
+                    self._values[variable(lit)] = None
+                frame["implied"] = []
+                flipped = -frame["decision"]
+                self._values[variable(flipped)] = flipped > 0
+                frame["decision"] = flipped
+                frame["flipped"] = True
+
+
+def solve_dpll(formula: CNFFormula,
+               heuristic: Optional[DecisionHeuristic] = None,
+               max_decisions: Optional[int] = None,
+               max_conflicts: Optional[int] = None) -> SolverResult:
+    """One-shot DPLL solve of *formula*."""
+    return DPLLSolver(formula, heuristic, max_decisions,
+                      max_conflicts).solve()

@@ -1,0 +1,166 @@
+"""A forward (direct) implication engine over circuit structure.
+
+The conflict-analysis example of the paper's Figure 3 presumes a
+deduction engine that propagates values *forward* through gates only
+(fanin to fanout), the way structural implication engines for circuits
+work [39, 40]: with ``w = 1`` and ``y3 = 0`` given, deciding
+``x1 = 1`` forward-implies ``y1 = y2 = 0``, which clashes with the
+value of ``y3``.  (Complete clause-level BCP would instead derive
+``x1 = 0`` from ``y3 = 0`` *backward* and never reach the conflict --
+one reason CNF-based deduction is stronger, cf. Section 5.)
+
+This engine reproduces that behavior: three-valued forward
+propagation, an explicit implication graph, and conflict diagnosis
+that walks the graph back to external/decision assignments to emit the
+conflict-induced clause -- for Figure 3, exactly ``(x1' + w' + y3)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cnf.clause import Clause
+from repro.circuits.gates import evaluate_gate3
+from repro.circuits.netlist import Circuit
+from repro.circuits.tseitin import CircuitEncoding, encode_circuit
+
+
+class ImplicationConflict(Exception):
+    """Raised when forward propagation contradicts an assignment.
+
+    Carries the conflict clause derived from the implication graph.
+    """
+
+    def __init__(self, clause: Clause, node: str):
+        super().__init__(f"conflict at node {node}: {clause.to_str()}")
+        self.clause = clause
+        self.node = node
+
+
+@dataclass
+class _Entry:
+    """One assignment in the implication graph."""
+
+    value: bool
+    antecedents: Tuple[str, ...] = ()      # fanin nodes that implied it
+    external: bool = True                  # decision / given objective
+
+
+class ForwardImplicationEngine:
+    """Three-valued forward propagation with conflict diagnosis.
+
+    Values are set with :meth:`assign` (external assignments:
+    objectives and decisions).  :meth:`propagate` then forward-implies
+    gate outputs whose fanin values determine them; a clash raises
+    :class:`ImplicationConflict` carrying the learned clause over the
+    external assignments responsible -- the paper's "explanation" of
+    the conflict.
+    """
+
+    def __init__(self, circuit: Circuit,
+                 encoding: Optional[CircuitEncoding] = None):
+        circuit.validate()
+        self.circuit = circuit
+        self.encoding = encoding or encode_circuit(circuit)
+        self._entries: Dict[str, _Entry] = {}
+
+    # ------------------------------------------------------------------
+
+    def value(self, name: str) -> Optional[bool]:
+        """Current value of node *name* (``None`` = unassigned)."""
+        entry = self._entries.get(name)
+        return entry.value if entry is not None else None
+
+    def assign(self, name: str, value: bool) -> None:
+        """External assignment (objective or decision)."""
+        if name not in self.circuit:
+            raise KeyError(f"unknown node {name!r}")
+        current = self.value(name)
+        if current is not None:
+            if current != value:
+                raise ImplicationConflict(
+                    self._explain(name, value), name)
+            return
+        self._entries[name] = _Entry(bool(value))
+
+    def unassign(self, name: str) -> None:
+        """Retract an assignment (and nothing else; re-propagate as
+        needed)."""
+        self._entries.pop(name, None)
+
+    def propagate(self) -> List[str]:
+        """Forward-imply to fixpoint; returns newly implied node names.
+
+        Raises :class:`ImplicationConflict` when an implied value
+        contradicts an existing assignment.
+        """
+        implied: List[str] = []
+        changed = True
+        while changed:
+            changed = False
+            for name in self.circuit.topological_order():
+                node = self.circuit.node(name)
+                if not node.is_gate or not node.fanins:
+                    continue
+                inputs = [self.value(f) for f in node.fanins]
+                result = evaluate_gate3(node.gate_type, inputs)
+                if result is None:
+                    continue
+                current = self.value(name)
+                if current is None:
+                    determined = tuple(
+                        f for f in node.fanins
+                        if self.value(f) is not None)
+                    self._entries[name] = _Entry(result, determined,
+                                                 external=False)
+                    implied.append(name)
+                    changed = True
+                elif current != result:
+                    raise ImplicationConflict(
+                        self._diagnose(name), name)
+        return implied
+
+    # ------------------------------------------------------------------
+
+    def _external_support(self, names) -> Set[str]:
+        """Walk the implication graph back to external assignments."""
+        support: Set[str] = set()
+        stack = list(names)
+        seen: Set[str] = set()
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            entry = self._entries.get(name)
+            if entry is None:
+                continue
+            if entry.external:
+                support.add(name)
+            else:
+                stack.extend(entry.antecedents)
+        return support
+
+    def _diagnose(self, conflict_node: str) -> Clause:
+        """The conflict clause: negation of the external assignments
+        supporting both the implied value and the clashing one."""
+        node = self.circuit.node(conflict_node)
+        support = self._external_support(node.fanins)
+        support |= self._external_support([conflict_node])
+        return self._clause_over(support)
+
+    def _explain(self, name: str, attempted: bool) -> Clause:
+        support = self._external_support([name])
+        return self._clause_over(support)
+
+    def _clause_over(self, support: Set[str]) -> Clause:
+        literals = []
+        for name in sorted(support):
+            value = self._entries[name].value
+            literals.append(self.encoding.literal(name, not value))
+        return Clause(literals)
+
+    def reset(self) -> None:
+        """Clear every assignment."""
+        self._entries.clear()

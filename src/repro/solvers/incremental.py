@@ -1,0 +1,114 @@
+"""Incremental and iterative SAT (paper Section 6).
+
+"In many applications SAT solvers tend to be used iteratively and/or
+incrementally.  Specific techniques for the iterative use of SAT
+algorithms [25] or the incremental formulation of problem instances
+[18] have been proposed."
+
+:class:`IncrementalSolver` keeps one CDCL engine alive across a
+sequence of related queries:
+
+* clauses may be *added* between calls (the formula grows
+  monotonically -- the incremental formulation of [18]);
+* per-query constraints are passed as *assumptions*, so they can be
+  retracted without invalidating anything;
+* recorded conflict clauses persist across calls, which is where the
+  iterative speedup of [25] comes from (experiment C8 measures it).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.cnf.formula import CNFFormula
+from repro.solvers.cdcl import CDCLSolver
+from repro.solvers.heuristics import DecisionHeuristic
+from repro.solvers.restarts import RestartPolicy
+from repro.solvers.result import SolverResult, SolverStats
+
+
+class IncrementalSolver:
+    """A persistent SAT engine for families of related instances."""
+
+    def __init__(self, formula: Optional[CNFFormula] = None,
+                 heuristic: Optional[DecisionHeuristic] = None,
+                 restart_policy: Optional[RestartPolicy] = None,
+                 max_conflicts_per_call: Optional[int] = None,
+                 **cdcl_kwargs):
+        self._formula = formula.copy() if formula is not None \
+            else CNFFormula()
+        self._max_conflicts_per_call = max_conflicts_per_call
+        self._solver = CDCLSolver(self._formula, heuristic=heuristic,
+                                  restart_policy=restart_policy,
+                                  **cdcl_kwargs)
+        self._calls = 0
+        self.total_stats = SolverStats()
+
+    @property
+    def num_vars(self) -> int:
+        """Current variable universe size."""
+        return self._formula.num_vars
+
+    @property
+    def calls(self) -> int:
+        """How many solve calls have been issued."""
+        return self._calls
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable usable in later clauses."""
+        return self._formula.new_var()
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a permanent clause (monotonic growth)."""
+        lits = list(literals)
+        self._formula.add_clause(lits)
+        self._solver.add_clause(lits)
+
+    def add_clauses(self, clauses: Iterable) -> None:
+        """Add several permanent clauses."""
+        for clause in clauses:
+            self.add_clause(list(clause))
+
+    def solve(self, assumptions: Sequence[int] = ()) -> SolverResult:
+        """Solve the accumulated formula under *assumptions*.
+
+        UNSATISFIABLE is relative to the assumptions.  Learned clauses
+        survive into the next call.
+        """
+        if self._max_conflicts_per_call is not None:
+            self._solver.max_conflicts = (self._solver.stats.conflicts
+                                          + self._max_conflicts_per_call)
+        before = _snapshot(self._solver.stats)
+        result = self._solver.solve(assumptions)
+        self._calls += 1
+        delta = _delta(before, self._solver.stats)
+        self.total_stats.merge(delta)
+        return SolverResult(result.status, result.assignment, delta)
+
+    def learned_clause_count(self) -> int:
+        """Recorded clauses currently retained by the engine."""
+        return len(self._solver.learned_clauses())
+
+
+def _snapshot(stats: SolverStats) -> SolverStats:
+    copy = SolverStats()
+    copy.merge(stats)
+    return copy
+
+
+def _delta(before: SolverStats, after: SolverStats) -> SolverStats:
+    delta = SolverStats()
+    delta.decisions = after.decisions - before.decisions
+    delta.propagations = after.propagations - before.propagations
+    delta.conflicts = after.conflicts - before.conflicts
+    delta.backtracks = after.backtracks - before.backtracks
+    delta.nonchronological_backtracks = (
+        after.nonchronological_backtracks
+        - before.nonchronological_backtracks)
+    delta.levels_skipped = after.levels_skipped - before.levels_skipped
+    delta.learned_clauses = after.learned_clauses - before.learned_clauses
+    delta.deleted_clauses = after.deleted_clauses - before.deleted_clauses
+    delta.restarts = after.restarts - before.restarts
+    delta.max_decision_level = after.max_decision_level
+    delta.time_seconds = after.time_seconds - before.time_seconds
+    return delta

@@ -1,0 +1,182 @@
+"""Local search for SAT: GSAT and WalkSAT (paper Section 4, [32]).
+
+The paper observes that "of these, only backtrack search has proven
+useful for solving instances of SAT from EDA applications, in
+particular for applications where the objective is to prove
+unsatisfiability" -- local search is *incomplete*: it can exhibit a
+model but can never prove UNSAT, returning ``UNKNOWN`` instead.
+Benchmark C1 reproduces that comparison.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.formula import CNFFormula
+from repro.cnf.literals import variable
+from repro.solvers.result import SolverResult, SolverStats, Status
+
+
+class _State:
+    """Shared bookkeeping: current assignment, per-clause satisfied
+    literal counts, and the unsatisfied-clause set."""
+
+    def __init__(self, formula: CNFFormula, rng: random.Random):
+        self.clauses: List[Tuple[int, ...]] = [tuple(c) for c in formula]
+        self.num_vars = formula.num_vars
+        self.values: List[bool] = [False] * (self.num_vars + 1)
+        self.occurrences: Dict[int, List[int]] = {}
+        for index, clause in enumerate(self.clauses):
+            for lit in clause:
+                self.occurrences.setdefault(lit, []).append(index)
+        self.sat_counts: List[int] = [0] * len(self.clauses)
+        self.unsat: Set[int] = set()
+        self.rng = rng
+
+    def randomize(self) -> None:
+        for var in range(1, self.num_vars + 1):
+            self.values[var] = self.rng.random() < 0.5
+        self._recount()
+
+    def _recount(self) -> None:
+        self.unsat.clear()
+        for index, clause in enumerate(self.clauses):
+            count = sum(1 for lit in clause if self._true(lit))
+            self.sat_counts[index] = count
+            if count == 0:
+                self.unsat.add(index)
+
+    def _true(self, lit: int) -> bool:
+        return self.values[variable(lit)] == (lit > 0)
+
+    def flip(self, var: int) -> None:
+        """Flip *var* and update clause counts incrementally."""
+        # Literal that becomes true / false after the flip:
+        old_true = var if self.values[var] else -var
+        self.values[var] = not self.values[var]
+        new_true = var if self.values[var] else -var
+        for index in self.occurrences.get(new_true, ()):
+            self.sat_counts[index] += 1
+            if self.sat_counts[index] == 1:
+                self.unsat.discard(index)
+        for index in self.occurrences.get(old_true, ()):
+            self.sat_counts[index] -= 1
+            if self.sat_counts[index] == 0:
+                self.unsat.add(index)
+
+    def gain(self, var: int) -> int:
+        """Net change in satisfied clauses if *var* were flipped."""
+        becomes_true = -var if self.values[var] else var
+        becomes_false = var if self.values[var] else -var
+        made = sum(1 for idx in self.occurrences.get(becomes_true, ())
+                   if self.sat_counts[idx] == 0)
+        broken = sum(1 for idx in self.occurrences.get(becomes_false, ())
+                     if self.sat_counts[idx] == 1)
+        return made - broken
+
+    def break_count(self, var: int) -> int:
+        """Clauses that would become unsatisfied if *var* flipped."""
+        becomes_false = var if self.values[var] else -var
+        return sum(1 for idx in self.occurrences.get(becomes_false, ())
+                   if self.sat_counts[idx] == 1)
+
+    def model(self) -> Assignment:
+        out = Assignment()
+        for var in range(1, self.num_vars + 1):
+            out.assign(var, self.values[var])
+        return out
+
+
+def solve_gsat(formula: CNFFormula, max_tries: int = 10,
+               max_flips: int = 1000,
+               seed: Optional[int] = 0) -> SolverResult:
+    """GSAT [32]: greedy hill-climbing on the satisfied-clause count.
+
+    Each try starts from a random assignment and flips the variable
+    with the best gain (random tie-break) for up to *max_flips* steps.
+    Returns SATISFIABLE with a model, or UNKNOWN -- never UNSATISFIABLE.
+    """
+    stats = SolverStats()
+    started = time.perf_counter()
+    rng = random.Random(seed)
+    if any(len(c) == 0 for c in formula):
+        stats.time_seconds = time.perf_counter() - started
+        return SolverResult(Status.UNSATISFIABLE, None, stats)
+
+    state = _State(formula, rng)
+    for _ in range(max_tries):
+        stats.tries += 1
+        state.randomize()
+        for _ in range(max_flips):
+            if not state.unsat:
+                stats.time_seconds = time.perf_counter() - started
+                return SolverResult(Status.SATISFIABLE, state.model(),
+                                    stats)
+            best_gain = None
+            best_vars: List[int] = []
+            candidates = {variable(lit)
+                          for idx in state.unsat
+                          for lit in state.clauses[idx]}
+            for var in candidates:
+                gain = state.gain(var)
+                if best_gain is None or gain > best_gain:
+                    best_gain, best_vars = gain, [var]
+                elif gain == best_gain:
+                    best_vars.append(var)
+            state.flip(rng.choice(best_vars))
+            stats.flips += 1
+        if not state.unsat:
+            stats.time_seconds = time.perf_counter() - started
+            return SolverResult(Status.SATISFIABLE, state.model(), stats)
+    stats.time_seconds = time.perf_counter() - started
+    return SolverResult(Status.UNKNOWN, None, stats)
+
+
+def solve_walksat(formula: CNFFormula, max_tries: int = 10,
+                  max_flips: int = 10000, noise: float = 0.5,
+                  seed: Optional[int] = 0) -> SolverResult:
+    """WalkSAT: pick a random unsatisfied clause; with probability
+    *noise* flip a random variable of it, otherwise flip the variable
+    with the lowest break count (zero break count is taken greedily).
+    """
+    if not 0.0 <= noise <= 1.0:
+        raise ValueError("noise must be within [0, 1]")
+    stats = SolverStats()
+    started = time.perf_counter()
+    rng = random.Random(seed)
+    if any(len(c) == 0 for c in formula):
+        stats.time_seconds = time.perf_counter() - started
+        return SolverResult(Status.UNSATISFIABLE, None, stats)
+
+    state = _State(formula, rng)
+    for _ in range(max_tries):
+        stats.tries += 1
+        state.randomize()
+        for _ in range(max_flips):
+            if not state.unsat:
+                stats.time_seconds = time.perf_counter() - started
+                return SolverResult(Status.SATISFIABLE, state.model(),
+                                    stats)
+            clause_index = rng.choice(tuple(state.unsat))
+            clause_vars = [variable(lit)
+                           for lit in state.clauses[clause_index]]
+            breaks = [(state.break_count(var), var) for var in clause_vars]
+            zero_break = [var for count, var in breaks if count == 0]
+            if zero_break:
+                chosen = rng.choice(zero_break)
+            elif rng.random() < noise:
+                chosen = rng.choice(clause_vars)
+            else:
+                minimum = min(count for count, _ in breaks)
+                chosen = rng.choice(
+                    [var for count, var in breaks if count == minimum])
+            state.flip(chosen)
+            stats.flips += 1
+        if not state.unsat:
+            stats.time_seconds = time.perf_counter() - started
+            return SolverResult(Status.SATISFIABLE, state.model(), stats)
+    stats.time_seconds = time.perf_counter() - started
+    return SolverResult(Status.UNKNOWN, None, stats)

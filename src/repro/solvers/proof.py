@@ -1,0 +1,162 @@
+"""UNSAT proof logging and checking (reverse unit propagation).
+
+The techniques the paper surveys all rest on clause recording: every
+learned clause is an implicate derived by resolution.  Logging those
+clauses in derivation order yields a DRUP-style proof of UNSAT results
+that an *independent* checker can validate:
+
+* a clause C is a **RUP consequence** of a clause set F when unit
+  propagation on F plus the unit negations of C's literals derives a
+  conflict;
+* every clause a CDCL solver learns is a RUP consequence of the
+  original clauses plus the previously learned ones;
+* the proof ends with the empty clause (RUP conflict from the
+  accumulated set alone), certifying unsatisfiability.
+
+:func:`attach_proof_logger` instruments a :class:`CDCLSolver` without
+modifying it (the same hook philosophy as the Section 5 layer);
+:func:`check_rup_proof` is the independent validator the test suite
+runs against every UNSAT answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cnf.clause import Clause
+from repro.cnf.formula import CNFFormula
+from repro.cnf.literals import variable
+
+
+@dataclass
+class Proof:
+    """A derivation-ordered list of learned clauses.
+
+    ``complete`` is set when the solve ended UNSATISFIABLE, in which
+    case the empty clause must be a RUP consequence of
+    ``formula + steps``.
+    """
+
+    steps: List[Clause] = field(default_factory=list)
+    complete: bool = False
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+def attach_proof_logger(solver) -> Proof:
+    """Instrument *solver* (a CDCLSolver) to log learned clauses.
+
+    Wraps the internal attach/analyze paths through the public
+    ``heuristic.on_conflict`` observation channel is not enough (it
+    sees literals, not persistence), so the logger intercepts
+    ``_attach`` and unit learning.  Returns the live :class:`Proof`.
+    """
+    proof = Proof()
+    original_attach = solver._attach
+    original_handle = solver._handle_conflict
+    original_search = solver._search
+
+    def logging_attach(ref, learned):
+        if learned:
+            proof.steps.append(Clause(ref.lits))
+        original_attach(ref, learned)
+
+    def logging_handle(conflict):
+        # Unit implicates bypass _attach (they go to the pending-unit
+        # list); log them here so derivation order is preserved --
+        # later steps may depend on them.
+        before = len(solver._pending_units)
+        original_handle(conflict)
+        for lit in solver._pending_units[before:]:
+            proof.steps.append(Clause([lit]))
+
+    def logging_search(assumptions):
+        from repro.solvers.result import Status
+        status = original_search(assumptions)
+        if status is Status.UNSATISFIABLE and not assumptions:
+            proof.complete = True
+        return status
+
+    solver._attach = logging_attach
+    solver._handle_conflict = logging_handle
+    solver._search = logging_search
+    return proof
+
+
+def _rup_conflict(clauses: List[Tuple[int, ...]],
+                  assumed_false: Sequence[int]) -> bool:
+    """True when unit propagation refutes ``clauses`` under the
+    negation of *assumed_false* (i.e. the clause is a RUP consequence).
+    """
+    assignment = {}
+    for lit in assumed_false:
+        var, value = variable(lit), lit < 0
+        if var in assignment and assignment[var] != value:
+            return True        # the clause is a tautology
+        assignment[var] = value
+
+    changed = True
+    while changed:
+        changed = False
+        for clause in clauses:
+            unassigned = None
+            count = 0
+            satisfied = False
+            for lit in clause:
+                value = assignment.get(variable(lit))
+                if value is None:
+                    unassigned = lit
+                    count += 1
+                elif value == (lit > 0):
+                    satisfied = True
+                    break
+            if satisfied:
+                continue
+            if count == 0:
+                return True
+            if count == 1:
+                assignment[variable(unassigned)] = unassigned > 0
+                changed = True
+    return False
+
+
+@dataclass
+class ProofCheckResult:
+    """Outcome of validating a proof."""
+
+    valid: bool
+    failed_step: Optional[int] = None     # index of the bad step
+    steps_checked: int = 0
+
+
+def check_rup_proof(formula: CNFFormula, proof: Proof
+                    ) -> ProofCheckResult:
+    """Validate *proof* against *formula* by reverse unit propagation.
+
+    Checks every step in order and, for a complete proof, that the
+    accumulated clause set propagates to conflict outright.
+    """
+    clauses: List[Tuple[int, ...]] = [tuple(c) for c in formula
+                                      if not c.is_tautology()]
+    for index, step in enumerate(proof.steps):
+        if not _rup_conflict(clauses, tuple(step)):
+            return ProofCheckResult(False, failed_step=index,
+                                    steps_checked=index)
+        clauses.append(tuple(step))
+    if proof.complete:
+        if not _rup_conflict(clauses, ()):
+            return ProofCheckResult(False, failed_step=len(proof.steps),
+                                    steps_checked=len(proof.steps))
+    return ProofCheckResult(True, steps_checked=len(proof.steps))
+
+
+def solve_with_proof(formula: CNFFormula, **cdcl_kwargs):
+    """Solve and return ``(result, proof)`` with logging attached."""
+    from repro.solvers.cdcl import CDCLSolver
+
+    solver = CDCLSolver(formula, **cdcl_kwargs)
+    proof = attach_proof_logger(solver)
+    result = solver.solve()
+    return result, proof

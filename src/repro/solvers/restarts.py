@@ -1,0 +1,115 @@
+"""Restart policies (paper Section 6, "randomization with restarts").
+
+"The addition of randomization allows for repeatedly restarting the
+search each time a given limit number of decisions is reached."  The
+policies below decide *when* to abandon the current search tree; the
+randomized decision heuristic decides *where* the fresh attempt goes.
+Learned clauses survive restarts, so completeness is preserved when the
+limit sequence grows without bound (geometric/Luby) and is guaranteed
+regardless for the ``NoRestarts`` policy.
+"""
+
+from __future__ import annotations
+
+
+class RestartPolicy:
+    """Interface: ``should_restart`` is polled after every conflict."""
+
+    def should_restart(self, conflicts_since_restart: int) -> bool:
+        """True when the engine should abandon the current tree."""
+        raise NotImplementedError
+
+    def on_restart(self) -> None:
+        """Advance the policy to its next limit."""
+
+    def name(self) -> str:
+        """Short label for experiment tables."""
+        return type(self).__name__.replace("Restarts", "").lower()
+
+
+class NoRestarts(RestartPolicy):
+    """Never restart (the pre-randomization baseline)."""
+
+    def should_restart(self, conflicts_since_restart: int) -> bool:
+        return False
+
+
+class FixedRestarts(RestartPolicy):
+    """Restart every *interval* conflicts (the paper's "given limit
+    number" policy).
+
+    Note: a fixed limit forfeits completeness unless clause learning
+    keeps all recorded clauses; the engine enforces growth elsewhere.
+    """
+
+    def __init__(self, interval: int = 100):
+        if interval < 1:
+            raise ValueError("interval must be >= 1")
+        self.interval = interval
+
+    def should_restart(self, conflicts_since_restart: int) -> bool:
+        return conflicts_since_restart >= self.interval
+
+
+class GeometricRestarts(RestartPolicy):
+    """Limit grows geometrically: interval, interval*factor, ..."""
+
+    def __init__(self, interval: int = 100, factor: float = 1.5):
+        if interval < 1:
+            raise ValueError("interval must be >= 1")
+        if factor < 1.0:
+            raise ValueError("factor must be >= 1.0")
+        self.initial = interval
+        self.factor = factor
+        self._current = float(interval)
+
+    def should_restart(self, conflicts_since_restart: int) -> bool:
+        return conflicts_since_restart >= self._current
+
+    def on_restart(self) -> None:
+        self._current *= self.factor
+
+
+def luby(index: int) -> int:
+    """The Luby sequence 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,... (1-based).
+
+    ``luby(2^k - 1) = 2^(k-1)``; other positions restart the pattern.
+    """
+    if index < 1:
+        raise ValueError("index must be >= 1")
+    while True:
+        k = index.bit_length()
+        if index == (1 << k) - 1:
+            return 1 << (k - 1)
+        index -= (1 << (k - 1)) - 1       # recurse into the sub-block
+
+
+class LubyRestarts(RestartPolicy):
+    """Luby-sequence restarts, the universally near-optimal schedule."""
+
+    def __init__(self, unit: int = 32):
+        if unit < 1:
+            raise ValueError("unit must be >= 1")
+        self.unit = unit
+        self._index = 1
+
+    def should_restart(self, conflicts_since_restart: int) -> bool:
+        return conflicts_since_restart >= self.unit * luby(self._index)
+
+    def on_restart(self) -> None:
+        self._index += 1
+
+
+def make_restart_policy(name: str, interval: int = 100) -> RestartPolicy:
+    """Factory used by benchmarks: ``none``/``fixed``/``geometric``/
+    ``luby``."""
+    key = name.lower()
+    if key == "none":
+        return NoRestarts()
+    if key == "fixed":
+        return FixedRestarts(interval)
+    if key == "geometric":
+        return GeometricRestarts(interval)
+    if key == "luby":
+        return LubyRestarts(max(1, interval // 4))
+    raise ValueError(f"unknown restart policy {name!r}")

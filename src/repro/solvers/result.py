@@ -1,0 +1,96 @@
+"""Solver outcome and statistics types shared by every algorithm.
+
+The paper's generic algorithm (Figure 2) returns SATISFIABLE or
+UNSATISFIABLE; practical solvers additionally time out (local search
+cannot prove UNSAT at all), so a third ``UNKNOWN`` status exists.
+Statistics fields mirror the quantities the paper's discussion turns
+on: decisions, implied assignments (propagations), conflicts,
+backtracks (chronological vs non-chronological), recorded and deleted
+clauses, and restarts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cnf.assignment import Assignment
+
+
+class Status(enum.Enum):
+    """Outcome of a satisfiability query."""
+
+    SATISFIABLE = "SATISFIABLE"
+    UNSATISFIABLE = "UNSATISFIABLE"
+    UNKNOWN = "UNKNOWN"
+
+
+@dataclass
+class SolverStats:
+    """Search-effort counters accumulated during one solve call."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    backtracks: int = 0
+    nonchronological_backtracks: int = 0
+    levels_skipped: int = 0
+    learned_clauses: int = 0
+    deleted_clauses: int = 0
+    restarts: int = 0
+    max_decision_level: int = 0
+    flips: int = 0          # local search
+    tries: int = 0          # local search
+    time_seconds: float = 0.0
+
+    def merge(self, other: "SolverStats") -> None:
+        """Accumulate *other* into this object (incremental solving)."""
+        self.decisions += other.decisions
+        self.propagations += other.propagations
+        self.conflicts += other.conflicts
+        self.backtracks += other.backtracks
+        self.nonchronological_backtracks += \
+            other.nonchronological_backtracks
+        self.levels_skipped += other.levels_skipped
+        self.learned_clauses += other.learned_clauses
+        self.deleted_clauses += other.deleted_clauses
+        self.restarts += other.restarts
+        self.max_decision_level = max(self.max_decision_level,
+                                      other.max_decision_level)
+        self.flips += other.flips
+        self.tries += other.tries
+        self.time_seconds += other.time_seconds
+
+
+@dataclass
+class SolverResult:
+    """Status, model (when SAT) and statistics of a solve call."""
+
+    status: Status
+    assignment: Optional[Assignment] = None
+    stats: SolverStats = field(default_factory=SolverStats)
+
+    @property
+    def is_sat(self) -> bool:
+        """True when the formula was proved satisfiable."""
+        return self.status is Status.SATISFIABLE
+
+    @property
+    def is_unsat(self) -> bool:
+        """True when the formula was proved unsatisfiable."""
+        return self.status is Status.UNSATISFIABLE
+
+    @property
+    def is_unknown(self) -> bool:
+        """True when the solver gave up (budget exhausted)."""
+        return self.status is Status.UNKNOWN
+
+    def __repr__(self) -> str:
+        return (f"SolverResult({self.status.value}, "
+                f"decisions={self.stats.decisions}, "
+                f"conflicts={self.stats.conflicts})")
+
+
+class BudgetExhausted(Exception):
+    """Internal signal: the configured effort budget ran out."""

@@ -1,0 +1,102 @@
+"""Unit tests for repro.cnf.assignment."""
+
+import pytest
+
+from repro.cnf.assignment import Assignment
+
+
+class TestBasics:
+    def test_empty(self):
+        assignment = Assignment()
+        assert assignment.num_assigned() == 0
+        assert assignment.value_of(1) is None
+
+    def test_assign_and_query(self):
+        assignment = Assignment()
+        assignment.assign(3, True)
+        assert assignment.value_of(3) is True
+        assert assignment.is_assigned(3)
+        assert 3 in assignment
+
+    def test_assign_coerces_to_bool(self):
+        assignment = Assignment()
+        assignment.assign(1, 1)
+        assert assignment.value_of(1) is True
+
+    def test_rejects_bad_variable(self):
+        with pytest.raises(ValueError):
+            Assignment().assign(0, True)
+
+    def test_unassign(self):
+        assignment = Assignment({2: False})
+        assignment.unassign(2)
+        assert assignment.value_of(2) is None
+
+    def test_unassign_missing_is_noop(self):
+        Assignment().unassign(5)
+
+    def test_overwrite(self):
+        assignment = Assignment({1: True})
+        assignment.assign(1, False)
+        assert assignment.value_of(1) is False
+
+
+class TestLiteralQueries:
+    def test_literal_value(self):
+        assignment = Assignment({2: False})
+        assert assignment.literal_value(2) is False
+        assert assignment.literal_value(-2) is True
+        assert assignment.literal_value(9) is None
+
+    def test_satisfies_literal(self):
+        assignment = Assignment({2: False})
+        assert assignment.satisfies_literal(-2)
+        assert not assignment.satisfies_literal(2)
+        assert not assignment.satisfies_literal(5)
+
+
+class TestConversions:
+    def test_from_literals(self):
+        assignment = Assignment.from_literals([1, -3])
+        assert assignment.value_of(1) is True
+        assert assignment.value_of(3) is False
+
+    def test_to_literals_sorted(self):
+        assignment = Assignment({3: False, 1: True})
+        assert assignment.to_literals() == (1, -3)
+
+    def test_roundtrip(self):
+        original = Assignment({1: True, 2: False, 5: True})
+        again = Assignment.from_literals(original.to_literals())
+        assert again == original
+
+    def test_as_dict_is_copy(self):
+        assignment = Assignment({1: True})
+        mapping = assignment.as_dict()
+        mapping[1] = False
+        assert assignment.value_of(1) is True
+
+
+class TestCopyAndExtend:
+    def test_copy_independent(self):
+        original = Assignment({1: True})
+        duplicate = original.copy()
+        duplicate.assign(2, False)
+        assert not original.is_assigned(2)
+
+    def test_extend_unassigned(self):
+        assignment = Assignment({1: True})
+        extended = assignment.extend_unassigned([1, 2, 3], default=False)
+        assert extended.value_of(1) is True      # untouched
+        assert extended.value_of(2) is False
+        assert extended.value_of(3) is False
+        assert not assignment.is_assigned(2)     # original untouched
+
+    def test_assigned_variables(self):
+        assignment = Assignment({4: True, 2: False})
+        assert assignment.assigned_variables() == frozenset({2, 4})
+
+    def test_len_and_iter(self):
+        assignment = Assignment({4: True, 2: False})
+        assert len(assignment) == 2
+        assert sorted(assignment) == [2, 4]

@@ -1,0 +1,150 @@
+"""Unit tests for repro.apps.atpg (Section 3)."""
+
+import pytest
+
+from repro.apps.atpg import (
+    ATPGEngine,
+    ATPGReport,
+    FaultResult,
+    IncrementalATPG,
+    TestOutcome,
+    solve_fault,
+)
+from repro.circuits.faults import StuckAtFault, detects, full_fault_list
+from repro.circuits.library import c17, half_adder, redundant_or_chain
+from repro.circuits.generators import ripple_carry_adder
+
+
+class TestSolveFault:
+    def test_detectable_fault_yields_vector(self):
+        circuit = half_adder()
+        result = solve_fault(circuit, StuckAtFault("carry", True))
+        assert result.outcome is TestOutcome.DETECTED
+        vector = {k: bool(v) for k, v in result.vector.items()}
+        assert detects(circuit, StuckAtFault("carry", True), vector)
+
+    def test_redundant_fault_proved(self):
+        circuit = redundant_or_chain()
+        result = solve_fault(circuit, StuckAtFault("ab", False))
+        assert result.outcome is TestOutcome.REDUNDANT
+
+    def test_input_fault(self):
+        circuit = half_adder()
+        fault = StuckAtFault("a", False)
+        result = solve_fault(circuit, fault)
+        assert result.outcome is TestOutcome.DETECTED
+        vector = {k: bool(v) for k, v in result.vector.items()}
+        assert detects(circuit, fault, vector)
+
+    def test_circuit_method_partial_cube(self):
+        circuit = c17()
+        fault = StuckAtFault("G10", True)
+        result = solve_fault(circuit, fault, method="circuit")
+        assert result.outcome is TestOutcome.DETECTED
+        # The cube (don't-cares filled arbitrarily) must detect.
+        for fill in (False, True):
+            vector = {k: (fill if v is None else bool(v))
+                      for k, v in result.vector.items()}
+            assert detects(circuit, fault, vector)
+
+    def test_all_c17_faults_testable(self):
+        """c17 is known fully testable: every stuck-at fault has a
+        test."""
+        circuit = c17()
+        for fault in full_fault_list(circuit):
+            result = solve_fault(circuit, fault)
+            assert result.outcome is TestOutcome.DETECTED, fault
+
+
+class TestATPGEngine:
+    def test_full_coverage_on_c17(self):
+        report = ATPGEngine(c17()).run()
+        assert report.fault_coverage == 1.0
+        assert report.count(TestOutcome.REDUNDANT) == 0
+
+    def test_vectors_detect_their_faults(self):
+        circuit = c17()
+        engine = ATPGEngine(circuit, fault_dropping=False)
+        report = engine.run()
+        detected = [r for r in report.results
+                    if r.outcome is TestOutcome.DETECTED]
+        assert len(detected) == len(report.vectors)
+        for result, vector in zip(detected, report.vectors):
+            assert detects(circuit, result.fault, vector)
+
+    def test_fault_dropping_reduces_sat_calls(self):
+        circuit = c17()
+        dropped = ATPGEngine(circuit, fault_dropping=True).run()
+        assert dropped.count(TestOutcome.DETECTED_BY_SIMULATION) > 0
+        assert len(dropped.vectors) < len(full_fault_list(circuit))
+        assert dropped.fault_coverage == 1.0
+
+    def test_collapse_shrinks_fault_list(self):
+        engine = ATPGEngine(c17(), collapse=True)
+        assert len(engine.fault_list()) < len(full_fault_list(c17()))
+
+    def test_redundancy_reported(self):
+        report = ATPGEngine(redundant_or_chain()).run()
+        assert report.count(TestOutcome.REDUNDANT) >= 1
+        assert report.fault_coverage == 1.0   # redundant counts covered
+
+    def test_sequential_rejected(self):
+        from repro.circuits.generators import binary_counter
+        with pytest.raises(ValueError):
+            ATPGEngine(binary_counter(2))
+
+    def test_explicit_fault_subset(self):
+        circuit = c17()
+        faults = [StuckAtFault("G10", False), StuckAtFault("G10", True)]
+        report = ATPGEngine(circuit).run(faults)
+        assert len(report.results) == 2
+
+    def test_report_helpers(self):
+        report = ATPGReport(results=[
+            FaultResult(StuckAtFault("x", True), TestOutcome.DETECTED),
+            FaultResult(StuckAtFault("x", False), TestOutcome.ABORTED),
+        ])
+        assert report.count(TestOutcome.DETECTED) == 1
+        assert report.fault_coverage == 0.5
+        assert ATPGReport().fault_coverage == 1.0
+
+
+class TestIncrementalATPG:
+    def test_matches_oneshot_outcomes(self):
+        circuit = c17()
+        incremental = IncrementalATPG(circuit)
+        for fault in full_fault_list(circuit):
+            one_shot = solve_fault(circuit, fault)
+            shared = incremental.solve_fault(fault)
+            assert shared.outcome == one_shot.outcome, fault
+            if shared.outcome is TestOutcome.DETECTED:
+                vector = {k: bool(v) for k, v in shared.vector.items()}
+                assert detects(circuit, fault, vector)
+
+    def test_redundant_via_incremental(self):
+        engine = IncrementalATPG(redundant_or_chain())
+        result = engine.solve_fault(StuckAtFault("ab", False))
+        assert result.outcome is TestOutcome.REDUNDANT
+
+    def test_structurally_undetectable(self):
+        # A gate feeding no output: fanout cone has no outputs.
+        from repro.circuits.netlist import Circuit
+        from repro.circuits.gates import GateType
+        circuit = Circuit()
+        circuit.add_input("a")
+        circuit.add_gate("dead", GateType.NOT, ["a"])
+        circuit.add_gate("y", GateType.BUFFER, ["a"])
+        circuit.set_output("y")
+        engine = IncrementalATPG(circuit)
+        result = engine.solve_fault(StuckAtFault("dead", True))
+        assert result.outcome is TestOutcome.REDUNDANT
+
+    def test_run_over_list(self):
+        report = IncrementalATPG(half_adder()).run()
+        assert report.fault_coverage == 1.0
+
+    def test_adder_coverage(self):
+        circuit = ripple_carry_adder(2)
+        report = IncrementalATPG(circuit).run()
+        assert report.fault_coverage == 1.0
+        assert report.count(TestOutcome.ABORTED) == 0

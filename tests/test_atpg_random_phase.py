@@ -1,0 +1,47 @@
+"""Tests for the random-pattern phase of the ATPG engine."""
+
+from repro.apps.atpg import ATPGEngine, TestOutcome
+from repro.circuits.faults import detects
+from repro.circuits.generators import ripple_carry_adder
+from repro.circuits.library import c17, redundant_or_chain
+
+
+class TestRandomPatternPhase:
+    def test_full_coverage_retained(self):
+        engine = ATPGEngine(ripple_carry_adder(3), random_patterns=32)
+        report = engine.run()
+        assert report.fault_coverage == 1.0
+
+    def test_random_phase_reduces_sat_detections(self):
+        cold = ATPGEngine(c17(), random_patterns=0,
+                          fault_dropping=False).run()
+        warm = ATPGEngine(c17(), random_patterns=64,
+                          fault_dropping=False).run()
+        assert warm.count(TestOutcome.DETECTED) <= \
+            cold.count(TestOutcome.DETECTED)
+        assert warm.count(TestOutcome.DETECTED_BY_SIMULATION) > 0
+        assert warm.fault_coverage == 1.0
+
+    def test_random_vectors_recorded_and_detect(self):
+        circuit = c17()
+        engine = ATPGEngine(circuit, random_patterns=64,
+                            fault_dropping=False)
+        report = engine.run()
+        sim_detected = [r.fault for r in report.results
+                        if r.outcome is
+                        TestOutcome.DETECTED_BY_SIMULATION]
+        for fault in sim_detected:
+            assert any(detects(circuit, fault, vector)
+                       for vector in report.vectors), fault
+
+    def test_redundant_faults_survive_random_phase(self):
+        report = ATPGEngine(redundant_or_chain(),
+                            random_patterns=128).run()
+        assert report.count(TestOutcome.REDUNDANT) == 3
+
+    def test_deterministic_given_seed(self):
+        first = ATPGEngine(c17(), random_patterns=16, seed=9).run()
+        second = ATPGEngine(c17(), random_patterns=16, seed=9).run()
+        assert [r.outcome for r in first.results] == \
+            [r.outcome for r in second.results]
+        assert first.vectors == second.vectors

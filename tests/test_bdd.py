@@ -1,0 +1,218 @@
+"""Unit tests for repro.bdd (the BDD baseline package)."""
+
+import itertools
+
+import pytest
+
+from repro.bdd.circuit import build_output_bdds, check_equivalence_bdd
+from repro.bdd.manager import BDDBlowup, BDDManager
+from repro.circuits.generators import (
+    carry_select_adder,
+    parity_tree,
+    ripple_carry_adder,
+)
+from repro.circuits.library import c17, half_adder, majority3
+from repro.circuits.simulate import exhaustive_truth_table
+
+
+class TestManagerBasics:
+    def test_terminals_distinct(self):
+        manager = BDDManager(1)
+        assert manager.zero is not manager.one
+        assert manager.constant(True) is manager.one
+        assert manager.constant(False) is manager.zero
+
+    def test_var_canonical(self):
+        manager = BDDManager(2)
+        assert manager.var(1) is manager.var(1)
+        assert manager.var(1) is not manager.var(2)
+
+    def test_negation_involution(self):
+        manager = BDDManager(2)
+        f = manager.apply_and(manager.var(1), manager.var(2))
+        assert manager.apply_not(manager.apply_not(f)) is f
+
+    def test_nvar(self):
+        manager = BDDManager(1)
+        assert manager.nvar(1) is manager.apply_not(manager.var(1))
+
+    def test_reduction_rule(self):
+        manager = BDDManager(2)
+        # x AND (y OR NOT y) == x: redundant test on y collapses.
+        y_or_ny = manager.apply_or(manager.var(2), manager.nvar(2))
+        assert y_or_ny is manager.one
+        f = manager.apply_and(manager.var(1), y_or_ny)
+        assert f is manager.var(1)
+
+    def test_canonicity_across_syntaxes(self):
+        manager = BDDManager(3)
+        a, b, c = (manager.var(i) for i in (1, 2, 3))
+        # Distributivity: a(b + c) == ab + ac -- same node.
+        left = manager.apply_and(a, manager.apply_or(b, c))
+        right = manager.apply_or(manager.apply_and(a, b),
+                                 manager.apply_and(a, c))
+        assert left is right
+
+    def test_blowup_budget(self):
+        manager = BDDManager(16, max_nodes=10)
+        with pytest.raises(BDDBlowup):
+            f = manager.zero
+            for var in range(1, 17):
+                f = manager.apply_xor(f, manager.var(var))
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("op,function", [
+        ("apply_and", lambda a, b: a and b),
+        ("apply_or", lambda a, b: a or b),
+        ("apply_xor", lambda a, b: a != b),
+        ("apply_xnor", lambda a, b: a == b),
+    ])
+    def test_binary_ops(self, op, function):
+        manager = BDDManager(2)
+        node = getattr(manager, op)(manager.var(1), manager.var(2))
+        for a, b in itertools.product([False, True], repeat=2):
+            assert manager.evaluate(node, {1: a, 2: b}) == function(a, b)
+
+    def test_ite_semantics(self):
+        manager = BDDManager(3)
+        node = manager.ite(manager.var(1), manager.var(2),
+                           manager.var(3))
+        for bits in itertools.product([False, True], repeat=3):
+            model = {1: bits[0], 2: bits[1], 3: bits[2]}
+            expected = bits[1] if bits[0] else bits[2]
+            assert manager.evaluate(node, model) == expected
+
+    def test_apply_many(self):
+        manager = BDDManager(3)
+        operands = [manager.var(i) for i in (1, 2, 3)]
+        node = manager.apply_many("NAND", operands)
+        for bits in itertools.product([False, True], repeat=3):
+            model = dict(zip((1, 2, 3), bits))
+            assert manager.evaluate(node, model) == (not all(bits))
+
+    def test_apply_many_unknown(self):
+        with pytest.raises(ValueError):
+            BDDManager(1).apply_many("MAJ", [])
+
+    def test_restrict(self):
+        manager = BDDManager(2)
+        f = manager.apply_and(manager.var(1), manager.var(2))
+        assert manager.restrict(f, 1, True) is manager.var(2)
+        assert manager.restrict(f, 1, False) is manager.zero
+
+    def test_exists(self):
+        manager = BDDManager(2)
+        f = manager.apply_and(manager.var(1), manager.var(2))
+        assert manager.exists(f, 1) is manager.var(2)
+
+    def test_count_solutions(self):
+        manager = BDDManager(3)
+        a, b, c = (manager.var(i) for i in (1, 2, 3))
+        f = manager.apply_or(manager.apply_and(a, b),
+                             manager.apply_and(manager.apply_not(a), c))
+        assert manager.count_solutions(f, 3) == 4
+        assert manager.count_solutions(manager.one, 3) == 8
+        assert manager.count_solutions(manager.zero, 3) == 0
+
+    def test_any_model(self):
+        manager = BDDManager(2)
+        f = manager.apply_and(manager.var(1), manager.nvar(2))
+        model = manager.any_model(f)
+        assert manager.evaluate(f, {1: model.get(1, False),
+                                    2: model.get(2, False)})
+        assert manager.any_model(manager.zero) is None
+
+    def test_iter_cubes_cover_exactly(self):
+        manager = BDDManager(3)
+        a, b, c = (manager.var(i) for i in (1, 2, 3))
+        f = manager.apply_or(manager.apply_and(a, b), c)
+        covered = set()
+        for cube in manager.iter_cubes(f):
+            free = [v for v in (1, 2, 3) if v not in cube]
+            for bits in itertools.product([False, True],
+                                          repeat=len(free)):
+                model = dict(cube)
+                model.update(zip(free, bits))
+                covered.add((model[1], model[2], model[3]))
+        expected = {bits for bits in
+                    itertools.product([False, True], repeat=3)
+                    if (bits[0] and bits[1]) or bits[2]}
+        assert covered == expected
+
+    def test_size(self):
+        manager = BDDManager(2)
+        f = manager.apply_and(manager.var(1), manager.var(2))
+        assert manager.size(f) == 2
+        assert manager.size(manager.one) == 0
+
+
+class TestCircuitBDDs:
+    @pytest.mark.parametrize("factory", [half_adder, majority3, c17])
+    def test_matches_simulation(self, factory):
+        circuit = factory()
+        manager = BDDManager(len(circuit.inputs))
+        nodes = build_output_bdds(circuit, manager)
+        table = exhaustive_truth_table(circuit)
+        for key, outputs in table.items():
+            model = {index + 1: value
+                     for index, value in enumerate(key)}
+            for out_name, expected in zip(circuit.outputs, outputs):
+                assert manager.evaluate(nodes[out_name], model) \
+                    == expected
+
+    def test_sequential_rejected(self):
+        from repro.circuits.generators import binary_counter
+        with pytest.raises(ValueError):
+            build_output_bdds(binary_counter(2))
+
+    def test_input_order_respected(self):
+        circuit = half_adder()
+        manager = BDDManager(2)
+        nodes = build_output_bdds(circuit, manager,
+                                  input_order=["b", "a"])
+        # With order [b, a], variable 1 is b.
+        assert manager.evaluate(nodes["carry"], {1: True, 2: False}) \
+            is False
+
+    def test_bad_input_order(self):
+        with pytest.raises(ValueError):
+            build_output_bdds(half_adder(), input_order=["a"])
+
+
+class TestBDDEquivalence:
+    def test_adder_architectures(self):
+        report = check_equivalence_bdd(ripple_carry_adder(3),
+                                       carry_select_adder(3))
+        assert report.equivalent is True
+        assert all(report.per_output)
+        assert report.peak_nodes > 0
+
+    def test_counterexample_on_mutation(self):
+        from repro.apps.equivalence import mutate_circuit
+        circuit = parity_tree(4)
+        mutated = mutate_circuit(circuit, seed=1)
+        report = check_equivalence_bdd(circuit, mutated)
+        assert report.equivalent is False
+        from repro.circuits.simulate import simulate
+        vector = report.counterexample
+        assert simulate(circuit, vector)["parity"] != \
+            simulate(mutated, vector)["parity"]
+
+    def test_blowup_reported_as_unknown(self):
+        from repro.circuits.generators import array_multiplier
+        report = check_equivalence_bdd(array_multiplier(3),
+                                       array_multiplier(3),
+                                       max_nodes=50)
+        assert report.equivalent is None
+
+    def test_agrees_with_sat_cec(self):
+        from repro.apps.equivalence import check_equivalence
+        left = ripple_carry_adder(3)
+        right = carry_select_adder(3)
+        assert check_equivalence_bdd(left, right).equivalent == \
+            check_equivalence(left, right).equivalent
+
+    def test_mismatched_interfaces(self):
+        with pytest.raises(ValueError):
+            check_equivalence_bdd(half_adder(), c17())

@@ -1,0 +1,127 @@
+"""Unit tests for repro.circuits.bench_format."""
+
+import pytest
+
+from repro.circuits.bench_format import (
+    BenchFormatError,
+    load_bench,
+    parse_bench,
+    save_bench,
+    write_bench,
+)
+from repro.circuits.gates import GateType
+from repro.circuits.library import c17
+from repro.circuits.simulate import exhaustive_truth_table
+
+C17_TEXT = """# c17 ISCAS-85
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+"""
+
+
+class TestParse:
+    def test_c17(self):
+        circuit = parse_bench(C17_TEXT, name="c17")
+        assert len(circuit.inputs) == 5
+        assert circuit.outputs == ["G22", "G23"]
+        assert circuit.num_gates() == 6
+
+    def test_parsed_c17_matches_library(self):
+        parsed = parse_bench(C17_TEXT)
+        assert exhaustive_truth_table(parsed) == \
+            exhaustive_truth_table(c17())
+
+    def test_forward_references_allowed(self):
+        text = """INPUT(a)
+OUTPUT(y)
+y = NOT(g)
+g = BUF(a)
+"""
+        circuit = parse_bench(text)
+        assert circuit.node("y").fanins == ("g",)
+
+    def test_comments_and_blank_lines(self):
+        text = "# header\n\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)  # inline\n"
+        assert parse_bench(text).num_gates() == 1
+
+    def test_gate_alias_buf(self):
+        circuit = parse_bench("INPUT(a)\nOUTPUT(y)\ny = BUFF(a)\n")
+        assert circuit.node("y").gate_type is GateType.BUFFER
+
+    def test_sequential_dff(self):
+        text = """INPUT(d)
+OUTPUT(q)
+q = DFF(n)
+n = AND(d, q)
+"""
+        circuit = parse_bench(text)
+        assert circuit.is_sequential()
+        assert circuit.node("q").fanins == ("n",)
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(BenchFormatError):
+            parse_bench("INPUT(a)\ny = FROB(a)\n")
+
+    def test_undefined_output_rejected(self):
+        with pytest.raises(BenchFormatError):
+            parse_bench("INPUT(a)\nOUTPUT(z)\ny = NOT(a)\n")
+
+    def test_undefined_signal_rejected(self):
+        with pytest.raises(BenchFormatError):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n")
+
+    def test_redefinition_rejected(self):
+        text = "INPUT(a)\ny = NOT(a)\ny = BUF(a)\n"
+        with pytest.raises(BenchFormatError):
+            parse_bench(text)
+
+    def test_combinational_cycle_rejected(self):
+        text = """INPUT(a)
+OUTPUT(x)
+x = AND(a, y)
+y = NOT(x)
+"""
+        with pytest.raises(BenchFormatError):
+            parse_bench(text)
+
+    def test_dff_bad_arity(self):
+        with pytest.raises(BenchFormatError):
+            parse_bench("INPUT(a)\nq = DFF(a, a)\n")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(BenchFormatError):
+            parse_bench("INPUT(a)\nthis is not bench\n")
+
+
+class TestWrite:
+    def test_roundtrip_c17(self):
+        original = c17()
+        again = parse_bench(write_bench(original))
+        assert exhaustive_truth_table(again) == \
+            exhaustive_truth_table(original)
+
+    def test_roundtrip_sequential(self):
+        from repro.circuits.generators import binary_counter
+        original = binary_counter(2)
+        again = parse_bench(write_bench(original))
+        assert again.dffs == original.dffs
+        assert again.outputs == original.outputs
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "c17.bench")
+        save_bench(c17(), path)
+        loaded = load_bench(path)
+        assert loaded.name == "c17"
+        assert exhaustive_truth_table(loaded) == \
+            exhaustive_truth_table(c17())

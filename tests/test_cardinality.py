@@ -1,0 +1,107 @@
+"""Unit tests for repro.cnf.cardinality."""
+
+import itertools
+
+import pytest
+
+from repro.cnf.cardinality import (
+    at_least_k,
+    at_most_k,
+    at_most_one_pairwise,
+    exactly_k,
+    exactly_one,
+)
+from repro.cnf.formula import CNFFormula
+
+
+def models_over(formula, base_vars):
+    """Project the satisfying assignments onto the first *base_vars*
+    variables (auxiliaries are existentially quantified)."""
+    projections = set()
+    n = formula.num_vars
+    for bits in itertools.product([False, True], repeat=n):
+        model = {var: bits[var - 1] for var in range(1, n + 1)}
+        if formula.evaluate(model) is True:
+            projections.add(tuple(bits[:base_vars]))
+    return projections
+
+
+def expected_counts(n, predicate):
+    return {bits for bits in itertools.product([False, True], repeat=n)
+            if predicate(sum(bits))}
+
+
+class TestAtMostOne:
+    def test_pairwise_semantics(self):
+        formula = CNFFormula(3)
+        at_most_one_pairwise(formula, [1, 2, 3])
+        assert models_over(formula, 3) == expected_counts(
+            3, lambda c: c <= 1)
+
+    def test_exactly_one_semantics(self):
+        formula = CNFFormula(3)
+        exactly_one(formula, [1, 2, 3])
+        assert models_over(formula, 3) == expected_counts(
+            3, lambda c: c == 1)
+
+    def test_exactly_one_empty_rejected(self):
+        with pytest.raises(ValueError):
+            exactly_one(CNFFormula(), [])
+
+
+class TestAtMostK:
+    @pytest.mark.parametrize("n,k", [(3, 1), (4, 2), (5, 3), (4, 1)])
+    def test_semantics(self, n, k):
+        formula = CNFFormula(n)
+        at_most_k(formula, list(range(1, n + 1)), k)
+        assert models_over(formula, n) == expected_counts(
+            n, lambda c: c <= k)
+
+    def test_bound_zero(self):
+        formula = CNFFormula(3)
+        at_most_k(formula, [1, 2, 3], 0)
+        assert models_over(formula, 3) == {(False, False, False)}
+
+    def test_bound_at_n_is_noop(self):
+        formula = CNFFormula(2)
+        at_most_k(formula, [1, 2], 2)
+        assert formula.num_clauses == 0
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            at_most_k(CNFFormula(2), [1, 2], -1)
+
+    def test_negative_literals(self):
+        # at most one of {x1', x2'} false-valued variables
+        formula = CNFFormula(2)
+        at_most_k(formula, [-1, -2], 1)
+        assert (False, False) not in models_over(formula, 2)
+        assert (True, True) in models_over(formula, 2)
+
+
+class TestAtLeastK:
+    @pytest.mark.parametrize("n,k", [(3, 1), (4, 2), (4, 3)])
+    def test_semantics(self, n, k):
+        formula = CNFFormula(n)
+        at_least_k(formula, list(range(1, n + 1)), k)
+        assert models_over(formula, n) == expected_counts(
+            n, lambda c: c >= k)
+
+    def test_bound_zero_noop(self):
+        formula = CNFFormula(2)
+        at_least_k(formula, [1, 2], 0)
+        assert formula.num_clauses == 0
+
+    def test_impossible_bound(self):
+        formula = CNFFormula(2)
+        at_least_k(formula, [1, 2], 3)
+        assert models_over(formula, 2) == set()
+
+
+class TestExactlyK:
+    @pytest.mark.parametrize("n,k", [(3, 1), (4, 2)])
+    def test_semantics(self, n, k):
+        formula = CNFFormula(n)
+        exactly_k(formula, list(range(1, n + 1)), k)
+        assert models_over(formula, n) == expected_counts(
+            n, lambda c: c == k)

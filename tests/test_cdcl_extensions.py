@@ -1,0 +1,104 @@
+"""Tests for the CDCL refinements: clause minimization, phase saving.
+
+These are the solver-engineering directions the paper's Section 7
+anticipates ("a continuing effort towards improving SAT algorithms");
+both must preserve the soundness contract of the base engine.
+"""
+
+import itertools
+
+import pytest
+
+from conftest import assert_model_satisfies, brute_force_status
+
+from repro.cnf.generators import pigeonhole, random_ksat_at_ratio
+from repro.solvers.cdcl import CDCLSolver
+from repro.solvers.heuristics import FixedOrderHeuristic
+
+
+class TestClauseMinimization:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_soundness_on_random(self, seed):
+        formula = random_ksat_at_ratio(8, ratio=4.3, seed=seed)
+        expected = brute_force_status(formula)
+        result = CDCLSolver(formula, minimize_learned=True).solve()
+        assert result.is_sat == (expected == "SAT")
+        if result.is_sat:
+            assert_model_satisfies(formula, result.assignment)
+
+    def test_minimized_clauses_still_implicates(self):
+        formula = pigeonhole(4)
+        solver = CDCLSolver(formula, minimize_learned=True)
+        assert solver.solve().is_unsat
+        for clause in solver.learned_clauses()[:10]:
+            probe = formula.copy()
+            for lit in clause:
+                probe.add_clause([-lit])
+            assert brute_force_status(probe, max_vars=20) == "UNSAT"
+
+    def test_minimization_never_lengthens(self):
+        """Total learned-literal volume with minimization must not
+        exceed the volume without it on the same deterministic run."""
+        def volume(minimize):
+            solver = CDCLSolver(pigeonhole(5),
+                                heuristic=FixedOrderHeuristic(),
+                                minimize_learned=minimize)
+            solver.solve()
+            return sum(len(c) for c in solver.learned_clauses())
+
+        assert volume(True) <= volume(False)
+
+    def test_minimization_shrinks_somewhere(self):
+        """On pigeonhole refutations at least one clause shrinks."""
+        def lengths(minimize):
+            solver = CDCLSolver(pigeonhole(5),
+                                heuristic=FixedOrderHeuristic(),
+                                minimize_learned=minimize)
+            solver.solve()
+            return [len(c) for c in solver.learned_clauses()]
+
+        plain = lengths(False)
+        minimized = lengths(True)
+        assert sum(minimized) / max(len(minimized), 1) <= \
+            sum(plain) / max(len(plain), 1)
+
+
+class TestPhaseSaving:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_soundness_on_random(self, seed):
+        formula = random_ksat_at_ratio(8, ratio=4.3, seed=seed)
+        expected = brute_force_status(formula)
+        result = CDCLSolver(formula, phase_saving=True).solve()
+        assert result.is_sat == (expected == "SAT")
+        if result.is_sat:
+            assert_model_satisfies(formula, result.assignment)
+
+    def test_combined_options(self):
+        for seed in range(4):
+            formula = random_ksat_at_ratio(10, ratio=4.2, seed=seed)
+            expected = brute_force_status(formula)
+            result = CDCLSolver(formula, phase_saving=True,
+                                minimize_learned=True,
+                                deletion="size", deletion_bound=5,
+                                deletion_interval=20).solve()
+            assert result.is_sat == (expected == "SAT")
+
+    def test_phase_reused_after_restart(self):
+        """After a restart, saved phases steer re-decisions: the model
+        found must still satisfy the formula (sanity of the plumbing).
+        """
+        from repro.solvers.restarts import FixedRestarts
+        formula = random_ksat_at_ratio(30, ratio=3.5, seed=3)
+        solver = CDCLSolver(formula, phase_saving=True,
+                            restart_policy=FixedRestarts(5))
+        result = solver.solve()
+        assert result.is_sat
+        assert_model_satisfies(formula, result.assignment)
+
+
+class TestRunnerSwitches:
+    def test_minimize_and_phase_configs(self, tiny_unsat_formula):
+        from repro.experiments.runner import run_solver
+        for config in ("cdcl-minimize", "cdcl-phase",
+                       "cdcl-minimize-phase"):
+            assert run_solver(config, tiny_unsat_formula).is_unsat

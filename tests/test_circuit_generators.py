@@ -1,0 +1,167 @@
+"""Unit tests for repro.circuits.generators."""
+
+import itertools
+
+import pytest
+
+from repro.circuits.generators import (
+    array_multiplier,
+    binary_counter,
+    carry_select_adder,
+    comparator,
+    mux_tree,
+    parity_tree,
+    random_circuit,
+    ripple_carry_adder,
+    shift_register,
+)
+from repro.circuits.simulate import simulate, simulate_sequence
+
+
+def adder_inputs(width, x, y, carry):
+    vector = {f"a{i}": bool((x >> i) & 1) for i in range(width)}
+    vector.update({f"b{i}": bool((y >> i) & 1) for i in range(width)})
+    vector["cin"] = carry
+    return vector
+
+
+def adder_output(width, values):
+    total = sum((1 << i) for i in range(width) if values[f"s{i}"])
+    if values["cout"]:
+        total += 1 << width
+    return total
+
+
+class TestRippleCarryAdder:
+    @pytest.mark.parametrize("width", [1, 2, 3])
+    def test_exhaustive(self, width):
+        circuit = ripple_carry_adder(width)
+        circuit.validate()
+        for x in range(1 << width):
+            for y in range(1 << width):
+                for carry in (False, True):
+                    values = simulate(circuit,
+                                      adder_inputs(width, x, y, carry))
+                    assert adder_output(width, values) == \
+                        x + y + int(carry)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            ripple_carry_adder(0)
+
+
+class TestCarrySelectAdder:
+    @pytest.mark.parametrize("width,block", [(2, 1), (3, 2), (4, 2),
+                                             (5, 3)])
+    def test_matches_ripple(self, width, block):
+        csa = carry_select_adder(width, block)
+        csa.validate()
+        for x in range(1 << width):
+            for y in range(1 << width):
+                for carry in (False, True):
+                    vector = adder_inputs(width, x, y, carry)
+                    assert adder_output(width, simulate(csa, vector)) \
+                        == x + y + int(carry)
+
+    def test_structurally_different_from_ripple(self):
+        assert carry_select_adder(4).num_gates() != \
+            ripple_carry_adder(4).num_gates()
+
+
+class TestArrayMultiplier:
+    @pytest.mark.parametrize("width", [1, 2, 3])
+    def test_exhaustive(self, width):
+        circuit = array_multiplier(width)
+        circuit.validate()
+        for x in range(1 << width):
+            for y in range(1 << width):
+                vector = {f"a{i}": bool((x >> i) & 1)
+                          for i in range(width)}
+                vector.update({f"b{i}": bool((y >> i) & 1)
+                               for i in range(width)})
+                values = simulate(circuit, vector)
+                product = sum((1 << i) for i in range(2 * width)
+                              if values[f"p{i}"])
+                assert product == x * y, (x, y)
+
+    def test_output_count(self):
+        assert len(array_multiplier(3).outputs) == 6
+
+
+class TestTreeCircuits:
+    @pytest.mark.parametrize("width", [1, 2, 5, 8])
+    def test_parity_tree(self, width):
+        circuit = parity_tree(width)
+        circuit.validate()
+        for bits in itertools.product([False, True],
+                                      repeat=min(width, 6)):
+            padded = list(bits) + [False] * (width - len(bits))
+            vector = {f"i{k}": padded[k] for k in range(width)}
+            values = simulate(circuit, vector)
+            assert values["parity"] == (sum(padded) % 2 == 1)
+
+    @pytest.mark.parametrize("width", [1, 2, 3])
+    def test_comparator(self, width):
+        circuit = comparator(width)
+        for x in range(1 << width):
+            for y in range(1 << width):
+                vector = {f"a{i}": bool((x >> i) & 1)
+                          for i in range(width)}
+                vector.update({f"b{i}": bool((y >> i) & 1)
+                               for i in range(width)})
+                assert simulate(circuit, vector)["eq"] == (x == y)
+
+    @pytest.mark.parametrize("select_bits", [1, 2, 3])
+    def test_mux_tree(self, select_bits):
+        circuit = mux_tree(select_bits)
+        data_count = 1 << select_bits
+        for selected in range(data_count):
+            vector = {f"d{i}": (i == selected)
+                      for i in range(data_count)}
+            vector.update({f"s{b}": bool((selected >> b) & 1)
+                           for b in range(select_bits)})
+            assert simulate(circuit, vector)["out"] is True
+
+
+class TestRandomCircuit:
+    def test_deterministic(self):
+        from repro.circuits.bench_format import write_bench
+        left = random_circuit(5, 20, seed=3)
+        right = random_circuit(5, 20, seed=3)
+        assert write_bench(left) == write_bench(right)
+
+    def test_valid_and_sized(self):
+        circuit = random_circuit(6, 30, seed=1)
+        circuit.validate()
+        assert circuit.num_gates() == 30
+        assert len(circuit.inputs) == 6
+        assert circuit.outputs
+
+    def test_simulable(self):
+        circuit = random_circuit(4, 15, seed=2)
+        vector = {name: False for name in circuit.inputs}
+        simulate(circuit, vector)
+
+
+class TestSequentialGenerators:
+    def test_counter_rolls_over_at_2_to_n(self):
+        circuit = binary_counter(3)
+        frames = simulate_sequence(circuit, [{"en": True}] * 10)
+        first_rollover = next(i for i, f in enumerate(frames)
+                              if f["rollover"])
+        assert first_rollover == 7
+
+    def test_counter_with_reset(self):
+        circuit = binary_counter(2, with_reset=True)
+        circuit.validate()
+        vectors = [{"en": True, "rst": False}] * 2 + \
+            [{"en": True, "rst": True}] + \
+            [{"en": True, "rst": False}] * 4
+        frames = simulate_sequence(circuit, vectors)
+        # Reset at cycle 2 postpones the rollover past cycle 5.
+        assert not any(frame["rollover"] for frame in frames[:6])
+
+    def test_shift_register_length(self):
+        circuit = shift_register(4)
+        assert len(circuit.dffs) == 4
+        circuit.validate()

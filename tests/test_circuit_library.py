@@ -1,0 +1,93 @@
+"""Unit tests for repro.circuits.library (the paper's examples)."""
+
+from repro.circuits.library import (
+    c17,
+    figure1_circuit,
+    figure3_circuit,
+    half_adder,
+    majority3,
+    redundant_or_chain,
+    two_level_example,
+)
+from repro.circuits.simulate import exhaustive_truth_table, simulate
+
+
+class TestFigure1:
+    def test_structure(self):
+        circuit = figure1_circuit()
+        circuit.validate()
+        assert circuit.inputs == ["a", "b", "c"]
+        assert circuit.outputs == ["z"]
+
+    def test_z_equals_w1_and_w2(self):
+        circuit = figure1_circuit()
+        for key, outputs in exhaustive_truth_table(circuit).items():
+            a, b, c = key
+            w1 = a and b
+            w2 = (not w1) or c
+            assert outputs == (w1 and w2,)
+
+    def test_property_z0_satisfiable(self):
+        values = simulate(figure1_circuit(),
+                          {"a": False, "b": False, "c": False})
+        assert values["z"] is False
+
+    def test_property_z1_satisfiable(self):
+        values = simulate(figure1_circuit(),
+                          {"a": True, "b": True, "c": True})
+        assert values["z"] is True
+
+
+class TestFigure3:
+    def test_y3_is_and_of_inputs(self):
+        """The reconstruction makes y3 == AND(x1, w), so the paper's
+        assignments {x1=1, w=1, y3=0} are exactly inconsistent."""
+        circuit = figure3_circuit()
+        for key, outputs in exhaustive_truth_table(circuit).items():
+            x1, w = key
+            assert outputs == (x1 and w,)
+
+    def test_paper_conflict_scenario(self):
+        values = simulate(figure3_circuit(), {"x1": True, "w": True})
+        assert values["y1"] is False
+        assert values["y2"] is False
+        assert values["y3"] is True      # inconsistent with objective 0
+
+
+class TestC17:
+    def test_structure(self):
+        circuit = c17()
+        circuit.validate()
+        assert len(circuit.inputs) == 5
+        assert circuit.num_gates() == 6
+        assert all(node.gate_type.value == "NAND"
+                   for node in circuit if node.is_gate)
+
+    def test_known_vector(self):
+        # All-ones input: G10=NAND(1,1)=0, G11=0, G16=NAND(1,0)=1,
+        # G19=NAND(0,1)=1, G22=NAND(0,1)=1, G23=NAND(1,1)=0.
+        values = simulate(c17(), {name: True for name in c17().inputs})
+        assert values["G22"] is True
+        assert values["G23"] is False
+
+
+class TestSmallClassics:
+    def test_half_adder(self):
+        table = exhaustive_truth_table(half_adder())
+        assert table[(True, False)] == (True, False)
+        assert table[(True, True)] == (False, True)
+
+    def test_majority3(self):
+        table = exhaustive_truth_table(majority3())
+        for key, outputs in table.items():
+            assert outputs == (sum(key) >= 2,)
+
+    def test_redundant_or_chain_is_identity_on_a(self):
+        table = exhaustive_truth_table(redundant_or_chain())
+        for (a, b), outputs in table.items():
+            assert outputs == (a,)
+
+    def test_two_level_example(self):
+        table = exhaustive_truth_table(two_level_example())
+        for (a, b, c), outputs in table.items():
+            assert outputs == ((a and b) or ((not a) and c),)

@@ -1,0 +1,161 @@
+"""Unit tests for repro.solvers.circuit_sat (Section 5)."""
+
+import pytest
+
+from repro.circuits.gates import GateType
+from repro.circuits.library import c17, figure1_circuit, majority3
+from repro.circuits.generators import parity_tree, ripple_carry_adder
+from repro.circuits.netlist import Circuit
+from repro.circuits.simulate import simulate3
+from repro.circuits.tseitin import encode_circuit
+from repro.solvers.circuit_sat import (
+    CircuitSATSolver,
+    JustificationLayer,
+    solve_circuit,
+)
+from repro.solvers.result import Status
+
+
+class TestJustificationLayer:
+    def setup_method(self):
+        self.circuit = Circuit("and2")
+        self.circuit.add_input("a")
+        self.circuit.add_input("b")
+        self.circuit.add_gate("g", GateType.AND, ["a", "b"])
+        self.circuit.set_output("g")
+        self.encoding = encode_circuit(self.circuit)
+        self.layer = JustificationLayer(self.circuit, self.encoding)
+
+    def lit(self, name, value):
+        return self.encoding.literal(name, value)
+
+    def test_thresholds_installed(self):
+        assert self.layer.u0["g"] == 1
+        assert self.layer.u1["g"] == 2
+
+    def test_unassigned_gate_not_in_frontier(self):
+        assert self.layer.frontier_empty()
+
+    def test_assigned_unjustified_enters_frontier(self):
+        self.layer.on_assign(self.lit("g", False))
+        assert self.layer.frontier == {"g"}
+
+    def test_counter_updates_justify(self):
+        self.layer.on_assign(self.lit("g", False))
+        self.layer.on_assign(self.lit("a", False))  # controlling 0
+        assert self.layer.t0["g"] == 1
+        assert self.layer.frontier_empty()
+
+    def test_output_one_needs_all_inputs(self):
+        self.layer.on_assign(self.lit("g", True))
+        self.layer.on_assign(self.lit("a", True))
+        assert not self.layer.frontier_empty()
+        self.layer.on_assign(self.lit("b", True))
+        assert self.layer.frontier_empty()
+
+    def test_unassign_reverses(self):
+        self.layer.on_assign(self.lit("g", False))
+        self.layer.on_assign(self.lit("a", False))
+        assert self.layer.frontier_empty()
+        self.layer.on_unassign(self.lit("a", False))
+        assert self.layer.frontier == {"g"}
+        assert self.layer.t0["g"] == 0
+        self.layer.on_unassign(self.lit("g", False))
+        assert self.layer.frontier_empty()
+
+    def test_backtrace_returns_controlling_literal(self):
+        self.layer.on_assign(self.lit("g", False))
+        lit = self.layer.backtrace()
+        # Simple backtrace: first unassigned fanin at value 0.
+        assert lit == self.lit("a", False)
+
+    def test_backtrace_empty_frontier(self):
+        assert self.layer.backtrace() is None
+
+
+class TestSolveCircuit:
+    def test_figure1_z0(self):
+        result = solve_circuit(figure1_circuit(), {"z": False})
+        assert result.is_sat
+
+    def test_figure1_contradictory_objective(self):
+        result = solve_circuit(figure1_circuit(),
+                               {"z": True, "a": False})
+        assert result.status is Status.UNSATISFIABLE
+
+    @pytest.mark.parametrize("use_backtrace", [True, False])
+    @pytest.mark.parametrize("early_stop", [True, False])
+    def test_c17_all_objectives(self, use_backtrace, early_stop):
+        circuit = c17()
+        for output in circuit.outputs:
+            for value in (False, True):
+                result = CircuitSATSolver(
+                    circuit, {output: value},
+                    use_backtrace=use_backtrace,
+                    early_stop=early_stop).solve()
+                assert result.is_sat, (output, value)
+
+    def test_partial_vector_implies_objective(self):
+        """The paper's overspecification fix: unassigned inputs must be
+        true don't-cares, certified by 3-valued simulation."""
+        circuit = c17()
+        for output in circuit.outputs:
+            for value in (False, True):
+                result = solve_circuit(circuit, {output: value})
+                assert result.is_sat
+                partial = {name: v for name, v
+                           in result.input_vector.items()
+                           if v is not None}
+                values = simulate3(circuit, partial)
+                assert values[output] is value
+
+    def test_partial_vectors_smaller_than_total(self):
+        """Early frontier termination must leave some inputs free on
+        easy objectives (NAND output 1 needs a single 0 input)."""
+        circuit = c17()
+        result = solve_circuit(circuit, {"G22": True})
+        assert result.specified_inputs() < len(circuit.inputs)
+
+    def test_plain_cnf_mode_specifies_everything(self):
+        circuit = c17()
+        result = CircuitSATSolver(circuit, {"G22": True},
+                                  use_backtrace=False,
+                                  early_stop=False).solve()
+        assert result.is_sat
+        assert result.specified_inputs() == len(circuit.inputs)
+
+    def test_majority_objectives(self):
+        result = solve_circuit(majority3(), {"maj": True})
+        assert result.is_sat
+        partial = {k: v for k, v in result.input_vector.items()
+                   if v is not None}
+        assert simulate3(majority3(), partial)["maj"] is True
+
+    def test_adder_carry_chain(self):
+        circuit = ripple_carry_adder(3)
+        result = solve_circuit(circuit, {"cout": True})
+        assert result.is_sat
+        partial = {k: v for k, v in result.input_vector.items()
+                   if v is not None}
+        assert simulate3(circuit, partial)["cout"] is True
+
+    def test_xor_tree_needs_full_specification(self):
+        """Parity objectives admit no don't-cares: every input must be
+        assigned even with the frontier optimization."""
+        circuit = parity_tree(4)
+        result = solve_circuit(circuit, {"parity": True})
+        assert result.is_sat
+        assert result.specified_inputs() == 4
+
+    def test_objective_on_internal_node(self):
+        circuit = figure1_circuit()
+        result = solve_circuit(circuit, {"w1": True})
+        assert result.is_sat
+        partial = {k: v for k, v in result.input_vector.items()
+                   if v is not None}
+        assert simulate3(circuit, partial)["w1"] is True
+
+    def test_stats_populated(self):
+        result = solve_circuit(c17(), {"G23": False})
+        assert result.stats.propagations >= 0
+        assert result.stats.time_seconds >= 0

@@ -1,0 +1,142 @@
+"""Unit tests for repro.cnf.clause."""
+
+import pytest
+
+from repro.cnf.clause import Clause
+
+
+class TestConstruction:
+    def test_sorted_by_variable(self):
+        assert Clause([3, -1, 2]).literals == (-1, 2, 3)
+
+    def test_duplicates_removed(self):
+        assert Clause([1, 1, 2]).literals == (1, 2)
+
+    def test_empty_clause(self):
+        clause = Clause()
+        assert clause.is_empty()
+        assert len(clause) == 0
+
+    def test_rejects_zero_literal(self):
+        with pytest.raises(ValueError):
+            Clause([1, 0])
+
+    def test_positive_before_negative_same_var(self):
+        clause = Clause([-2, 2])
+        assert clause.literals == (2, -2)
+
+
+class TestPredicates:
+    def test_unit(self):
+        assert Clause([5]).is_unit()
+        assert not Clause([5, 6]).is_unit()
+
+    def test_binary(self):
+        assert Clause([1, -2]).is_binary()
+        assert not Clause([1]).is_binary()
+
+    def test_tautology(self):
+        assert Clause([1, -1]).is_tautology()
+        assert not Clause([1, -2]).is_tautology()
+
+    def test_contains(self):
+        clause = Clause([1, -2])
+        assert clause.contains(-2)
+        assert not clause.contains(2)
+
+    def test_variables(self):
+        assert Clause([1, -2, 3]).variables() == frozenset({1, 2, 3})
+
+
+class TestResolution:
+    def test_basic_resolvent(self):
+        left = Clause([1, 2])
+        right = Clause([-1, 3])
+        assert left.resolve(right, 1) == Clause([2, 3])
+
+    def test_symmetric(self):
+        left = Clause([1, 2])
+        right = Clause([-1, 3])
+        assert right.resolve(left, 1) == left.resolve(right, 1)
+
+    def test_tautological_resolvent(self):
+        left = Clause([1, 2])
+        right = Clause([-1, -2])
+        assert left.resolve(right, 1).is_tautology()
+
+    def test_unit_resolution_gives_empty(self):
+        assert Clause([1]).resolve(Clause([-1]), 1).is_empty()
+
+    def test_nonclashing_raises(self):
+        with pytest.raises(ValueError):
+            Clause([1, 2]).resolve(Clause([1, 3]), 1)
+
+
+class TestSubsumption:
+    def test_subset_subsumes(self):
+        assert Clause([1]).subsumes(Clause([1, 2]))
+
+    def test_equal_subsumes(self):
+        assert Clause([1, 2]).subsumes(Clause([2, 1]))
+
+    def test_superset_does_not(self):
+        assert not Clause([1, 2]).subsumes(Clause([1]))
+
+    def test_polarity_matters(self):
+        assert not Clause([-1]).subsumes(Clause([1, 2]))
+
+
+class TestEvaluate:
+    def test_satisfied(self):
+        assert Clause([1, 2]).evaluate({1: True}) is True
+
+    def test_falsified(self):
+        assert Clause([1, 2]).evaluate({1: False, 2: False}) is False
+
+    def test_undetermined(self):
+        assert Clause([1, 2]).evaluate({1: False}) is None
+
+    def test_empty_clause_false(self):
+        assert Clause().evaluate({}) is False
+
+    def test_negative_literal(self):
+        assert Clause([-1]).evaluate({1: False}) is True
+
+
+class TestRestrict:
+    def test_satisfied_returns_none(self):
+        assert Clause([1, 2]).restrict({1: True}) is None
+
+    def test_drops_falsified(self):
+        assert Clause([1, 2]).restrict({1: False}) == Clause([2])
+
+    def test_to_empty(self):
+        assert Clause([1]).restrict({1: False}) == Clause()
+
+
+class TestMapVariables:
+    def test_rename(self):
+        assert Clause([1, -2]).map_variables({2: 5}) == Clause([1, -5])
+
+    def test_negative_target_flips_polarity(self):
+        assert Clause([2]).map_variables({2: -7}) == Clause([-7])
+        assert Clause([-2]).map_variables({2: -7}) == Clause([7])
+
+    def test_identity_where_missing(self):
+        clause = Clause([1, -3])
+        assert clause.map_variables({}) == clause
+
+
+class TestValueSemantics:
+    def test_equality_ignores_order(self):
+        assert Clause([1, 2]) == Clause([2, 1])
+
+    def test_hash_consistent(self):
+        assert hash(Clause([1, 2])) == hash(Clause([2, 1]))
+
+    def test_usable_in_sets(self):
+        assert len({Clause([1, 2]), Clause([2, 1]), Clause([3])}) == 2
+
+    def test_to_str(self):
+        assert Clause([1, -2]).to_str() == "(x1 + x2')"
+        assert Clause().to_str() == "()"

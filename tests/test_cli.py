@@ -1,0 +1,183 @@
+"""Unit tests for repro.cli."""
+
+import pytest
+
+from repro.circuits.bench_format import save_bench
+from repro.circuits.generators import binary_counter, ripple_carry_adder
+from repro.circuits.library import c17
+from repro.cli import main
+from repro.cnf.dimacs import save_dimacs
+from repro.cnf.generators import pigeonhole, random_ksat_at_ratio
+
+
+@pytest.fixture
+def c17_path(tmp_path):
+    path = str(tmp_path / "c17.bench")
+    save_bench(c17(), path)
+    return path
+
+
+class TestSolve:
+    def test_sat_exit_code_and_model(self, tmp_path, capsys):
+        formula = random_ksat_at_ratio(10, ratio=3.0, seed=0)
+        path = str(tmp_path / "sat.cnf")
+        save_dimacs(formula, path)
+        code = main(["solve", path])
+        out = capsys.readouterr().out
+        assert code == 10
+        assert "s SATISFIABLE" in out
+        assert out.splitlines()[-1].startswith("v ")
+
+    def test_unsat_exit_code(self, tmp_path, capsys):
+        path = str(tmp_path / "unsat.cnf")
+        save_dimacs(pigeonhole(3), path)
+        assert main(["solve", path]) == 20
+        assert "s UNSATISFIABLE" in capsys.readouterr().out
+
+    def test_unknown_on_budget(self, tmp_path, capsys):
+        path = str(tmp_path / "hard.cnf")
+        save_dimacs(pigeonhole(6), path)
+        assert main(["solve", path, "--max-conflicts", "2"]) == 0
+        assert "s UNKNOWN" in capsys.readouterr().out
+
+    def test_preprocess_flag(self, tmp_path, capsys):
+        from repro.cnf.generators import parity_chain
+        path = str(tmp_path / "parity.cnf")
+        save_dimacs(parity_chain(8), path)
+        assert main(["solve", path, "--preprocess"]) == 20
+
+    def test_model_satisfies_after_preprocess(self, tmp_path, capsys):
+        from repro.cnf.dimacs import load_dimacs
+        formula = random_ksat_at_ratio(12, ratio=3.0, seed=1)
+        path = str(tmp_path / "sat2.cnf")
+        save_dimacs(formula, path)
+        assert main(["solve", path, "--preprocess"]) == 10
+        out = capsys.readouterr().out
+        literals = [int(tok) for tok in
+                    out.splitlines()[-1].split()[1:-1]]
+        model = {abs(lit): lit > 0 for lit in literals}
+        for var in formula.variables():
+            model.setdefault(var, False)
+        assert formula.evaluate(model) is True
+
+
+class TestATPG:
+    def test_report(self, c17_path, capsys):
+        assert main(["atpg", c17_path]) == 0
+        out = capsys.readouterr().out
+        assert "efficiency: 100.00%" in out
+
+    def test_vectors_printed(self, c17_path, capsys):
+        main(["atpg", c17_path, "--vectors", "--collapse"])
+        out = capsys.readouterr().out
+        bitstrings = [line for line in out.splitlines()
+                      if set(line) <= {"0", "1"} and len(line) == 5]
+        assert bitstrings
+
+
+class TestCEC:
+    def test_equivalent(self, tmp_path, capsys):
+        left = str(tmp_path / "a.bench")
+        right = str(tmp_path / "b.bench")
+        save_bench(ripple_carry_adder(2), left)
+        from repro.circuits.generators import carry_select_adder
+        save_bench(carry_select_adder(2), right)
+        assert main(["cec", left, right]) == 0
+        assert "EQUIVALENT" in capsys.readouterr().out
+
+    def test_not_equivalent(self, tmp_path, capsys):
+        from repro.apps.equivalence import mutate_circuit
+        left = str(tmp_path / "a.bench")
+        right = str(tmp_path / "b.bench")
+        save_bench(c17(), left)
+        save_bench(mutate_circuit(c17(), seed=1), right)
+        code = main(["cec", left, right])
+        out = capsys.readouterr().out
+        if "NOT EQUIVALENT" in out:
+            assert code == 1
+            assert "counterexample:" in out
+        else:
+            assert code == 0      # benign mutation
+
+
+class TestBMC:
+    def test_counterexample(self, tmp_path, capsys):
+        path = str(tmp_path / "cnt.bench")
+        save_bench(binary_counter(2), path)
+        code = main(["bmc", path, "--output", "rollover",
+                     "--depth", "5"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "counterexample at depth 3" in out
+        assert "cycle 0:" in out
+
+    def test_property_holds(self, tmp_path, capsys):
+        path = str(tmp_path / "cnt.bench")
+        save_bench(binary_counter(3), path)
+        assert main(["bmc", path, "--output", "rollover",
+                     "--depth", "4"]) == 0
+        assert "property holds" in capsys.readouterr().out
+
+
+class TestDelayAndInfo:
+    def test_delay(self, c17_path, capsys):
+        assert main(["delay", c17_path]) == 0
+        out = capsys.readouterr().out
+        assert "topological delay:  3" in out
+        assert "sensitizable delay: 3" in out
+
+    def test_info(self, c17_path, capsys):
+        assert main(["info", c17_path]) == 0
+        out = capsys.readouterr().out
+        assert "gates: 6" in out
+        assert "inputs: 5" in out
+
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestOptimize:
+    def test_redundant_circuit_shrinks(self, tmp_path, capsys):
+        from repro.circuits.library import redundant_or_chain
+        source = str(tmp_path / "r.bench")
+        target = str(tmp_path / "opt.bench")
+        save_bench(redundant_or_chain(), source)
+        code = main(["optimize", source, "--output", target])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "gates: 2 -> 1" in out
+        assert "equivalence certified: True" in out
+        from repro.circuits.bench_format import load_bench
+        from repro.circuits.simulate import exhaustive_truth_table
+        optimized = load_bench(target)
+        for (a, b), outputs in \
+                exhaustive_truth_table(optimized).items():
+            assert outputs == (a,)
+
+    def test_clean_circuit_unchanged(self, c17_path, capsys):
+        code = main(["optimize", c17_path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "gates: 6 -> 6" in out
+
+    def test_no_redundancy_flag(self, c17_path, capsys):
+        code = main(["optimize", c17_path, "--no-redundancy"])
+        assert code == 0
+        assert "redundant faults removed: 0" in \
+            capsys.readouterr().out
+
+    def test_sequential_circuit_supported(self, tmp_path, capsys):
+        from repro.circuits.generators import binary_counter
+        source = str(tmp_path / "cnt.bench")
+        save_bench(binary_counter(2), source)
+        code = main(["optimize", source])
+        assert code == 0
+
+    def test_cec_strash_flag(self, tmp_path, capsys):
+        left = str(tmp_path / "l.bench")
+        right = str(tmp_path / "r.bench")
+        save_bench(c17(), left)
+        save_bench(c17(), right)
+        assert main(["cec", left, right, "--strash"]) == 0
+        assert "EQUIVALENT" in capsys.readouterr().out

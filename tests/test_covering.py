@@ -1,0 +1,137 @@
+"""Unit tests for repro.apps.covering (Section 3)."""
+
+import pytest
+
+from repro.apps.covering import (
+    greedy_covering,
+    is_implicant_of,
+    minimum_size_implicant,
+    solve_covering,
+)
+from repro.cnf.formula import CNFFormula
+
+
+class TestSolveCovering:
+    def test_simple_optimum(self):
+        # Columns: 0 covers rows {0,1}; 1 covers {2}; 2 covers {0,2}.
+        rows = [[0, 2], [0], [1, 2]]
+        solution = solve_covering(3, rows)
+        assert solution.cost == 2
+        assert solution.proven_optimal
+        chosen = set(solution.selected)
+        for row in rows:
+            assert chosen & set(row)
+
+    def test_single_column_dominates(self):
+        rows = [[0, 1], [0, 2], [0]]
+        solution = solve_covering(3, rows)
+        assert solution.cost == 1
+        assert solution.selected == [0]
+
+    def test_infeasible(self):
+        solution = solve_covering(2, [[0], []])
+        assert solution.selected is None
+
+    def test_empty_rows_trivial(self):
+        solution = solve_covering(3, [])
+        assert solution.cost == 0
+        assert solution.selected == []
+
+    def test_disjoint_rows_need_all(self):
+        rows = [[0], [1], [2]]
+        solution = solve_covering(3, rows)
+        assert solution.cost == 3
+
+    def test_optimal_beats_or_ties_greedy(self):
+        # The classic greedy trap: overlapping columns.
+        rows = [[0, 1], [0, 2], [1, 3], [2, 3], [1, 2]]
+        sat = solve_covering(4, rows)
+        greedy = greedy_covering(4, rows)
+        assert sat.cost <= len(greedy)
+
+
+class TestGreedyCovering:
+    def test_covers_everything(self):
+        rows = [[0, 2], [0], [1, 2]]
+        chosen = set(greedy_covering(3, rows))
+        for row in rows:
+            assert chosen & set(row)
+
+    def test_infeasible(self):
+        assert greedy_covering(2, [[0], []]) is None
+
+
+class TestMinimumSizeImplicant:
+    def test_two_level_function(self):
+        # f = ab + a'c  as CNF: (a' + b)(a + c)  [check: a=1 -> b; a=0
+        # -> c; equivalent to the implicants {ab, a'c}].
+        formula = CNFFormula(3)
+        formula.add_clause([-1, 2])
+        formula.add_clause([1, 3])
+        solution = minimum_size_implicant(formula)
+        assert solution.size == 2
+        assert is_implicant_of(formula, solution.literals)
+        assert set(map(abs, solution.literals)) in ({1, 2}, {1, 3})
+
+    def test_unit_implicant(self):
+        # f = (a): minimum implicant is the single literal a.
+        formula = CNFFormula(1)
+        formula.add_clause([1])
+        solution = minimum_size_implicant(formula)
+        assert solution.literals == (1,)
+        assert solution.size == 1
+
+    def test_unsat_function_has_no_implicant(self):
+        formula = CNFFormula(1)
+        formula.add_clause([1])
+        formula.add_clause([-1])
+        solution = minimum_size_implicant(formula)
+        assert solution.literals is None
+
+    def test_primality(self):
+        """No literal of the returned cube is droppable."""
+        formula = CNFFormula(4)
+        formula.add_clause([1, 2])
+        formula.add_clause([3, 4])
+        solution = minimum_size_implicant(formula)
+        assert solution.is_prime
+        lits = list(solution.literals)
+        for lit in lits:
+            smaller = [l for l in lits if l != lit]
+            assert not is_implicant_of(formula, smaller)
+
+    def test_minimality_by_enumeration(self):
+        """Cross-check the SAT optimum against exhaustive cube search."""
+        import itertools
+        formula = CNFFormula(3)
+        formula.add_clause([1, 2, 3])
+        formula.add_clause([-1, 2])
+        solution = minimum_size_implicant(formula)
+        best = None
+        variables = range(1, 4)
+        for size in range(0, 4):
+            for combo in itertools.combinations(variables, size):
+                for signs in itertools.product([1, -1], repeat=size):
+                    cube = [s * v for s, v in zip(signs, combo)]
+                    if is_implicant_of(formula, cube):
+                        best = size
+                        break
+                if best is not None:
+                    break
+            if best is not None:
+                break
+        assert solution.size == best
+
+
+class TestIsImplicantOf:
+    def test_positive_case(self):
+        formula = CNFFormula(2)
+        formula.add_clause([1, 2])
+        assert is_implicant_of(formula, [1])
+
+    def test_negative_case(self):
+        formula = CNFFormula(2)
+        formula.add_clause([1, 2])
+        formula.add_clause([-1, 2])
+        assert not is_implicant_of(formula, [1])
+        assert is_implicant_of(formula, [2])

@@ -1,0 +1,107 @@
+"""Unit tests for repro.apps.crosstalk (functional noise analysis)."""
+
+import pytest
+
+from repro.apps.crosstalk import (
+    CouplingScenario,
+    CrosstalkAnalyzer,
+    worst_coupled_scenario,
+)
+from repro.circuits.gates import GateType
+from repro.circuits.library import c17
+from repro.circuits.netlist import Circuit
+
+
+def buffered_circuit():
+    circuit = Circuit("buffered")
+    circuit.add_input("a")
+    circuit.add_input("b")
+    circuit.add_gate("y", GateType.BUFFER, ["a"])
+    circuit.add_gate("nb", GateType.NOT, ["b"])
+    circuit.add_gate("z", GateType.AND, ["y", "nb"])
+    circuit.set_output("z")
+    return circuit
+
+
+class TestFeasibleAlignment:
+    def test_driver_cannot_aggress_its_buffer(self):
+        """Victim y = BUF(a) with aggressor a: a switching flips y,
+        so the feasible alignment is 0 -- the structural worst case
+        of 1 is logically impossible (the paper's core point)."""
+        analyzer = CrosstalkAnalyzer(buffered_circuit())
+        scenario = CouplingScenario("y", ("a",))
+        report = analyzer.feasible_alignment(scenario)
+        assert report.structural_worst_case == 1
+        assert report.feasible_worst_case == 0
+        assert report.overestimate == 1
+
+    def test_independent_aggressor_fully_feasible(self):
+        analyzer = CrosstalkAnalyzer(buffered_circuit())
+        scenario = CouplingScenario("y", ("nb",))
+        report = analyzer.feasible_alignment(scenario)
+        assert report.feasible_worst_case == 1
+        assert analyzer.verify_witness(report)
+
+    def test_mixed_aggressors(self):
+        # a cannot switch (drives the victim), nb can: feasible == 1.
+        analyzer = CrosstalkAnalyzer(buffered_circuit())
+        scenario = CouplingScenario("y", ("a", "nb"))
+        report = analyzer.feasible_alignment(scenario)
+        assert report.structural_worst_case == 2
+        assert report.feasible_worst_case == 1
+        assert report.overestimate == 1
+        assert analyzer.verify_witness(report)
+
+    def test_xor_pair_switches_under_stable_victim(self):
+        # v = XOR(a, b): both inputs switching keeps v stable.
+        circuit = Circuit("xorpair")
+        circuit.add_input("a")
+        circuit.add_input("b")
+        circuit.add_gate("v", GateType.XOR, ["a", "b"])
+        circuit.set_output("v")
+        analyzer = CrosstalkAnalyzer(circuit)
+        report = analyzer.feasible_alignment(
+            CouplingScenario("v", ("a", "b")))
+        assert report.feasible_worst_case == 2
+        assert analyzer.verify_witness(report)
+
+    def test_victim_value_pinned(self):
+        analyzer = CrosstalkAnalyzer(buffered_circuit())
+        low = analyzer.feasible_alignment(
+            CouplingScenario("y", ("nb",), victim_value=False))
+        high = analyzer.feasible_alignment(
+            CouplingScenario("y", ("nb",), victim_value=True))
+        assert low.feasible_worst_case == 1
+        assert high.feasible_worst_case == 1
+        vector1, _ = low.witness
+        from repro.circuits.simulate import simulate
+        assert simulate(buffered_circuit(), vector1)["y"] is False
+
+    def test_c17_scenario(self):
+        circuit = c17()
+        analyzer = CrosstalkAnalyzer(circuit)
+        scenario = CouplingScenario("G22", ("G10", "G16", "G19"))
+        report = analyzer.feasible_alignment(scenario)
+        assert report.feasible_worst_case is not None
+        assert 0 <= report.feasible_worst_case <= 3
+        assert analyzer.verify_witness(report)
+
+
+class TestHelpers:
+    def test_worst_coupled_scenario(self):
+        scenario = worst_coupled_scenario(c17(), "G22",
+                                          num_aggressors=3)
+        assert scenario.victim == "G22"
+        assert len(scenario.aggressors) == 3
+        assert "G22" not in scenario.aggressors
+
+    def test_unknown_nets_rejected(self):
+        analyzer = CrosstalkAnalyzer(c17())
+        with pytest.raises(ValueError):
+            analyzer.feasible_alignment(
+                CouplingScenario("ghost", ("G10",)))
+
+    def test_sequential_rejected(self):
+        from repro.circuits.generators import binary_counter
+        with pytest.raises(ValueError):
+            CrosstalkAnalyzer(binary_counter(2))

@@ -1,0 +1,152 @@
+"""Unit tests for repro.apps.delay (Section 3)."""
+
+import pytest
+
+from repro.apps.delay import (
+    arrival_times,
+    compute_delay,
+    enumerate_paths,
+    is_path_sensitizable,
+    topological_delay,
+)
+from repro.circuits.gates import GateType
+from repro.circuits.generators import ripple_carry_adder
+from repro.circuits.library import c17, half_adder
+from repro.circuits.netlist import Circuit
+from repro.circuits.simulate import simulate
+
+
+def false_path_circuit():
+    """A circuit whose unique longest path is statically false.
+
+    ``y = AND(chain(a), NOT(a))`` style: the long chain through ``a``
+    requires the AND's side input ``NOT(a)`` to be non-controlling
+    (1), i.e. a = 0; but then the chain input is 0 and the path is
+    still traversed -- make it truly false by gating with ``a`` at
+    both ends:
+
+        p1 = BUF(a); p2 = BUF(p1); p3 = BUF(p2)       (long path)
+        na = NOT(a)                                    (short path)
+        y  = AND(p3, na)
+
+    Sensitizing the long path (a -> p1 -> p2 -> p3 -> y) requires side
+    input na = 1, hence a = 0... which is allowed (static
+    sensitization ignores the data value on the path itself), so this
+    path is statically sensitizable.  A genuinely false path needs
+    conflicting side conditions:
+
+        y = AND(p3, a')  AND  p3 = AND(p2, a)
+
+    The p2 -> p3 -> y path needs a = 1 (side of p3) and a' = 1 i.e.
+    a = 0 (side of y): contradiction -> false path.
+    """
+    circuit = Circuit("falsepath")
+    circuit.add_input("a")
+    circuit.add_input("b")
+    circuit.add_gate("p1", GateType.BUFFER, ["b"])
+    circuit.add_gate("p2", GateType.BUFFER, ["p1"])
+    circuit.add_gate("p3", GateType.AND, ["p2", "a"])
+    circuit.add_gate("na", GateType.NOT, ["a"])
+    circuit.add_gate("y", GateType.AND, ["p3", "na"])
+    circuit.set_output("y")
+    return circuit
+
+
+class TestTopologicalDelay:
+    def test_unit_delays(self):
+        assert topological_delay(half_adder()) == 1
+        assert topological_delay(c17()) == 3
+
+    def test_custom_delays(self):
+        delays = {"sum": 3}
+        assert topological_delay(half_adder(), delays) == 3
+
+    def test_arrival_times_monotone(self):
+        circuit = c17()
+        arrivals = arrival_times(circuit)
+        for node in circuit:
+            for fanin in node.fanins:
+                assert arrivals[node.name] > arrivals[fanin]
+
+
+class TestEnumeratePaths:
+    def test_longest_first(self):
+        lengths = [length for length, _ in
+                   enumerate_paths(ripple_carry_adder(2))]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_paths_are_connected(self):
+        circuit = c17()
+        for _, path in enumerate_paths(circuit):
+            assert path[0] in circuit.inputs
+            assert path[-1] in circuit.outputs
+            for previous, current in zip(path, path[1:]):
+                assert previous in circuit.fanin(current)
+
+    def test_min_length_filter(self):
+        circuit = c17()
+        top = topological_delay(circuit)
+        lengths = [length for length, _ in
+                   enumerate_paths(circuit, min_length=top)]
+        assert lengths and all(length == top for length in lengths)
+
+    def test_path_count_on_c17(self):
+        # Each path is a distinct input-to-output route.
+        paths = list(enumerate_paths(c17()))
+        assert len(paths) == len({tuple(p) for _, p in paths})
+        assert len(paths) >= 10
+
+
+class TestSensitization:
+    def test_true_path(self):
+        circuit = half_adder()
+        sensitizable, vector = is_path_sensitizable(
+            circuit, ["a", "carry"])
+        assert sensitizable
+        assert vector is not None
+
+    def test_false_path_detected(self):
+        circuit = false_path_circuit()
+        # The long path through p2, p3 into y is false.
+        sensitizable, _ = is_path_sensitizable(
+            circuit, ["b", "p1", "p2", "p3", "y"])
+        assert sensitizable is False
+
+    def test_sensitizing_vector_is_valid(self):
+        """All side inputs take non-controlling values under the
+        returned vector."""
+        circuit = c17()
+        length, path = next(iter(enumerate_paths(circuit)))
+        sensitizable, vector = is_path_sensitizable(circuit, path)
+        if not sensitizable:
+            pytest.skip("topologically longest c17 path not static")
+        values = simulate(circuit, vector)
+        for position in range(1, len(path)):
+            node = circuit.node(path[position])
+            if node.gate_type is not GateType.NAND:
+                continue
+            for fanin in node.fanins:
+                if fanin != path[position - 1]:
+                    assert values[fanin] is True   # non-controlling
+
+
+class TestComputeDelay:
+    def test_no_false_paths_in_adder(self):
+        circuit = ripple_carry_adder(2)
+        report = compute_delay(circuit)
+        assert report.sensitizable_delay == report.topological_delay
+        assert not report.has_false_critical_path
+
+    def test_false_critical_path_reported(self):
+        report = compute_delay(false_path_circuit())
+        assert report.topological_delay == 4
+        assert report.sensitizable_delay is not None
+        assert report.sensitizable_delay < 4
+        assert report.has_false_critical_path
+        assert report.false_paths_examined >= 1
+
+    def test_critical_path_returned(self):
+        report = compute_delay(c17())
+        assert report.critical_path is not None
+        assert len(report.critical_path) >= 2
+        assert report.sensitizing_vector is not None

@@ -1,0 +1,109 @@
+"""Unit tests for repro.cnf.dimacs."""
+
+import io
+
+import pytest
+
+from repro.cnf.dimacs import (
+    DimacsError,
+    load_dimacs,
+    parse_dimacs,
+    save_dimacs,
+    write_dimacs,
+)
+from repro.cnf.formula import CNFFormula
+
+
+BASIC = """c example
+p cnf 3 2
+1 -3 0
+-2 3 0
+"""
+
+
+class TestParse:
+    def test_basic(self):
+        formula = parse_dimacs(BASIC)
+        assert formula.num_vars == 3
+        assert formula.num_clauses == 2
+        assert [list(c) for c in formula] == [[1, -3], [-2, 3]]
+
+    def test_from_file_object(self):
+        formula = parse_dimacs(io.StringIO(BASIC))
+        assert formula.num_clauses == 2
+
+    def test_multiline_clause(self):
+        formula = parse_dimacs("p cnf 3 1\n1\n2\n3 0\n")
+        assert [list(c) for c in formula] == [[1, 2, 3]]
+
+    def test_comments_anywhere(self):
+        text = "c top\np cnf 2 2\nc middle\n1 0\nc another\n2 0\n"
+        assert parse_dimacs(text).num_clauses == 2
+
+    def test_missing_final_terminator(self):
+        formula = parse_dimacs("p cnf 2 1\n1 2")
+        assert [list(c) for c in formula] == [[1, 2]]
+
+    def test_satlib_percent_footer(self):
+        formula = parse_dimacs("p cnf 1 1\n1 0\n%\n0\n")
+        assert formula.num_clauses == 1
+
+    def test_missing_header(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("1 2 0\n")
+
+    def test_bad_header(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf x y\n")
+
+    def test_literal_exceeds_universe(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 2 1\n3 0\n")
+
+    def test_bad_token(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 2 1\n1 foo 0\n")
+
+    def test_negative_counts(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf -1 0\n")
+
+
+class TestWrite:
+    def test_roundtrip(self):
+        original = parse_dimacs(BASIC)
+        again = parse_dimacs(write_dimacs(original))
+        assert again == original
+
+    def test_header_counts(self):
+        formula = CNFFormula(4)
+        formula.add_clause([1, -4])
+        text = write_dimacs(formula)
+        assert "p cnf 4 1" in text
+
+    def test_comments_emitted(self):
+        formula = CNFFormula(1)
+        formula.add_clause([1])
+        text = write_dimacs(formula, comments=["hello"])
+        assert "c hello" in text
+
+    def test_names_as_comments(self):
+        formula = CNFFormula()
+        formula.new_var("clk")
+        formula.add_clause([1])
+        assert "c var 1 clk" in write_dimacs(formula)
+
+    def test_sink(self):
+        formula = CNFFormula(1)
+        formula.add_clause([1])
+        sink = io.StringIO()
+        text = write_dimacs(formula, sink)
+        assert sink.getvalue() == text
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path):
+        formula = parse_dimacs(BASIC)
+        path = str(tmp_path / "test.cnf")
+        save_dimacs(formula, path)
+        assert load_dimacs(path) == formula

@@ -1,0 +1,102 @@
+"""Unit tests for repro.solvers.dpll (Figure 2, chronological)."""
+
+import pytest
+
+from conftest import assert_model_satisfies, brute_force_status
+
+from repro.cnf.formula import CNFFormula
+from repro.cnf.generators import parity_chain, pigeonhole, random_ksat
+from repro.solvers.dpll import DPLLSolver, solve_dpll
+from repro.solvers.heuristics import JeroslowWangHeuristic
+from repro.solvers.result import Status
+
+
+class TestBasics:
+    def test_sat(self, tiny_sat_formula):
+        result = solve_dpll(tiny_sat_formula)
+        assert result.is_sat
+        assert tiny_sat_formula.is_satisfied_by(result.assignment)
+
+    def test_unsat(self, tiny_unsat_formula):
+        assert solve_dpll(tiny_unsat_formula).is_unsat
+
+    def test_empty_formula(self):
+        assert solve_dpll(CNFFormula(3)).is_sat
+
+    def test_empty_clause(self):
+        formula = CNFFormula()
+        formula.add_clause([])
+        assert solve_dpll(formula).is_unsat
+
+    def test_unit_only(self):
+        formula = CNFFormula()
+        formula.add_clauses([[1], [-2]])
+        result = solve_dpll(formula)
+        assert result.is_sat
+        assert result.assignment.value_of(1) is True
+        assert result.assignment.value_of(2) is False
+
+    def test_forced_variable(self, tiny_sat_formula):
+        result = solve_dpll(tiny_sat_formula)
+        assert result.assignment.value_of(2) is True  # b forced
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agrees_with_brute_force(self, seed):
+        formula = random_ksat(8, 35, seed=seed)
+        result = solve_dpll(formula)
+        expected = brute_force_status(formula)
+        assert result.is_sat == (expected == "SAT")
+        assert result.is_unsat == (expected == "UNSAT")
+        if result.is_sat:
+            assert_model_satisfies(formula, result.assignment)
+
+    def test_pigeonhole_unsat(self):
+        assert solve_dpll(pigeonhole(3)).is_unsat
+
+    def test_parity_chain_unsat(self):
+        assert solve_dpll(parity_chain(8)).is_unsat
+
+    def test_parity_chain_sat(self):
+        result = solve_dpll(parity_chain(8, satisfiable=True))
+        assert result.is_sat
+
+
+class TestBudgets:
+    def test_decision_budget(self):
+        result = solve_dpll(pigeonhole(5), max_decisions=5)
+        assert result.is_unknown
+
+    def test_conflict_budget(self):
+        result = solve_dpll(pigeonhole(5), max_conflicts=3)
+        assert result.is_unknown
+
+
+class TestStatistics:
+    def test_counts_positive_on_search(self):
+        result = solve_dpll(pigeonhole(3))
+        assert result.stats.decisions > 0
+        assert result.stats.conflicts > 0
+        assert result.stats.backtracks > 0
+        assert result.stats.time_seconds >= 0
+
+    def test_no_decisions_on_forced_instance(self):
+        formula = CNFFormula()
+        formula.add_clauses([[1], [-1, 2]])
+        result = solve_dpll(formula)
+        assert result.stats.decisions == 0
+        assert result.stats.propagations >= 2
+
+    def test_chronological_only(self):
+        result = solve_dpll(pigeonhole(3))
+        assert result.stats.nonchronological_backtracks == 0
+        assert result.stats.learned_clauses == 0
+
+
+class TestHeuristicIntegration:
+    def test_custom_heuristic(self):
+        formula = pigeonhole(3)
+        result = DPLLSolver(formula,
+                            heuristic=JeroslowWangHeuristic()).solve()
+        assert result.is_unsat

@@ -1,0 +1,132 @@
+"""Unit tests for repro.circuits.faults."""
+
+import pytest
+
+from repro.circuits.faults import (
+    StuckAtFault,
+    collapse_equivalent,
+    detects,
+    fault_simulate,
+    full_fault_list,
+    inject_fault,
+)
+from repro.circuits.library import c17, half_adder, redundant_or_chain
+from repro.circuits.simulate import simulate
+
+
+class TestFaultList:
+    def test_counts(self):
+        circuit = half_adder()    # 2 PIs + 2 gates
+        assert len(full_fault_list(circuit)) == 8
+        assert len(full_fault_list(circuit, include_inputs=False)) == 4
+
+    def test_ordering_and_str(self):
+        fault = StuckAtFault("g", True)
+        assert str(fault) == "g/sa1"
+        assert StuckAtFault("a", False) < fault
+
+
+class TestInjectFault:
+    def test_gate_output_fault(self):
+        circuit = half_adder()
+        faulty = inject_fault(circuit, StuckAtFault("carry", True))
+        faulty.validate()
+        values = simulate(faulty, {"a": False, "b": False})
+        assert values["__fault__"] is True
+
+    def test_interface_preserved(self):
+        circuit = c17()
+        faulty = inject_fault(circuit, StuckAtFault("G10", False))
+        assert faulty.inputs == circuit.inputs
+        assert len(faulty.outputs) == len(circuit.outputs)
+
+    def test_downstream_sees_fault(self):
+        circuit = half_adder()
+        faulty = inject_fault(circuit, StuckAtFault("a", False))
+        values = simulate(faulty, {"a": True, "b": True})
+        # sum = XOR(fault, b) = XOR(0, 1) = 1; carry = AND(0,1) = 0
+        assert values["sum"] is True
+        assert values["carry"] is False
+
+    def test_po_fault_redirects_output(self):
+        circuit = half_adder()
+        faulty = inject_fault(circuit, StuckAtFault("sum", True))
+        assert "__fault__" in faulty.outputs
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError):
+            inject_fault(half_adder(), StuckAtFault("ghost", True))
+
+
+class TestDetects:
+    def test_detectable_fault(self):
+        circuit = half_adder()
+        # carry/sa1 detected by a=0,b=0 (good carry 0, faulty 1).
+        assert detects(circuit, StuckAtFault("carry", True),
+                       {"a": False, "b": False})
+
+    def test_not_detected_by_masking_vector(self):
+        circuit = half_adder()
+        # carry/sa1 NOT detected by a=1,b=1 (good carry already 1).
+        assert not detects(circuit, StuckAtFault("carry", True),
+                           {"a": True, "b": True})
+
+    def test_redundant_fault_never_detected(self):
+        circuit = redundant_or_chain()   # y == a regardless of ab
+        fault = StuckAtFault("ab", False)
+        for a in (False, True):
+            for b in (False, True):
+                assert not detects(circuit, fault, {"a": a, "b": b})
+
+
+class TestFaultSimulate:
+    def test_first_detection_indices(self):
+        circuit = half_adder()
+        vectors = [{"a": True, "b": True}, {"a": False, "b": False}]
+        result = fault_simulate(
+            circuit,
+            [StuckAtFault("carry", True), StuckAtFault("carry", False)],
+            vectors)
+        assert result[StuckAtFault("carry", False)] == 0
+        assert result[StuckAtFault("carry", True)] == 1
+
+    def test_undetected_is_none(self):
+        circuit = redundant_or_chain()
+        vectors = [{"a": a, "b": b}
+                   for a in (False, True) for b in (False, True)]
+        result = fault_simulate(circuit, [StuckAtFault("ab", False)],
+                                vectors)
+        assert result[StuckAtFault("ab", False)] is None
+
+
+class TestCollapse:
+    def test_collapsed_list_is_smaller(self):
+        circuit = c17()
+        faults = full_fault_list(circuit)
+        collapsed = collapse_equivalent(circuit, faults)
+        assert len(collapsed) < len(faults)
+
+    def test_collapse_preserves_detectability_universe(self):
+        """Every collapsed-away fault has an equivalent representative:
+        any complete test set for the collapsed list detects the full
+        list (checked by exhaustive simulation on c17)."""
+        import itertools
+        circuit = c17()
+        names = circuit.inputs
+        all_vectors = [
+            {name: bool((index >> bit) & 1)
+             for bit, name in enumerate(names)}
+            for index in range(1 << len(names))]
+        full = full_fault_list(circuit)
+        collapsed = set(collapse_equivalent(circuit, full))
+
+        def detecting_set(fault):
+            return frozenset(
+                index for index, vector in enumerate(all_vectors)
+                if detects(circuit, fault, vector))
+
+        for fault in full:
+            if fault in collapsed:
+                continue
+            mine = detecting_set(fault)
+            assert any(detecting_set(kept) == mine for kept in collapsed)

@@ -1,0 +1,137 @@
+"""Unit tests for repro.solvers.forward_implication (Figure 3)."""
+
+import pytest
+
+from conftest import brute_force_status
+
+from repro.cnf.clause import Clause
+from repro.circuits.gates import GateType
+from repro.circuits.library import c17, figure3_circuit
+from repro.circuits.netlist import Circuit
+from repro.circuits.tseitin import encode_circuit
+from repro.solvers.forward_implication import (
+    ForwardImplicationEngine,
+    ImplicationConflict,
+)
+
+
+class TestForwardPropagation:
+    def test_simple_chain(self):
+        circuit = Circuit()
+        circuit.add_input("a")
+        circuit.add_gate("n", GateType.NOT, ["a"])
+        circuit.add_gate("y", GateType.BUFFER, ["n"])
+        circuit.set_output("y")
+        engine = ForwardImplicationEngine(circuit)
+        engine.assign("a", True)
+        implied = engine.propagate()
+        assert set(implied) == {"n", "y"}
+        assert engine.value("y") is False
+
+    def test_controlling_value_implies_early(self):
+        circuit = Circuit()
+        circuit.add_input("a")
+        circuit.add_input("b")
+        circuit.add_gate("g", GateType.AND, ["a", "b"])
+        circuit.set_output("g")
+        engine = ForwardImplicationEngine(circuit)
+        engine.assign("a", False)
+        engine.propagate()
+        assert engine.value("g") is False     # b still unknown
+
+    def test_no_backward_implication(self):
+        """The defining limitation: output objectives do not constrain
+        inputs (contrast with CNF BCP)."""
+        circuit = figure3_circuit()
+        engine = ForwardImplicationEngine(circuit)
+        engine.assign("y3", False)
+        engine.propagate()
+        assert engine.value("x1") is None
+        assert engine.value("y1") is None
+
+    def test_reassign_same_value_ok(self):
+        engine = ForwardImplicationEngine(figure3_circuit())
+        engine.assign("w", True)
+        engine.assign("w", True)
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(KeyError):
+            ForwardImplicationEngine(figure3_circuit()).assign(
+                "ghost", True)
+
+    def test_reset_and_unassign(self):
+        engine = ForwardImplicationEngine(figure3_circuit())
+        engine.assign("w", True)
+        engine.unassign("w")
+        assert engine.value("w") is None
+        engine.assign("w", False)
+        engine.reset()
+        assert engine.value("w") is None
+
+
+class TestFigure3Conflict:
+    """The paper's worked conflict-analysis example, end to end."""
+
+    def setup_method(self):
+        self.circuit = figure3_circuit()
+        self.encoding = encode_circuit(self.circuit)
+        self.engine = ForwardImplicationEngine(self.circuit,
+                                               self.encoding)
+
+    def test_conflict_detected(self):
+        self.engine.assign("w", True)
+        self.engine.assign("y3", False)
+        self.engine.propagate()
+        self.engine.assign("x1", True)
+        with pytest.raises(ImplicationConflict):
+            self.engine.propagate()
+
+    def test_conflict_clause_matches_paper(self):
+        """Diagnosis must produce exactly (x1' + w' + y3)."""
+        self.engine.assign("w", True)
+        self.engine.assign("y3", False)
+        self.engine.propagate()
+        self.engine.assign("x1", True)
+        with pytest.raises(ImplicationConflict) as info:
+            self.engine.propagate()
+        expected = Clause([
+            self.encoding.literal("x1", False),
+            self.encoding.literal("w", False),
+            self.encoding.literal("y3", True),
+        ])
+        assert info.value.clause == expected
+
+    def test_conflict_clause_is_implicate(self):
+        """The recorded clause must be entailed by the circuit CNF."""
+        self.engine.assign("w", True)
+        self.engine.assign("y3", False)
+        self.engine.propagate()
+        self.engine.assign("x1", True)
+        with pytest.raises(ImplicationConflict) as info:
+            self.engine.propagate()
+        probe = self.encoding.formula.copy()
+        for lit in info.value.clause:
+            probe.add_clause([-lit])
+        assert brute_force_status(probe) == "UNSAT"
+
+    def test_direct_assign_conflict(self):
+        self.engine.assign("x1", True)
+        self.engine.assign("w", True)
+        self.engine.propagate()            # y3 implied 1
+        with pytest.raises(ImplicationConflict):
+            self.engine.assign("y3", False)
+
+
+class TestAgainstSimulation:
+    def test_full_assignment_matches_simulation(self):
+        from repro.circuits.simulate import simulate
+        circuit = c17()
+        engine = ForwardImplicationEngine(circuit)
+        vector = {name: (index % 2 == 0)
+                  for index, name in enumerate(circuit.inputs)}
+        for name, value in vector.items():
+            engine.assign(name, value)
+        engine.propagate()
+        expected = simulate(circuit, vector)
+        for name in circuit.topological_order():
+            assert engine.value(name) == expected[name]

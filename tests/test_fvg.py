@@ -1,0 +1,76 @@
+"""Unit tests for repro.apps.fvg (functional vector generation)."""
+
+import pytest
+
+from repro.apps.fvg import CoverageReport, generate_vectors, toggle_goals
+from repro.circuits.gates import GateType
+from repro.circuits.library import c17, half_adder
+from repro.circuits.netlist import Circuit
+from repro.circuits.simulate import simulate
+
+
+class TestToggleGoals:
+    def test_goal_universe(self):
+        goals = toggle_goals(half_adder())
+        assert ("sum", True) in goals
+        assert ("a", False) in goals
+        assert len(goals) == 8            # 4 nodes x 2 values
+
+    def test_restricted_nodes(self):
+        goals = toggle_goals(half_adder(), nodes=["carry"])
+        assert set(goals) == {("carry", False), ("carry", True)}
+
+
+class TestGenerateVectors:
+    def test_full_toggle_coverage_on_c17(self):
+        report = generate_vectors(c17(), seed=0)
+        total = len(toggle_goals(c17()))
+        assert report.coverage(total) == 1.0
+        assert not report.unreachable
+        assert not report.aborted
+
+    def test_vectors_actually_cover_goals(self):
+        circuit = c17()
+        report = generate_vectors(circuit, seed=1)
+        observed = set()
+        for vector in report.vectors:
+            for name, value in simulate(circuit, vector).items():
+                observed.add((name, value))
+        assert report.covered <= observed
+
+    def test_unreachable_goal_reported(self):
+        circuit = Circuit()
+        circuit.add_input("a")
+        circuit.add_gate("na", GateType.NOT, ["a"])
+        circuit.add_gate("y", GateType.AND, ["a", "na"])  # constant 0
+        circuit.set_output("y")
+        report = generate_vectors(circuit, random_warmup=0, seed=0)
+        assert ("y", True) in report.unreachable
+        assert ("y", False) in report.covered
+
+    def test_directed_goals_only(self):
+        circuit = half_adder()
+        report = generate_vectors(
+            circuit, goals=[("carry", True)], random_warmup=0, seed=0)
+        assert report.covered == {("carry", True)}
+        assert len(report.vectors) == 1
+
+    def test_warmup_reduces_sat_calls(self):
+        circuit = c17()
+        cold = generate_vectors(circuit, random_warmup=0, seed=0)
+        warm = generate_vectors(circuit, random_warmup=16, seed=0)
+        assert warm.sat_calls <= cold.sat_calls
+
+    def test_sequential_rejected(self):
+        from repro.circuits.generators import binary_counter
+        with pytest.raises(ValueError):
+            generate_vectors(binary_counter(2))
+
+    def test_coverage_excludes_unreachable_from_denominator(self):
+        report = CoverageReport(covered={("x", True)},
+                                unreachable={("x", False)})
+        assert report.coverage(2) == 1.0
+
+    def test_coverage_all_unreachable(self):
+        report = CoverageReport(unreachable={("x", True), ("x", False)})
+        assert report.coverage(2) == 1.0

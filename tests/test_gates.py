@@ -1,0 +1,233 @@
+"""Unit tests for repro.circuits.gates (incl. paper Tables 1-3)."""
+
+import itertools
+
+import pytest
+
+from repro.circuits.gates import (
+    GateArityError,
+    GateType,
+    check_arity,
+    controlling_value,
+    counter_updates,
+    evaluate_gate,
+    evaluate_gate3,
+    gate_cnf_clauses,
+    gate_type_from_name,
+    inversion_parity,
+    justification_thresholds,
+)
+
+LOGIC_GATES = [GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+               GateType.XOR, GateType.XNOR]
+UNARY_GATES = [GateType.NOT, GateType.BUFFER]
+
+
+class TestEvaluate:
+    @pytest.mark.parametrize("gate,inputs,expected", [
+        (GateType.AND, [True, True], True),
+        (GateType.AND, [True, False], False),
+        (GateType.NAND, [True, True], False),
+        (GateType.NAND, [False, True], True),
+        (GateType.OR, [False, False], False),
+        (GateType.OR, [False, True], True),
+        (GateType.NOR, [False, False], True),
+        (GateType.XOR, [True, False], True),
+        (GateType.XOR, [True, True], False),
+        (GateType.XNOR, [True, True], True),
+        (GateType.NOT, [True], False),
+        (GateType.BUFFER, [True], True),
+        (GateType.CONST0, [], False),
+        (GateType.CONST1, [], True),
+    ])
+    def test_truth_table_points(self, gate, inputs, expected):
+        assert evaluate_gate(gate, inputs) is expected
+
+    def test_wide_xor_parity(self):
+        assert evaluate_gate(GateType.XOR, [True] * 5) is True
+        assert evaluate_gate(GateType.XOR, [True] * 4) is False
+
+    def test_arity_checked(self):
+        with pytest.raises(GateArityError):
+            evaluate_gate(GateType.NOT, [True, False])
+        with pytest.raises(GateArityError):
+            evaluate_gate(GateType.CONST0, [True])
+
+    def test_input_has_no_semantics(self):
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.INPUT, [])
+
+
+class TestEvaluate3:
+    def test_controlling_through_x(self):
+        assert evaluate_gate3(GateType.AND, [False, None]) is False
+        assert evaluate_gate3(GateType.NAND, [False, None]) is True
+        assert evaluate_gate3(GateType.OR, [True, None]) is True
+        assert evaluate_gate3(GateType.NOR, [True, None]) is False
+
+    def test_undetermined(self):
+        assert evaluate_gate3(GateType.AND, [True, None]) is None
+        assert evaluate_gate3(GateType.XOR, [True, None]) is None
+
+    def test_all_assigned_matches_two_valued(self):
+        for gate in LOGIC_GATES:
+            for bits in itertools.product([False, True], repeat=3):
+                assert evaluate_gate3(gate, list(bits)) is \
+                    evaluate_gate(gate, list(bits))
+
+    def test_unary(self):
+        assert evaluate_gate3(GateType.NOT, [None]) is None
+        assert evaluate_gate3(GateType.BUFFER, [False]) is False
+
+
+class TestStructuralFacts:
+    def test_controlling_values(self):
+        assert controlling_value(GateType.AND) is False
+        assert controlling_value(GateType.NAND) is False
+        assert controlling_value(GateType.OR) is True
+        assert controlling_value(GateType.NOR) is True
+        assert controlling_value(GateType.XOR) is None
+
+    def test_inversion_parity(self):
+        assert inversion_parity(GateType.NAND) is True
+        assert inversion_parity(GateType.AND) is False
+        assert inversion_parity(GateType.INPUT) is None
+
+    def test_gate_type_from_name_aliases(self):
+        assert gate_type_from_name("buf") is GateType.BUFFER
+        assert gate_type_from_name("BUFF") is GateType.BUFFER
+        assert gate_type_from_name("inv") is GateType.NOT
+        assert gate_type_from_name("nand") is GateType.NAND
+
+    def test_gate_type_from_name_unknown(self):
+        with pytest.raises(ValueError):
+            gate_type_from_name("FROB")
+
+    def test_dff_arity_relaxed(self):
+        check_arity(GateType.DFF, 0)
+        check_arity(GateType.DFF, 1)
+        with pytest.raises(GateArityError):
+            check_arity(GateType.DFF, 2)
+
+
+class TestTable2Thresholds:
+    """Paper Table 2: u0/u1 in {1, |FI|} for every simple gate."""
+
+    @pytest.mark.parametrize("gate,u0,u1", [
+        (GateType.AND, 1, "n"),
+        (GateType.NAND, "n", 1),
+        (GateType.OR, "n", 1),
+        (GateType.NOR, 1, "n"),
+        (GateType.XOR, "n", "n"),
+        (GateType.XNOR, "n", "n"),
+    ])
+    def test_multi_input(self, gate, u0, u1):
+        for n in (2, 3, 5):
+            expect0 = n if u0 == "n" else u0
+            expect1 = n if u1 == "n" else u1
+            assert justification_thresholds(gate, n) == (expect0, expect1)
+
+    def test_unary(self):
+        assert justification_thresholds(GateType.NOT, 1) == (1, 1)
+        assert justification_thresholds(GateType.BUFFER, 1) == (1, 1)
+
+    def test_values_in_paper_range(self):
+        for gate in LOGIC_GATES:
+            u0, u1 = justification_thresholds(gate, 4)
+            assert u0 in (1, 4) and u1 in (1, 4)
+
+
+class TestTable3Counters:
+    """Paper Table 3: which counters an input assignment bumps."""
+
+    @pytest.mark.parametrize("gate,value,expected", [
+        (GateType.AND, False, (True, False)),
+        (GateType.AND, True, (False, True)),
+        (GateType.NAND, False, (False, True)),
+        (GateType.NAND, True, (True, False)),
+        (GateType.OR, False, (True, False)),
+        (GateType.OR, True, (False, True)),
+        (GateType.NOR, True, (True, False)),
+        (GateType.XOR, False, (True, True)),
+        (GateType.XOR, True, (True, True)),
+        (GateType.XNOR, True, (True, True)),
+        (GateType.NOT, False, (False, True)),
+        (GateType.NOT, True, (True, False)),
+        (GateType.BUFFER, True, (False, True)),
+    ])
+    def test_update_rules(self, gate, value, expected):
+        assert counter_updates(gate, value) == expected
+
+    def test_counters_consistent_with_thresholds(self):
+        """An all-inputs assignment that produces output v must bump
+        t_v at least u_v times (justified once fully assigned)."""
+        for gate in LOGIC_GATES:
+            n = 3
+            u0, u1 = justification_thresholds(gate, n)
+            for bits in itertools.product([False, True], repeat=n):
+                output = evaluate_gate(gate, list(bits))
+                t0 = sum(1 for b in bits if counter_updates(gate, b)[0])
+                t1 = sum(1 for b in bits if counter_updates(gate, b)[1])
+                if output:
+                    assert t1 >= u1, (gate, bits)
+                else:
+                    assert t0 >= u0, (gate, bits)
+
+
+class TestTable1CNF:
+    """Paper Table 1: per-gate CNF == gate truth table, exhaustively."""
+
+    @pytest.mark.parametrize("gate", LOGIC_GATES)
+    @pytest.mark.parametrize("fanin", [1, 2, 3, 4])
+    def test_multi_input_gates(self, gate, fanin):
+        self._check(gate, fanin)
+
+    @pytest.mark.parametrize("gate", UNARY_GATES)
+    def test_unary_gates(self, gate):
+        self._check(gate, 1)
+
+    def _check(self, gate, fanin):
+        inputs = list(range(1, fanin + 1))
+        output = fanin + 1
+        clauses = gate_cnf_clauses(gate, output, inputs)
+        for bits in itertools.product([False, True], repeat=fanin + 1):
+            model = {var: bits[var - 1] for var in range(1, fanin + 2)}
+            valid = evaluate_gate(gate, list(bits[:fanin])) is bits[fanin]
+            satisfied = all(
+                any(model[abs(lit)] == (lit > 0) for lit in clause)
+                for clause in clauses)
+            assert satisfied == valid, (gate, bits)
+
+    def test_and_clause_shape_matches_paper(self):
+        # Table 1 row for x = AND(w1, w2):
+        # (w1 + x')(w2 + x')(w1' + w2' + x)
+        clauses = {tuple(sorted(c))
+                   for c in gate_cnf_clauses(GateType.AND, 3, [1, 2])}
+        assert clauses == {(-3, 1), (-3, 2), (-2, -1, 3)}
+
+    def test_not_clause_shape_matches_paper(self):
+        # (x + w)(x' + w')
+        clauses = {tuple(sorted(c))
+                   for c in gate_cnf_clauses(GateType.NOT, 2, [1])}
+        assert clauses == {(1, 2), (-2, -1)}
+
+    def test_buffer_clause_shape_matches_paper(self):
+        # (x + w')(x' + w)
+        clauses = {tuple(sorted(c))
+                   for c in gate_cnf_clauses(GateType.BUFFER, 2, [1])}
+        assert clauses == {(-1, 2), (-2, 1)}
+
+    def test_negated_io_literals(self):
+        # Folding an inversion into the encoding must stay consistent.
+        clauses = gate_cnf_clauses(GateType.AND, -3, [1, -2])
+        for bits in itertools.product([False, True], repeat=3):
+            model = {var: bits[var - 1] for var in range(1, 4)}
+            valid = (bits[0] and not bits[1]) is (not bits[2])
+            satisfied = all(
+                any(model[abs(lit)] == (lit > 0) for lit in clause)
+                for clause in clauses)
+            assert satisfied == valid
+
+    def test_const_gates(self):
+        assert gate_cnf_clauses(GateType.CONST0, 1, []) == [[-1]]
+        assert gate_cnf_clauses(GateType.CONST1, 1, []) == [[1]]

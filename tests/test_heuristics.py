@@ -1,0 +1,145 @@
+"""Unit tests for repro.solvers.heuristics."""
+
+import pytest
+
+from repro.cnf.formula import CNFFormula
+from repro.solvers.heuristics import (
+    DLISHeuristic,
+    DecisionHeuristic,
+    FixedOrderHeuristic,
+    JeroslowWangHeuristic,
+    RandomHeuristic,
+    VSIDSHeuristic,
+    make_heuristic,
+)
+
+
+def formula_ab():
+    formula = CNFFormula(4)
+    formula.add_clause([1, 2])
+    formula.add_clause([1, 3])
+    formula.add_clause([1])        # literal 1 dominates
+    formula.add_clause([-4, 2])
+    return formula
+
+
+def assigned_none(var):
+    return False
+
+
+class TestFixedOrder:
+    def test_lowest_index_first(self):
+        heuristic = FixedOrderHeuristic()
+        assert heuristic.decide(4, assigned_none) == 1
+
+    def test_skips_assigned(self):
+        heuristic = FixedOrderHeuristic()
+        assert heuristic.decide(4, lambda v: v <= 2) == 3
+
+    def test_none_when_all_assigned(self):
+        heuristic = FixedOrderHeuristic()
+        assert heuristic.decide(3, lambda v: True) is None
+
+
+class TestRandom:
+    def test_only_unassigned(self):
+        heuristic = RandomHeuristic(seed=0)
+        for _ in range(20):
+            lit = heuristic.decide(5, lambda v: v != 3)
+            assert abs(lit) == 3
+
+    def test_deterministic_with_seed(self):
+        first = [RandomHeuristic(seed=9).decide(10, assigned_none)
+                 for _ in range(1)]
+        second = [RandomHeuristic(seed=9).decide(10, assigned_none)
+                  for _ in range(1)]
+        assert first == second
+
+    def test_none_when_exhausted(self):
+        assert RandomHeuristic(seed=0).decide(2, lambda v: True) is None
+
+
+class TestJeroslowWang:
+    def test_prefers_short_clause_literals(self):
+        formula = CNFFormula(3)
+        formula.add_clause([1])          # weight 0.5
+        formula.add_clause([2, 3])       # weight 0.25 each
+        heuristic = JeroslowWangHeuristic()
+        heuristic.setup(formula)
+        assert heuristic.decide(3, assigned_none) == 1
+
+    def test_falls_back_on_unmentioned_vars(self):
+        formula = CNFFormula(5)
+        formula.add_clause([1])
+        heuristic = JeroslowWangHeuristic()
+        heuristic.setup(formula)
+        assert heuristic.decide(5, lambda v: v == 1) in (2, 3, 4, 5)
+
+
+class TestDLIS:
+    def test_prefers_most_frequent_literal(self):
+        heuristic = DLISHeuristic()
+        heuristic.setup(formula_ab())
+        assert heuristic.decide(4, assigned_none) == 1
+
+    def test_skips_assigned_variables(self):
+        heuristic = DLISHeuristic()
+        heuristic.setup(formula_ab())
+        lit = heuristic.decide(4, lambda v: v == 1)
+        assert abs(lit) != 1
+
+
+class TestVSIDS:
+    def test_bump_changes_preference(self):
+        formula = formula_ab()
+        heuristic = VSIDSHeuristic()
+        heuristic.setup(formula)
+        heuristic.on_conflict([4])
+        heuristic.on_conflict([4])
+        assert heuristic.decide(4, assigned_none) == 4
+
+    def test_decay_rescale_survives_many_conflicts(self):
+        heuristic = VSIDSHeuristic(decay=0.5)
+        heuristic.setup(formula_ab())
+        for _ in range(2000):
+            heuristic.on_conflict([2])
+        assert heuristic.decide(4, assigned_none) == 2
+
+    def test_invalid_decay(self):
+        with pytest.raises(ValueError):
+            VSIDSHeuristic(decay=0.0)
+
+
+class TestRandomFreq:
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            FixedOrderHeuristic(random_freq=1.5)
+
+    def test_full_random_freq_behaves_like_random(self):
+        heuristic = FixedOrderHeuristic(random_freq=1.0, seed=1)
+        picks = {heuristic.decide(5, assigned_none) for _ in range(40)}
+        assert len({abs(p) for p in picks}) > 1
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("fixed", FixedOrderHeuristic),
+        ("random", RandomHeuristic),
+        ("jw", JeroslowWangHeuristic),
+        ("dlis", DLISHeuristic),
+        ("vsids", VSIDSHeuristic),
+    ])
+    def test_known_names(self, name, cls):
+        assert isinstance(make_heuristic(name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_heuristic("cleverest")
+
+    def test_name_labels(self):
+        assert VSIDSHeuristic().name() == "VSIDS"
+        assert FixedOrderHeuristic().name() == "FixedOrder"
+
+    def test_base_class_decide_abstract(self):
+        with pytest.raises(NotImplementedError):
+            DecisionHeuristic().decide(1, assigned_none)

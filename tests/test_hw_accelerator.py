@@ -1,0 +1,99 @@
+"""Unit tests for repro.hw.accelerator."""
+
+import pytest
+
+from conftest import assert_model_satisfies, brute_force_status
+
+from repro.cnf.formula import CNFFormula
+from repro.cnf.generators import (
+    parity_chain,
+    pigeonhole,
+    random_ksat_at_ratio,
+)
+from repro.hw.accelerator import HardwareSATAccelerator, estimate_speedup
+from repro.solvers.result import Status
+
+
+class TestSoundness:
+    def test_sat(self, tiny_sat_formula):
+        result = HardwareSATAccelerator(tiny_sat_formula).run()
+        assert result.is_sat
+        assert tiny_sat_formula.is_satisfied_by(result.assignment)
+
+    def test_unsat(self, tiny_unsat_formula):
+        assert HardwareSATAccelerator(tiny_unsat_formula).run().is_unsat
+
+    def test_empty_clause(self):
+        formula = CNFFormula()
+        formula.add_clause([])
+        assert HardwareSATAccelerator(formula).run().is_unsat
+
+    def test_unit_conflict_at_power_on(self):
+        formula = CNFFormula()
+        formula.add_clauses([[1], [-1]])
+        assert HardwareSATAccelerator(formula).run().is_unsat
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agrees_with_brute_force(self, seed):
+        formula = random_ksat_at_ratio(8, ratio=4.3, seed=seed)
+        expected = brute_force_status(formula)
+        result = HardwareSATAccelerator(formula).run()
+        assert result.is_sat == (expected == "SAT")
+        if result.is_sat:
+            assert_model_satisfies(formula, result.assignment)
+
+    def test_pigeonhole(self):
+        assert HardwareSATAccelerator(pigeonhole(4)).run().is_unsat
+
+    def test_parity_chain(self):
+        assert HardwareSATAccelerator(parity_chain(8)).run().is_unsat
+        assert HardwareSATAccelerator(
+            parity_chain(8, satisfiable=True)).run().is_sat
+
+
+class TestCycleModel:
+    def test_wave_costs_one_clock_regardless_of_width(self):
+        """Many simultaneous implications in one wave: one clock."""
+        formula = CNFFormula(5)
+        formula.add_clause([1])
+        for var in range(2, 6):
+            formula.add_clause([-1, var])    # all fire together
+        machine = HardwareSATAccelerator(formula)
+        result = machine.run()
+        assert result.is_sat
+        # Wave 1: unit (1). Wave 2: four implications. Wave 3: quiet.
+        assert machine.hw.implications == 5
+        assert machine.hw.implication_waves == 3
+        assert machine.hw.decisions == 0
+
+    def test_clock_budget(self):
+        machine = HardwareSATAccelerator(pigeonhole(6), max_clocks=20)
+        assert machine.run().status is Status.UNKNOWN
+
+    def test_counters_populated_on_search(self):
+        machine = HardwareSATAccelerator(pigeonhole(3))
+        result = machine.run()
+        assert result.is_unsat
+        assert machine.hw.decisions > 0
+        assert machine.hw.conflicts > 0
+        assert machine.hw.backtrack_clocks > 0
+        assert machine.hw.clocks >= machine.hw.decisions
+
+    def test_speedup_estimate(self):
+        from repro.solvers.cdcl import CDCLSolver
+        formula = pigeonhole(3)
+        machine = HardwareSATAccelerator(formula)
+        machine.run()
+        software = CDCLSolver(pigeonhole(3)).solve()
+        ratio = estimate_speedup(formula,
+                                 software.stats.propagations,
+                                 machine.hw)
+        assert ratio > 0
+
+    def test_tautologies_dropped(self):
+        formula = CNFFormula(2)
+        formula.add_clause([1, -1])
+        formula.add_clause([2])
+        result = HardwareSATAccelerator(formula).run()
+        assert result.is_sat
+        assert result.assignment.value_of(2) is True

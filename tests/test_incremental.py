@@ -1,0 +1,87 @@
+"""Unit tests for repro.solvers.incremental (Section 6)."""
+
+from repro.cnf.formula import CNFFormula
+from repro.cnf.generators import pigeonhole
+from repro.solvers.incremental import IncrementalSolver
+
+
+class TestBasics:
+    def test_empty_start(self):
+        solver = IncrementalSolver()
+        assert solver.solve().is_sat
+
+    def test_monotonic_growth(self):
+        solver = IncrementalSolver()
+        a = solver.new_var()
+        b = solver.new_var()
+        solver.add_clause([a, b])
+        assert solver.solve().is_sat
+        solver.add_clause([-a])
+        solver.add_clause([-b])
+        assert solver.solve().is_unsat
+
+    def test_seed_formula(self, tiny_sat_formula):
+        solver = IncrementalSolver(tiny_sat_formula)
+        assert solver.solve().is_sat
+        assert solver.num_vars == 3
+
+    def test_seed_formula_not_mutated(self, tiny_sat_formula):
+        before = tiny_sat_formula.num_clauses
+        solver = IncrementalSolver(tiny_sat_formula)
+        solver.add_clause([-3])
+        assert tiny_sat_formula.num_clauses == before
+
+    def test_call_counter(self):
+        solver = IncrementalSolver()
+        solver.new_var()
+        solver.add_clause([1])
+        solver.solve()
+        solver.solve()
+        assert solver.calls == 2
+
+
+class TestAssumptions:
+    def test_retractable_queries(self, tiny_sat_formula):
+        solver = IncrementalSolver(tiny_sat_formula)
+        assert solver.solve(assumptions=[-2]).is_unsat  # b forced true
+        assert solver.solve(assumptions=[2]).is_sat
+        assert solver.solve().is_sat                    # fully retracted
+
+    def test_per_call_stats_are_deltas(self):
+        solver = IncrementalSolver(pigeonhole(4))
+        first = solver.solve()
+        second = solver.solve()
+        assert first.is_unsat and second.is_unsat
+        # Totals accumulate both calls.
+        assert solver.total_stats.conflicts == \
+            first.stats.conflicts + second.stats.conflicts
+
+    def test_learning_persists_across_calls(self):
+        """The iterative-SAT speedup of [25]: the second, related query
+        reuses recorded clauses and needs fewer conflicts."""
+        solver = IncrementalSolver(pigeonhole(4))
+        first = solver.solve()
+        assert solver.learned_clause_count() > 0
+        second = solver.solve()
+        assert second.stats.conflicts <= first.stats.conflicts
+
+    def test_unsat_not_sticky_for_assumptions(self):
+        solver = IncrementalSolver()
+        a = solver.new_var()
+        solver.add_clause([a])
+        assert solver.solve(assumptions=[-a]).is_unsat
+        assert solver.solve().is_sat
+
+
+class TestBudgets:
+    def test_per_call_conflict_budget(self):
+        solver = IncrementalSolver(pigeonhole(6),
+                                   max_conflicts_per_call=2)
+        result = solver.solve()
+        assert result.is_unknown
+
+    def test_budget_refreshes_each_call(self):
+        solver = IncrementalSolver(pigeonhole(4),
+                                   max_conflicts_per_call=100000)
+        assert solver.solve().is_unsat
+        assert solver.solve().is_unsat

@@ -1,0 +1,89 @@
+"""Unit tests for repro.cnf.literals."""
+
+import pytest
+
+from repro.cnf.literals import (
+    check_literal,
+    check_literals,
+    lit_from_var,
+    literal_to_str,
+    negate,
+    polarity,
+    variable,
+)
+
+
+class TestVariable:
+    def test_positive_literal(self):
+        assert variable(7) == 7
+
+    def test_negative_literal(self):
+        assert variable(-7) == 7
+
+
+class TestPolarity:
+    def test_positive(self):
+        assert polarity(3) is True
+
+    def test_negative(self):
+        assert polarity(-3) is False
+
+
+class TestNegate:
+    def test_roundtrip(self):
+        assert negate(negate(5)) == 5
+
+    def test_sign_flip(self):
+        assert negate(5) == -5
+        assert negate(-5) == 5
+
+
+class TestLitFromVar:
+    def test_default_positive(self):
+        assert lit_from_var(4) == 4
+
+    def test_negative(self):
+        assert lit_from_var(4, positive=False) == -4
+
+    def test_rejects_nonpositive_var(self):
+        with pytest.raises(ValueError):
+            lit_from_var(0)
+        with pytest.raises(ValueError):
+            lit_from_var(-2)
+
+
+class TestCheckLiteral:
+    def test_accepts_valid(self):
+        assert check_literal(9) == 9
+        assert check_literal(-9) == -9
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_literal(0)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_literal(True)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_literal(1.0)
+
+    def test_check_literals_tuple(self):
+        assert check_literals([1, -2, 3]) == (1, -2, 3)
+
+    def test_check_literals_propagates_error(self):
+        with pytest.raises(ValueError):
+            check_literals([1, 0])
+
+
+class TestLiteralToStr:
+    def test_default_names(self):
+        assert literal_to_str(3) == "x3"
+        assert literal_to_str(-3) == "x3'"
+
+    def test_custom_names(self):
+        assert literal_to_str(-2, {2: "w"}) == "w'"
+
+    def test_missing_name_falls_back(self):
+        assert literal_to_str(5, {2: "w"}) == "x5"

@@ -1,0 +1,82 @@
+"""Unit tests for repro.solvers.local_search (GSAT/WalkSAT, Section 4)."""
+
+import pytest
+
+from conftest import assert_model_satisfies
+
+from repro.cnf.formula import CNFFormula
+from repro.cnf.generators import pigeonhole, random_ksat_at_ratio
+from repro.solvers.local_search import solve_gsat, solve_walksat
+from repro.solvers.result import Status
+
+
+class TestGSAT:
+    def test_finds_model_on_easy_sat(self, tiny_sat_formula):
+        result = solve_gsat(tiny_sat_formula, seed=0)
+        assert result.is_sat
+        assert_model_satisfies(tiny_sat_formula, result.assignment)
+
+    def test_never_claims_unsat(self, tiny_unsat_formula):
+        result = solve_gsat(tiny_unsat_formula, max_tries=3,
+                            max_flips=50, seed=0)
+        assert result.status is Status.UNKNOWN
+
+    def test_empty_clause_shortcut(self):
+        formula = CNFFormula()
+        formula.add_clause([])
+        assert solve_gsat(formula).is_unsat
+
+    def test_random_sat_instances(self):
+        for seed in range(3):
+            formula = random_ksat_at_ratio(15, ratio=3.0, seed=seed)
+            result = solve_gsat(formula, max_tries=20, max_flips=2000,
+                                seed=seed)
+            if result.is_sat:
+                assert_model_satisfies(formula, result.assignment)
+
+    def test_statistics(self):
+        result = solve_gsat(pigeonhole(3), max_tries=2, max_flips=30,
+                            seed=1)
+        assert result.stats.tries == 2
+        assert result.stats.flips > 0
+
+
+class TestWalkSAT:
+    def test_finds_model_on_easy_sat(self, tiny_sat_formula):
+        result = solve_walksat(tiny_sat_formula, seed=0)
+        assert result.is_sat
+        assert_model_satisfies(tiny_sat_formula, result.assignment)
+
+    def test_never_claims_unsat(self, tiny_unsat_formula):
+        result = solve_walksat(tiny_unsat_formula, max_tries=3,
+                               max_flips=100, seed=0)
+        assert result.status is Status.UNKNOWN
+
+    def test_cannot_refute_pigeonhole(self):
+        """The paper's Section 4 point: local search cannot prove
+        unsatisfiability, which EDA applications routinely need."""
+        result = solve_walksat(pigeonhole(3), max_tries=5,
+                               max_flips=500, seed=0)
+        assert result.status is Status.UNKNOWN
+
+    def test_solves_phase_transition_instances(self):
+        solved = 0
+        for seed in range(5):
+            formula = random_ksat_at_ratio(20, ratio=3.5, seed=seed)
+            result = solve_walksat(formula, max_tries=10,
+                                   max_flips=5000, seed=seed)
+            if result.is_sat:
+                assert_model_satisfies(formula, result.assignment)
+                solved += 1
+        assert solved >= 3      # WalkSAT is strong on satisfiable mixes
+
+    def test_noise_bounds(self):
+        with pytest.raises(ValueError):
+            solve_walksat(CNFFormula(1), noise=1.5)
+
+    def test_deterministic_given_seed(self):
+        formula = random_ksat_at_ratio(12, ratio=3.0, seed=4)
+        left = solve_walksat(formula, seed=11)
+        right = solve_walksat(formula, seed=11)
+        assert left.status == right.status
+        assert left.stats.flips == right.stats.flips

@@ -1,0 +1,59 @@
+"""Tests for multiple backtracing in the Section 5 layer."""
+
+import pytest
+
+from repro.circuits.generators import parity_tree, ripple_carry_adder
+from repro.circuits.library import c17, majority3
+from repro.circuits.simulate import simulate3
+from repro.solvers.circuit_sat import CircuitSATSolver
+from repro.solvers.result import Status
+
+
+class TestMultipleBacktrace:
+    @pytest.mark.parametrize("factory,objective", [
+        (c17, ("G22", True)),
+        (c17, ("G23", False)),
+        (majority3, ("maj", True)),
+        (lambda: ripple_carry_adder(3), ("cout", True)),
+        (lambda: parity_tree(4), ("parity", True)),
+    ])
+    def test_sound_and_certified(self, factory, objective):
+        circuit = factory()
+        name, value = objective
+        solver = CircuitSATSolver(circuit, {name: value},
+                                  backtrace_mode="multiple")
+        result = solver.solve()
+        assert result.is_sat
+        partial = {k: v for k, v in result.input_vector.items()
+                   if v is not None}
+        assert simulate3(circuit, partial)[name] is value
+
+    def test_unsat_objective(self):
+        from repro.circuits.library import figure1_circuit
+        solver = CircuitSATSolver(figure1_circuit(),
+                                  {"z": True, "a": False},
+                                  backtrace_mode="multiple")
+        assert solver.solve().status is Status.UNSATISFIABLE
+
+    def test_agrees_with_simple_mode(self):
+        from repro.circuits.generators import random_circuit
+        for seed in range(4):
+            circuit = random_circuit(5, 14, seed=seed)
+            output = circuit.outputs[0]
+            for value in (False, True):
+                simple = CircuitSATSolver(
+                    circuit, {output: value},
+                    backtrace_mode="simple").solve()
+                multiple = CircuitSATSolver(
+                    circuit, {output: value},
+                    backtrace_mode="multiple").solve()
+                assert simple.is_sat == multiple.is_sat, (seed, value)
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitSATSolver(c17(), {"G22": True},
+                             backtrace_mode="fanwise")
+
+    def test_layer_method_empty_frontier(self):
+        solver = CircuitSATSolver(c17(), {"G22": True})
+        assert solver.layer.multiple_backtrace() is None

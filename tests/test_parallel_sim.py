@@ -1,0 +1,131 @@
+"""Unit tests for repro.circuits.parallel_sim."""
+
+import random
+
+import pytest
+
+from repro.circuits.faults import (
+    StuckAtFault,
+    fault_simulate,
+    full_fault_list,
+)
+from repro.circuits.generators import alu, ripple_carry_adder
+from repro.circuits.library import c17, half_adder
+from repro.circuits.parallel_sim import (
+    pack_vectors,
+    parallel_fault_simulate,
+    random_pattern_coverage,
+    simulate_parallel,
+    unpack_word,
+)
+from repro.circuits.simulate import simulate
+
+
+def random_vectors(circuit, count, seed=0):
+    rng = random.Random(seed)
+    return [{name: rng.random() < 0.5 for name in circuit.inputs}
+            for _ in range(count)]
+
+
+class TestPacking:
+    def test_pack_unpack_roundtrip(self):
+        circuit = half_adder()
+        vectors = random_vectors(circuit, 10, seed=1)
+        words = pack_vectors(circuit, vectors)
+        for name in circuit.inputs:
+            assert unpack_word(words[name], 10) == \
+                [v[name] for v in vectors]
+
+
+class TestParallelSimulation:
+    @pytest.mark.parametrize("factory,count", [
+        (half_adder, 4), (c17, 40), (lambda: ripple_carry_adder(4), 70),
+        (lambda: alu(2), 100),
+    ])
+    def test_matches_scalar_simulation(self, factory, count):
+        circuit = factory()
+        vectors = random_vectors(circuit, count, seed=3)
+        words = simulate_parallel(circuit,
+                                  pack_vectors(circuit, vectors), count)
+        for index, vector in enumerate(vectors):
+            scalar = simulate(circuit, vector)
+            for name in circuit.topological_order():
+                assert bool((words[name] >> index) & 1) == \
+                    scalar[name], (name, index)
+
+    def test_fault_injection_matches(self):
+        circuit = c17()
+        vectors = random_vectors(circuit, 16, seed=4)
+        fault = {"G10": True}
+        words = simulate_parallel(circuit,
+                                  pack_vectors(circuit, vectors), 16,
+                                  faults=fault)
+        for index, vector in enumerate(vectors):
+            scalar = simulate(circuit, vector, faults=fault)
+            for output in circuit.outputs:
+                assert bool((words[output] >> index) & 1) == \
+                    scalar[output]
+
+    def test_constants(self):
+        from repro.circuits.gates import GateType
+        from repro.circuits.netlist import Circuit
+        circuit = Circuit()
+        circuit.add_input("a")
+        circuit.add_const("one", True)
+        circuit.add_gate("y", GateType.AND, ["a", "one"])
+        circuit.set_output("y")
+        words = simulate_parallel(
+            circuit, {"a": 0b1010}, 4)
+        assert words["one"] == 0b1111
+        assert words["y"] == 0b1010
+
+
+class TestParallelFaultSimulation:
+    def test_agrees_with_serial(self):
+        circuit = c17()
+        faults = full_fault_list(circuit)
+        vectors = random_vectors(circuit, 12, seed=5)
+        serial = fault_simulate(circuit, faults, vectors)
+        parallel = parallel_fault_simulate(circuit, faults, vectors)
+        assert serial == parallel
+
+    def test_empty_block(self):
+        circuit = half_adder()
+        result = parallel_fault_simulate(
+            circuit, [StuckAtFault("sum", True)], [])
+        assert result[StuckAtFault("sum", True)] is None
+
+    def test_first_detection_index(self):
+        circuit = half_adder()
+        vectors = [{"a": True, "b": True},       # carry/sa1 masked
+                   {"a": False, "b": False}]     # detects carry/sa1
+        result = parallel_fault_simulate(
+            circuit, [StuckAtFault("carry", True)], vectors)
+        assert result[StuckAtFault("carry", True)] == 1
+
+
+class TestRandomPatternCoverage:
+    def test_c17_random_coverage_high(self):
+        circuit = c17()
+        faults = full_fault_list(circuit)
+        detection, coverage = random_pattern_coverage(circuit, faults,
+                                                      num_patterns=64,
+                                                      seed=0)
+        assert coverage >= 0.9       # c17 is random-pattern testable
+
+    def test_redundant_fault_never_detected(self):
+        from repro.circuits.library import redundant_or_chain
+        circuit = redundant_or_chain()
+        faults = [StuckAtFault("ab", False)]
+        detection, coverage = random_pattern_coverage(circuit, faults,
+                                                      num_patterns=128,
+                                                      seed=1)
+        assert coverage == 0.0
+        assert detection[faults[0]] is None
+
+    def test_deterministic(self):
+        circuit = c17()
+        faults = full_fault_list(circuit)
+        first = random_pattern_coverage(circuit, faults, seed=7)
+        second = random_pattern_coverage(circuit, faults, seed=7)
+        assert first == second

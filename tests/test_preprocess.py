@@ -1,0 +1,162 @@
+"""Unit tests for repro.solvers.preprocess (equivalency reasoning, §6)."""
+
+import pytest
+
+from conftest import brute_force_status
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.formula import CNFFormula
+from repro.cnf.generators import equivalence_ladder, parity_chain
+from repro.solvers.preprocess import (
+    equivalency_reduce,
+    find_equivalences,
+    preprocess,
+)
+
+
+def ladder(pairs=2, payload=None):
+    formula = CNFFormula(2 * pairs)
+    for index in range(1, pairs + 1):
+        a, b = 2 * index - 1, 2 * index
+        formula.add_clause([a, -b])
+        formula.add_clause([-a, b])
+    for clause in payload or []:
+        formula.add_clause(clause)
+    return formula
+
+
+class TestFindEquivalences:
+    def test_same_value_pair(self):
+        # (a + b')(a' + b) => a == b
+        formula = CNFFormula(2)
+        formula.add_clause([1, -2])
+        formula.add_clause([-1, 2])
+        assert find_equivalences(formula) == [(1, 2, True)]
+
+    def test_opposite_value_pair(self):
+        # (a + b)(a' + b') => a == b'
+        formula = CNFFormula(2)
+        formula.add_clause([1, 2])
+        formula.add_clause([-1, -2])
+        assert find_equivalences(formula) == [(1, 2, False)]
+
+    def test_half_pair_not_reported(self):
+        formula = CNFFormula(2)
+        formula.add_clause([1, -2])
+        assert find_equivalences(formula) == []
+
+    def test_longer_clauses_ignored(self):
+        formula = CNFFormula(3)
+        formula.add_clause([1, -2, 3])
+        formula.add_clause([-1, 2, 3])
+        assert find_equivalences(formula) == []
+
+
+class TestEquivalencyReduce:
+    def test_eliminates_variable(self):
+        formula = ladder(1, payload=[[2, 3]])   # b == a; payload (b+c)
+        result = equivalency_reduce(formula)
+        assert result.variables_eliminated == 1
+        assert result.substitution == {2: 1}
+        # payload rewritten onto the representative
+        assert any(list(c) == [1, 3] for c in result.formula)
+
+    def test_opposite_polarity_substitution(self):
+        formula = CNFFormula(3)
+        formula.add_clause([1, 2])
+        formula.add_clause([-1, -2])      # b == a'
+        formula.add_clause([2, 3])
+        result = equivalency_reduce(formula)
+        assert result.substitution == {2: -1}
+        assert any(list(c) == [-1, 3] for c in result.formula)
+
+    def test_contradictory_equivalences(self):
+        # a == b, a == b', both pairs present: x == x' -> UNSAT.
+        formula = CNFFormula(2)
+        formula.add_clause([1, -2])
+        formula.add_clause([-1, 2])
+        formula.add_clause([1, 2])
+        formula.add_clause([-1, -2])
+        result = equivalency_reduce(formula)
+        assert result.formula is None
+
+    def test_chained_classes(self):
+        # a==b, b==c: both collapse onto a.
+        formula = CNFFormula(3)
+        formula.add_clause([1, -2])
+        formula.add_clause([-1, 2])
+        formula.add_clause([2, -3])
+        formula.add_clause([-2, 3])
+        result = equivalency_reduce(formula)
+        assert result.variables_eliminated == 2
+        assert result.substitution[2] == 1
+        assert result.substitution[3] == 1
+
+    def test_lift_model(self):
+        formula = ladder(2, payload=[[1, 3]])
+        result = equivalency_reduce(formula)
+        reduced_model = Assignment({1: True, 3: False})
+        lifted = result.lift_model(reduced_model)
+        assert lifted.value_of(2) is True     # == var1
+        assert lifted.value_of(4) is False    # == var3
+        assert formula.evaluate(
+            lifted.extend_unassigned(range(1, 5))) is True
+
+    def test_preserves_satisfiability(self):
+        for pairs in (2, 3):
+            formula = equivalence_ladder(pairs, seed=pairs)
+            expected = brute_force_status(formula)
+            result = equivalency_reduce(formula)
+            if result.formula is None:
+                assert expected == "UNSAT"
+            else:
+                assert brute_force_status(result.formula) == expected
+
+    def test_parity_chain_shrinks(self):
+        """UNSAT parity chains are equivalence-rich (Section 6's
+        target structure): reduction must eliminate variables."""
+        formula = parity_chain(8)
+        result = equivalency_reduce(formula)
+        if result.formula is not None:
+            assert result.variables_eliminated > 0
+        # contradiction may even be found outright -- also acceptable
+
+
+class TestPreprocessPipeline:
+    def test_detects_unsat_by_units(self):
+        formula = CNFFormula(1)
+        formula.add_clause([1])
+        formula.add_clause([-1])
+        assert preprocess(formula).unsat
+
+    def test_detects_unsat_by_equivalences(self):
+        formula = parity_chain(6)
+        result = preprocess(formula)
+        survived = "UNSAT" if result.unsat else \
+            brute_force_status(result.formula)
+        assert survived == "UNSAT"
+
+    def test_lift_model_through_pipeline(self):
+        formula = equivalence_ladder(3, seed=1)
+        expected = brute_force_status(formula)
+        result = preprocess(formula)
+        if result.unsat:
+            assert expected == "UNSAT"
+            return
+        from repro.solvers.cdcl import solve_cdcl
+        solved = solve_cdcl(result.formula)
+        assert solved.is_sat == (expected == "SAT")
+        if solved.is_sat:
+            lifted = result.lift_model(solved.assignment)
+            total = lifted.extend_unassigned(
+                range(1, formula.num_vars + 1))
+            assert formula.evaluate(total) is True
+
+    def test_recursive_learning_stage(self):
+        formula = CNFFormula(3)
+        formula.add_clause([1, 2])
+        formula.add_clause([-1, 3])
+        formula.add_clause([-2, 3])
+        result = preprocess(formula, equivalency=False,
+                            recursive_learning_depth=1)
+        assert result.forced.get(3) is True

@@ -1,0 +1,182 @@
+"""Unit tests for repro.cnf.pseudo_boolean and repro.apps.optimization."""
+
+import itertools
+
+import pytest
+
+from conftest import brute_force_models, brute_force_status
+
+from repro.apps.optimization import (
+    PBProblem,
+    knapsack_problem,
+    minimize,
+)
+from repro.cnf.formula import CNFFormula
+from repro.cnf.pseudo_boolean import (
+    evaluate_terms,
+    pb_at_least,
+    pb_at_most,
+    pb_equal,
+)
+from repro.solvers.result import Status
+
+
+def projected_models(formula, base_vars):
+    """Models projected onto variables 1..base_vars."""
+    seen = set()
+    for model in brute_force_models(formula, max_vars=18):
+        seen.add(tuple(model[v] for v in range(1, base_vars + 1)))
+    return seen
+
+
+def expected_models(terms, base_vars, predicate):
+    out = set()
+    for bits in itertools.product([False, True], repeat=base_vars):
+        model = {v: bits[v - 1] for v in range(1, base_vars + 1)}
+        if predicate(evaluate_terms(terms, model)):
+            out.add(bits)
+    return out
+
+
+class TestPBAtMost:
+    @pytest.mark.parametrize("weights,bound", [
+        ([1, 1, 1], 2),
+        ([2, 3, 4], 5),
+        ([1, 2, 3, 4], 6),
+        ([5, 5, 5], 4),
+    ])
+    def test_semantics(self, weights, bound):
+        n = len(weights)
+        terms = [(w, i + 1) for i, w in enumerate(weights)]
+        formula = CNFFormula(n)
+        pb_at_most(formula, terms, bound)
+        assert projected_models(formula, n) == \
+            expected_models(terms, n, lambda s: s <= bound)
+
+    def test_negative_bound_unsat(self):
+        formula = CNFFormula(2)
+        pb_at_most(formula, [(1, 1), (1, 2)], -1)
+        assert brute_force_status(formula) == "UNSAT"
+
+    def test_trivial_bound_noop(self):
+        formula = CNFFormula(2)
+        pb_at_most(formula, [(1, 1), (1, 2)], 5)
+        assert formula.num_clauses == 0
+
+    def test_negated_literals(self):
+        # 2*x1' + 1*x2 <= 2
+        terms = [(2, -1), (1, 2)]
+        formula = CNFFormula(2)
+        pb_at_most(formula, terms, 2)
+        assert projected_models(formula, 2) == \
+            expected_models(terms, 2, lambda s: s <= 2)
+
+    def test_zero_weights_dropped(self):
+        formula = CNFFormula(2)
+        pb_at_most(formula, [(0, 1), (1, 2)], 0)
+        models = projected_models(formula, 2)
+        assert (True, False) in models
+        assert (False, True) not in models
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            pb_at_most(CNFFormula(1), [(-1, 1)], 0)
+
+
+class TestPBAtLeastEqual:
+    @pytest.mark.parametrize("weights,bound", [
+        ([1, 1, 1], 2),
+        ([2, 3, 4], 5),
+    ])
+    def test_at_least(self, weights, bound):
+        n = len(weights)
+        terms = [(w, i + 1) for i, w in enumerate(weights)]
+        formula = CNFFormula(n)
+        pb_at_least(formula, terms, bound)
+        assert projected_models(formula, n) == \
+            expected_models(terms, n, lambda s: s >= bound)
+
+    def test_at_least_impossible(self):
+        formula = CNFFormula(2)
+        pb_at_least(formula, [(1, 1), (1, 2)], 3)
+        assert brute_force_status(formula) == "UNSAT"
+
+    def test_equal(self):
+        terms = [(2, 1), (3, 2), (4, 3)]
+        formula = CNFFormula(3)
+        pb_equal(formula, terms, 6)
+        assert projected_models(formula, 3) == \
+            expected_models(terms, 3, lambda s: s == 6)
+
+
+class TestOptimization:
+    def brute_optimum(self, problem, num_vars):
+        best = None
+        for bits in itertools.product([False, True], repeat=num_vars):
+            model = {v: bits[v - 1] for v in range(1, num_vars + 1)}
+            if problem.formula.evaluate(model) is True:
+                cost = evaluate_terms(problem.objective, model)
+                best = cost if best is None else min(best, cost)
+        return best
+
+    @pytest.mark.parametrize("strategy", ["linear", "binary"])
+    def test_weighted_vertex_cover(self, strategy):
+        # Cover edges of a path a-b-c-d with weights 3,1,1,3.
+        problem = PBProblem()
+        variables = [problem.new_var() for _ in range(4)]
+        weights = [3, 1, 1, 3]
+        for left, right in ((0, 1), (1, 2), (2, 3)):
+            problem.add_clause([variables[left], variables[right]])
+        problem.set_objective(list(zip(weights, variables)))
+        base_vars = problem.formula.num_vars
+        solution = minimize(problem, strategy=strategy)
+        assert solution.status is Status.SATISFIABLE
+        assert solution.proven_optimal
+        assert solution.cost == self.brute_optimum(problem, base_vars)
+        assert solution.cost == 2        # pick b and c
+
+    @pytest.mark.parametrize("strategy", ["linear", "binary"])
+    def test_knapsack(self, strategy):
+        weights = [3, 4, 5, 2]
+        values = [4, 5, 6, 3]
+        capacity = 7
+        problem, selections = knapsack_problem(weights, values,
+                                               capacity)
+        solution = minimize(problem, strategy=strategy)
+        assert solution.proven_optimal
+        picked = [i for i, var in enumerate(selections)
+                  if solution.assignment.value_of(var) is True]
+        total_weight = sum(weights[i] for i in picked)
+        total_value = sum(values[i] for i in picked)
+        assert total_weight <= capacity
+        # Brute-force optimum: items {1,3}? w=6 v=8; {2,4}: w=7 v=9;
+        # {0,3}: w=5 v=7; {0,1}: w=7 v=9 -- best value 9.
+        assert total_value == 9
+
+    def test_unsat_constraints(self):
+        problem = PBProblem()
+        var = problem.new_var()
+        problem.add_clause([var])
+        problem.add_clause([-var])
+        problem.set_objective([(1, var)])
+        solution = minimize(problem)
+        assert solution.status is Status.UNSATISFIABLE
+
+    def test_zero_cost_floor(self):
+        problem = PBProblem()
+        var = problem.new_var()
+        problem.add_clause([var, -var])
+        problem.set_objective([(5, var)])
+        solution = minimize(problem)
+        assert solution.cost == 0
+        assert solution.assignment.value_of(var) is not True
+
+    def test_bad_strategy(self):
+        with pytest.raises(ValueError):
+            minimize(PBProblem(), strategy="simulated-annealing")
+
+    def test_bad_objective_cost(self):
+        problem = PBProblem()
+        var = problem.new_var()
+        with pytest.raises(ValueError):
+            problem.set_objective([(0, var)])

@@ -1,0 +1,138 @@
+"""Unit tests for repro.solvers.recursive_learning (Section 4.2, Fig 4)."""
+
+import pytest
+
+from conftest import brute_force_status
+
+from repro.cnf.clause import Clause
+from repro.cnf.formula import CNFFormula
+from repro.experiments.workloads import (
+    FIGURE4_VARS,
+    figure4_condition,
+    figure4_formula,
+)
+from repro.solvers.recursive_learning import (
+    preprocess_recursive_learning,
+    recursive_learn,
+)
+
+
+class TestFigure4:
+    """The paper's worked example, reproduced exactly."""
+
+    def test_necessary_assignment_x_equals_1(self):
+        result = recursive_learn(figure4_formula(), figure4_condition())
+        assert not result.conflict
+        x = FIGURE4_VARS["x"]
+        assert result.necessary[x] is True
+
+    def test_recorded_implicate_matches_paper(self):
+        """The explanation (z=1) & (u=0) => (x=1) in clausal form:
+        (z' + u + x)."""
+        result = recursive_learn(figure4_formula(), figure4_condition())
+        u, x, z = (FIGURE4_VARS[k] for k in "uxz")
+        assert Clause([-z, u, x]) in result.implicates
+
+    def test_implicates_are_entailed(self):
+        formula = figure4_formula()
+        result = recursive_learn(formula, figure4_condition())
+        for implicate in result.implicates:
+            probe = formula.copy()
+            for lit in implicate:
+                probe.add_clause([-lit])
+            assert brute_force_status(probe) == "UNSAT", implicate
+
+    def test_implicate_triggers_during_search(self):
+        """Adding the implicate makes x=1 derivable by plain unit
+        propagation under (z=1, u=0) -- the 'prevents repeated
+        derivation' property."""
+        from repro.cnf.simplify import propagate_units
+        formula = figure4_formula()
+        result = recursive_learn(formula, figure4_condition())
+        for implicate in result.implicates:
+            formula.add_clause(implicate)
+        u, x, z = (FIGURE4_VARS[k] for k in "uxz")
+        formula.add_clause([z])
+        formula.add_clause([-u])
+        propagated = propagate_units(formula)
+        assert propagated.forced.get(x) is True
+
+
+class TestSemantics:
+    def test_conflict_detection(self):
+        formula = CNFFormula(2)
+        formula.add_clause([1, 2])
+        formula.add_clause([1, -2])
+        result = recursive_learn(formula, {1: False})
+        assert result.conflict
+
+    def test_no_condition_backbone(self):
+        # (a)(a' + b): backbone a=1, b=1 found from the empty condition.
+        formula = CNFFormula(2)
+        formula.add_clause([1])
+        formula.add_clause([-1, 2])
+        result = recursive_learn(formula, {})
+        assert result.necessary == {1: True, 2: True}
+        # Unconditioned implicates are unit clauses.
+        assert Clause([1]) in result.implicates
+        assert Clause([2]) in result.implicates
+
+    def test_split_discovers_common_assignment(self):
+        # (a + b), (a' + c), (b' + c): every way of satisfying the
+        # first clause forces c -- pure depth-1 recursive learning.
+        formula = CNFFormula(3)
+        formula.add_clause([1, 2])
+        formula.add_clause([-1, 3])
+        formula.add_clause([-2, 3])
+        result = recursive_learn(formula, {})
+        assert result.necessary.get(3) is True
+
+    def test_depth_2_beats_depth_1(self):
+        # Force a two-level split: satisfying (a + b) leads, in each
+        # branch, to another unresolved clause whose own split forces e.
+        formula = CNFFormula(6)
+        formula.add_clause([1, 2])
+        # branch a: (c + d) with both c and d implying e
+        formula.add_clause([-1, 3, 4])
+        formula.add_clause([-3, 5])
+        formula.add_clause([-4, 5])
+        # branch b: (c' + e)... make b imply e through another split
+        formula.add_clause([-2, 6, 3])
+        formula.add_clause([-6, 5])
+        deep = recursive_learn(formula, {}, depth=2)
+        assert deep.necessary.get(5) is True
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            recursive_learn(CNFFormula(1), {}, depth=0)
+
+    def test_necessary_assignments_preserve_satisfiability(self):
+        from repro.cnf.generators import random_ksat_at_ratio
+        for seed in range(4):
+            formula = random_ksat_at_ratio(8, ratio=3.5, seed=seed)
+            if brute_force_status(formula) != "SAT":
+                continue
+            result = recursive_learn(formula, {})
+            assert not result.conflict
+            probe = formula.copy()
+            for var, value in result.necessary.items():
+                probe.add_clause([var if value else -var])
+            assert brute_force_status(probe) == "SAT"
+
+
+class TestPreprocessing:
+    def test_strengthens_formula(self):
+        formula = CNFFormula(3)
+        formula.add_clause([1, 2])
+        formula.add_clause([-1, 3])
+        formula.add_clause([-2, 3])
+        strengthened, forced = preprocess_recursive_learning(formula)
+        assert forced.get(3) is True
+        assert strengthened.num_clauses > formula.num_clauses
+
+    def test_unsat_detected(self):
+        formula = CNFFormula(1)
+        formula.add_clause([1])
+        formula.add_clause([-1])
+        strengthened, forced = preprocess_recursive_learning(formula)
+        assert strengthened is None

@@ -1,0 +1,122 @@
+"""Unit tests for repro.apps.redundancy (Section 3)."""
+
+from repro.apps.redundancy import (
+    find_redundancies,
+    optimize,
+    remove_redundancy,
+    sweep,
+)
+from repro.apps.equivalence import check_equivalence
+from repro.circuits.faults import StuckAtFault
+from repro.circuits.gates import GateType
+from repro.circuits.library import c17, redundant_or_chain
+from repro.circuits.netlist import Circuit
+from repro.circuits.simulate import exhaustive_truth_table
+
+
+class TestFindRedundancies:
+    def test_absorption_redundancy_found(self):
+        redundancies = find_redundancies(redundant_or_chain())
+        assert StuckAtFault("ab", False) in redundancies
+
+    def test_irredundant_circuit_clean(self):
+        assert find_redundancies(c17()) == []
+
+
+class TestRemoveRedundancy:
+    def test_function_preserved(self):
+        circuit = redundant_or_chain()
+        optimized = remove_redundancy(circuit,
+                                      StuckAtFault("ab", False))
+        report = check_equivalence(circuit, optimized)
+        assert report.equivalent is True
+
+    def test_gates_removed(self):
+        circuit = redundant_or_chain()
+        optimized = remove_redundancy(circuit,
+                                      StuckAtFault("ab", False))
+        assert optimized.num_gates() < circuit.num_gates()
+
+
+class TestSweep:
+    def test_constant_folding(self):
+        circuit = Circuit()
+        circuit.add_input("a")
+        circuit.add_const("zero", False)
+        circuit.add_gate("g", GateType.AND, ["a", "zero"])
+        circuit.add_gate("y", GateType.OR, ["g", "a"])
+        circuit.set_output("y")
+        swept = sweep(circuit)
+        table = exhaustive_truth_table(swept)
+        assert table[(False,)] == (False,)
+        assert table[(True,)] == (True,)
+
+    def test_wire_splicing(self):
+        circuit = Circuit()
+        circuit.add_input("a")
+        circuit.add_const("one", True)
+        circuit.add_gate("g", GateType.AND, ["a", "one"])   # wire to a
+        circuit.add_gate("y", GateType.NOT, ["g"])
+        circuit.set_output("y")
+        swept = sweep(circuit)
+        assert "g" not in swept or swept.node("y").fanins == ("a",)
+        table = exhaustive_truth_table(swept)
+        assert table[(True,)] == (False,)
+
+    def test_dead_logic_eliminated(self):
+        circuit = Circuit()
+        circuit.add_input("a")
+        circuit.add_gate("dead", GateType.NOT, ["a"])
+        circuit.add_gate("y", GateType.BUFFER, ["a"])
+        circuit.set_output("y")
+        swept = sweep(circuit)
+        assert "dead" not in swept
+
+    def test_output_constant_kept_by_name(self):
+        circuit = Circuit()
+        circuit.add_input("a")
+        circuit.add_const("one", True)
+        circuit.add_gate("y", GateType.OR, ["a", "one"])
+        circuit.set_output("y")
+        swept = sweep(circuit)
+        assert "y" in swept.outputs
+        assert exhaustive_truth_table(swept)[(False,)] == (True,)
+
+    def test_inputs_always_preserved(self):
+        circuit = Circuit()
+        circuit.add_input("a")
+        circuit.add_input("unused")
+        circuit.add_gate("y", GateType.BUFFER, ["a"])
+        circuit.set_output("y")
+        assert sweep(circuit).inputs == ["a", "unused"]
+
+
+class TestOptimize:
+    def test_fixpoint_on_redundant_circuit(self):
+        circuit = redundant_or_chain()
+        optimized, report = optimize(circuit)
+        assert report.removals >= 1
+        assert report.optimized_gates < report.original_gates
+        assert report.equivalent is True
+        assert find_redundancies(optimized) == []
+
+    def test_clean_circuit_untouched(self):
+        circuit = c17()
+        optimized, report = optimize(circuit)
+        assert report.removals == 0
+        assert optimized.num_gates() == circuit.num_gates()
+
+    def test_stacked_redundancies(self):
+        # y = OR(a, AND(a, b), AND(a, c)): two removable gates.
+        circuit = Circuit()
+        for name in ("a", "b", "c"):
+            circuit.add_input(name)
+        circuit.add_gate("ab", GateType.AND, ["a", "b"])
+        circuit.add_gate("ac", GateType.AND, ["a", "c"])
+        circuit.add_gate("y", GateType.OR, ["a", "ab", "ac"])
+        circuit.set_output("y")
+        optimized, report = optimize(circuit)
+        assert report.equivalent is True
+        table = exhaustive_truth_table(optimized)
+        for key, outputs in table.items():
+            assert outputs == (key[0],)

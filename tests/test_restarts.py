@@ -1,0 +1,85 @@
+"""Unit tests for repro.solvers.restarts."""
+
+import pytest
+
+from repro.solvers.restarts import (
+    FixedRestarts,
+    GeometricRestarts,
+    LubyRestarts,
+    NoRestarts,
+    luby,
+    make_restart_policy,
+)
+
+
+class TestNoRestarts:
+    def test_never(self):
+        policy = NoRestarts()
+        assert not policy.should_restart(10 ** 9)
+
+
+class TestFixedRestarts:
+    def test_threshold(self):
+        policy = FixedRestarts(10)
+        assert not policy.should_restart(9)
+        assert policy.should_restart(10)
+
+    def test_unchanged_after_restart(self):
+        policy = FixedRestarts(10)
+        policy.on_restart()
+        assert policy.should_restart(10)
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            FixedRestarts(0)
+
+
+class TestGeometricRestarts:
+    def test_growth(self):
+        policy = GeometricRestarts(10, factor=2.0)
+        assert policy.should_restart(10)
+        policy.on_restart()
+        assert not policy.should_restart(19)
+        assert policy.should_restart(20)
+
+    def test_rejects_shrinking_factor(self):
+        with pytest.raises(ValueError):
+            GeometricRestarts(10, factor=0.5)
+
+
+class TestLuby:
+    def test_sequence_prefix(self):
+        expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+        assert [luby(i + 1) for i in range(15)] == expected
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            luby(0)
+
+    def test_policy_advances(self):
+        policy = LubyRestarts(unit=10)
+        assert policy.should_restart(10)      # 10 * luby(1) = 10
+        policy.on_restart()
+        assert policy.should_restart(10)      # 10 * luby(2) = 10
+        policy.on_restart()
+        assert not policy.should_restart(19)  # 10 * luby(3) = 20
+        assert policy.should_restart(20)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("none", NoRestarts),
+        ("fixed", FixedRestarts),
+        ("geometric", GeometricRestarts),
+        ("luby", LubyRestarts),
+    ])
+    def test_known(self, name, cls):
+        assert isinstance(make_restart_policy(name), cls)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_restart_policy("sometimes")
+
+    def test_names(self):
+        assert NoRestarts().name() == "no"
+        assert LubyRestarts().name() == "luby"

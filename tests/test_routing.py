@@ -1,0 +1,107 @@
+"""Unit tests for repro.apps.routing (SAT-based FPGA routing)."""
+
+import pytest
+
+from repro.apps.routing import (
+    Net,
+    channel_density,
+    encode_routing,
+    minimum_tracks,
+    random_channel,
+    route,
+    validate_routing,
+)
+
+
+class TestNet:
+    def test_overlap(self):
+        assert Net("a", 0, 5).overlaps(Net("b", 5, 9))
+        assert Net("a", 0, 4).overlaps(Net("b", 2, 3))
+        assert not Net("a", 0, 4).overlaps(Net("b", 5, 9))
+
+    def test_invalid_span(self):
+        with pytest.raises(ValueError):
+            Net("a", 4, 2)
+
+
+class TestChannelDensity:
+    def test_stacked_intervals(self):
+        nets = [Net("a", 0, 9), Net("b", 0, 9), Net("c", 0, 9)]
+        assert channel_density(nets) == 3
+
+    def test_disjoint_intervals(self):
+        nets = [Net("a", 0, 1), Net("b", 2, 3), Net("c", 4, 5)]
+        assert channel_density(nets) == 1
+
+    def test_staircase(self):
+        nets = [Net("a", 0, 2), Net("b", 1, 3), Net("c", 2, 4)]
+        assert channel_density(nets) == 3   # all overlap at column 2
+
+    def test_empty(self):
+        assert channel_density([]) == 0
+
+
+class TestRoute:
+    def test_routable_within_density(self):
+        nets = [Net("a", 0, 2), Net("b", 1, 3), Net("c", 4, 6)]
+        result = route(nets, tracks=2)
+        assert result.routable is True
+        assert validate_routing(nets, result.assignment)
+
+    def test_unroutable_below_density(self):
+        nets = [Net("a", 0, 5), Net("b", 0, 5), Net("c", 0, 5)]
+        result = route(nets, tracks=2)
+        assert result.routable is False
+
+    def test_single_net(self):
+        result = route([Net("a", 0, 1)], tracks=1)
+        assert result.routable is True
+        assert result.assignment == {"a": 0}
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            encode_routing([Net("a", 0, 1), Net("a", 2, 3)], 1)
+
+    def test_zero_tracks_rejected(self):
+        with pytest.raises(ValueError):
+            route([Net("a", 0, 1)], tracks=0)
+
+
+class TestMinimumTracks:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_density_certificate(self, seed):
+        """Interval conflict graphs are perfect: the SAT minimum must
+        equal the channel density exactly."""
+        nets = random_channel(8, columns=12, seed=seed)
+        result = minimum_tracks(nets)
+        assert result.routable is True
+        assert result.tracks == channel_density(nets)
+        assert validate_routing(nets, result.assignment)
+
+    def test_respects_max_tracks_cap(self):
+        nets = [Net("a", 0, 5), Net("b", 0, 5), Net("c", 0, 5)]
+        result = minimum_tracks(nets, max_tracks=2)
+        assert result.routable is False
+
+
+class TestValidateRouting:
+    def test_rejects_missing_net(self):
+        nets = [Net("a", 0, 1), Net("b", 0, 1)]
+        assert not validate_routing(nets, {"a": 0})
+
+    def test_rejects_conflicting_tracks(self):
+        nets = [Net("a", 0, 3), Net("b", 2, 5)]
+        assert not validate_routing(nets, {"a": 0, "b": 0})
+
+    def test_accepts_valid(self):
+        nets = [Net("a", 0, 3), Net("b", 2, 5)]
+        assert validate_routing(nets, {"a": 0, "b": 1})
+
+
+class TestRandomChannel:
+    def test_deterministic(self):
+        assert random_channel(5, seed=3) == random_channel(5, seed=3)
+
+    def test_within_columns(self):
+        for net in random_channel(10, columns=8, seed=1):
+            assert 0 <= net.left <= net.right < 8

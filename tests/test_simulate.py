@@ -1,0 +1,136 @@
+"""Unit tests for repro.circuits.simulate."""
+
+import pytest
+
+from repro.circuits.gates import GateType
+from repro.circuits.generators import binary_counter, shift_register
+from repro.circuits.library import c17, figure1_circuit, half_adder
+from repro.circuits.netlist import Circuit
+from repro.circuits.simulate import (
+    counts_agreeing,
+    exhaustive_truth_table,
+    next_state,
+    output_values,
+    random_vector,
+    simulate,
+    simulate3,
+    simulate_sequence,
+)
+
+
+class TestCombinational:
+    def test_half_adder_rows(self):
+        circuit = half_adder()
+        for a in (False, True):
+            for b in (False, True):
+                values = simulate(circuit, {"a": a, "b": b})
+                assert values["sum"] == (a != b)
+                assert values["carry"] == (a and b)
+
+    def test_missing_input_raises(self):
+        with pytest.raises(KeyError):
+            simulate(half_adder(), {"a": True})
+
+    def test_figure1_property_reachable(self):
+        circuit = figure1_circuit()
+        values = simulate(circuit, {"a": False, "b": True, "c": True})
+        assert values["z"] is False
+
+    def test_fault_injection(self):
+        circuit = half_adder()
+        values = simulate(circuit, {"a": True, "b": True},
+                          faults={"carry": False})
+        assert values["carry"] is False
+
+    def test_fault_on_input(self):
+        circuit = half_adder()
+        values = simulate(circuit, {"a": True, "b": False},
+                          faults={"a": False})
+        assert values["sum"] is False
+
+
+class TestThreeValued:
+    def test_unknown_propagates(self):
+        circuit = half_adder()
+        values = simulate3(circuit, {"a": True})
+        assert values["sum"] is None
+        assert values["carry"] is None
+
+    def test_controlling_value_decides(self):
+        circuit = half_adder()
+        values = simulate3(circuit, {"a": False})
+        assert values["carry"] is False     # AND with a 0 input
+
+    def test_matches_two_valued_when_total(self):
+        circuit = c17()
+        vector = {name: True for name in circuit.inputs}
+        assert simulate3(circuit, vector) == \
+            {k: v for k, v in simulate(circuit, vector).items()}
+
+
+class TestSequential:
+    def test_shift_register_delay(self):
+        circuit = shift_register(3)
+        vectors = [{"sin": bit} for bit in
+                   (True, False, True, True, False, False)]
+        frames = simulate_sequence(circuit, vectors)
+        outputs = [frame["sout"] for frame in frames]
+        # Output is the input delayed by 3 cycles (zeros before).
+        assert outputs == [False, False, False, True, False, True]
+
+    def test_counter_counts(self):
+        circuit = binary_counter(3)
+        frames = simulate_sequence(circuit,
+                                   [{"en": True}] * 8)
+        rollovers = [frame["rollover"] for frame in frames]
+        assert rollovers == [False] * 7 + [True]
+
+    def test_counter_holds_when_disabled(self):
+        circuit = binary_counter(2)
+        frames = simulate_sequence(circuit, [{"en": False}] * 4)
+        assert all(not frame["rollover"] for frame in frames)
+
+    def test_next_state(self):
+        circuit = shift_register(2)
+        values = simulate(circuit, {"sin": True},
+                          state={"r0": False, "r1": False})
+        state = next_state(circuit, values)
+        assert state == {"r0": True, "r1": False}
+
+    def test_missing_state_raises(self):
+        with pytest.raises(KeyError):
+            simulate(shift_register(1), {"sin": True})
+
+
+class TestHelpers:
+    def test_random_vector_deterministic(self):
+        circuit = c17()
+        assert random_vector(circuit, 42) == random_vector(circuit, 42)
+
+    def test_output_values_projection(self):
+        circuit = half_adder()
+        values = simulate(circuit, {"a": True, "b": False})
+        assert output_values(circuit, values) == \
+            {"sum": True, "carry": False}
+
+    def test_exhaustive_truth_table_size(self):
+        table = exhaustive_truth_table(half_adder())
+        assert len(table) == 4
+        assert table[(True, True)] == (False, True)
+
+    def test_exhaustive_refuses_wide(self):
+        circuit = Circuit()
+        for index in range(20):
+            circuit.add_input(f"i{index}")
+        circuit.add_gate("g", GateType.OR,
+                         [f"i{k}" for k in range(20)])
+        circuit.set_output("g")
+        with pytest.raises(ValueError):
+            exhaustive_truth_table(circuit, max_inputs=16)
+
+    def test_counts_agreeing(self):
+        left = half_adder()
+        right = half_adder()
+        vectors = [{"a": a, "b": b}
+                   for a in (False, True) for b in (False, True)]
+        assert counts_agreeing(left, right, vectors) == 4
