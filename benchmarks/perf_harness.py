@@ -1,0 +1,215 @@
+"""Engine microbenchmark harness: frozen baseline vs live CDCL.
+
+Races the pre-PR1 engine snapshot (``benchmarks/legacy_cdcl.py``)
+against the live ``repro.solvers.cdcl`` on a fixed suite of SAT and
+UNSAT instances -- uniform-random k-SAT across the constrainedness
+spectrum, combinatorial families, and Tseitin-encoded circuit miters
+(the paper's EDA workload).  Both engines run the same VSIDS + Luby +
+phase-saving configuration, and since PR 1 the heap-backed VSIDS
+breaks ties in dict-insertion order exactly like the legacy linear
+scan, so the two engines follow (near-)identical search paths: the
+measured ratio is engine mechanics, not decision luck.
+
+Each instance is timed ``--repeats`` times per engine (interleaved,
+minimum taken) to suppress warm-up noise.  Verdicts must agree; SAT
+models from both engines are verified against the formula.  Results
+are written as JSON (default ``BENCH_PR1.json`` next to this file)
+with per-instance wall-clock and search counters, so the perf
+trajectory of the repo is machine-readable from PR 1 onward.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_harness.py            # full
+    PYTHONPATH=src python benchmarks/perf_harness.py --smoke    # <60 s
+    PYTHONPATH=src python benchmarks/perf_harness.py -o out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from benchmarks.legacy_cdcl import LegacyCDCLSolver, LegacyVSIDS  # noqa: E402
+from repro.cnf.generators import (  # noqa: E402
+    pigeonhole,
+    random_ksat_at_ratio,
+)
+from repro.circuits.generators import (  # noqa: E402
+    carry_select_adder,
+    ripple_carry_adder,
+)
+from repro.circuits.tseitin import encode_miter  # noqa: E402
+from repro.solvers.cdcl import CDCLSolver  # noqa: E402
+from repro.solvers.heuristics import VSIDSHeuristic  # noqa: E402
+from repro.solvers.restarts import make_restart_policy  # noqa: E402
+from repro.solvers.result import Status  # noqa: E402
+
+
+def _miter(width: int):
+    """UNSAT miter of two equivalent adder architectures."""
+    return encode_miter(ripple_carry_adder(width),
+                        carry_select_adder(width)).formula
+
+
+def _mutant_miter(width: int, seed: int):
+    """SAT miter: adder vs a single-gate mutation of itself."""
+    from repro.apps.equivalence import mutate_circuit
+    rca = ripple_carry_adder(width)
+    return encode_miter(rca, mutate_circuit(rca, seed=seed)).formula
+
+
+def build_suite(smoke: bool):
+    """The fixed instance list: (name, formula) pairs.
+
+    The mix spans the regimes the engines see in practice: large
+    underconstrained instances (BCP/decide bound, the paper notes BCP
+    dominates EDA workloads), circuit miters at growing width, and
+    near-threshold / combinatorial refutations (conflict-analysis
+    bound).
+    """
+    suite = [
+        ("rksat-sat-120", random_ksat_at_ratio(120, 4.27, 3, seed=100)),
+        ("rksat-unsat-150", random_ksat_at_ratio(150, 4.27, 3, seed=102)),
+        ("rksat-easy-400", random_ksat_at_ratio(400, 2.5, 3, seed=11)),
+        ("rksat-easy-1000", random_ksat_at_ratio(1000, 2.5, 3, seed=12)),
+        ("php-6", pigeonhole(6)),
+        ("miter-adders-16", _miter(16)),
+        ("miter-mutant-32", _mutant_miter(32, seed=5)),
+        ("miter-adders-32", _miter(32)),
+    ]
+    if not smoke:
+        suite += [
+            ("rksat-easy-1500", random_ksat_at_ratio(1500, 2.5, 3,
+                                                     seed=13)),
+            ("php-7", pigeonhole(7)),
+            ("miter-mutant-48", _mutant_miter(48, seed=1)),
+            ("miter-adders-48", _miter(48)),
+        ]
+    return suite
+
+
+def _run_new(formula):
+    solver = CDCLSolver(
+        formula, heuristic=VSIDSHeuristic(seed=0),
+        restart_policy=make_restart_policy("luby", 64),
+        phase_saving=True)
+    start = time.perf_counter()
+    result = solver.solve()
+    return time.perf_counter() - start, result
+
+
+def _run_old(formula):
+    solver = LegacyCDCLSolver(
+        formula, heuristic=LegacyVSIDS(),
+        restart_policy=make_restart_policy("luby", 64),
+        phase_saving=True)
+    start = time.perf_counter()
+    result = solver.solve()
+    return time.perf_counter() - start, result
+
+
+def _verify_model(formula, result, engine: str, name: str) -> None:
+    if result.status is Status.SATISFIABLE:
+        if not formula.is_satisfied_by(result.assignment):
+            raise AssertionError(
+                f"{engine} returned a non-model on {name}")
+
+
+def bench_instance(name, formula, repeats: int):
+    """Race both engines on one instance; returns the result record."""
+    best_new = best_old = None
+    for _ in range(repeats):
+        elapsed, result = _run_new(formula)
+        if best_new is None or elapsed < best_new[0]:
+            best_new = (elapsed, result)
+        elapsed, result = _run_old(formula)
+        if best_old is None or elapsed < best_old[0]:
+            best_old = (elapsed, result)
+    (new_time, new_result), (old_time, old_result) = best_new, best_old
+
+    if new_result.status is not old_result.status:
+        raise AssertionError(
+            f"verdict mismatch on {name}: new={new_result.status} "
+            f"old={old_result.status}")
+    _verify_model(formula, new_result, "new engine", name)
+    _verify_model(formula, old_result, "legacy engine", name)
+
+    def counters(result):
+        stats = result.stats
+        return {"conflicts": stats.conflicts,
+                "decisions": stats.decisions,
+                "propagations": stats.propagations,
+                "restarts": stats.restarts}
+
+    return {
+        "instance": name,
+        "num_vars": formula.num_vars,
+        "num_clauses": formula.num_clauses,
+        "status": new_result.status.name,
+        "model_verified": new_result.status is Status.SATISFIABLE,
+        "before": {"wall_seconds": round(old_time, 6),
+                   **counters(old_result)},
+        "after": {"wall_seconds": round(new_time, 6),
+                  **counters(new_result)},
+        "speedup": round(old_time / new_time, 3),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small suite + 1 repeat, finishes in <60 s")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repetitions per engine per "
+                             "instance (default: 3, smoke: 1)")
+    parser.add_argument("-o", "--output", default=None,
+                        help="output JSON path (default: BENCH_PR1.json "
+                             "next to this script; '-' for stdout only)")
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats or (1 if args.smoke else 3)
+    records = []
+    for name, formula in build_suite(args.smoke):
+        record = bench_instance(name, formula, repeats)
+        records.append(record)
+        print(f"{name:18s} {record['status']:14s} "
+              f"before {record['before']['wall_seconds']*1000:9.1f}ms  "
+              f"after {record['after']['wall_seconds']*1000:9.1f}ms  "
+              f"x{record['speedup']:.2f}", flush=True)
+
+    speedups = [r["speedup"] for r in records]
+    summary = {
+        "bench": "PR1 CDCL hot-path flattening",
+        "baseline": "benchmarks/legacy_cdcl.py (seed engine @00ba90a)",
+        "config": "VSIDS seed=0, Luby-64 restarts, phase saving",
+        "repeats": repeats,
+        "smoke": args.smoke,
+        "median_speedup": round(statistics.median(speedups), 3),
+        "min_speedup": round(min(speedups), 3),
+        "max_speedup": round(max(speedups), 3),
+        "instances": records,
+    }
+    print(f"median speedup: x{summary['median_speedup']:.2f}  "
+          f"(min x{summary['min_speedup']:.2f}, "
+          f"max x{summary['max_speedup']:.2f})")
+
+    if args.output != "-":
+        out_path = Path(args.output) if args.output \
+            else BENCH_DIR.parent / "BENCH_PR1.json"
+        out_path.write_text(json.dumps(summary, indent=2) + "\n")
+        print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

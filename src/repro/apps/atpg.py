@@ -96,7 +96,9 @@ def solve_fault(circuit: Circuit, fault: StuckAtFault,
 
     *method*: ``"cdcl"`` solves the miter CNF directly;
     ``"circuit"`` runs the Section 5 structural layer on the miter,
-    producing a partial test cube.
+    producing a partial test cube; ``"portfolio"`` races diversified
+    CDCL configurations on the miter CNF
+    (:mod:`repro.solvers.portfolio`).
     """
     faulty = inject_fault(circuit, fault)
     if method == "circuit":
@@ -114,8 +116,13 @@ def solve_fault(circuit: Circuit, fault: StuckAtFault,
         return FaultResult(fault, TestOutcome.ABORTED, stats=result.stats)
 
     encoding = encode_miter(circuit, faulty)
-    solver = CDCLSolver(encoding.formula, max_conflicts=max_conflicts)
-    result = solver.solve()
+    if method == "portfolio":
+        from repro.solvers.portfolio import solve_portfolio
+        result = solve_portfolio(encoding.formula,
+                                 max_conflicts=max_conflicts).result
+    else:
+        solver = CDCLSolver(encoding.formula, max_conflicts=max_conflicts)
+        result = solver.solve()
     if result.is_sat:
         vector = encoding.input_vector(result.assignment, default=False)
         return FaultResult(fault, TestOutcome.DETECTED, vector,

@@ -46,15 +46,23 @@ def check_equivalence(circuit_a: Circuit, circuit_b: Circuit,
                       use_preprocessing: bool = False,
                       use_strash: bool = False,
                       max_conflicts: Optional[int] = 100000,
-                      seed: int = 0) -> EquivalenceReport:
+                      seed: int = 0,
+                      backend: str = "cdcl",
+                      portfolio_processes: Optional[int] = None
+                      ) -> EquivalenceReport:
     """Check functional equivalence of two combinational circuits.
 
     The circuits must share input and output name lists (reorderings
     are not reconciled).  ``use_preprocessing`` enables the Section 6
     equivalency-reasoning pass on the miter CNF; ``use_strash`` merges
     structurally identical miter gates first (the structural half of
-    the hybrid checkers [16, 26]).
+    the hybrid checkers [16, 26]).  ``backend="portfolio"`` races
+    diversified CDCL configurations on the miter
+    (:mod:`repro.solvers.portfolio`) instead of a single engine;
+    ``portfolio_processes`` caps the process count.
     """
+    if backend not in ("cdcl", "portfolio"):
+        raise ValueError(f"unknown backend {backend!r}")
     rng = random.Random(seed)
     for index in range(simulation_vectors):
         vector = random_vector(circuit_a, rng)
@@ -89,8 +97,14 @@ def check_equivalence(circuit_a: Circuit, circuit_b: Circuit,
         eliminated = pre.variables_eliminated
         lift = pre.lift_model
 
-    solver = CDCLSolver(formula, max_conflicts=max_conflicts)
-    result = solver.solve()
+    if backend == "portfolio":
+        from repro.solvers.portfolio import solve_portfolio
+        result = solve_portfolio(formula, processes=portfolio_processes,
+                                 max_conflicts=max_conflicts,
+                                 seed=seed).result
+    else:
+        solver = CDCLSolver(formula, max_conflicts=max_conflicts)
+        result = solver.solve()
     if result.status is Status.UNSATISFIABLE:
         return EquivalenceReport(True,
                                  simulation_vectors=simulation_vectors,

@@ -36,8 +36,16 @@ def _cmd_solve(args) -> int:
             return 20
         lift = pre.lift_model
         formula = pre.formula
-    solver = CDCLSolver(formula, max_conflicts=args.max_conflicts)
-    result = solver.solve()
+    if args.portfolio:
+        from repro.solvers.portfolio import solve_portfolio
+        result = solve_portfolio(formula, processes=args.portfolio,
+                                 max_conflicts=args.max_conflicts)
+        if result.winner:
+            print(f"c portfolio winner: {result.winner}")
+        result = result.result
+    else:
+        solver = CDCLSolver(formula, max_conflicts=args.max_conflicts)
+        result = solver.solve()
     if result.is_sat:
         model = lift(result.assignment) if lift else result.assignment
         print("s SATISFIABLE")
@@ -80,9 +88,12 @@ def _cmd_cec(args) -> int:
 
     left = load_bench(args.left)
     right = load_bench(args.right)
-    report = check_equivalence(left, right,
-                               use_preprocessing=args.preprocess,
-                               use_strash=args.strash)
+    report = check_equivalence(
+        left, right,
+        use_preprocessing=args.preprocess,
+        use_strash=args.strash,
+        backend="portfolio" if args.portfolio else "cdcl",
+        portfolio_processes=args.portfolio or None)
     if report.equivalent is True:
         print("EQUIVALENT")
         return 0
@@ -179,6 +190,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run Preprocess() incl. equivalency "
                             "reasoning first")
     solve.add_argument("--max-conflicts", type=int, default=None)
+    solve.add_argument("--portfolio", type=int, default=0, metavar="N",
+                       help="race N diversified CDCL configurations "
+                            "in parallel (0 = single engine)")
     solve.set_defaults(handler=_cmd_solve)
 
     atpg = commands.add_parser("atpg",
@@ -197,6 +211,9 @@ def build_parser() -> argparse.ArgumentParser:
     cec.add_argument("left")
     cec.add_argument("right")
     cec.add_argument("--preprocess", action="store_true")
+    cec.add_argument("--portfolio", type=int, default=0, metavar="N",
+                     help="race N diversified CDCL configurations on "
+                          "the miter (0 = single engine)")
     cec.add_argument("--strash", action="store_true",
                      help="structurally hash the miter first")
     cec.set_defaults(handler=_cmd_cec)

@@ -14,8 +14,17 @@ backtrack search:
    extends the life of clauses whose unassigned-literal count stays
    small (``deletion="relevance"``), following rel_sat [4].
 
-Propagation uses two watched literals; decisions are delegated to the
-pluggable heuristics of :mod:`repro.solvers.heuristics`; restarts to
+Propagation uses two watched literals over a **flat, literal-indexed
+watch table** (index ``2*var + sign`` -- no dict hashing on the hot
+path) with a dedicated **binary-clause fast path**: two-literal
+clauses are stored as ``(implied literal, clause)`` pairs keyed by the
+falsified literal and propagated without touching watch positions at
+all.  Truth-value tests inside ``_propagate`` are inlined against the
+assignment array rather than routed through ``value_of_literal``.
+See DESIGN.md ("Hot-path data layout") for the layout rationale.
+
+Decisions are delegated to the pluggable heuristics of
+:mod:`repro.solvers.heuristics` (heap-backed since PR 1); restarts to
 :mod:`repro.solvers.restarts`.  Hook points (``on_assign``,
 ``on_unassign``, ``decide_override``, ``early_sat_check``) let the
 circuit-structure layer of Section 5 ride on top of the unmodified
@@ -50,6 +59,12 @@ class _ClauseRef:
     def __repr__(self) -> str:
         tag = "L" if self.learned else "O"
         return f"<{tag}{self.lits}>"
+
+
+def _lit_index(lit: int) -> int:
+    """Flat watch-table slot of *lit*: ``2*var`` for positive literals,
+    ``2*var + 1`` for negative ones."""
+    return lit + lit if lit > 0 else 1 - lit - lit
 
 
 class CDCLSolver:
@@ -132,7 +147,13 @@ class CDCLSolver:
         self._trail: List[int] = []
         self._trail_lim: List[int] = []
         self._qhead = 0
-        self._watches: Dict[int, List[_ClauseRef]] = {}
+        # Flat literal-indexed tables (slot 2*var+sign, see
+        # _lit_index).  _watches holds clauses of length >= 3 watched
+        # at that literal; _bins holds (implied, clause) pairs keyed by
+        # the literal whose falsification triggers the implication.
+        self._watches: List[List[_ClauseRef]] = [[] for _ in range(2 * n)]
+        self._bins: List[List[Tuple[int, _ClauseRef]]] = \
+            [[] for _ in range(2 * n)]
         self._clauses: List[_ClauseRef] = []
         self._learned: List[_ClauseRef] = []
         self._root_conflict = False
@@ -159,8 +180,14 @@ class CDCLSolver:
 
     def _attach(self, ref: _ClauseRef, learned: bool) -> None:
         (self._learned if learned else self._clauses).append(ref)
-        self._watches.setdefault(ref.lits[0], []).append(ref)
-        self._watches.setdefault(ref.lits[1], []).append(ref)
+        lits = ref.lits
+        if len(lits) == 2:
+            a, b = lits
+            self._bins[_lit_index(a)].append((b, ref))
+            self._bins[_lit_index(b)].append((a, ref))
+        else:
+            self._watches[_lit_index(lits[0])].append(ref)
+            self._watches[_lit_index(lits[1])].append(ref)
 
     def add_clause(self, literals: Iterable[int]) -> None:
         """Add a clause between solve calls (incremental interface).
@@ -181,6 +208,8 @@ class CDCLSolver:
         self._values.extend([None] * extra)
         self._level.extend([0] * extra)
         self._antecedent.extend([None] * extra)
+        self._watches.extend([] for _ in range(2 * extra))
+        self._bins.extend([] for _ in range(2 * extra))
         self._num_vars = var
 
     def learned_clauses(self) -> List[Clause]:
@@ -220,7 +249,7 @@ class CDCLSolver:
         self._values[var] = lit > 0
         if self.phase_saving:
             self._saved_phase[var] = lit > 0
-        self._level[var] = self.decision_level
+        self._level[var] = len(self._trail_lim)
         self._antecedent[var] = reason
         self._trail.append(lit)
         if self.on_assign is not None:
@@ -228,48 +257,117 @@ class CDCLSolver:
         return True
 
     def _propagate(self) -> Optional[_ClauseRef]:
-        """Two-watched-literal BCP; returns the conflicting clause."""
-        while self._qhead < len(self._trail):
-            lit = self._trail[self._qhead]
-            self._qhead += 1
+        """Two-watched-literal BCP; returns the conflicting clause.
+
+        This is the hottest loop in the library, so everything is
+        inlined: truth values come straight from the assignment array,
+        watch lists are flat-array slots, binary clauses take the
+        pair-list fast path, and assignments skip ``_enqueue`` (the
+        hooks and phase saving are replicated here).
+        """
+        values = self._values
+        trail = self._trail
+        watches = self._watches
+        bins = self._bins
+        level = self._level
+        antecedent = self._antecedent
+        saved_phase = self._saved_phase if self.phase_saving else None
+        on_assign = self.on_assign
+        dl = len(self._trail_lim)
+        qhead = self._qhead
+        propagations = 0
+        # Deleted refs only exist under an active deletion policy;
+        # skip the per-watcher flag test otherwise.
+        check_deleted = self.deletion != "keep"
+
+        while qhead < len(trail):
+            lit = trail[qhead]
+            qhead += 1
             false_lit = -lit
-            watchers = self._watches.get(false_lit)
+            # Slot of the falsified literal (inlined _lit_index).
+            fidx = lit + lit + 1 if lit > 0 else -(lit + lit)
+
+            # --- Binary fast path: stored implications, no watch
+            # maintenance, no clause-object literal scans.
+            for other, ref in bins[fidx]:
+                ovar = other if other > 0 else -other
+                value = values[ovar]
+                if value is None:
+                    values[ovar] = other > 0
+                    level[ovar] = dl
+                    antecedent[ovar] = ref
+                    trail.append(other)
+                    propagations += 1
+                    if saved_phase is not None:
+                        saved_phase[ovar] = other > 0
+                    if on_assign is not None:
+                        on_assign(other)
+                elif value != (other > 0):
+                    self._qhead = len(trail)
+                    self.stats.propagations += propagations
+                    return ref
+
+            # --- Long clauses: watched literals with in-place
+            # compaction of the watch list.
+            watchers = watches[fidx]
             if not watchers:
                 continue
-            kept: List[_ClauseRef] = []
+            read = write = 0
+            end = len(watchers)
             conflict: Optional[_ClauseRef] = None
-            for index, ref in enumerate(watchers):
-                if ref.deleted:
+            while read < end:
+                ref = watchers[read]
+                read += 1
+                if check_deleted and ref.deleted:
                     continue
                 lits = ref.lits
                 # Normalize: the false watch sits at position 1.
                 if lits[0] == false_lit:
-                    lits[0], lits[1] = lits[1], lits[0]
+                    lits[0] = lits[1]
+                    lits[1] = false_lit
                 first = lits[0]
-                if self.value_of_literal(first) is True:
-                    kept.append(ref)
+                fvar = first if first > 0 else -first
+                fval = values[fvar]
+                if fval is not None and fval == (first > 0):
+                    watchers[write] = ref
+                    write += 1
                     continue
-                moved = False
                 for k in range(2, len(lits)):
-                    if self.value_of_literal(lits[k]) is not False:
-                        lits[1], lits[k] = lits[k], lits[1]
-                        self._watches.setdefault(lits[1], []).append(ref)
-                        moved = True
+                    lk = lits[k]
+                    value = values[lk if lk > 0 else -lk]
+                    if value is None or value == (lk > 0):
+                        lits[1] = lk
+                        lits[k] = false_lit
+                        watches[lk + lk if lk > 0
+                                else 1 - lk - lk].append(ref)
                         break
-                if moved:
-                    continue
-                kept.append(ref)
-                if self.value_of_literal(first) is False:
-                    conflict = ref
-                    kept.extend(
-                        r for r in watchers[index + 1:] if not r.deleted)
-                    break
-                self._enqueue(first, ref)
-                self.stats.propagations += 1
-            self._watches[false_lit] = kept
+                else:
+                    watchers[write] = ref
+                    write += 1
+                    if fval is not None:       # first false: conflict
+                        while read < end:
+                            watchers[write] = watchers[read]
+                            write += 1
+                            read += 1
+                        conflict = ref
+                        break
+                    values[fvar] = first > 0
+                    level[fvar] = dl
+                    antecedent[fvar] = ref
+                    trail.append(first)
+                    propagations += 1
+                    if saved_phase is not None:
+                        saved_phase[fvar] = first > 0
+                    if on_assign is not None:
+                        on_assign(first)
+            del watchers[write:]
             if conflict is not None:
-                self._qhead = len(self._trail)
+                self._qhead = len(trail)
+                self.stats.propagations += propagations
                 return conflict
+
+        self._qhead = qhead
+        self.stats.propagations += propagations
         return None
 
     def _cancel_until(self, level: int) -> None:
@@ -277,16 +375,22 @@ class CDCLSolver:
         if self.decision_level <= level:
             return
         target = self._trail_lim[level]
-        for index in range(len(self._trail) - 1, target - 1, -1):
-            lit = self._trail[index]
-            var = abs(lit)
-            if self.on_unassign is not None:
-                self.on_unassign(lit)
-            self._values[var] = None
-            self._antecedent[var] = None
-        del self._trail[target:]
+        trail = self._trail
+        values = self._values
+        antecedent = self._antecedent
+        on_unassign = self.on_unassign
+        heuristic_unassign = self.heuristic.on_unassign
+        for index in range(len(trail) - 1, target - 1, -1):
+            lit = trail[index]
+            var = lit if lit > 0 else -lit
+            if on_unassign is not None:
+                on_unassign(lit)
+            values[var] = None
+            antecedent[var] = None
+            heuristic_unassign(var)
+        del trail[target:]
         del self._trail_lim[level:]
-        self._qhead = len(self._trail)
+        self._qhead = target
 
     # ------------------------------------------------------------------
     # Conflict analysis (Diagnose)
@@ -300,33 +404,39 @@ class CDCLSolver:
         """
         learned: List[int] = [0]          # placeholder for the UIP
         seen = [False] * (self._num_vars + 1)
+        level = self._level
+        trail = self._trail
+        antecedents = self._antecedent
+        current_level = len(self._trail_lim)
         counter = 0
         lit = None
         reason_lits: Sequence[int] = conflict.lits
-        index = len(self._trail)
+        index = len(trail)
 
         while True:
             for q in reason_lits:
-                if lit is not None and q == lit:
+                if q == lit:
                     continue
-                var = abs(q)
-                if not seen[var] and self._level[var] > 0:
-                    seen[var] = True
-                    if self._level[var] >= self.decision_level:
-                        counter += 1
-                    else:
-                        learned.append(q)
+                var = q if q > 0 else -q
+                if not seen[var]:
+                    lv = level[var]
+                    if lv > 0:
+                        seen[var] = True
+                        if lv >= current_level:
+                            counter += 1
+                        else:
+                            learned.append(q)
             while True:
                 index -= 1
-                if seen[abs(self._trail[index])]:
+                lit = trail[index]
+                var = lit if lit > 0 else -lit
+                if seen[var]:
                     break
-            lit = self._trail[index]
-            var = abs(lit)
             seen[var] = False
             counter -= 1
             if counter == 0:
                 break
-            antecedent = self._antecedent[var]
+            antecedent = antecedents[var]
             reason_lits = antecedent.lits if antecedent is not None else ()
         learned[0] = -lit
 
@@ -334,11 +444,11 @@ class CDCLSolver:
             learned = self._self_subsume(learned)
         if len(learned) == 1:
             return learned, 0
-        backtrack = max(self._level[abs(q)] for q in learned[1:])
+        backtrack = max(level[q if q > 0 else -q] for q in learned[1:])
         # Put a literal of the backtrack level in watch position 1 so
         # the clause stays correctly watched after backjumping.
         for k in range(1, len(learned)):
-            if self._level[abs(learned[k])] == backtrack:
+            if level[abs(learned[k])] == backtrack:
                 learned[1], learned[k] = learned[k], learned[1]
                 break
         return learned, backtrack

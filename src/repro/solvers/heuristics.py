@@ -15,6 +15,15 @@ Implemented policies:
 * :class:`VSIDSHeuristic` -- conflict-driven activity with decay, the
   modern descendant of the paper's "analysis of conflicts" theme.
 
+The scored policies (JW, DLIS, VSIDS) share :class:`LiteralHeap`, a
+lazy max-heap with stale-entry skipping: ``decide`` is O(log n)
+amortized instead of a full scan over the score table, and the
+fixed-order fallback over unscored variables is folded into the heap
+once per solve (zero-score seeding) rather than re-run per decision.
+The engine reports backtracked variables through ``on_unassign`` so
+they re-enter the heap; engines that do not (e.g. plain DPLL) are
+still served correctly by a rebuild when the heap drains.
+
 Every heuristic optionally mixes in random tie-breaking / random value
 flips through ``random_freq``, implementing the controlled uncertainty
 that enables restarts (Section 6).
@@ -22,11 +31,158 @@ that enables restarts (Section 6).
 
 from __future__ import annotations
 
+import heapq
 import random
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.cnf.formula import CNFFormula
-from repro.cnf.literals import variable
+
+
+class LiteralHeap:
+    """Lazy max-heap over literal scores with stale-entry skipping.
+
+    Entries are ``(-score, insertion_rank, literal)`` tuples.  An
+    entry is *stale* when
+    its score no longer matches the score table (the literal was
+    re-bumped since the entry was pushed) or when its variable is
+    currently assigned; stale entries are discarded as they surface.
+    Assigned-and-discarded literals are restored by
+    :meth:`on_unassign` (called by the CDCL engine during
+    backtracking) or, for engines without unassign notifications, by
+    :meth:`rebuild`.
+    """
+
+    __slots__ = ("_heap", "_score", "_rank", "_live", "_seeded_upto")
+
+    def __init__(self):
+        self._heap: List[Tuple[float, int, int]] = []
+        self._score: Dict[int, float] = {}
+        self._rank: Dict[int, int] = {}
+        self._live: set = set()
+        self._seeded_upto = 0
+
+    def reset(self, scores: Dict[int, float]) -> None:
+        """Adopt *scores* as the live score table and heapify it.
+
+        The mapping is kept by reference: later :meth:`bump` calls
+        update it in place, so callers may hold the same dict for
+        introspection.  Ties break on first-insertion order (the
+        ``_rank`` table), matching what a linear max-scan over the
+        dict would return, so heap-backed decisions reproduce the
+        scan-based search path exactly.
+        """
+        self._score = scores
+        self._seeded_upto = 0
+        self._rank = {lit: r for r, lit in enumerate(scores)}
+        rank = self._rank
+        self._heap = [(-s, rank[lit], lit) for lit, s in scores.items()]
+        heapq.heapify(self._heap)
+        self._live = set(scores)
+
+    def bump(self, lit: int, score: float) -> None:
+        """Raise *lit* to *score*; the old heap entry goes stale."""
+        self._score[lit] = score
+        rank = self._rank
+        r = rank.get(lit)
+        if r is None:
+            r = rank[lit] = len(rank)
+        heapq.heappush(self._heap, (-score, r, lit))
+        self._live.add(lit)
+
+    def bump_add(self, lits: Iterable[int], increment: float) -> None:
+        """Add *increment* to every literal in *lits*.
+
+        One call per conflict instead of one :meth:`bump` call per
+        literal -- this sits on the engine's conflict hot path.
+        """
+        score = self._score
+        rank = self._rank
+        heap = self._heap
+        live = self._live
+        push = heapq.heappush
+        for lit in lits:
+            s = score.get(lit, 0.0) + increment
+            score[lit] = s
+            r = rank.get(lit)
+            if r is None:
+                r = rank[lit] = len(rank)
+            push(heap, (-s, r, lit))
+            live.add(lit)
+
+    def rescale(self, factor: float) -> None:
+        """Multiply every score by *factor* (activity rescaling)."""
+        score = self._score
+        for lit in score:
+            score[lit] *= factor
+        rank = self._rank
+        self._heap = [(-s, rank[lit], lit) for lit, s in score.items()]
+        heapq.heapify(self._heap)
+        self._live = set(score)
+
+    def ensure_vars(self, num_vars: int) -> None:
+        """Fold the fixed-order fallback into the heap: every variable
+        up to *num_vars* without a scored literal gets one zero-score
+        positive entry.  Runs the range scan at most once per reset
+        (per solve), not once per decision."""
+        if self._seeded_upto >= num_vars:
+            return
+        score = self._score
+        rank = self._rank
+        for var in range(self._seeded_upto + 1, num_vars + 1):
+            if var not in score and -var not in score:
+                score[var] = 0.0
+                r = rank[var] = len(rank)
+                heapq.heappush(self._heap, (0.0, r, var))
+                self._live.add(var)
+        self._seeded_upto = num_vars
+
+    def on_unassign(self, var: int) -> None:
+        """Re-enter the literals of *var* after backtracking.
+
+        ``_live`` tracks which literals still have a fresh entry in
+        the heap, so the common case -- a variable whose entries never
+        surfaced while it was assigned -- costs two set probes and no
+        heap traffic."""
+        live = self._live
+        score = self._score
+        if var not in live:
+            s = score.get(var)
+            if s is not None:
+                heapq.heappush(self._heap, (-s, self._rank[var], var))
+                live.add(var)
+        nvar = -var
+        if nvar not in live:
+            s = score.get(nvar)
+            if s is not None:
+                heapq.heappush(self._heap, (-s, self._rank[nvar], nvar))
+                live.add(nvar)
+
+    def rebuild(self) -> None:
+        """Repopulate the heap from the score table (recovery path for
+        engines that never call :meth:`on_unassign`)."""
+        rank = self._rank
+        self._heap = [(-s, rank[lit], lit)
+                      for lit, s in self._score.items()]
+        heapq.heapify(self._heap)
+        self._live = set(self._score)
+
+    def pop_best(self, is_assigned) -> Optional[int]:
+        """Pop and return the highest-scored unassigned literal, or
+        ``None`` when the heap holds none."""
+        heap = self._heap
+        score = self._score
+        live = self._live
+        pop = heapq.heappop
+        while heap:
+            neg_score, _, lit = heap[0]
+            pop(heap)
+            if score.get(lit) != -neg_score:
+                continue                   # stale score: re-bumped
+            live.discard(lit)
+            if is_assigned(lit if lit > 0 else -lit):
+                continue                   # restored via on_unassign
+            return lit
+        return None
 
 
 class DecisionHeuristic:
@@ -35,7 +191,8 @@ class DecisionHeuristic:
     ``setup`` is called once per solve with the formula; ``decide``
     must return an unassigned literal (the engine passes a callback
     reporting assignment status).  Event hooks let dynamic policies
-    track search progress.
+    track search progress; ``on_unassign`` in particular feeds the
+    heap-backed policies during backtracking.
     """
 
     def __init__(self, random_freq: float = 0.0,
@@ -53,6 +210,9 @@ class DecisionHeuristic:
 
     def on_restart(self) -> None:
         """Observe a search restart."""
+
+    def on_unassign(self, var: int) -> None:
+        """Observe *var* becoming unassigned during backtracking."""
 
     def decide(self, num_vars: int, is_assigned) -> Optional[int]:
         """Return a decision literal, or ``None`` when all variables
@@ -77,6 +237,34 @@ class DecisionHeuristic:
         return type(self).__name__.replace("Heuristic", "")
 
 
+class HeapBackedHeuristic(DecisionHeuristic):
+    """Shared machinery for score-table policies: a :class:`LiteralHeap`
+    drives ``decide`` and absorbs the fixed-order fallback."""
+
+    def __init__(self, random_freq: float = 0.0,
+                 seed: Optional[int] = None):
+        super().__init__(random_freq, seed)
+        self._heap = LiteralHeap()
+        # Instance-level binding skips one dispatch layer on the
+        # engine's backtracking hot path.
+        self.on_unassign = self._heap.on_unassign
+
+    def decide(self, num_vars: int, is_assigned) -> Optional[int]:
+        pick = self._maybe_random(num_vars, is_assigned)
+        if pick is not False:
+            return pick
+        heap = self._heap
+        heap.ensure_vars(num_vars)
+        lit = heap.pop_best(is_assigned)
+        if lit is None:
+            # Engines without unassign notifications (plain DPLL)
+            # drain the heap; rebuild once and retry before concluding
+            # that every variable is assigned.
+            heap.rebuild()
+            lit = heap.pop_best(is_assigned)
+        return lit
+
+
 class FixedOrderHeuristic(DecisionHeuristic):
     """Branch on the lowest-index unassigned variable, value True."""
 
@@ -97,7 +285,7 @@ class RandomHeuristic(DecisionHeuristic):
         return self._random_decision(num_vars, is_assigned)
 
 
-class JeroslowWangHeuristic(DecisionHeuristic):
+class JeroslowWangHeuristic(HeapBackedHeuristic):
     """Static Jeroslow-Wang: literal weight ``sum 2^-|clause|``.
 
     Computed once at setup; favors literals in many short clauses.
@@ -114,24 +302,10 @@ class JeroslowWangHeuristic(DecisionHeuristic):
             bonus = 2.0 ** -len(clause)
             for lit in clause:
                 self._weights[lit] = self._weights.get(lit, 0.0) + bonus
-
-    def decide(self, num_vars: int, is_assigned) -> Optional[int]:
-        pick = self._maybe_random(num_vars, is_assigned)
-        if pick is not False:
-            return pick
-        best_lit, best_weight = None, -1.0
-        for lit, weight in self._weights.items():
-            if weight > best_weight and not is_assigned(variable(lit)):
-                best_lit, best_weight = lit, weight
-        if best_lit is not None:
-            return best_lit
-        for var in range(1, num_vars + 1):
-            if not is_assigned(var):
-                return var
-        return None
+        self._heap.reset(self._weights)
 
 
-class DLISHeuristic(DecisionHeuristic):
+class DLISHeuristic(HeapBackedHeuristic):
     """Dynamic Largest Individual Sum over the *original* clauses.
 
     True DLIS recounts unresolved clauses each decision; to keep the
@@ -144,27 +318,14 @@ class DLISHeuristic(DecisionHeuristic):
                  seed: Optional[int] = None):
         super().__init__(random_freq, seed)
         self._counts: Dict[int, int] = {}
-        self._ordered: List[int] = []
 
     def setup(self, formula: CNFFormula) -> None:
         self._counts = formula.literal_occurrences()
-        self._ordered = sorted(self._counts,
-                               key=lambda lit: -self._counts[lit])
-
-    def decide(self, num_vars: int, is_assigned) -> Optional[int]:
-        pick = self._maybe_random(num_vars, is_assigned)
-        if pick is not False:
-            return pick
-        for lit in self._ordered:
-            if not is_assigned(variable(lit)):
-                return lit
-        for var in range(1, num_vars + 1):
-            if not is_assigned(var):
-                return var
-        return None
+        self._heap.reset({lit: float(count)
+                          for lit, count in self._counts.items()})
 
 
-class VSIDSHeuristic(DecisionHeuristic):
+class VSIDSHeuristic(HeapBackedHeuristic):
     """Variable State Independent Decaying Sum.
 
     Each literal in a recorded conflict clause gets an activity bump;
@@ -188,31 +349,15 @@ class VSIDSHeuristic(DecisionHeuristic):
         self._increment = self.bump
         for lit, count in formula.literal_occurrences().items():
             self._activity[lit] = 1e-6 * count
+        self._heap.reset(self._activity)
 
     def on_conflict(self, learned_literals: Iterable[int]) -> None:
-        for lit in learned_literals:
-            self._activity[lit] = \
-                self._activity.get(lit, 0.0) + self._increment
+        heap = self._heap
+        heap.bump_add(learned_literals, self._increment)
         self._increment /= self.decay
         if self._increment > 1e100:      # rescale to avoid overflow
-            for lit in self._activity:
-                self._activity[lit] *= 1e-100
             self._increment *= 1e-100
-
-    def decide(self, num_vars: int, is_assigned) -> Optional[int]:
-        pick = self._maybe_random(num_vars, is_assigned)
-        if pick is not False:
-            return pick
-        best_lit, best_score = None, -1.0
-        for lit, score in self._activity.items():
-            if score > best_score and not is_assigned(variable(lit)):
-                best_lit, best_score = lit, score
-        if best_lit is not None:
-            return best_lit
-        for var in range(1, num_vars + 1):
-            if not is_assigned(var):
-                return var
-        return None
+            heap.rescale(1e-100)
 
 
 def make_heuristic(name: str, seed: Optional[int] = None,

@@ -1,0 +1,276 @@
+"""Parallel portfolio solving: race diversified CDCL configurations.
+
+Section 6 of the paper presents randomized restarts as a cheap source
+of run-to-run diversity; modern practice turns that observation into a
+*portfolio*: launch several differently-configured engines on the same
+formula and take the first decisive answer.  Because every
+configuration here is a complete CDCL engine (learning on, no
+unsound shortcuts), all workers agree on SAT/UNSAT and the race only
+affects *which* proof or model arrives first.
+
+Workers run in separate ``multiprocessing`` processes (CDCL is
+CPU-bound, so threads would serialize on the GIL).  The parent blocks
+on a result queue, picks the first decisive verdict, terminates the
+losers, and -- when several decisive results are already queued --
+selects the one from the lowest configuration index so the outcome is
+reproducible.  With ``processes=1`` (or a single configuration) the
+race degrades to an in-process sequential scan over the
+configurations, which keeps the portfolio usable on single-core boxes
+and under test harnesses that must not fork.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.formula import CNFFormula
+from repro.solvers.cdcl import CDCLSolver
+from repro.solvers.heuristics import make_heuristic
+from repro.solvers.restarts import make_restart_policy
+from repro.solvers.result import SolverResult, SolverStats, Status
+
+
+@dataclass(frozen=True)
+class PortfolioConfig:
+    """One engine configuration in the race.
+
+    Everything is a primitive so the config (and the worker arguments
+    built from it) pickle cleanly across the process boundary.
+    """
+
+    name: str
+    heuristic: str = "vsids"
+    restart: str = "luby"
+    restart_interval: int = 64
+    seed: int = 0
+    random_freq: float = 0.0
+    phase_saving: bool = True
+
+    def build_solver(self, formula: CNFFormula,
+                     max_conflicts: Optional[int] = None) -> CDCLSolver:
+        """Instantiate the configured engine on *formula*."""
+        return CDCLSolver(
+            formula,
+            heuristic=make_heuristic(self.heuristic, seed=self.seed,
+                                     random_freq=self.random_freq),
+            restart_policy=make_restart_policy(self.restart,
+                                               self.restart_interval),
+            phase_saving=self.phase_saving,
+            max_conflicts=max_conflicts,
+        )
+
+
+#: The diversification axes cycled by :func:`default_portfolio`:
+#: heuristic x restart policy x randomness x phase saving.  Seeds are
+#: added per slot so repeated axes still differ.
+_DIVERSIFICATION: Tuple[Tuple[str, str, int, float, bool], ...] = (
+    ("vsids", "luby", 64, 0.0, True),
+    ("vsids", "geometric", 100, 0.02, True),
+    ("dlis", "luby", 128, 0.0, False),
+    ("jw", "fixed", 512, 0.05, True),
+    ("vsids", "luby", 32, 0.10, False),
+    ("dlis", "geometric", 64, 0.05, True),
+    ("vsids", "fixed", 256, 0.0, False),
+    ("jw", "luby", 64, 0.10, False),
+)
+
+
+def default_portfolio(n: int, seed: int = 0) -> List[PortfolioConfig]:
+    """*n* diversified configurations (seeds x restarts x heuristics x
+    phase saving), deterministic for a given *seed*."""
+    if n < 1:
+        raise ValueError("portfolio size must be >= 1")
+    configs = []
+    for index in range(n):
+        heur, restart, interval, freq, phases = \
+            _DIVERSIFICATION[index % len(_DIVERSIFICATION)]
+        configs.append(PortfolioConfig(
+            name=f"{heur}-{restart}{interval}-s{seed + index}",
+            heuristic=heur, restart=restart, restart_interval=interval,
+            seed=seed + index, random_freq=freq, phase_saving=phases))
+    return configs
+
+
+@dataclass
+class PortfolioResult:
+    """The winning result plus race bookkeeping."""
+
+    result: SolverResult
+    winner: Optional[str] = None         # winning config name
+    winner_index: Optional[int] = None
+    processes_used: int = 0
+    finished: List[str] = field(default_factory=list)
+
+    @property
+    def status(self) -> Status:
+        return self.result.status
+
+    @property
+    def assignment(self) -> Optional[Assignment]:
+        return self.result.assignment
+
+    @property
+    def stats(self) -> SolverStats:
+        return self.result.stats
+
+
+def _stats_to_dict(stats: SolverStats) -> Dict[str, float]:
+    return {key: getattr(stats, key) for key in (
+        "decisions", "propagations", "conflicts", "backtracks",
+        "learned_clauses", "restarts", "time_seconds")}
+
+
+def _stats_from_dict(payload: Dict[str, float]) -> SolverStats:
+    stats = SolverStats()
+    for key, value in payload.items():
+        setattr(stats, key, value)
+    return stats
+
+
+def _worker(index: int, clause_lits: List[Tuple[int, ...]], num_vars: int,
+            config: PortfolioConfig, max_conflicts: Optional[int],
+            results: multiprocessing.Queue) -> None:
+    """Entry point of one racing process (module-level: picklable).
+
+    The formula travels as plain literal tuples and is rebuilt here;
+    the result travels back as primitives for the same reason.
+    """
+    formula = CNFFormula(num_vars=num_vars, clauses=clause_lits)
+    result = config.build_solver(formula, max_conflicts).solve()
+    model = None
+    if result.assignment is not None:
+        model = {var: result.assignment.value_of(var)
+                 for var in result.assignment.assigned_variables()}
+    results.put((index, result.status.name, model,
+                 _stats_to_dict(result.stats)))
+
+
+def _result_from_payload(payload) -> Tuple[int, SolverResult]:
+    index, status_name, model, stats_dict = payload
+    assignment = Assignment(model) if model is not None else None
+    return index, SolverResult(Status[status_name], assignment,
+                               _stats_from_dict(stats_dict))
+
+
+def _solve_sequential(formula: CNFFormula,
+                      configs: Sequence[PortfolioConfig],
+                      max_conflicts: Optional[int]) -> PortfolioResult:
+    """The ``processes=1`` fallback: try configurations in order,
+    return the first decisive verdict."""
+    last = SolverResult(Status.UNKNOWN)
+    finished = []
+    for index, config in enumerate(configs):
+        last = config.build_solver(formula, max_conflicts).solve()
+        finished.append(config.name)
+        if last.status is not Status.UNKNOWN:
+            return PortfolioResult(last, winner=config.name,
+                                   winner_index=index, processes_used=1,
+                                   finished=finished)
+    return PortfolioResult(last, processes_used=1, finished=finished)
+
+
+def solve_portfolio(formula: CNFFormula,
+                    configs: Optional[Sequence[PortfolioConfig]] = None,
+                    processes: Optional[int] = None,
+                    max_conflicts: Optional[int] = None,
+                    seed: int = 0,
+                    timeout: Optional[float] = None) -> PortfolioResult:
+    """Race a portfolio of CDCL configurations on *formula*.
+
+    ``processes`` defaults to ``os.cpu_count()``; the portfolio runs
+    one process per configuration (default configurations:
+    :func:`default_portfolio` of size ``processes``).  First decisive
+    verdict wins; remaining workers are terminated.  When several
+    decisive verdicts are already in the queue, the lowest
+    configuration index is selected, so results do not depend on
+    scheduling noise.  ``processes=1`` runs the configurations
+    sequentially in-process.  ``timeout`` (seconds) bounds the whole
+    race; on expiry the status is ``UNKNOWN``.
+    """
+    if processes is None:
+        processes = os.cpu_count() or 1
+    if processes < 1:
+        raise ValueError("processes must be >= 1")
+    if configs is None:
+        configs = default_portfolio(max(processes, 1), seed=seed)
+    if not configs:
+        raise ValueError("empty portfolio")
+
+    if processes == 1 or len(configs) == 1:
+        return _solve_sequential(formula, configs, max_conflicts)
+
+    clause_lits = [tuple(clause) for clause in formula.clauses]
+    ctx = multiprocessing.get_context()
+    results: multiprocessing.Queue = ctx.Queue()
+    workers = [
+        ctx.Process(
+            target=_worker,
+            args=(index, clause_lits, formula.num_vars, config,
+                  max_conflicts, results),
+            daemon=True)
+        for index, config in enumerate(configs)
+    ]
+    for worker in workers:
+        worker.start()
+
+    deadline = None if timeout is None else time.monotonic() + timeout
+    payloads = []
+    try:
+        while len(payloads) < len(workers):
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+            try:
+                payloads.append(results.get(
+                    timeout=min(0.2, remaining) if remaining is not None
+                    else 0.2))
+            except queue_mod.Empty:
+                if not any(w.is_alive() for w in workers):
+                    break                 # every worker died or finished
+                continue
+            if payloads[-1][1] != Status.UNKNOWN.name:
+                break                     # decisive: stop the race
+        # Drain without blocking: near-simultaneous finishers take
+        # part in the deterministic selection below.
+        while True:
+            try:
+                payloads.append(results.get_nowait())
+            except queue_mod.Empty:
+                break
+    finally:
+        for worker in workers:
+            if worker.is_alive():
+                worker.terminate()
+        for worker in workers:
+            worker.join(timeout=5.0)
+            if worker.is_alive():
+                worker.kill()
+                worker.join(timeout=5.0)
+        results.close()
+        results.join_thread()
+
+    decisive = sorted(
+        _result_from_payload(p) for p in payloads
+        if p[1] != Status.UNKNOWN.name)
+    finished = [configs[p[0]].name for p in payloads]
+    if decisive:
+        index, result = decisive[0]       # lowest config index wins
+        return PortfolioResult(result, winner=configs[index].name,
+                               winner_index=index,
+                               processes_used=len(workers),
+                               finished=finished)
+    if payloads:                          # all finishers exhausted budget
+        _, result = _result_from_payload(payloads[0])
+        result = replace(result, status=Status.UNKNOWN)
+        return PortfolioResult(result, processes_used=len(workers),
+                               finished=finished)
+    return PortfolioResult(SolverResult(Status.UNKNOWN),
+                           processes_used=len(workers), finished=finished)

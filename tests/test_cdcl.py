@@ -283,6 +283,32 @@ class TestIncrementalInterface:
         result = solver.solve()
         assert result.is_sat
 
+    def test_add_clause_grows_every_per_variable_structure(self):
+        # Regression guard for the flat-array layout: a clause beyond
+        # the original universe must extend the assignment array, the
+        # level array, the antecedent array, and both literal-indexed
+        # watch tables (2 slots per variable) consistently -- and the
+        # heuristic must be able to branch on the new variables.
+        formula = CNFFormula(3)
+        formula.add_clause([1, 2, 3])
+        solver = CDCLSolver(formula)
+        solver.add_clause([-3, 7, 9])   # long clause beyond num_vars
+        solver.add_clause([8, 9])       # binary pair beyond num_vars
+        assert solver._num_vars == 9
+        assert len(solver._values) == 10
+        assert len(solver._level) == 10
+        assert len(solver._antecedent) == 10
+        assert len(solver._watches) == 20
+        assert len(solver._bins) == 20
+        result = solver.solve()
+        assert result.is_sat
+        # The added clauses constrain the new variables for real.
+        assignment = result.assignment
+        assert assignment.literal_value(8) or assignment.literal_value(9)
+        solver.add_clause([-8])
+        solver.add_clause([-9])
+        assert solver.solve().is_unsat
+
     def test_add_unit_clause(self):
         formula = CNFFormula(2)
         formula.add_clause([1, 2])

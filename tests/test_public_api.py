@@ -47,6 +47,7 @@ PUBLIC_MODULES = [
     "repro.solvers.preprocess",
     "repro.solvers.circuit_sat",
     "repro.solvers.incremental",
+    "repro.solvers.portfolio",
     "repro.solvers.forward_implication",
     "repro.solvers.proof",
     "repro.bdd",
