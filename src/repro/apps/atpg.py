@@ -37,6 +37,7 @@ from repro.circuits.gates import GateType
 from repro.circuits.netlist import Circuit
 from repro.circuits.simulate import simulate
 from repro.circuits.tseitin import encode_circuit, encode_miter
+from repro.runtime.budget import Budget
 from repro.solvers.cdcl import CDCLSolver
 from repro.solvers.circuit_sat import CircuitSATSolver
 from repro.solvers.incremental import IncrementalSolver
@@ -67,10 +68,17 @@ class FaultResult:
 
 @dataclass
 class ATPGReport:
-    """Aggregate outcome over a fault list."""
+    """Aggregate outcome over a fault list.
+
+    ``budget_exhausted`` marks a run cut short by its
+    :class:`~repro.runtime.budget.Budget`: the per-fault results up to
+    the cutoff are complete and trustworthy (partial result, not an
+    error); faults never attempted are reported ABORTED.
+    """
 
     results: List[FaultResult] = field(default_factory=list)
     vectors: List[Dict[str, bool]] = field(default_factory=list)
+    budget_exhausted: bool = False
 
     def count(self, outcome: TestOutcome) -> int:
         """Number of faults with the given outcome."""
@@ -91,21 +99,24 @@ class ATPGReport:
 
 def solve_fault(circuit: Circuit, fault: StuckAtFault,
                 method: str = "cdcl",
-                max_conflicts: Optional[int] = 20000) -> FaultResult:
+                max_conflicts: Optional[int] = 20000,
+                budget: Optional[Budget] = None) -> FaultResult:
     """Generate a test for one fault (or prove it redundant).
 
     *method*: ``"cdcl"`` solves the miter CNF directly;
     ``"circuit"`` runs the Section 5 structural layer on the miter,
     producing a partial test cube; ``"portfolio"`` races diversified
     CDCL configurations on the miter CNF
-    (:mod:`repro.solvers.portfolio`).
+    (:mod:`repro.solvers.portfolio`).  *budget* bounds the solver
+    call (deadline / counters / memory); exhaustion yields ABORTED.
     """
     faulty = inject_fault(circuit, fault)
     if method == "circuit":
         from repro.circuits.tseitin import build_miter
         miter, _ = build_miter(circuit, faulty)
         solver = CircuitSATSolver(miter, {"miter_out": True},
-                                  max_conflicts=max_conflicts)
+                                  max_conflicts=max_conflicts,
+                                  budget=budget)
         result = solver.solve()
         if result.status is Status.SATISFIABLE:
             return FaultResult(fault, TestOutcome.DETECTED,
@@ -119,9 +130,11 @@ def solve_fault(circuit: Circuit, fault: StuckAtFault,
     if method == "portfolio":
         from repro.solvers.portfolio import solve_portfolio
         result = solve_portfolio(encoding.formula,
-                                 max_conflicts=max_conflicts).result
+                                 max_conflicts=max_conflicts,
+                                 budget=budget).result
     else:
-        solver = CDCLSolver(encoding.formula, max_conflicts=max_conflicts)
+        solver = CDCLSolver(encoding.formula, max_conflicts=max_conflicts,
+                            budget=budget)
         result = solver.solve()
     if result.is_sat:
         vector = encoding.input_vector(result.assignment, default=False)
@@ -149,13 +162,20 @@ class ATPGEngine:
         apply structural fault collapsing before generation.
     max_conflicts:
         per-fault solver budget.
+    budget:
+        run-wide :class:`~repro.runtime.budget.Budget`: the whole
+        fault list shares one deadline / memory ceiling, and each
+        per-fault solve receives only the remaining tail.  On
+        exhaustion the report is partial (``budget_exhausted=True``,
+        unattempted faults ABORTED) -- no exception is raised.
     """
 
     def __init__(self, circuit: Circuit, method: str = "cdcl",
                  fault_dropping: bool = True, collapse: bool = False,
                  random_patterns: int = 0,
                  max_conflicts: Optional[int] = 20000,
-                 seed: int = 0):
+                 seed: int = 0,
+                 budget: Optional[Budget] = None):
         circuit.validate()
         if circuit.is_sequential():
             raise ValueError("combinational ATPG only")
@@ -165,6 +185,7 @@ class ATPGEngine:
         self.collapse = collapse
         self.random_patterns = random_patterns
         self.max_conflicts = max_conflicts
+        self.budget = budget
         self.rng = random.Random(seed)
 
     def fault_list(self) -> List[StuckAtFault]:
@@ -202,14 +223,29 @@ class ATPGEngine:
                 if index is not None:
                     detected_early[fault] = True
 
-        for fault in remaining:
+        meter = self.budget.meter() if self.budget is not None else None
+        for position, fault in enumerate(remaining):
             if detected_early.get(fault):
                 report.results.append(
                     FaultResult(fault,
                                 TestOutcome.DETECTED_BY_SIMULATION))
                 continue
+            if meter is not None and meter.expired():
+                # Graceful degradation: report what was achieved and
+                # mark everything unattempted, instead of raising.
+                report.budget_exhausted = True
+                for leftover in remaining[position:]:
+                    report.results.append(FaultResult(
+                        leftover,
+                        TestOutcome.DETECTED_BY_SIMULATION
+                        if detected_early.get(leftover)
+                        else TestOutcome.ABORTED))
+                break
+            fault_budget = meter.remaining_budget() \
+                if meter is not None else None
             result = solve_fault(self.circuit, fault, self.method,
-                                 self.max_conflicts)
+                                 self.max_conflicts,
+                                 budget=fault_budget)
             report.results.append(result)
             if result.outcome is not TestOutcome.DETECTED:
                 continue
@@ -252,17 +288,20 @@ class IncrementalATPG:
     """
 
     def __init__(self, circuit: Circuit,
-                 max_conflicts_per_fault: Optional[int] = 20000):
+                 max_conflicts_per_fault: Optional[int] = 20000,
+                 budget: Optional[Budget] = None):
         circuit.validate()
         if circuit.is_sequential():
             raise ValueError("combinational ATPG only")
         self.circuit = circuit
+        self.budget = budget
         self.encoding = encode_circuit(circuit)
         self.solver = IncrementalSolver(
             self.encoding.formula,
             max_conflicts_per_call=max_conflicts_per_fault)
 
-    def solve_fault(self, fault: StuckAtFault) -> FaultResult:
+    def solve_fault(self, fault: StuckAtFault,
+                    budget: Optional[Budget] = None) -> FaultResult:
         """Target one fault through the shared solver."""
         cone = sorted(self.circuit.transitive_fanout([fault.node]))
         affected_outputs = [out for out in self.circuit.outputs
@@ -307,7 +346,7 @@ class IncrementalATPG:
         for clause in gate_cnf_clauses(GateType.OR, diff, xor_vars):
             self.solver.add_clause(clause)
 
-        result = self.solver.solve(assumptions=[diff])
+        result = self.solver.solve(assumptions=[diff], budget=budget)
         if result.is_sat:
             vector = self.encoding.input_vector(result.assignment,
                                                 default=False)
@@ -320,11 +359,25 @@ class IncrementalATPG:
 
     def run(self, faults: Optional[Sequence[StuckAtFault]] = None
             ) -> ATPGReport:
-        """Process the fault list through the shared solver."""
+        """Process the fault list through the shared solver.
+
+        Under a run-wide budget the report degrades gracefully:
+        unattempted faults are ABORTED, ``budget_exhausted`` is set.
+        """
         report = ATPGReport()
-        for fault in (faults if faults is not None
-                      else full_fault_list(self.circuit)):
-            result = self.solve_fault(fault)
+        meter = self.budget.meter() if self.budget is not None else None
+        targets = list(faults if faults is not None
+                       else full_fault_list(self.circuit))
+        for position, fault in enumerate(targets):
+            if meter is not None and meter.expired():
+                report.budget_exhausted = True
+                report.results.extend(
+                    FaultResult(leftover, TestOutcome.ABORTED)
+                    for leftover in targets[position:])
+                break
+            fault_budget = meter.remaining_budget() \
+                if meter is not None else None
+            result = self.solve_fault(fault, budget=fault_budget)
             report.results.append(result)
             if result.outcome is TestOutcome.DETECTED:
                 report.vectors.append({k: bool(v)

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional
 
 from repro.circuits.gates import GateType, gate_cnf_clauses
 from repro.circuits.netlist import Circuit
+from repro.runtime.budget import Budget
 from repro.solvers.incremental import IncrementalSolver
 from repro.solvers.result import SolverStats
 
@@ -30,11 +31,15 @@ class BMCResult:
     ``failure_depth`` is the first time frame (0-based) at which the
     property fails; ``None`` when no violation exists within the bound.
     ``trace`` lists one input vector per frame up to the failure.
+    ``budget_exhausted`` marks a sweep cut short by its budget: the
+    property is then proved only for ``depths_proved`` frames, a
+    partial but sound result.
     """
 
     failure_depth: Optional[int]
     trace: List[Dict[str, bool]] = field(default_factory=list)
     depths_proved: int = 0
+    budget_exhausted: bool = False
     stats: SolverStats = field(default_factory=SolverStats)
 
     @property
@@ -97,27 +102,43 @@ class BoundedModelChecker:
         return var_of
 
     def check_output(self, output: str, bad_value: bool = True,
-                     max_depth: int = 10) -> BMCResult:
+                     max_depth: int = 10,
+                     budget: Optional[Budget] = None) -> BMCResult:
         """Safety check: can *output* take *bad_value* within
         ``max_depth`` frames?
 
         Frames are added lazily; each depth is queried under a single
         assumption literal so the solver (and its recorded clauses)
-        persists across depths.
+        persists across depths.  ``budget`` spans the whole sweep --
+        each depth gets the remaining envelope -- and exhaustion stops
+        the sweep with ``budget_exhausted=True`` and the depths proved
+        so far, instead of raising.  A depth the solver could not
+        decide is never counted as proved.
         """
         if output not in self.circuit:
             raise ValueError(f"unknown output {output!r}")
+        meter = budget.meter() if budget is not None else None
         result = BMCResult(None)
         for depth in range(max_depth + 1):
+            if meter is not None and meter.expired():
+                result.budget_exhausted = True
+                return result
             while len(self.frames) <= depth:
                 self._add_frame()
             var = self.frames[depth][output]
             assumption = var if bad_value else -var
-            call = self.solver.solve(assumptions=[assumption])
+            call_budget = (meter.remaining_budget()
+                           if meter is not None else None)
+            call = self.solver.solve(assumptions=[assumption],
+                                     budget=call_budget)
             result.stats.merge(call.stats)
             if call.is_sat:
                 result.failure_depth = depth
                 result.trace = self._extract_trace(call.assignment, depth)
+                return result
+            if not call.is_unsat:
+                # UNKNOWN: this depth is undecided, not proved.
+                result.budget_exhausted = True
                 return result
             result.depths_proved = depth + 1
         return result
@@ -136,12 +157,14 @@ class BoundedModelChecker:
 
 def check_safety(circuit: Circuit, output: str, bad_value: bool = True,
                  max_depth: int = 10,
-                 initial_state: Optional[Dict[str, bool]] = None
+                 initial_state: Optional[Dict[str, bool]] = None,
+                 budget: Optional[Budget] = None
                  ) -> BMCResult:
     """One-shot bounded safety check (see
     :meth:`BoundedModelChecker.check_output`)."""
     checker = BoundedModelChecker(circuit, initial_state)
-    return checker.check_output(output, bad_value, max_depth)
+    return checker.check_output(output, bad_value, max_depth,
+                                budget=budget)
 
 
 def verify_trace(circuit: Circuit, result: BMCResult, output: str,

@@ -21,6 +21,7 @@ from typing import Dict, Optional
 from repro.circuits.netlist import Circuit
 from repro.circuits.simulate import output_values, random_vector, simulate
 from repro.circuits.tseitin import encode_miter
+from repro.runtime.budget import Budget
 from repro.solvers.cdcl import CDCLSolver
 from repro.solvers.preprocess import preprocess
 from repro.solvers.result import SolverStats, Status
@@ -30,7 +31,10 @@ from repro.solvers.result import SolverStats, Status
 class EquivalenceReport:
     """Outcome of an equivalence check.
 
-    ``equivalent`` is ``None`` when the solver budget ran out.
+    ``equivalent`` is ``None`` when the solver budget ran out;
+    ``budget_exhausted`` then says so explicitly.  Even an exhausted
+    check reports its partial progress (simulation vectors tried,
+    variables eliminated, search effort spent).
     """
 
     equivalent: Optional[bool]
@@ -38,6 +42,7 @@ class EquivalenceReport:
     refuted_by_simulation: bool = False
     simulation_vectors: int = 0
     variables_eliminated: int = 0
+    budget_exhausted: bool = False
     stats: SolverStats = field(default_factory=SolverStats)
 
 
@@ -48,7 +53,8 @@ def check_equivalence(circuit_a: Circuit, circuit_b: Circuit,
                       max_conflicts: Optional[int] = 100000,
                       seed: int = 0,
                       backend: str = "cdcl",
-                      portfolio_processes: Optional[int] = None
+                      portfolio_processes: Optional[int] = None,
+                      budget: Optional[Budget] = None
                       ) -> EquivalenceReport:
     """Check functional equivalence of two combinational circuits.
 
@@ -59,7 +65,10 @@ def check_equivalence(circuit_a: Circuit, circuit_b: Circuit,
     the hybrid checkers [16, 26]).  ``backend="portfolio"`` races
     diversified CDCL configurations on the miter
     (:mod:`repro.solvers.portfolio`) instead of a single engine;
-    ``portfolio_processes`` caps the process count.
+    ``portfolio_processes`` caps the process count.  ``budget``
+    bounds the SAT effort (deadline / counters / memory ceiling);
+    exhaustion returns ``equivalent=None`` with
+    ``budget_exhausted=True`` rather than raising.
     """
     if backend not in ("cdcl", "portfolio"):
         raise ValueError(f"unknown backend {backend!r}")
@@ -101,9 +110,10 @@ def check_equivalence(circuit_a: Circuit, circuit_b: Circuit,
         from repro.solvers.portfolio import solve_portfolio
         result = solve_portfolio(formula, processes=portfolio_processes,
                                  max_conflicts=max_conflicts,
-                                 seed=seed).result
+                                 seed=seed, budget=budget).result
     else:
-        solver = CDCLSolver(formula, max_conflicts=max_conflicts)
+        solver = CDCLSolver(formula, max_conflicts=max_conflicts,
+                            budget=budget)
         result = solver.solve()
     if result.status is Status.UNSATISFIABLE:
         return EquivalenceReport(True,
@@ -121,6 +131,7 @@ def check_equivalence(circuit_a: Circuit, circuit_b: Circuit,
     return EquivalenceReport(None,
                              simulation_vectors=simulation_vectors,
                              variables_eliminated=eliminated,
+                             budget_exhausted=True,
                              stats=result.stats)
 
 

@@ -22,11 +22,35 @@ import sys
 from typing import List, Optional
 
 
+def _budget_from_args(args):
+    """Build a :class:`repro.runtime.Budget` from the shared
+    ``--timeout`` / ``--max-memory-mb`` flags (None when unset)."""
+    timeout = getattr(args, "timeout", None)
+    memory = getattr(args, "max_memory_mb", None)
+    if timeout is None and memory is None:
+        return None
+    from repro.runtime.budget import Budget
+    return Budget(wall_seconds=timeout, max_memory_mb=memory)
+
+
+def _add_budget_flags(subparser) -> None:
+    subparser.add_argument("--timeout", type=float, default=None,
+                           metavar="SECONDS",
+                           help="wall-clock budget; exhaustion yields "
+                                "a partial/UNKNOWN result, not an "
+                                "error")
+    subparser.add_argument("--max-memory-mb", type=float, default=None,
+                           metavar="MB",
+                           help="soft ceiling on process RSS; "
+                                "exceeding it stops the search")
+
+
 def _cmd_solve(args) -> int:
     from repro.cnf.dimacs import load_dimacs
     from repro.solvers.cdcl import CDCLSolver
     from repro.solvers.preprocess import preprocess
 
+    budget = _budget_from_args(args)
     formula = load_dimacs(args.file)
     lift = None
     if args.preprocess:
@@ -39,12 +63,14 @@ def _cmd_solve(args) -> int:
     if args.portfolio:
         from repro.solvers.portfolio import solve_portfolio
         result = solve_portfolio(formula, processes=args.portfolio,
-                                 max_conflicts=args.max_conflicts)
+                                 max_conflicts=args.max_conflicts,
+                                 budget=budget)
         if result.winner:
             print(f"c portfolio winner: {result.winner}")
         result = result.result
     else:
-        solver = CDCLSolver(formula, max_conflicts=args.max_conflicts)
+        solver = CDCLSolver(formula, max_conflicts=args.max_conflicts,
+                            budget=budget)
         result = solver.solve()
     if result.is_sat:
         model = lift(result.assignment) if lift else result.assignment
@@ -65,8 +91,11 @@ def _cmd_atpg(args) -> int:
 
     circuit = load_bench(args.file)
     engine = ATPGEngine(circuit, collapse=args.collapse,
-                        fault_dropping=not args.no_dropping)
+                        fault_dropping=not args.no_dropping,
+                        budget=_budget_from_args(args))
     report = engine.run()
+    if report.budget_exhausted:
+        print("note: budget exhausted, report is partial")
     print(f"faults:     {len(report.results)}")
     print(f"detected:   {report.count(TestOutcome.DETECTED)} by SAT, "
           f"{report.count(TestOutcome.DETECTED_BY_SIMULATION)} "
@@ -93,7 +122,8 @@ def _cmd_cec(args) -> int:
         use_preprocessing=args.preprocess,
         use_strash=args.strash,
         backend="portfolio" if args.portfolio else "cdcl",
-        portfolio_processes=args.portfolio or None)
+        portfolio_processes=args.portfolio or None,
+        budget=_budget_from_args(args))
     if report.equivalent is True:
         print("EQUIVALENT")
         return 0
@@ -115,7 +145,14 @@ def _cmd_bmc(args) -> int:
     circuit = load_bench(args.file)
     output = args.output or circuit.outputs[0]
     result = check_safety(circuit, output, bad_value=not args.low,
-                          max_depth=args.depth)
+                          max_depth=args.depth,
+                          budget=_budget_from_args(args))
+    if result.budget_exhausted:
+        print(f"budget exhausted: property proved through depth "
+              f"{result.depths_proved - 1}"
+              if result.depths_proved else
+              "budget exhausted: no depth proved")
+        return 2
     if result.failure_depth is None:
         print(f"property holds through depth {args.depth}")
         return 0
@@ -193,6 +230,7 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--portfolio", type=int, default=0, metavar="N",
                        help="race N diversified CDCL configurations "
                             "in parallel (0 = single engine)")
+    _add_budget_flags(solve)
     solve.set_defaults(handler=_cmd_solve)
 
     atpg = commands.add_parser("atpg",
@@ -204,6 +242,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="disable simulation fault dropping")
     atpg.add_argument("--vectors", action="store_true",
                       help="print the generated vectors")
+    _add_budget_flags(atpg)
     atpg.set_defaults(handler=_cmd_atpg)
 
     cec = commands.add_parser("cec",
@@ -216,6 +255,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "the miter (0 = single engine)")
     cec.add_argument("--strash", action="store_true",
                      help="structurally hash the miter first")
+    _add_budget_flags(cec)
     cec.set_defaults(handler=_cmd_cec)
 
     bmc = commands.add_parser("bmc", help="bounded safety check")
@@ -225,6 +265,7 @@ def build_parser() -> argparse.ArgumentParser:
     bmc.add_argument("--depth", type=int, default=10)
     bmc.add_argument("--low", action="store_true",
                      help="look for value 0 instead of 1")
+    _add_budget_flags(bmc)
     bmc.set_defaults(handler=_cmd_bmc)
 
     delay = commands.add_parser("delay",

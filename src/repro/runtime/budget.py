@@ -1,0 +1,297 @@
+"""Unified effort budgets and the cooperative checkpoint API.
+
+Every engine in the library (CDCL, DPLL, local search, incremental,
+recursive learning) historically grew its own ad-hoc effort caps
+(``max_conflicts``, ``max_flips``, ...).  This module replaces that
+plumbing with one :class:`Budget` value object -- wall-clock deadline,
+search-counter caps, and a soft memory ceiling -- and one
+:class:`BudgetMeter` that engines consult cooperatively.
+
+The paper's Section 4 engines return UNKNOWN when an effort budget is
+exhausted; production EDA flows (hardness estimation for LEC, the
+VLSAT suites) additionally require *wall-clock* budgets that are
+actually enforced.  The design constraint is that enforcement must be
+nearly free on the solver hot path:
+
+* counter caps are plain integer comparisons against
+  :class:`~repro.solvers.result.SolverStats`, taken relative to a
+  baseline snapshot so budgets are per-call even on persistent
+  (incremental) engines;
+* deadline and memory probes are *amortised*: engines report work via
+  :meth:`BudgetMeter.spend` (typically once per ``_propagate`` call,
+  with the propagation count as the cost) and the meter only touches
+  ``time.monotonic()`` / ``getrusage`` every ``check_interval`` units
+  of spent work.  With no wall/memory constraint configured the spend
+  path is a single attribute test (see DESIGN.md, "Cooperative
+  checkpoints").
+
+The meter also carries an optional ``on_checkpoint`` callback fired at
+every amortised probe; the portfolio :mod:`supervisor
+<repro.runtime.supervisor>` uses it as a worker heartbeat.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+try:  # pragma: no cover - absent only on non-POSIX platforms
+    import resource as _resource
+except ImportError:  # pragma: no cover
+    _resource = None
+
+from repro.solvers.result import SolverStats
+
+#: Work units (roughly: propagations) between wall-clock/memory probes.
+#: Large enough that the probe syscalls vanish in the noise, small
+#: enough that deadlines are honoured within a few milliseconds.
+DEFAULT_CHECK_INTERVAL = 4096
+
+
+def process_rss_mb() -> Optional[float]:
+    """High-water resident-set size of this process in MiB.
+
+    Returns ``None`` where ``getrusage`` is unavailable.  Linux
+    reports ``ru_maxrss`` in KiB; macOS in bytes -- both are scaled.
+    """
+    if _resource is None:
+        return None
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    if peak > 1 << 32:          # plausibly bytes (macOS)
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+@dataclass(frozen=True)
+class Budget:
+    """An effort envelope for one solve call.
+
+    All limits are optional; ``Budget()`` is unlimited.  Counter caps
+    are interpreted *relative to the start of the call* (a persistent
+    incremental engine with 1e6 historical conflicts still gets the
+    full ``max_conflicts`` for the next query).
+
+    Parameters
+    ----------
+    wall_seconds:
+        wall-clock deadline for the call.
+    max_conflicts, max_decisions, max_flips:
+        search-effort caps (flips apply to local search).
+    max_memory_mb:
+        soft ceiling on the process high-water RSS; exceeding it stops
+        the search with UNKNOWN rather than risking the OOM killer.
+        "Soft" because Python frees nothing back to the OS -- this
+        detects runaway growth, it cannot undo it.
+    """
+
+    wall_seconds: Optional[float] = None
+    max_conflicts: Optional[int] = None
+    max_decisions: Optional[int] = None
+    max_flips: Optional[int] = None
+    max_memory_mb: Optional[float] = None
+
+    def __post_init__(self):
+        for name in ("wall_seconds", "max_conflicts", "max_decisions",
+                     "max_flips", "max_memory_mb"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+    @property
+    def unlimited(self) -> bool:
+        """True when no limit at all is configured."""
+        return (self.wall_seconds is None and self.max_conflicts is None
+                and self.max_decisions is None and self.max_flips is None
+                and self.max_memory_mb is None)
+
+    def remaining_after(self, elapsed: float) -> "Budget":
+        """The budget left once *elapsed* wall seconds were consumed.
+
+        Counter caps and the memory ceiling pass through unchanged;
+        the deadline shrinks (never below zero).  Used to hand the
+        tail of an app-level budget to the next solver call.
+        """
+        if self.wall_seconds is None:
+            return self
+        return Budget(wall_seconds=max(0.0, self.wall_seconds - elapsed),
+                      max_conflicts=self.max_conflicts,
+                      max_decisions=self.max_decisions,
+                      max_flips=self.max_flips,
+                      max_memory_mb=self.max_memory_mb)
+
+    def meter(self, baseline: Optional[SolverStats] = None,
+              on_checkpoint: Optional[Callable[[], None]] = None,
+              check_interval: int = DEFAULT_CHECK_INTERVAL
+              ) -> "BudgetMeter":
+        """Start the clock: a :class:`BudgetMeter` bound to this
+        budget, with counters measured relative to *baseline*."""
+        return BudgetMeter(self, baseline=baseline,
+                           on_checkpoint=on_checkpoint,
+                           check_interval=check_interval)
+
+
+class BudgetMeter:
+    """Runtime enforcement of one :class:`Budget` (one solve call).
+
+    Engines interact with the meter in two ways:
+
+    * ``spend(cost)`` from the hot path -- amortised; probes the
+      wall clock / memory and fires the heartbeat callback only every
+      ``check_interval`` units of cost.  Sets :attr:`stop_reason`
+      when the deadline or memory ceiling is hit.
+    * ``blown(stats)`` from the control loop (per conflict/decision)
+      -- cheap counter comparisons plus the latched stop flag.
+    """
+
+    __slots__ = ("budget", "started", "deadline", "stop_reason",
+                 "on_checkpoint", "check_interval", "_countdown",
+                 "_active", "_base_conflicts", "_base_decisions",
+                 "_base_flips")
+
+    def __init__(self, budget: Budget,
+                 baseline: Optional[SolverStats] = None,
+                 on_checkpoint: Optional[Callable[[], None]] = None,
+                 check_interval: int = DEFAULT_CHECK_INTERVAL):
+        if check_interval < 1:
+            raise ValueError("check_interval must be >= 1")
+        self.budget = budget
+        self.started = time.monotonic()
+        self.deadline = (None if budget.wall_seconds is None
+                         else self.started + budget.wall_seconds)
+        self.stop_reason: Optional[str] = None
+        self.on_checkpoint = on_checkpoint
+        self.check_interval = check_interval
+        self._countdown = check_interval
+        # The spend() fast path degenerates to `if not self._active`
+        # when nothing time- or memory-shaped needs watching.
+        self._active = (self.deadline is not None
+                        or budget.max_memory_mb is not None
+                        or on_checkpoint is not None)
+        self._base_conflicts = baseline.conflicts if baseline else 0
+        self._base_decisions = baseline.decisions if baseline else 0
+        self._base_flips = baseline.flips if baseline else 0
+
+    # -- hot path ------------------------------------------------------
+
+    def spend(self, cost: int = 1) -> bool:
+        """Report *cost* units of work; True once the budget is blown.
+
+        Amortised: only every ``check_interval`` units does it probe
+        the wall clock and memory and fire the heartbeat callback.
+        """
+        if not self._active:
+            return False
+        self._countdown -= cost
+        if self._countdown > 0:
+            return self.stop_reason is not None
+        self._countdown = self.check_interval
+        return self._probe()
+
+    def _probe(self) -> bool:
+        """The unamortised check: deadline, memory, heartbeat."""
+        if self.on_checkpoint is not None:
+            self.on_checkpoint()
+        if self.stop_reason is not None:
+            return True
+        if (self.deadline is not None
+                and time.monotonic() >= self.deadline):
+            self.stop_reason = "deadline"
+            return True
+        ceiling = self.budget.max_memory_mb
+        if ceiling is not None:
+            rss = process_rss_mb()
+            if rss is not None and rss > ceiling:
+                self.stop_reason = "memory"
+                return True
+        return False
+
+    # -- control loop --------------------------------------------------
+
+    def over_counters(self, stats: SolverStats) -> bool:
+        """Have the (baseline-relative) counter caps been reached?"""
+        budget = self.budget
+        if (budget.max_conflicts is not None
+                and stats.conflicts - self._base_conflicts
+                >= budget.max_conflicts):
+            return True
+        if (budget.max_decisions is not None
+                and stats.decisions - self._base_decisions
+                >= budget.max_decisions):
+            return True
+        if (budget.max_flips is not None
+                and stats.flips - self._base_flips >= budget.max_flips):
+            return True
+        return False
+
+    def blown(self, stats: SolverStats) -> bool:
+        """Full budget test (counters + latched deadline/memory stop).
+
+        Also performs an unamortised probe when a deadline or memory
+        ceiling exists but no work has been spent recently -- so
+        engines that stall without propagating still time out.
+        """
+        if self.stop_reason is not None:
+            return True
+        if self.over_counters(stats):
+            self.stop_reason = "counters"
+            return True
+        if (self.deadline is not None
+                or self.budget.max_memory_mb is not None):
+            return self._probe()
+        return False
+
+    def expired(self) -> bool:
+        """Deadline/memory-only test for app-level control loops
+        (ATPG fault lists, BMC depth sweeps) that have no
+        :class:`SolverStats` of their own."""
+        if self.stop_reason is not None:
+            return True
+        if (self.deadline is None
+                and self.budget.max_memory_mb is None):
+            return False
+        return self._probe()
+
+    @property
+    def elapsed(self) -> float:
+        """Wall seconds since the meter started."""
+        return time.monotonic() - self.started
+
+    def remaining_budget(self) -> Budget:
+        """The unspent tail of the budget (deadline shrunk)."""
+        return self.budget.remaining_after(self.elapsed)
+
+
+def merge_legacy_caps(budget: Optional[Budget],
+                      max_conflicts: Optional[int] = None,
+                      max_decisions: Optional[int] = None,
+                      max_flips: Optional[int] = None
+                      ) -> Optional[Budget]:
+    """Fold pre-runtime keyword caps into a :class:`Budget`.
+
+    Engines keep their historical ``max_conflicts=``-style keywords
+    for compatibility; this combines them with an optional explicit
+    budget, taking the tighter cap where both specify one.  Returns
+    ``None`` when nothing is limited (the engine can then skip meter
+    creation entirely).
+    """
+    if budget is None:
+        if (max_conflicts is None and max_decisions is None
+                and max_flips is None):
+            return None
+        return Budget(max_conflicts=max_conflicts,
+                      max_decisions=max_decisions, max_flips=max_flips)
+
+    def tighter(a: Optional[int], b: Optional[int]) -> Optional[int]:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return min(a, b)
+
+    return Budget(
+        wall_seconds=budget.wall_seconds,
+        max_conflicts=tighter(budget.max_conflicts, max_conflicts),
+        max_decisions=tighter(budget.max_decisions, max_decisions),
+        max_flips=tighter(budget.max_flips, max_flips),
+        max_memory_mb=budget.max_memory_mb)

@@ -1,0 +1,104 @@
+"""Deterministic fault injection for portfolio workers.
+
+The supervisor's recovery paths (crash respawn, hang detection,
+garbage rejection) are unreachable in a healthy run, so CI could never
+exercise them.  A :class:`FaultPlan` travels to each worker process
+(it is a frozen, picklable value object) and tells the worker to
+misbehave in a prescribed, reproducible way:
+
+* **crash** -- die via ``os._exit`` with no result, as a segfaulting
+  or OOM-killed engine would;
+* **hang** -- spin forever without heartbeating, as a livelocked or
+  deadlocked engine would;
+* **garbage** -- report a malformed or false payload (bad status
+  name, non-model "model"), as a corrupted engine would.
+
+Faults are keyed by ``(worker index, attempt)`` so a plan can say
+"worker 2 crashes on its first two attempts, then behaves", which is
+exactly the shape supervisor tests need: forced failures followed by a
+verifiable recovery.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional
+
+#: Fault kinds understood by :meth:`FaultPlan.action`.
+CRASH = "crash"
+HANG = "hang"
+GARBAGE = "garbage"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Scripted misbehaviour per (worker index, attempt).
+
+    Parameters
+    ----------
+    crashes:
+        worker index -> number of leading attempts that crash.
+        ``{1: 2}`` crashes worker 1 on attempts 0 and 1; attempt 2
+        runs normally.
+    hangs:
+        worker indices that hang on **every** attempt (a hung worker
+        is terminated, not respawned, so one entry is enough).
+    garbage:
+        worker index -> number of leading attempts that return a
+        corrupt payload instead of solving.
+    """
+
+    crashes: Dict[int, int] = field(default_factory=dict)
+    hangs: FrozenSet[int] = field(default_factory=frozenset)
+    garbage: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self):
+        # Normalize so equal plans compare/pickle identically.
+        object.__setattr__(self, "crashes", dict(self.crashes))
+        object.__setattr__(self, "hangs", frozenset(self.hangs))
+        object.__setattr__(self, "garbage", dict(self.garbage))
+
+    def action(self, index: int, attempt: int) -> Optional[str]:
+        """The scripted fault for this (worker, attempt), or None."""
+        if index in self.hangs:
+            return HANG
+        if attempt < self.crashes.get(index, 0):
+            return CRASH
+        if attempt < self.garbage.get(index, 0):
+            return GARBAGE
+        return None
+
+    @classmethod
+    def crash_all_once(cls, num_workers: int) -> "FaultPlan":
+        """Every worker crashes on its first attempt, then recovers --
+        the canonical supervisor-respawn scenario."""
+        return cls(crashes={index: 1 for index in range(num_workers)})
+
+    @classmethod
+    def hang_all(cls, num_workers: int) -> "FaultPlan":
+        """Every worker hangs -- the canonical deadline scenario."""
+        return cls(hangs=frozenset(range(num_workers)))
+
+
+def execute_fault(action: str, index: int, channel) -> None:
+    """Carry out *action* inside a worker process.
+
+    ``crash`` and ``hang`` never return.  ``garbage`` sends a corrupt
+    payload over *channel* (the worker's result pipe) and returns (the
+    worker then exits normally, as a confused-but-alive engine would).
+    """
+    if action == CRASH:
+        # _exit, not sys.exit: no finally blocks, no pipe flushing --
+        # indistinguishable from a hard native crash.
+        os._exit(17)
+    elif action == HANG:
+        while True:           # pragma: no cover - killed externally
+            time.sleep(0.05)
+    elif action == GARBAGE:
+        # Wrong arity AND a bogus status: must fail payload
+        # validation, never parse as a real verdict.
+        channel.send(("garbage", index, "NOT_A_STATUS"))
+    else:
+        raise ValueError(f"unknown fault action {action!r}")

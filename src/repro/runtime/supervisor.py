@@ -1,0 +1,504 @@
+"""Supervised parallel portfolio: heartbeats, respawn, verdict audit.
+
+The PR-1 portfolio raced worker processes and silently dropped any
+that died: a crashed worker just never reported, a hung worker pinned
+a core until the race ended, and a corrupted payload could have been
+believed.  This module wraps the race in a :class:`Supervisor` that
+
+* tracks per-worker liveness through **heartbeats** written from the
+  solvers' cooperative checkpoints (see :mod:`repro.runtime.budget`),
+  so a worker that stops making progress is distinguishable from one
+  that is merely slow;
+* **respawns crashed workers** with bounded retries and exponential
+  backoff, so a transient failure (OOM kill, interpreter abort) does
+  not forfeit that configuration's diversity;
+* **terminates hung workers** once their heartbeat goes stale past
+  ``hang_timeout`` and records them as ``TIMED_OUT``;
+* **audits payloads** -- malformed tuples, unknown status names and
+  SAT claims whose model does not satisfy the formula are rejected
+  and treated as crashes (the worker clearly can't be trusted);
+* enforces the race-wide wall-clock **deadline** from the
+  :class:`~repro.runtime.budget.Budget`, cancelling everything still
+  running when it expires;
+* returns a structured :class:`PortfolioReport` naming every worker's
+  fate instead of only the winner.
+
+Fault injection (:mod:`repro.runtime.faults`) makes all of these
+paths deterministically reachable from tests.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from multiprocessing import connection as mp_connection
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cnf.assignment import Assignment
+from repro.cnf.formula import CNFFormula
+from repro.runtime.budget import Budget
+from repro.runtime.faults import FaultPlan, execute_fault
+from repro.solvers.result import SolverResult, SolverStats, Status
+
+#: Grace period between observing a worker's death and declaring it
+#: crashed: its final payload may still be buffered in its pipe and
+#: not yet drained by the supervisor loop.
+#:
+#: Results travel over one dedicated pipe per worker, NOT a shared
+#: multiprocessing.Queue: terminating a worker while it holds a shared
+#: queue's write lock would poison the queue and deadlock every other
+#: worker's put().  With per-worker pipes a kill can only ever corrupt
+#: the victim's own channel.
+_DEATH_GRACE = 0.25
+
+
+class WorkerOutcome(Enum):
+    """Terminal state of one portfolio worker."""
+
+    SAT = "SAT"                   # reported a (verified) model
+    UNSAT = "UNSAT"               # reported unsatisfiability
+    UNKNOWN = "UNKNOWN"           # exhausted its own budget
+    CRASHED = "CRASHED"           # died without a trustworthy result
+    TIMED_OUT = "TIMED_OUT"       # hung or overran the deadline
+    CANCELLED = "CANCELLED"       # healthy, lost the race
+
+
+@dataclass
+class WorkerReport:
+    """One worker's fate across all of its attempts."""
+
+    index: int
+    name: str
+    outcome: WorkerOutcome
+    attempts: int = 1             # spawns, including respawns
+    stats: Optional[SolverStats] = None
+    wall_seconds: float = 0.0
+
+
+@dataclass
+class PortfolioReport:
+    """Structured outcome of a supervised race.
+
+    ``result`` is the decisive verdict (or UNKNOWN); ``workers`` has
+    one entry per configuration, so no failure is silent.
+    """
+
+    result: SolverResult
+    workers: List[WorkerReport] = field(default_factory=list)
+    winner: Optional[str] = None
+    winner_index: Optional[int] = None
+    wall_seconds: float = 0.0
+    deadline_hit: bool = False
+    total_respawns: int = 0
+
+    @property
+    def status(self) -> Status:
+        return self.result.status
+
+    def outcome_counts(self) -> Dict[WorkerOutcome, int]:
+        """How many workers ended in each state."""
+        counts: Dict[WorkerOutcome, int] = {}
+        for report in self.workers:
+            counts[report.outcome] = counts.get(report.outcome, 0) + 1
+        return counts
+
+
+def stats_to_dict(stats: SolverStats) -> Dict[str, float]:
+    """Primitive (picklable) projection of the racing counters."""
+    return {key: getattr(stats, key) for key in (
+        "decisions", "propagations", "conflicts", "backtracks",
+        "learned_clauses", "restarts", "time_seconds")}
+
+
+def stats_from_dict(payload: Dict[str, float]) -> SolverStats:
+    stats = SolverStats()
+    for key, value in payload.items():
+        setattr(stats, key, value)
+    return stats
+
+
+def _worker_main(index: int, attempt: int,
+                 clause_lits: List[Tuple[int, ...]], num_vars: int,
+                 config, budget: Optional[Budget],
+                 heartbeats, channel,
+                 fault_plan: Optional[FaultPlan]) -> None:
+    """Entry point of one supervised process (module-level: picklable).
+
+    The formula travels as literal tuples; the verdict travels back as
+    primitives over *channel*, this worker's private pipe end.
+    Heartbeats are written through the solver's cooperative
+    checkpoint, so a worker that stops propagating also stops
+    heartbeating -- which is exactly what hang detection needs.
+    """
+    if fault_plan is not None:
+        action = fault_plan.action(index, attempt)
+        if action is not None:
+            execute_fault(action, index, channel)
+            return                # garbage fault: reported, exit
+
+    def beat() -> None:
+        heartbeats[index] = time.monotonic()
+
+    beat()
+    formula = CNFFormula(num_vars=num_vars, clauses=clause_lits)
+    solver = config.build_solver(formula, budget=budget)
+    solver.on_checkpoint = beat
+    result = solver.solve()
+    beat()
+    model = None
+    if result.assignment is not None:
+        model = {var: result.assignment.value_of(var)
+                 for var in result.assignment.assigned_variables()}
+    channel.send((index, attempt, result.status.name, model,
+                  stats_to_dict(result.stats)))
+    channel.close()
+
+
+class _Slot:
+    """Mutable supervisor-side state of one configuration."""
+
+    __slots__ = ("index", "config", "proc", "conn", "attempts",
+                 "outcome", "result", "stats", "respawn_at", "died_at",
+                 "spawned_at", "finished_at")
+
+    def __init__(self, index: int, config):
+        self.index = index
+        self.config = config
+        self.proc = None
+        self.conn = None              # supervisor end of the pipe
+        self.attempts = 0
+        self.outcome: Optional[WorkerOutcome] = None
+        self.result: Optional[SolverResult] = None
+        self.stats: Optional[SolverStats] = None
+        self.respawn_at: Optional[float] = None
+        self.died_at: Optional[float] = None
+        self.spawned_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    @property
+    def settled(self) -> bool:
+        return self.outcome is not None
+
+
+class Supervisor:
+    """Run a portfolio race under full resource governance.
+
+    Parameters
+    ----------
+    configs:
+        portfolio configurations; each must provide ``name`` and
+        ``build_solver(formula, budget=...)``
+        (:class:`repro.solvers.portfolio.PortfolioConfig` does).
+    budget:
+        race-wide :class:`Budget`.  Its wall-clock deadline bounds the
+        whole race; its counter caps are handed to every worker.
+    max_retries:
+        respawns allowed per configuration after crashes.
+    backoff_seconds:
+        base of the exponential respawn backoff: retry *k* waits
+        ``backoff_seconds * 2**(k-1)``.
+    hang_timeout:
+        seconds of heartbeat silence after which a live worker is
+        declared hung and terminated (``None`` disables detection).
+    fault_plan:
+        scripted misbehaviour for tests (:mod:`repro.runtime.faults`).
+    poll_interval:
+        supervisor wake-up period.
+    """
+
+    def __init__(self, configs: Sequence, *,
+                 budget: Optional[Budget] = None,
+                 max_retries: int = 2,
+                 backoff_seconds: float = 0.1,
+                 hang_timeout: Optional[float] = 10.0,
+                 fault_plan: Optional[FaultPlan] = None,
+                 poll_interval: float = 0.05):
+        if not configs:
+            raise ValueError("empty portfolio")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.configs = list(configs)
+        self.budget = budget or Budget()
+        self.max_retries = max_retries
+        self.backoff_seconds = backoff_seconds
+        self.hang_timeout = hang_timeout
+        self.fault_plan = fault_plan
+        self.poll_interval = poll_interval
+
+    # ------------------------------------------------------------------
+
+    def run(self, formula: CNFFormula) -> PortfolioReport:
+        """Race the configurations on *formula* under supervision."""
+        started = time.monotonic()
+        deadline = (None if self.budget.wall_seconds is None
+                    else started + self.budget.wall_seconds)
+        clause_lits = [tuple(clause) for clause in formula.clauses]
+        ctx = multiprocessing.get_context()
+        heartbeats = ctx.Array("d", len(self.configs))
+        slots = [_Slot(index, config)
+                 for index, config in enumerate(self.configs)]
+        deadline_hit = False
+
+        def spawn(slot: _Slot, now: float) -> None:
+            worker_budget = self.budget
+            if deadline is not None:
+                worker_budget = self.budget.remaining_after(now - started)
+            # A fresh pipe per attempt: the previous one may hold the
+            # torn remains of a killed sender.
+            if slot.conn is not None:
+                slot.conn.close()
+            reader, writer = ctx.Pipe(duplex=False)
+            slot.conn = reader
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(slot.index, slot.attempts, clause_lits,
+                      formula.num_vars, slot.config, worker_budget,
+                      heartbeats, writer, self.fault_plan),
+                daemon=True)
+            slot.attempts += 1
+            slot.respawn_at = None
+            slot.died_at = None
+            slot.spawned_at = now
+            heartbeats[slot.index] = now      # liveness until first beat
+            slot.proc = proc
+            proc.start()
+            writer.close()    # keep only the worker's end open
+
+        def record_payload(target: _Slot, payload, now: float) -> None:
+            _index, status, model, stats = self._validate(payload,
+                                                          clause_lits)
+            if target.settled or target.result is not None:
+                return                        # stale duplicate
+            target.stats = stats
+            target.finished_at = now
+            assignment = Assignment(model) if model is not None else None
+            target.result = SolverResult(status, assignment, stats)
+            if status is Status.UNKNOWN:
+                target.outcome = WorkerOutcome.UNKNOWN
+
+        def reject_payload(target: _Slot, now: float) -> None:
+            """A malformed/false payload: its sender can't be trusted.
+            Treat exactly like a crash of that attempt."""
+            if target.settled or target.result is not None:
+                return
+            if target.proc is not None and target.proc.is_alive():
+                target.proc.terminate()
+            target.died_at = now - _DEATH_GRACE   # fail it immediately
+            self._handle_crash(target, now)
+
+        try:
+            now = time.monotonic()
+            for slot in slots:
+                spawn(slot, now)
+
+            while True:
+                now = time.monotonic()
+                if deadline is not None and now >= deadline:
+                    deadline_hit = True
+                    break
+
+                # Wait on every live worker's pipe, then decide.  The
+                # sender of a payload is identified by its pipe, never
+                # by the (untrusted) index inside the payload.
+                watch = {slot.conn: slot for slot in slots
+                         if slot.conn is not None and not slot.settled
+                         and slot.result is None}
+                timeout = self._poll(deadline, now)
+                if watch:
+                    ready = mp_connection.wait(list(watch), timeout)
+                else:
+                    time.sleep(timeout)       # awaiting respawns only
+                    ready = []
+                for conn in ready:
+                    slot = watch[conn]
+                    now = time.monotonic()
+                    try:
+                        if not conn.poll(0):
+                            continue
+                        payload = conn.recv()
+                    except (EOFError, OSError):
+                        # Sender gone, channel drained; liveness
+                        # supervision decides crash vs. clean exit.
+                        conn.close()
+                        slot.conn = None
+                        continue
+                    if (self._payload_valid(payload, clause_lits)
+                            and payload[0] == slot.index):
+                        record_payload(slot, payload, now)
+                    else:
+                        reject_payload(slot, now)
+
+                if any(s.result is not None
+                       and s.result.status is not Status.UNKNOWN
+                       for s in slots):
+                    break                     # decisive verdict arrived
+
+                now = time.monotonic()
+                self._supervise(slots, spawn, heartbeats, now)
+                if all(s.settled for s in slots):
+                    break                     # nobody left to wait for
+        finally:
+            for slot in slots:
+                if slot.proc is not None and slot.proc.is_alive():
+                    slot.proc.terminate()
+            for slot in slots:
+                if slot.proc is not None:
+                    slot.proc.join(timeout=5.0)
+                    if slot.proc.is_alive():  # pragma: no cover
+                        slot.proc.kill()
+                        slot.proc.join(timeout=5.0)
+                if slot.conn is not None:
+                    slot.conn.close()
+                    slot.conn = None
+
+        return self._assemble(slots, started, deadline_hit)
+
+    # ------------------------------------------------------------------
+
+    def _poll(self, deadline: Optional[float], now: float) -> float:
+        if deadline is None:
+            return self.poll_interval
+        return max(0.0, min(self.poll_interval, deadline - now))
+
+    def _supervise(self, slots: List[_Slot], spawn, heartbeats,
+                   now: float) -> None:
+        """One pass of liveness checks: crashes, hangs, respawns."""
+        for slot in slots:
+            if slot.settled or slot.result is not None:
+                continue
+            if slot.respawn_at is not None:
+                if now >= slot.respawn_at:
+                    spawn(slot, now)
+                continue
+            proc = slot.proc
+            if proc is None:
+                continue
+            if not proc.is_alive():
+                # Possibly crashed -- but its result may still be
+                # buffered in its pipe; allow a grace period so the
+                # drain loop can read it before deciding.
+                if slot.died_at is None:
+                    slot.died_at = now
+                elif now - slot.died_at >= _DEATH_GRACE:
+                    self._handle_crash(slot, now)
+                continue
+            slot.died_at = None
+            if (self.hang_timeout is not None
+                    and now - heartbeats[slot.index] > self.hang_timeout):
+                proc.terminate()
+                slot.outcome = WorkerOutcome.TIMED_OUT
+                slot.finished_at = now
+
+    def _handle_crash(self, slot: _Slot, now: float) -> None:
+        retries_used = slot.attempts - 1
+        if retries_used < self.max_retries:
+            delay = self.backoff_seconds * (2 ** retries_used)
+            slot.respawn_at = now + delay
+            slot.died_at = None
+        else:
+            slot.outcome = WorkerOutcome.CRASHED
+            slot.finished_at = now
+
+    # -- payload validation -------------------------------------------
+
+    def _payload_valid(self, payload, clause_lits) -> bool:
+        if not isinstance(payload, tuple) or len(payload) != 5:
+            return False
+        index, attempt, status_name, model, stats_dict = payload
+        if not isinstance(index, int) or not 0 <= index < len(
+                self.configs):
+            return False
+        if status_name not in Status.__members__:
+            return False
+        if model is not None:
+            if not isinstance(model, dict) or not all(
+                    isinstance(k, int) and isinstance(v, bool)
+                    for k, v in model.items()):
+                return False
+        if Status[status_name] is Status.SATISFIABLE:
+            if model is None or not _model_satisfies(clause_lits, model):
+                return False
+        return True
+
+    def _validate(self, payload, clause_lits):
+        """Parsed (index, status, model, stats) of a valid payload."""
+        index, _attempt, status_name, model, stats_dict = payload
+        stats = stats_from_dict(stats_dict) \
+            if isinstance(stats_dict, dict) else SolverStats()
+        return index, Status[status_name], model, stats
+
+    # -- report assembly ----------------------------------------------
+
+    def _assemble(self, slots: List[_Slot], started: float,
+                  deadline_hit: bool) -> PortfolioReport:
+        now = time.monotonic()
+        decisive = sorted(
+            (slot.index, slot.result) for slot in slots
+            if slot.result is not None
+            and slot.result.status is not Status.UNKNOWN)
+
+        workers: List[WorkerReport] = []
+        for slot in slots:
+            outcome = slot.outcome
+            if outcome is None:
+                if slot.result is not None:
+                    outcome = (WorkerOutcome.SAT
+                               if slot.result.status
+                               is Status.SATISFIABLE
+                               else WorkerOutcome.UNSAT)
+                elif slot.respawn_at is not None:
+                    outcome = WorkerOutcome.CRASHED
+                elif deadline_hit:
+                    outcome = WorkerOutcome.TIMED_OUT
+                else:
+                    outcome = WorkerOutcome.CANCELLED
+            end = slot.finished_at if slot.finished_at is not None \
+                else now
+            begin = slot.spawned_at if slot.spawned_at is not None \
+                else started
+            workers.append(WorkerReport(
+                index=slot.index, name=slot.config.name,
+                outcome=outcome, attempts=slot.attempts,
+                stats=slot.stats,
+                wall_seconds=max(0.0, end - begin)))
+
+        respawns = sum(max(0, slot.attempts - 1) for slot in slots)
+        if decisive:
+            index, result = decisive[0]       # lowest index: reproducible
+            return PortfolioReport(
+                result=result, workers=workers,
+                winner=self.configs[index].name, winner_index=index,
+                wall_seconds=now - started, deadline_hit=deadline_hit,
+                total_respawns=respawns)
+        # No decisive verdict: surface any exhausted worker's stats.
+        for slot in slots:
+            if slot.result is not None:
+                return PortfolioReport(
+                    result=SolverResult(Status.UNKNOWN, None,
+                                        slot.result.stats),
+                    workers=workers, wall_seconds=now - started,
+                    deadline_hit=deadline_hit, total_respawns=respawns)
+        return PortfolioReport(
+            result=SolverResult(Status.UNKNOWN), workers=workers,
+            wall_seconds=now - started, deadline_hit=deadline_hit,
+            total_respawns=respawns)
+
+
+def _model_satisfies(clause_lits, model: Dict[int, bool]) -> bool:
+    """Audit a SAT claim: no clause may be falsified by *model*.
+
+    Clauses left undecided by a partial model are accepted (any
+    extension can satisfy them), matching the engines' contract.
+    """
+    for clause in clause_lits:
+        falsified = True
+        for lit in clause:
+            value = model.get(abs(lit))
+            if value is None or value == (lit > 0):
+                falsified = False
+                break
+        if falsified and clause:
+            return False
+    return True

@@ -39,6 +39,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.cnf.assignment import Assignment
 from repro.cnf.clause import Clause
 from repro.cnf.formula import CNFFormula
+from repro.runtime.budget import Budget, BudgetMeter
 from repro.solvers.heuristics import DecisionHeuristic, VSIDSHeuristic
 from repro.solvers.restarts import NoRestarts, RestartPolicy
 from repro.solvers.result import SolverResult, SolverStats, Status
@@ -95,6 +96,13 @@ class CDCLSolver:
         re-decide variables with their last assigned polarity.
     max_conflicts, max_decisions:
         effort budgets; exceeding either yields ``Status.UNKNOWN``.
+        These legacy caps are cumulative across solve calls (the
+        incremental layer relies on that); prefer ``budget``.
+    budget:
+        a :class:`repro.runtime.budget.Budget`: wall-clock deadline,
+        per-call counter caps, soft memory ceiling.  Enforced through
+        the cooperative checkpoint in ``_propagate`` (amortised, see
+        DESIGN.md); exhaustion yields ``Status.UNKNOWN``.
     """
 
     def __init__(self, formula: CNFFormula,
@@ -109,7 +117,8 @@ class CDCLSolver:
                  minimize_learned: bool = False,
                  phase_saving: bool = False,
                  max_conflicts: Optional[int] = None,
-                 max_decisions: Optional[int] = None):
+                 max_decisions: Optional[int] = None,
+                 budget: Optional[Budget] = None):
         if backtrack_mode not in ("nonchronological", "chronological"):
             raise ValueError(f"bad backtrack_mode {backtrack_mode!r}")
         if conflict_cut not in ("1uip", "decision"):
@@ -130,14 +139,22 @@ class CDCLSolver:
         self.phase_saving = phase_saving
         self.max_conflicts = max_conflicts
         self.max_decisions = max_decisions
+        self.budget = budget
         self.stats = SolverStats()
         self._saved_phase: Dict[int, bool] = {}
+        #: Per-call budget meter; None when neither a budget nor a
+        #: checkpoint hook is configured (the hot path then pays one
+        #: None-test per propagate call).
+        self._meter: Optional[BudgetMeter] = None
 
         # Hook points for the Section 5 structural layer.
         self.on_assign: Optional[Callable[[int], None]] = None
         self.on_unassign: Optional[Callable[[int], None]] = None
         self.decide_override: Optional[Callable[[], Optional[int]]] = None
         self.early_sat_check: Optional[Callable[[], bool]] = None
+        #: Cooperative-checkpoint hook: fired every few thousand
+        #: propagations while solving (portfolio worker heartbeats).
+        self.on_checkpoint: Optional[Callable[[], None]] = None
 
         self._num_vars = formula.num_vars
         n = self._num_vars + 1
@@ -273,6 +290,7 @@ class CDCLSolver:
         antecedent = self._antecedent
         saved_phase = self._saved_phase if self.phase_saving else None
         on_assign = self.on_assign
+        meter = self._meter
         dl = len(self._trail_lim)
         qhead = self._qhead
         propagations = 0
@@ -305,6 +323,8 @@ class CDCLSolver:
                 elif value != (other > 0):
                     self._qhead = len(trail)
                     self.stats.propagations += propagations
+                    if meter is not None:
+                        meter.spend(propagations + 1)
                     return ref
 
             # --- Long clauses: watched literals with in-place
@@ -364,10 +384,17 @@ class CDCLSolver:
             if conflict is not None:
                 self._qhead = len(trail)
                 self.stats.propagations += propagations
+                if meter is not None:
+                    meter.spend(propagations + 1)
                 return conflict
 
         self._qhead = qhead
         self.stats.propagations += propagations
+        # Cooperative checkpoint: costed at propagations + 1 so even
+        # zero-implication bursts eventually trigger the amortised
+        # deadline/memory probe and heartbeat.
+        if meter is not None:
+            meter.spend(propagations + 1)
         return None
 
     def _cancel_until(self, level: int) -> None:
@@ -580,6 +607,11 @@ class CDCLSolver:
         """
         started = time.perf_counter()
         self.heuristic.setup(self.formula)
+        if self.budget is not None or self.on_checkpoint is not None:
+            self._meter = (self.budget or Budget()).meter(
+                baseline=self.stats, on_checkpoint=self.on_checkpoint)
+        else:
+            self._meter = None
         try:
             status = self._search(list(assumptions))
         finally:
@@ -596,14 +628,19 @@ class CDCLSolver:
         return model
 
     def _budget_blown(self) -> bool:
-        return ((self.max_conflicts is not None
-                 and self.stats.conflicts >= self.max_conflicts)
+        if ((self.max_conflicts is not None
+             and self.stats.conflicts >= self.max_conflicts)
                 or (self.max_decisions is not None
-                    and self.stats.decisions >= self.max_decisions))
+                    and self.stats.decisions >= self.max_decisions)):
+            return True
+        meter = self._meter
+        return meter is not None and meter.blown(self.stats)
 
     def _search(self, assumptions: List[int]) -> Status:
         if self._root_conflict:
             return Status.UNSATISFIABLE
+        if self._budget_blown():      # e.g. deadline already expired
+            return Status.UNKNOWN
         self._cancel_until(0)
         for lit in self._pending_units:
             if not self._enqueue(lit, None):

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.cnf.assignment import Assignment
 from repro.cnf.formula import CNFFormula
 from repro.cnf.literals import variable
+from repro.runtime.budget import Budget, BudgetMeter
 from repro.solvers.heuristics import DecisionHeuristic, FixedOrderHeuristic
 from repro.solvers.result import SolverResult, SolverStats, Status
 
@@ -33,17 +34,25 @@ class DPLLSolver:
     heuristic:
         decision policy (default: fixed variable order).
     max_decisions, max_conflicts:
-        effort budgets; exceeding either yields ``Status.UNKNOWN``.
+        effort budgets; reaching either yields ``Status.UNKNOWN``
+        (inclusive ``>=``, the same cutoff convention as CDCL).
+    budget:
+        a :class:`repro.runtime.budget.Budget` (deadline, counter
+        caps, memory ceiling) enforced cooperatively during
+        propagation.
     """
 
     def __init__(self, formula: CNFFormula,
                  heuristic: Optional[DecisionHeuristic] = None,
                  max_decisions: Optional[int] = None,
-                 max_conflicts: Optional[int] = None):
+                 max_conflicts: Optional[int] = None,
+                 budget: Optional[Budget] = None):
         self.formula = formula
         self.heuristic = heuristic or FixedOrderHeuristic()
         self.max_decisions = max_decisions
         self.max_conflicts = max_conflicts
+        self.budget = budget
+        self._meter: Optional[BudgetMeter] = None
         self.stats = SolverStats()
 
         self._num_vars = formula.num_vars
@@ -67,9 +76,12 @@ class DPLLSolver:
         Implied variables are appended to *implied* so Erase() can
         undo them.
         """
+        meter = self._meter
         changed = True
         while changed:
             changed = False
+            if meter is not None and meter.spend(len(self._clauses)):
+                return _OK        # stop latched; main loop reports
             for clause in self._clauses:
                 unassigned = None
                 satisfied = False
@@ -122,10 +134,15 @@ class DPLLSolver:
         self._values[variable(lit)] = lit > 0
 
     def _budget_blown(self) -> bool:
-        return ((self.max_decisions is not None
-                 and self.stats.decisions > self.max_decisions)
+        # Inclusive (>=) cutoffs, matching CDCL._budget_blown: both
+        # engines stop at exactly max_conflicts conflicts.
+        if ((self.max_decisions is not None
+             and self.stats.decisions >= self.max_decisions)
                 or (self.max_conflicts is not None
-                    and self.stats.conflicts > self.max_conflicts))
+                    and self.stats.conflicts >= self.max_conflicts)):
+            return True
+        meter = self._meter
+        return meter is not None and meter.blown(self.stats)
 
     def _extract_model(self) -> Assignment:
         model = Assignment()
@@ -140,6 +157,8 @@ class DPLLSolver:
         """Run the search to completion or budget exhaustion."""
         started = time.perf_counter()
         self.heuristic.setup(self.formula)
+        self._meter = self.budget.meter(baseline=self.stats) \
+            if self.budget is not None else None
         try:
             status = self._search()
         finally:
@@ -193,7 +212,8 @@ class DPLLSolver:
 def solve_dpll(formula: CNFFormula,
                heuristic: Optional[DecisionHeuristic] = None,
                max_decisions: Optional[int] = None,
-               max_conflicts: Optional[int] = None) -> SolverResult:
+               max_conflicts: Optional[int] = None,
+               budget: Optional[Budget] = None) -> SolverResult:
     """One-shot DPLL solve of *formula*."""
     return DPLLSolver(formula, heuristic, max_decisions,
-                      max_conflicts).solve()
+                      max_conflicts, budget=budget).solve()

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Iterable, Optional, Sequence
 
 from repro.cnf.formula import CNFFormula
+from repro.runtime.budget import Budget
 from repro.solvers.cdcl import CDCLSolver
 from repro.solvers.heuristics import DecisionHeuristic
 from repro.solvers.restarts import RestartPolicy
@@ -69,15 +70,19 @@ class IncrementalSolver:
         for clause in clauses:
             self.add_clause(list(clause))
 
-    def solve(self, assumptions: Sequence[int] = ()) -> SolverResult:
+    def solve(self, assumptions: Sequence[int] = (),
+              budget: Optional[Budget] = None) -> SolverResult:
         """Solve the accumulated formula under *assumptions*.
 
         UNSATISFIABLE is relative to the assumptions.  Learned clauses
-        survive into the next call.
+        survive into the next call.  *budget* governs **this call
+        only**: its counter caps are measured from the call's start
+        (not cumulatively) and its deadline is armed here.
         """
         if self._max_conflicts_per_call is not None:
             self._solver.max_conflicts = (self._solver.stats.conflicts
                                           + self._max_conflicts_per_call)
+        self._solver.budget = budget
         before = _snapshot(self._solver.stats)
         result = self._solver.solve(assumptions)
         self._calls += 1

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.cnf.assignment import Assignment
 from repro.cnf.formula import CNFFormula
 from repro.cnf.literals import variable
+from repro.runtime.budget import Budget
 from repro.solvers.result import SolverResult, SolverStats, Status
 
 
@@ -92,16 +93,20 @@ class _State:
 
 def solve_gsat(formula: CNFFormula, max_tries: int = 10,
                max_flips: int = 1000,
-               seed: Optional[int] = 0) -> SolverResult:
+               seed: Optional[int] = 0,
+               budget: Optional[Budget] = None) -> SolverResult:
     """GSAT [32]: greedy hill-climbing on the satisfied-clause count.
 
     Each try starts from a random assignment and flips the variable
     with the best gain (random tie-break) for up to *max_flips* steps.
     Returns SATISFIABLE with a model, or UNKNOWN -- never UNSATISFIABLE.
+    *budget* adds a deadline / total-flip cap / memory ceiling across
+    all tries (``max_flips`` stays the classical per-try cutoff).
     """
     stats = SolverStats()
     started = time.perf_counter()
     rng = random.Random(seed)
+    meter = budget.meter(baseline=stats) if budget is not None else None
     if any(len(c) == 0 for c in formula):
         stats.time_seconds = time.perf_counter() - started
         return SolverResult(Status.UNSATISFIABLE, None, stats)
@@ -115,6 +120,10 @@ def solve_gsat(formula: CNFFormula, max_tries: int = 10,
                 stats.time_seconds = time.perf_counter() - started
                 return SolverResult(Status.SATISFIABLE, state.model(),
                                     stats)
+            if meter is not None and (meter.spend(1)
+                                      or meter.over_counters(stats)):
+                stats.time_seconds = time.perf_counter() - started
+                return SolverResult(Status.UNKNOWN, None, stats)
             best_gain = None
             best_vars: List[int] = []
             candidates = {variable(lit)
@@ -137,16 +146,20 @@ def solve_gsat(formula: CNFFormula, max_tries: int = 10,
 
 def solve_walksat(formula: CNFFormula, max_tries: int = 10,
                   max_flips: int = 10000, noise: float = 0.5,
-                  seed: Optional[int] = 0) -> SolverResult:
+                  seed: Optional[int] = 0,
+                  budget: Optional[Budget] = None) -> SolverResult:
     """WalkSAT: pick a random unsatisfied clause; with probability
     *noise* flip a random variable of it, otherwise flip the variable
     with the lowest break count (zero break count is taken greedily).
+    *budget* adds a deadline / total-flip cap / memory ceiling across
+    all tries (``max_flips`` stays the classical per-try cutoff).
     """
     if not 0.0 <= noise <= 1.0:
         raise ValueError("noise must be within [0, 1]")
     stats = SolverStats()
     started = time.perf_counter()
     rng = random.Random(seed)
+    meter = budget.meter(baseline=stats) if budget is not None else None
     if any(len(c) == 0 for c in formula):
         stats.time_seconds = time.perf_counter() - started
         return SolverResult(Status.UNSATISFIABLE, None, stats)
@@ -160,6 +173,10 @@ def solve_walksat(formula: CNFFormula, max_tries: int = 10,
                 stats.time_seconds = time.perf_counter() - started
                 return SolverResult(Status.SATISFIABLE, state.model(),
                                     stats)
+            if meter is not None and (meter.spend(1)
+                                      or meter.over_counters(stats)):
+                stats.time_seconds = time.perf_counter() - started
+                return SolverResult(Status.UNKNOWN, None, stats)
             clause_index = rng.choice(tuple(state.unsat))
             clause_vars = [variable(lit)
                            for lit in state.clauses[clause_index]]

@@ -9,27 +9,38 @@ unsound shortcuts), all workers agree on SAT/UNSAT and the race only
 affects *which* proof or model arrives first.
 
 Workers run in separate ``multiprocessing`` processes (CDCL is
-CPU-bound, so threads would serialize on the GIL).  The parent blocks
-on a result queue, picks the first decisive verdict, terminates the
-losers, and -- when several decisive results are already queued --
-selects the one from the lowest configuration index so the outcome is
-reproducible.  With ``processes=1`` (or a single configuration) the
-race degrades to an in-process sequential scan over the
-configurations, which keeps the portfolio usable on single-core boxes
-and under test harnesses that must not fork.
+CPU-bound, so threads would serialize on the GIL) under the
+:class:`repro.runtime.supervisor.Supervisor`: worker liveness is
+tracked through heartbeats, crashed configurations are respawned with
+bounded retry and exponential backoff, hung workers are terminated at
+``hang_timeout``, SAT claims are audited against the formula, and the
+race-wide wall-clock deadline from the
+:class:`~repro.runtime.budget.Budget` is enforced.  The per-worker
+fates are returned in :attr:`PortfolioResult.report`.
+
+With ``processes=1`` (or a single configuration) the race degrades to
+an in-process sequential scan over the configurations, which keeps the
+portfolio usable on single-core boxes and under test harnesses that
+must not fork; the scan honours the same deadline by handing each
+configuration the remaining wall-clock budget.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-import queue as queue_mod
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.cnf.assignment import Assignment
 from repro.cnf.formula import CNFFormula
+from repro.runtime.budget import Budget, merge_legacy_caps
+from repro.runtime.faults import FaultPlan
+from repro.runtime.supervisor import (
+    PortfolioReport,
+    Supervisor,
+    WorkerOutcome,
+)
 from repro.solvers.cdcl import CDCLSolver
 from repro.solvers.heuristics import make_heuristic
 from repro.solvers.restarts import make_restart_policy
@@ -53,7 +64,8 @@ class PortfolioConfig:
     phase_saving: bool = True
 
     def build_solver(self, formula: CNFFormula,
-                     max_conflicts: Optional[int] = None) -> CDCLSolver:
+                     max_conflicts: Optional[int] = None,
+                     budget: Optional[Budget] = None) -> CDCLSolver:
         """Instantiate the configured engine on *formula*."""
         return CDCLSolver(
             formula,
@@ -63,6 +75,7 @@ class PortfolioConfig:
                                                self.restart_interval),
             phase_saving=self.phase_saving,
             max_conflicts=max_conflicts,
+            budget=budget,
         )
 
 
@@ -99,13 +112,19 @@ def default_portfolio(n: int, seed: int = 0) -> List[PortfolioConfig]:
 
 @dataclass
 class PortfolioResult:
-    """The winning result plus race bookkeeping."""
+    """The winning result plus race bookkeeping.
+
+    ``report`` (supervised races only) names every worker's fate --
+    SAT/UNSAT/UNKNOWN/CRASHED/TIMED_OUT/CANCELLED -- so failures are
+    never silent.
+    """
 
     result: SolverResult
     winner: Optional[str] = None         # winning config name
     winner_index: Optional[int] = None
     processes_used: int = 0
     finished: List[str] = field(default_factory=list)
+    report: Optional[PortfolioReport] = None
 
     @property
     def status(self) -> Status:
@@ -120,53 +139,31 @@ class PortfolioResult:
         return self.result.stats
 
 
-def _stats_to_dict(stats: SolverStats) -> Dict[str, float]:
-    return {key: getattr(stats, key) for key in (
-        "decisions", "propagations", "conflicts", "backtracks",
-        "learned_clauses", "restarts", "time_seconds")}
-
-
-def _stats_from_dict(payload: Dict[str, float]) -> SolverStats:
-    stats = SolverStats()
-    for key, value in payload.items():
-        setattr(stats, key, value)
-    return stats
-
-
-def _worker(index: int, clause_lits: List[Tuple[int, ...]], num_vars: int,
-            config: PortfolioConfig, max_conflicts: Optional[int],
-            results: multiprocessing.Queue) -> None:
-    """Entry point of one racing process (module-level: picklable).
-
-    The formula travels as plain literal tuples and is rebuilt here;
-    the result travels back as primitives for the same reason.
-    """
-    formula = CNFFormula(num_vars=num_vars, clauses=clause_lits)
-    result = config.build_solver(formula, max_conflicts).solve()
-    model = None
-    if result.assignment is not None:
-        model = {var: result.assignment.value_of(var)
-                 for var in result.assignment.assigned_variables()}
-    results.put((index, result.status.name, model,
-                 _stats_to_dict(result.stats)))
-
-
-def _result_from_payload(payload) -> Tuple[int, SolverResult]:
-    index, status_name, model, stats_dict = payload
-    assignment = Assignment(model) if model is not None else None
-    return index, SolverResult(Status[status_name], assignment,
-                               _stats_from_dict(stats_dict))
-
-
 def _solve_sequential(formula: CNFFormula,
                       configs: Sequence[PortfolioConfig],
-                      max_conflicts: Optional[int]) -> PortfolioResult:
+                      max_conflicts: Optional[int],
+                      budget: Optional[Budget]) -> PortfolioResult:
     """The ``processes=1`` fallback: try configurations in order,
-    return the first decisive verdict."""
+    return the first decisive verdict.
+
+    The budget's wall-clock deadline governs the whole scan: each
+    configuration receives only the remaining time, and once the
+    deadline passes the scan stops with UNKNOWN instead of starting
+    the next engine.
+    """
+    started = time.monotonic()
+    wall = budget.wall_seconds if budget is not None else None
     last = SolverResult(Status.UNKNOWN)
     finished = []
     for index, config in enumerate(configs):
-        last = config.build_solver(formula, max_conflicts).solve()
+        call_budget = budget
+        if wall is not None:
+            remaining = wall - (time.monotonic() - started)
+            if remaining <= 0:
+                break
+            call_budget = replace(budget, wall_seconds=remaining)
+        last = config.build_solver(formula, max_conflicts,
+                                   budget=call_budget).solve()
         finished.append(config.name)
         if last.status is not Status.UNKNOWN:
             return PortfolioResult(last, winner=config.name,
@@ -180,18 +177,31 @@ def solve_portfolio(formula: CNFFormula,
                     processes: Optional[int] = None,
                     max_conflicts: Optional[int] = None,
                     seed: int = 0,
-                    timeout: Optional[float] = None) -> PortfolioResult:
+                    timeout: Optional[float] = None,
+                    budget: Optional[Budget] = None,
+                    max_retries: int = 2,
+                    hang_timeout: Optional[float] = 10.0,
+                    fault_plan: Optional[FaultPlan] = None
+                    ) -> PortfolioResult:
     """Race a portfolio of CDCL configurations on *formula*.
 
     ``processes`` defaults to ``os.cpu_count()``; the portfolio runs
     one process per configuration (default configurations:
     :func:`default_portfolio` of size ``processes``).  First decisive
-    verdict wins; remaining workers are terminated.  When several
-    decisive verdicts are already in the queue, the lowest
+    verdict wins; remaining workers are cancelled promptly.  When
+    several decisive verdicts are already in the queue, the lowest
     configuration index is selected, so results do not depend on
     scheduling noise.  ``processes=1`` runs the configurations
-    sequentially in-process.  ``timeout`` (seconds) bounds the whole
-    race; on expiry the status is ``UNKNOWN``.
+    sequentially in-process under the same deadline.
+
+    ``timeout`` (seconds) is shorthand for a wall-clock-only
+    ``budget``; a full :class:`~repro.runtime.budget.Budget` adds
+    counter caps and a memory ceiling, all enforced inside the
+    workers via cooperative checkpoints.  On expiry the status is
+    ``UNKNOWN`` and still-running workers are recorded TIMED_OUT.
+    ``max_retries``/``hang_timeout``/``fault_plan`` configure the
+    :class:`~repro.runtime.supervisor.Supervisor` (crash respawn,
+    hang detection, scripted faults for tests).
     """
     if processes is None:
         processes = os.cpu_count() or 1
@@ -202,75 +212,25 @@ def solve_portfolio(formula: CNFFormula,
     if not configs:
         raise ValueError("empty portfolio")
 
+    if timeout is not None:
+        if budget is None:
+            budget = Budget(wall_seconds=timeout)
+        elif budget.wall_seconds is None or timeout < budget.wall_seconds:
+            budget = replace(budget, wall_seconds=timeout)
+
     if processes == 1 or len(configs) == 1:
-        return _solve_sequential(formula, configs, max_conflicts)
+        return _solve_sequential(formula, configs, max_conflicts, budget)
 
-    clause_lits = [tuple(clause) for clause in formula.clauses]
-    ctx = multiprocessing.get_context()
-    results: multiprocessing.Queue = ctx.Queue()
-    workers = [
-        ctx.Process(
-            target=_worker,
-            args=(index, clause_lits, formula.num_vars, config,
-                  max_conflicts, results),
-            daemon=True)
-        for index, config in enumerate(configs)
-    ]
-    for worker in workers:
-        worker.start()
-
-    deadline = None if timeout is None else time.monotonic() + timeout
-    payloads = []
-    try:
-        while len(payloads) < len(workers):
-            remaining = None
-            if deadline is not None:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    break
-            try:
-                payloads.append(results.get(
-                    timeout=min(0.2, remaining) if remaining is not None
-                    else 0.2))
-            except queue_mod.Empty:
-                if not any(w.is_alive() for w in workers):
-                    break                 # every worker died or finished
-                continue
-            if payloads[-1][1] != Status.UNKNOWN.name:
-                break                     # decisive: stop the race
-        # Drain without blocking: near-simultaneous finishers take
-        # part in the deterministic selection below.
-        while True:
-            try:
-                payloads.append(results.get_nowait())
-            except queue_mod.Empty:
-                break
-    finally:
-        for worker in workers:
-            if worker.is_alive():
-                worker.terminate()
-        for worker in workers:
-            worker.join(timeout=5.0)
-            if worker.is_alive():
-                worker.kill()
-                worker.join(timeout=5.0)
-        results.close()
-        results.join_thread()
-
-    decisive = sorted(
-        _result_from_payload(p) for p in payloads
-        if p[1] != Status.UNKNOWN.name)
-    finished = [configs[p[0]].name for p in payloads]
-    if decisive:
-        index, result = decisive[0]       # lowest config index wins
-        return PortfolioResult(result, winner=configs[index].name,
-                               winner_index=index,
-                               processes_used=len(workers),
-                               finished=finished)
-    if payloads:                          # all finishers exhausted budget
-        _, result = _result_from_payload(payloads[0])
-        result = replace(result, status=Status.UNKNOWN)
-        return PortfolioResult(result, processes_used=len(workers),
-                               finished=finished)
-    return PortfolioResult(SolverResult(Status.UNKNOWN),
-                           processes_used=len(workers), finished=finished)
+    race_budget = merge_legacy_caps(budget, max_conflicts=max_conflicts)
+    supervisor = Supervisor(configs, budget=race_budget or Budget(),
+                            max_retries=max_retries,
+                            hang_timeout=hang_timeout,
+                            fault_plan=fault_plan)
+    report = supervisor.run(formula)
+    finished = [w.name for w in report.workers
+                if w.outcome in (WorkerOutcome.SAT, WorkerOutcome.UNSAT,
+                                 WorkerOutcome.UNKNOWN)]
+    return PortfolioResult(report.result, winner=report.winner,
+                           winner_index=report.winner_index,
+                           processes_used=len(configs),
+                           finished=finished, report=report)

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.cnf.clause import Clause
 from repro.cnf.formula import CNFFormula
 from repro.cnf.literals import variable
+from repro.runtime.budget import Budget, BudgetMeter
 
 
 @dataclass
@@ -32,12 +33,14 @@ class RecursiveLearningResult:
     model at all.  ``necessary`` maps variables to forced values (not
     including the input assignment); ``implicates`` holds one recorded
     clause per necessary assignment, each a logical consequence of the
-    formula.
+    formula.  ``exhausted`` marks a pass cut short by its budget: the
+    recorded assignments are still sound, merely incomplete.
     """
 
     necessary: Dict[int, bool] = field(default_factory=dict)
     implicates: List[Clause] = field(default_factory=list)
     conflict: bool = False
+    exhausted: bool = False
 
 
 def _unit_propagate(clauses: List[Tuple[int, ...]],
@@ -74,13 +77,19 @@ def _unit_propagate(clauses: List[Tuple[int, ...]],
 
 def _closure(clauses: List[Tuple[int, ...]],
              assignment: Dict[int, bool],
-             depth: int) -> Optional[Dict[int, bool]]:
+             depth: int,
+             meter: Optional[BudgetMeter] = None
+             ) -> Optional[Dict[int, bool]]:
     """All assignments implied by *assignment* at recursion *depth*.
 
     Depth 0 is plain unit propagation; depth k additionally splits on
     every unresolved clause, recursing at depth k-1 into each way of
     satisfying it and keeping the assignments common to all consistent
     ways.  Returns ``None`` when the assignment is infeasible.
+
+    With a *meter*, the pass degrades gracefully: once the budget is
+    blown no further clause is split, and the assignments gathered so
+    far (each justified by fully-explored splits) are returned as-is.
     """
     work = _unit_propagate(clauses, assignment)
     if work is None:
@@ -92,6 +101,8 @@ def _closure(clauses: List[Tuple[int, ...]],
     while progress:
         progress = False
         for clause in clauses:
+            if meter is not None and meter.spend(len(clause)):
+                return work       # budget blown: sound partial result
             satisfied = any(work.get(variable(lit)) == (lit > 0)
                             for lit in clause)
             if satisfied:
@@ -105,7 +116,8 @@ def _closure(clauses: List[Tuple[int, ...]],
             for lit in free:
                 trial = dict(work)
                 trial[variable(lit)] = lit > 0
-                branches.append(_closure(clauses, trial, depth - 1))
+                branches.append(_closure(clauses, trial, depth - 1,
+                                         meter))
             consistent = [b for b in branches if b is not None]
             if not consistent:
                 return None
@@ -128,7 +140,9 @@ def _closure(clauses: List[Tuple[int, ...]],
 
 def recursive_learn(formula: CNFFormula,
                     assignment: Optional[Dict[int, bool]] = None,
-                    depth: int = 1) -> RecursiveLearningResult:
+                    depth: int = 1,
+                    budget: Optional[Budget] = None
+                    ) -> RecursiveLearningResult:
     """Run recursive learning under *assignment* (Figure 4).
 
     Every assignment found necessary is explained by an implicate whose
@@ -136,14 +150,20 @@ def recursive_learn(formula: CNFFormula,
     conditions ``{a1 = v1, ...}`` records ``(-a1 + ... + x_or_its_
     complement)`` -- the clausal form of the logical implication the
     paper exhibits.
+
+    *budget* bounds the pass; on exhaustion the result carries the
+    (sound) assignments derived so far with ``exhausted=True``.
     """
     if depth < 1:
         raise ValueError("depth must be >= 1")
     base = dict(assignment or {})
     clauses = [tuple(c) for c in formula]
+    meter = budget.meter() if budget is not None else None
 
-    closure = _closure(clauses, base, depth)
+    closure = _closure(clauses, base, depth, meter)
     result = RecursiveLearningResult()
+    if meter is not None and meter.stop_reason is not None:
+        result.exhausted = True
     if closure is None:
         result.conflict = True
         return result

@@ -50,6 +50,10 @@ PUBLIC_MODULES = [
     "repro.solvers.portfolio",
     "repro.solvers.forward_implication",
     "repro.solvers.proof",
+    "repro.runtime",
+    "repro.runtime.budget",
+    "repro.runtime.supervisor",
+    "repro.runtime.faults",
     "repro.bdd",
     "repro.bdd.manager",
     "repro.bdd.circuit",

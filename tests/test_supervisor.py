@@ -1,0 +1,206 @@
+"""Supervised portfolio races under injected faults.
+
+The Supervisor's contract: crashed configurations are respawned with
+bounded retries, hung workers are detected by heartbeat and terminated,
+garbage payloads are rejected (and the worker retried), healthy losers
+are cancelled promptly, and every worker's fate is named in the
+PortfolioReport.  Fault injection (:mod:`repro.runtime.faults`) makes
+each failure mode deterministic.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.cnf.formula import CNFFormula
+from repro.cnf.generators import pigeonhole, random_ksat
+from repro.runtime.faults import FaultPlan
+from repro.runtime.supervisor import Supervisor, WorkerOutcome
+from repro.solvers.portfolio import default_portfolio, solve_portfolio
+from repro.solvers.result import Status
+
+from conftest import assert_model_satisfies
+
+
+def _no_orphans() -> bool:
+    """No stray worker processes after a race."""
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        if not multiprocessing.active_children():
+            return True
+        time.sleep(0.05)
+    return False
+
+
+def _sat_formula() -> CNFFormula:
+    formula = CNFFormula(3)
+    formula.add_clause([1, 2])
+    formula.add_clause([-1, 2])
+    formula.add_clause([-2, 3])
+    return formula
+
+
+class TestFaultPlan:
+    def test_action_schedule(self):
+        # Attempts are 0-based: {0: 2} crashes attempts 0 and 1.
+        plan = FaultPlan(crashes={0: 2}, hangs=frozenset({1}),
+                         garbage={2: 1})
+        assert plan.action(0, attempt=0) == "crash"
+        assert plan.action(0, attempt=1) == "crash"
+        assert plan.action(0, attempt=2) is None
+        assert plan.action(1, attempt=0) == "hang"
+        assert plan.action(1, attempt=5) == "hang"   # hangs never heal
+        assert plan.action(2, attempt=0) == "garbage"
+        assert plan.action(2, attempt=1) is None
+        assert plan.action(3, attempt=0) is None
+
+    def test_builders(self):
+        crash = FaultPlan.crash_all_once(3)
+        assert all(crash.action(i, 0) == "crash" for i in range(3))
+        assert all(crash.action(i, 1) is None for i in range(3))
+        hang = FaultPlan.hang_all(2)
+        assert all(hang.action(i, 0) == "hang" for i in range(2))
+
+
+class TestHealthyRace:
+    def test_losers_are_cancelled(self):
+        report = Supervisor(default_portfolio(3),
+                            ).run(_sat_formula())
+        assert report.status is Status.SATISFIABLE
+        assert report.winner_index is not None
+        decisive = {WorkerOutcome.SAT, WorkerOutcome.UNSAT}
+        rest = {WorkerOutcome.CANCELLED} | decisive
+        for worker in report.workers:
+            if worker.index == report.winner_index:
+                assert worker.outcome in decisive
+            else:
+                assert worker.outcome in rest
+        assert report.total_respawns == 0
+        assert _no_orphans()
+
+    def test_outcome_counts(self):
+        report = Supervisor(default_portfolio(2)).run(_sat_formula())
+        counts = report.outcome_counts()
+        assert sum(counts.values()) == 2
+
+
+class TestCrashRecovery:
+    def test_every_worker_crashes_once_then_verdict(self):
+        """Acceptance: with fault injection forcing every initial
+        worker to crash, the supervisor respawns each and still
+        returns the correct verdict."""
+        configs = default_portfolio(3)
+        formula = random_ksat(12, 40, seed=5)
+        report = Supervisor(configs, budget=None,
+                            fault_plan=FaultPlan.crash_all_once(3),
+                            backoff_seconds=0.01).run(formula)
+        assert report.status in (Status.SATISFIABLE,
+                                 Status.UNSATISFIABLE)
+        # Nobody can answer without being respawned at least once; the
+        # race may end before every crashed slot gets its turn.
+        assert report.total_respawns >= 1
+        winner = report.workers[report.winner_index]
+        assert winner.attempts == 2
+        if report.status is Status.SATISFIABLE:
+            assert_model_satisfies(formula, report.result.assignment)
+        assert _no_orphans()
+
+    def test_unsat_verdict_survives_crashes(self):
+        formula = pigeonhole(3)
+        report = Supervisor(default_portfolio(2),
+                            fault_plan=FaultPlan.crash_all_once(2),
+                            backoff_seconds=0.01).run(formula)
+        assert report.status is Status.UNSATISFIABLE
+        assert _no_orphans()
+
+    def test_retries_are_bounded(self):
+        # Crash forever: after max_retries respawns the worker is
+        # declared CRASHED and the race returns UNKNOWN.
+        plan = FaultPlan(crashes={0: 99, 1: 99})
+        report = Supervisor(default_portfolio(2), max_retries=1,
+                            backoff_seconds=0.01,
+                            fault_plan=plan).run(_sat_formula())
+        assert report.status is Status.UNKNOWN
+        assert all(w.outcome is WorkerOutcome.CRASHED
+                   for w in report.workers)
+        assert all(w.attempts == 2 for w in report.workers)  # 1 + 1 retry
+        assert _no_orphans()
+
+    def test_garbage_payload_rejected_and_retried(self):
+        formula = random_ksat(10, 30, seed=2)
+        plan = FaultPlan(garbage={0: 1, 1: 1})
+        report = Supervisor(default_portfolio(2), backoff_seconds=0.01,
+                            fault_plan=plan).run(formula)
+        assert report.status in (Status.SATISFIABLE,
+                                 Status.UNSATISFIABLE)
+        assert report.total_respawns >= 1
+        winner = report.workers[report.winner_index]
+        assert winner.attempts == 2
+        if report.status is Status.SATISFIABLE:
+            assert_model_satisfies(formula, report.result.assignment)
+        assert _no_orphans()
+
+
+@pytest.mark.slow
+class TestHangDetection:
+    def test_all_hung_times_out_within_deadline(self):
+        """Acceptance: all workers hung -> UNKNOWN with per-worker
+        TIMED_OUT, within the wall-clock deadline (+/- 1s)."""
+        deadline = 2.0
+        started = time.monotonic()
+        result = solve_portfolio(pigeonhole(4), processes=3,
+                                 configs=default_portfolio(3),
+                                 timeout=deadline, hang_timeout=0.5,
+                                 fault_plan=FaultPlan.hang_all(3))
+        elapsed = time.monotonic() - started
+        assert result.status is Status.UNKNOWN
+        report = result.report
+        assert all(w.outcome is WorkerOutcome.TIMED_OUT
+                   for w in report.workers)
+        assert elapsed <= deadline + 1.0
+        assert _no_orphans()
+
+    def test_one_hung_worker_does_not_block_verdict(self):
+        formula = random_ksat(12, 40, seed=7)
+        plan = FaultPlan(hangs=frozenset({0}))
+        started = time.monotonic()
+        report = Supervisor(default_portfolio(3), hang_timeout=5.0,
+                            fault_plan=plan).run(formula)
+        assert report.status in (Status.SATISFIABLE,
+                                 Status.UNSATISFIABLE)
+        # The healthy workers decide the race without waiting for the
+        # hang timeout.
+        assert time.monotonic() - started < 5.0
+        assert _no_orphans()
+
+    def test_hang_timeout_marks_worker_timed_out(self):
+        plan = FaultPlan(hangs=frozenset({0, 1}))
+        report = Supervisor(default_portfolio(2), hang_timeout=0.4,
+                            budget=None,
+                            fault_plan=plan).run(_sat_formula())
+        assert report.status is Status.UNKNOWN
+        assert all(w.outcome is WorkerOutcome.TIMED_OUT
+                   for w in report.workers)
+        assert _no_orphans()
+
+
+class TestReportShape:
+    def test_worker_reports_carry_names_and_timing(self):
+        configs = default_portfolio(2)
+        report = Supervisor(configs).run(_sat_formula())
+        assert [w.name for w in report.workers] == \
+            [c.name for c in configs]
+        assert report.wall_seconds >= 0.0
+        for worker in report.workers:
+            assert worker.attempts >= 1
+            assert worker.wall_seconds >= 0.0
+
+    def test_portfolio_result_exposes_report(self):
+        result = solve_portfolio(_sat_formula(), processes=2,
+                                 configs=default_portfolio(2))
+        assert result.report is not None
+        assert result.report.status is result.status
+        assert _no_orphans()
