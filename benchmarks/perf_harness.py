@@ -13,9 +13,16 @@ measured ratio is engine mechanics, not decision luck.
 Each instance is timed ``--repeats`` times per engine (interleaved,
 minimum taken) to suppress warm-up noise.  Verdicts must agree; SAT
 models from both engines are verified against the formula.  Results
-are written as JSON (default ``BENCH_PR1.json`` next to this file)
-with per-instance wall-clock and search counters, so the perf
-trajectory of the repo is machine-readable from PR 1 onward.
+are written as JSON (default ``BENCH_PR3.json`` next to this file)
+with per-instance wall-clock and search counters plus the counter
+*deltas* between the engines (``effort_delta``), so the perf
+trajectory tracks search effort as well as wall clock.
+
+Since PR 3 each instance is additionally run once with a live tracer
+and metrics recorder attached (JSONL to ``os.devnull``), and the
+per-instance ``tracing_overhead`` ratio (traced / untraced wall clock)
+quantifies the cost of the observability layer when *enabled*; the
+disabled path is the plain ``after`` timing.
 
 Usage::
 
@@ -28,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import statistics
 import sys
 import time
@@ -108,6 +116,25 @@ def _run_new(formula):
     return time.perf_counter() - start, result
 
 
+def _run_traced(formula):
+    """The live engine with the full observability stack attached:
+    JSONL tracing to ``os.devnull`` plus search-shape histograms."""
+    from repro.obs import JsonlSink, SearchMetrics, Tracer
+
+    solver = CDCLSolver(
+        formula, heuristic=VSIDSHeuristic(seed=0),
+        restart_policy=make_restart_policy("luby", 64),
+        phase_saving=True)
+    sink = JsonlSink(os.devnull)
+    solver.tracer = Tracer(sink)
+    solver.metrics = SearchMetrics()
+    start = time.perf_counter()
+    result = solver.solve()
+    elapsed = time.perf_counter() - start
+    sink.close()
+    return elapsed, result
+
+
 def _run_old(formula):
     solver = LegacyCDCLSolver(
         formula, heuristic=LegacyVSIDS(),
@@ -127,7 +154,7 @@ def _verify_model(formula, result, engine: str, name: str) -> None:
 
 def bench_instance(name, formula, repeats: int):
     """Race both engines on one instance; returns the result record."""
-    best_new = best_old = None
+    best_new = best_old = best_traced = None
     for _ in range(repeats):
         elapsed, result = _run_new(formula)
         if best_new is None or elapsed < best_new[0]:
@@ -135,7 +162,16 @@ def bench_instance(name, formula, repeats: int):
         elapsed, result = _run_old(formula)
         if best_old is None or elapsed < best_old[0]:
             best_old = (elapsed, result)
+        elapsed, result = _run_traced(formula)
+        if best_traced is None or elapsed < best_traced[0]:
+            best_traced = (elapsed, result)
     (new_time, new_result), (old_time, old_result) = best_new, best_old
+    traced_time, traced_result = best_traced
+
+    if traced_result.status is not new_result.status:
+        raise AssertionError(
+            f"tracing changed the verdict on {name}: "
+            f"traced={traced_result.status} plain={new_result.status}")
 
     if new_result.status is not old_result.status:
         raise AssertionError(
@@ -151,17 +187,25 @@ def bench_instance(name, formula, repeats: int):
                 "propagations": stats.propagations,
                 "restarts": stats.restarts}
 
+    before = counters(old_result)
+    after = counters(new_result)
     return {
         "instance": name,
         "num_vars": formula.num_vars,
         "num_clauses": formula.num_clauses,
         "status": new_result.status.name,
         "model_verified": new_result.status is Status.SATISFIABLE,
-        "before": {"wall_seconds": round(old_time, 6),
-                   **counters(old_result)},
-        "after": {"wall_seconds": round(new_time, 6),
-                  **counters(new_result)},
+        "before": {"wall_seconds": round(old_time, 6), **before},
+        "after": {"wall_seconds": round(new_time, 6), **after},
+        # Search-effort deltas (after - before): the engines follow
+        # near-identical search paths, so nonzero deltas flag a
+        # behavioural (not just mechanical) change.
+        "effort_delta": {key: after[key] - before[key]
+                         for key in ("decisions", "conflicts",
+                                     "propagations")},
         "speedup": round(old_time / new_time, 3),
+        "traced_wall_seconds": round(traced_time, 6),
+        "tracing_overhead": round(traced_time / new_time, 3),
     }
 
 
@@ -173,7 +217,7 @@ def main(argv=None) -> int:
                         help="timing repetitions per engine per "
                              "instance (default: 3, smoke: 1)")
     parser.add_argument("-o", "--output", default=None,
-                        help="output JSON path (default: BENCH_PR1.json "
+                        help="output JSON path (default: BENCH_PR3.json "
                              "next to this script; '-' for stdout only)")
     args = parser.parse_args(argv)
 
@@ -185,11 +229,13 @@ def main(argv=None) -> int:
         print(f"{name:18s} {record['status']:14s} "
               f"before {record['before']['wall_seconds']*1000:9.1f}ms  "
               f"after {record['after']['wall_seconds']*1000:9.1f}ms  "
-              f"x{record['speedup']:.2f}", flush=True)
+              f"x{record['speedup']:.2f}  "
+              f"traced x{record['tracing_overhead']:.2f}", flush=True)
 
     speedups = [r["speedup"] for r in records]
+    overheads = [r["tracing_overhead"] for r in records]
     summary = {
-        "bench": "PR1 CDCL hot-path flattening",
+        "bench": "PR3 observability (vs PR1 legacy baseline)",
         "baseline": "benchmarks/legacy_cdcl.py (seed engine @00ba90a)",
         "config": "VSIDS seed=0, Luby-64 restarts, phase saving",
         "repeats": repeats,
@@ -197,15 +243,21 @@ def main(argv=None) -> int:
         "median_speedup": round(statistics.median(speedups), 3),
         "min_speedup": round(min(speedups), 3),
         "max_speedup": round(max(speedups), 3),
+        "median_tracing_overhead": round(statistics.median(overheads),
+                                         3),
+        "max_tracing_overhead": round(max(overheads), 3),
         "instances": records,
     }
     print(f"median speedup: x{summary['median_speedup']:.2f}  "
           f"(min x{summary['min_speedup']:.2f}, "
           f"max x{summary['max_speedup']:.2f})")
+    print(f"median tracing overhead: "
+          f"x{summary['median_tracing_overhead']:.2f}  "
+          f"(max x{summary['max_tracing_overhead']:.2f})")
 
     if args.output != "-":
         out_path = Path(args.output) if args.output \
-            else BENCH_DIR.parent / "BENCH_PR1.json"
+            else BENCH_DIR.parent / "BENCH_PR3.json"
         out_path.write_text(json.dumps(summary, indent=2) + "\n")
         print(f"wrote {out_path}")
     return 0

@@ -100,7 +100,8 @@ class ATPGReport:
 def solve_fault(circuit: Circuit, fault: StuckAtFault,
                 method: str = "cdcl",
                 max_conflicts: Optional[int] = 20000,
-                budget: Optional[Budget] = None) -> FaultResult:
+                budget: Optional[Budget] = None,
+                tracer=None) -> FaultResult:
     """Generate a test for one fault (or prove it redundant).
 
     *method*: ``"cdcl"`` solves the miter CNF directly;
@@ -109,6 +110,8 @@ def solve_fault(circuit: Circuit, fault: StuckAtFault,
     CDCL configurations on the miter CNF
     (:mod:`repro.solvers.portfolio`).  *budget* bounds the solver
     call (deadline / counters / memory); exhaustion yields ABORTED.
+    *tracer* is handed to the underlying CDCL/portfolio solve (the
+    ``"circuit"`` path has no engine-level tracing).
     """
     faulty = inject_fault(circuit, fault)
     if method == "circuit":
@@ -131,10 +134,11 @@ def solve_fault(circuit: Circuit, fault: StuckAtFault,
         from repro.solvers.portfolio import solve_portfolio
         result = solve_portfolio(encoding.formula,
                                  max_conflicts=max_conflicts,
-                                 budget=budget).result
+                                 budget=budget, tracer=tracer).result
     else:
         solver = CDCLSolver(encoding.formula, max_conflicts=max_conflicts,
                             budget=budget)
+        solver.tracer = tracer
         result = solver.solve()
     if result.is_sat:
         vector = encoding.input_vector(result.assignment, default=False)
@@ -168,6 +172,11 @@ class ATPGEngine:
         per-fault solve receives only the remaining tail.  On
         exhaustion the report is partial (``budget_exhausted=True``,
         unattempted faults ABORTED) -- no exception is raised.
+    tracer:
+        optional :class:`repro.obs.trace.Tracer`: the run becomes an
+        ``atpg.run`` span with one ``atpg.fault`` event per targeted
+        fault (node, stuck-at value, outcome, effort) and the
+        per-fault solver spans nested inside.
     """
 
     def __init__(self, circuit: Circuit, method: str = "cdcl",
@@ -175,7 +184,8 @@ class ATPGEngine:
                  random_patterns: int = 0,
                  max_conflicts: Optional[int] = 20000,
                  seed: int = 0,
-                 budget: Optional[Budget] = None):
+                 budget: Optional[Budget] = None,
+                 tracer=None):
         circuit.validate()
         if circuit.is_sequential():
             raise ValueError("combinational ATPG only")
@@ -186,6 +196,7 @@ class ATPGEngine:
         self.random_patterns = random_patterns
         self.max_conflicts = max_conflicts
         self.budget = budget
+        self.tracer = tracer
         self.rng = random.Random(seed)
 
     def fault_list(self) -> List[StuckAtFault]:
@@ -198,6 +209,22 @@ class ATPGEngine:
     def run(self, faults: Optional[Sequence[StuckAtFault]] = None
             ) -> ATPGReport:
         """Process the fault list, returning vectors and outcomes."""
+        tracer = self.tracer
+        if tracer is None:
+            return self._run(faults)
+        with tracer.span("atpg.run", method=self.method) as end:
+            report = self._run(faults)
+            end["faults"] = len(report.results)
+            end["detected"] = report.count(TestOutcome.DETECTED)
+            end["redundant"] = report.count(TestOutcome.REDUNDANT)
+            end["aborted"] = report.count(TestOutcome.ABORTED)
+            end["coverage"] = round(report.fault_coverage, 4)
+            end["budget_exhausted"] = report.budget_exhausted
+            return report
+
+    def _run(self, faults: Optional[Sequence[StuckAtFault]] = None
+             ) -> ATPGReport:
+        tracer = self.tracer
         report = ATPGReport()
         remaining = list(faults if faults is not None
                          else self.fault_list())
@@ -234,6 +261,10 @@ class ATPGEngine:
                 # Graceful degradation: report what was achieved and
                 # mark everything unattempted, instead of raising.
                 report.budget_exhausted = True
+                if tracer is not None:
+                    tracer.event("atpg.budget_exhausted",
+                                 attempted=position,
+                                 leftover=len(remaining) - position)
                 for leftover in remaining[position:]:
                     report.results.append(FaultResult(
                         leftover,
@@ -245,8 +276,14 @@ class ATPGEngine:
                 if meter is not None else None
             result = solve_fault(self.circuit, fault, self.method,
                                  self.max_conflicts,
-                                 budget=fault_budget)
+                                 budget=fault_budget, tracer=tracer)
             report.results.append(result)
+            if tracer is not None:
+                tracer.event("atpg.fault", node=fault.node,
+                             stuck_at=bool(fault.value),
+                             outcome=result.outcome.value,
+                             conflicts=result.stats.conflicts,
+                             decisions=result.stats.decisions)
             if result.outcome is not TestOutcome.DETECTED:
                 continue
             vector = self._complete_vector(result.vector)
@@ -289,16 +326,19 @@ class IncrementalATPG:
 
     def __init__(self, circuit: Circuit,
                  max_conflicts_per_fault: Optional[int] = 20000,
-                 budget: Optional[Budget] = None):
+                 budget: Optional[Budget] = None,
+                 tracer=None):
         circuit.validate()
         if circuit.is_sequential():
             raise ValueError("combinational ATPG only")
         self.circuit = circuit
         self.budget = budget
+        self.tracer = tracer
         self.encoding = encode_circuit(circuit)
         self.solver = IncrementalSolver(
             self.encoding.formula,
             max_conflicts_per_call=max_conflicts_per_fault)
+        self.solver.tracer = tracer
 
     def solve_fault(self, fault: StuckAtFault,
                     budget: Optional[Budget] = None) -> FaultResult:
@@ -364,6 +404,21 @@ class IncrementalATPG:
         Under a run-wide budget the report degrades gracefully:
         unattempted faults are ABORTED, ``budget_exhausted`` is set.
         """
+        tracer = self.tracer
+        if tracer is None:
+            return self._run(faults)
+        with tracer.span("atpg.run", method="incremental") as end:
+            report = self._run(faults)
+            end["faults"] = len(report.results)
+            end["detected"] = report.count(TestOutcome.DETECTED)
+            end["redundant"] = report.count(TestOutcome.REDUNDANT)
+            end["aborted"] = report.count(TestOutcome.ABORTED)
+            end["budget_exhausted"] = report.budget_exhausted
+            return report
+
+    def _run(self, faults: Optional[Sequence[StuckAtFault]] = None
+             ) -> ATPGReport:
+        tracer = self.tracer
         report = ATPGReport()
         meter = self.budget.meter() if self.budget is not None else None
         targets = list(faults if faults is not None
@@ -371,6 +426,10 @@ class IncrementalATPG:
         for position, fault in enumerate(targets):
             if meter is not None and meter.expired():
                 report.budget_exhausted = True
+                if tracer is not None:
+                    tracer.event("atpg.budget_exhausted",
+                                 attempted=position,
+                                 leftover=len(targets) - position)
                 report.results.extend(
                     FaultResult(leftover, TestOutcome.ABORTED)
                     for leftover in targets[position:])
@@ -379,6 +438,12 @@ class IncrementalATPG:
                 if meter is not None else None
             result = self.solve_fault(fault, budget=fault_budget)
             report.results.append(result)
+            if tracer is not None:
+                tracer.event("atpg.fault", node=fault.node,
+                             stuck_at=bool(fault.value),
+                             outcome=result.outcome.value,
+                             conflicts=result.stats.conflicts,
+                             decisions=result.stats.decisions)
             if result.outcome is TestOutcome.DETECTED:
                 report.vectors.append({k: bool(v)
                                        for k, v in result.vector.items()})

@@ -57,16 +57,24 @@ class BoundedModelChecker:
         sequential (or combinational) circuit.
     initial_state:
         DFF name -> value at frame 0 (default: all zeros).
+    tracer:
+        optional :class:`repro.obs.trace.Tracer`: each sweep becomes a
+        ``bmc.check`` span with one ``bmc.depth`` event per frame
+        (status plus per-depth conflict/decision effort) and the
+        per-depth solver spans nested inside.
     """
 
     def __init__(self, circuit: Circuit,
-                 initial_state: Optional[Dict[str, bool]] = None):
+                 initial_state: Optional[Dict[str, bool]] = None,
+                 tracer=None):
         circuit.validate()
         self.circuit = circuit
         self.initial_state = {dff: False for dff in circuit.dffs}
         if initial_state:
             self.initial_state.update(initial_state)
         self.solver = IncrementalSolver()
+        self.tracer = tracer
+        self.solver.tracer = tracer
         #: var_of[frame][node]
         self.frames: List[Dict[str, int]] = []
 
@@ -117,6 +125,24 @@ class BoundedModelChecker:
         """
         if output not in self.circuit:
             raise ValueError(f"unknown output {output!r}")
+        tracer = self.tracer
+        if tracer is None:
+            return self._check_output(output, bad_value, max_depth,
+                                      budget)
+        with tracer.span("bmc.check", output=output,
+                         bad_value=bad_value,
+                         max_depth=max_depth) as end:
+            result = self._check_output(output, bad_value, max_depth,
+                                        budget)
+            end["failure_depth"] = result.failure_depth
+            end["depths_proved"] = result.depths_proved
+            end["budget_exhausted"] = result.budget_exhausted
+            return result
+
+    def _check_output(self, output: str, bad_value: bool,
+                      max_depth: int,
+                      budget: Optional[Budget]) -> BMCResult:
+        tracer = self.tracer
         meter = budget.meter() if budget is not None else None
         result = BMCResult(None)
         for depth in range(max_depth + 1):
@@ -132,6 +158,13 @@ class BoundedModelChecker:
             call = self.solver.solve(assumptions=[assumption],
                                      budget=call_budget)
             result.stats.merge(call.stats)
+            if tracer is not None:
+                # call.stats is already the per-call delta, so these
+                # are this depth's own conflicts/decisions.
+                tracer.event("bmc.depth", depth=depth,
+                             status=call.status.value,
+                             conflicts=call.stats.conflicts,
+                             decisions=call.stats.decisions)
             if call.is_sat:
                 result.failure_depth = depth
                 result.trace = self._extract_trace(call.assignment, depth)
@@ -158,11 +191,11 @@ class BoundedModelChecker:
 def check_safety(circuit: Circuit, output: str, bad_value: bool = True,
                  max_depth: int = 10,
                  initial_state: Optional[Dict[str, bool]] = None,
-                 budget: Optional[Budget] = None
-                 ) -> BMCResult:
+                 budget: Optional[Budget] = None,
+                 tracer=None) -> BMCResult:
     """One-shot bounded safety check (see
     :meth:`BoundedModelChecker.check_output`)."""
-    checker = BoundedModelChecker(circuit, initial_state)
+    checker = BoundedModelChecker(circuit, initial_state, tracer=tracer)
     return checker.check_output(output, bad_value, max_depth,
                                 budget=budget)
 

@@ -54,8 +54,8 @@ def check_equivalence(circuit_a: Circuit, circuit_b: Circuit,
                       seed: int = 0,
                       backend: str = "cdcl",
                       portfolio_processes: Optional[int] = None,
-                      budget: Optional[Budget] = None
-                      ) -> EquivalenceReport:
+                      budget: Optional[Budget] = None,
+                      tracer=None) -> EquivalenceReport:
     """Check functional equivalence of two combinational circuits.
 
     The circuits must share input and output name lists (reorderings
@@ -68,19 +68,54 @@ def check_equivalence(circuit_a: Circuit, circuit_b: Circuit,
     ``portfolio_processes`` caps the process count.  ``budget``
     bounds the SAT effort (deadline / counters / memory ceiling);
     exhaustion returns ``equivalent=None`` with
-    ``budget_exhausted=True`` rather than raising.
+    ``budget_exhausted=True`` rather than raising.  *tracer* records
+    the check as a ``cec.check`` span with ``cec.simulation`` /
+    ``cec.preprocess`` phase events and the SAT effort nested inside.
     """
     if backend not in ("cdcl", "portfolio"):
         raise ValueError(f"unknown backend {backend!r}")
+    if tracer is None:
+        return _check_equivalence(
+            circuit_a, circuit_b, simulation_vectors, use_preprocessing,
+            use_strash, max_conflicts, seed, backend,
+            portfolio_processes, budget, None)
+    with tracer.span("cec.check", circuit_a=circuit_a.name,
+                     circuit_b=circuit_b.name, backend=backend) as end:
+        report = _check_equivalence(
+            circuit_a, circuit_b, simulation_vectors, use_preprocessing,
+            use_strash, max_conflicts, seed, backend,
+            portfolio_processes, budget, tracer)
+        end["equivalent"] = report.equivalent
+        end["refuted_by_simulation"] = report.refuted_by_simulation
+        end["budget_exhausted"] = report.budget_exhausted
+        return report
+
+
+def _check_equivalence(circuit_a: Circuit, circuit_b: Circuit,
+                       simulation_vectors: int,
+                       use_preprocessing: bool,
+                       use_strash: bool,
+                       max_conflicts: Optional[int],
+                       seed: int,
+                       backend: str,
+                       portfolio_processes: Optional[int],
+                       budget: Optional[Budget],
+                       tracer) -> EquivalenceReport:
     rng = random.Random(seed)
     for index in range(simulation_vectors):
         vector = random_vector(circuit_a, rng)
         out_a = output_values(circuit_a, simulate(circuit_a, vector))
         out_b = output_values(circuit_b, simulate(circuit_b, vector))
         if list(out_a.values()) != list(out_b.values()):
+            if tracer is not None:
+                tracer.event("cec.simulation", vectors=index + 1,
+                             refuted=True)
             return EquivalenceReport(False, vector,
                                      refuted_by_simulation=True,
                                      simulation_vectors=index + 1)
+    if tracer is not None and simulation_vectors > 0:
+        tracer.event("cec.simulation", vectors=simulation_vectors,
+                     refuted=False)
 
     if use_strash:
         from repro.circuits.strash import structural_hash
@@ -98,6 +133,10 @@ def check_equivalence(circuit_a: Circuit, circuit_b: Circuit,
     lift = None
     if use_preprocessing:
         pre = preprocess(formula, equivalency=True)
+        if tracer is not None:
+            tracer.event("cec.preprocess",
+                         eliminated=pre.variables_eliminated,
+                         unsat=pre.unsat)
         if pre.unsat:
             return EquivalenceReport(
                 True, simulation_vectors=simulation_vectors,
@@ -110,10 +149,12 @@ def check_equivalence(circuit_a: Circuit, circuit_b: Circuit,
         from repro.solvers.portfolio import solve_portfolio
         result = solve_portfolio(formula, processes=portfolio_processes,
                                  max_conflicts=max_conflicts,
-                                 seed=seed, budget=budget).result
+                                 seed=seed, budget=budget,
+                                 tracer=tracer).result
     else:
         solver = CDCLSolver(formula, max_conflicts=max_conflicts,
                             budget=budget)
+        solver.tracer = tracer
         result = solver.solve()
     if result.status is Status.UNSATISFIABLE:
         return EquivalenceReport(True,

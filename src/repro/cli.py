@@ -10,6 +10,13 @@ Wraps the library's main flows for shell use:
 * ``info FILE.bench`` -- netlist statistics.
 * ``optimize FILE.bench`` -- strash + sweep + redundancy removal,
   equivalence-certified.
+* ``profile TRACE.jsonl`` -- render a recorded trace into a per-phase
+  effort report (non-zero exit on schema violations).
+
+``solve``, ``atpg``, ``cec`` and ``bmc`` accept ``--trace FILE`` to
+record a JSONL event trace (:mod:`repro.obs`); ``solve --stats-json``
+additionally prints the final counters (and, single-engine, the
+search-quality histograms) as one JSON line.
 
 Exit codes follow the SAT-competition convention for ``solve``
 (10 = SAT, 20 = UNSAT, 0 = unknown) and 0/1 = pass/fail elsewhere.
@@ -33,6 +40,22 @@ def _budget_from_args(args):
     return Budget(wall_seconds=timeout, max_memory_mb=memory)
 
 
+def _tracer_from_args(args):
+    """Build a :class:`repro.obs.Tracer` writing JSONL to the
+    ``--trace`` target (None when the flag is absent or unset)."""
+    target = getattr(args, "trace", None)
+    if target is None:
+        return None
+    from repro.obs import JsonlSink, Tracer
+    return Tracer(JsonlSink(target))
+
+
+def _add_obs_flags(subparser) -> None:
+    subparser.add_argument("--trace", default=None, metavar="FILE",
+                           help="record a JSONL event trace here "
+                                "(inspect with 'repro profile FILE')")
+
+
 def _add_budget_flags(subparser) -> None:
     subparser.add_argument("--timeout", type=float, default=None,
                            metavar="SECONDS",
@@ -51,6 +74,7 @@ def _cmd_solve(args) -> int:
     from repro.solvers.preprocess import preprocess
 
     budget = _budget_from_args(args)
+    tracer = getattr(args, "obs_tracer", None)
     formula = load_dimacs(args.file)
     lift = None
     if args.preprocess:
@@ -64,25 +88,39 @@ def _cmd_solve(args) -> int:
         from repro.solvers.portfolio import solve_portfolio
         result = solve_portfolio(formula, processes=args.portfolio,
                                  max_conflicts=args.max_conflicts,
-                                 budget=budget)
+                                 budget=budget, tracer=tracer)
         if result.winner:
             print(f"c portfolio winner: {result.winner}")
         result = result.result
     else:
         solver = CDCLSolver(formula, max_conflicts=args.max_conflicts,
                             budget=budget)
+        solver.tracer = tracer
+        if args.stats_json:
+            # Search-quality histograms ride the single-engine path
+            # only (worker processes cannot share a registry).
+            from repro.obs import SearchMetrics
+            solver.metrics = SearchMetrics()
         result = solver.solve()
     if result.is_sat:
         model = lift(result.assignment) if lift else result.assignment
         print("s SATISFIABLE")
         literals = " ".join(str(lit) for lit in model.to_literals())
-        print(f"v {literals} 0")
-        return 10
-    if result.is_unsat:
+        code = 10
+    elif result.is_unsat:
         print("s UNSATISFIABLE")
-        return 20
-    print("s UNKNOWN")
-    return 0
+        literals = None
+        code = 20
+    else:
+        print("s UNKNOWN")
+        literals = None
+        code = 0
+    if literals is not None:
+        print(f"v {literals} 0")
+    if args.stats_json:
+        import json
+        print(json.dumps(result.stats.as_dict(), sort_keys=True))
+    return code
 
 
 def _cmd_atpg(args) -> int:
@@ -92,7 +130,8 @@ def _cmd_atpg(args) -> int:
     circuit = load_bench(args.file)
     engine = ATPGEngine(circuit, collapse=args.collapse,
                         fault_dropping=not args.no_dropping,
-                        budget=_budget_from_args(args))
+                        budget=_budget_from_args(args),
+                        tracer=getattr(args, "obs_tracer", None))
     report = engine.run()
     if report.budget_exhausted:
         print("note: budget exhausted, report is partial")
@@ -123,7 +162,8 @@ def _cmd_cec(args) -> int:
         use_strash=args.strash,
         backend="portfolio" if args.portfolio else "cdcl",
         portfolio_processes=args.portfolio or None,
-        budget=_budget_from_args(args))
+        budget=_budget_from_args(args),
+        tracer=getattr(args, "obs_tracer", None))
     if report.equivalent is True:
         print("EQUIVALENT")
         return 0
@@ -146,7 +186,8 @@ def _cmd_bmc(args) -> int:
     output = args.output or circuit.outputs[0]
     result = check_safety(circuit, output, bad_value=not args.low,
                           max_depth=args.depth,
-                          budget=_budget_from_args(args))
+                          budget=_budget_from_args(args),
+                          tracer=getattr(args, "obs_tracer", None))
     if result.budget_exhausted:
         print(f"budget exhausted: property proved through depth "
               f"{result.depths_proved - 1}"
@@ -214,6 +255,14 @@ def _cmd_optimize(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    from repro.obs.profile import profile_trace
+
+    text, problems = profile_trace(args.file)
+    print(text)
+    return 1 if problems else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -230,7 +279,12 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--portfolio", type=int, default=0, metavar="N",
                        help="race N diversified CDCL configurations "
                             "in parallel (0 = single engine)")
+    solve.add_argument("--stats-json", action="store_true",
+                       help="print the final solver counters (and "
+                            "single-engine search-quality histograms) "
+                            "as one JSON line")
     _add_budget_flags(solve)
+    _add_obs_flags(solve)
     solve.set_defaults(handler=_cmd_solve)
 
     atpg = commands.add_parser("atpg",
@@ -243,6 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
     atpg.add_argument("--vectors", action="store_true",
                       help="print the generated vectors")
     _add_budget_flags(atpg)
+    _add_obs_flags(atpg)
     atpg.set_defaults(handler=_cmd_atpg)
 
     cec = commands.add_parser("cec",
@@ -256,6 +311,7 @@ def build_parser() -> argparse.ArgumentParser:
     cec.add_argument("--strash", action="store_true",
                      help="structurally hash the miter first")
     _add_budget_flags(cec)
+    _add_obs_flags(cec)
     cec.set_defaults(handler=_cmd_cec)
 
     bmc = commands.add_parser("bmc", help="bounded safety check")
@@ -266,6 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
     bmc.add_argument("--low", action="store_true",
                      help="look for value 0 instead of 1")
     _add_budget_flags(bmc)
+    _add_obs_flags(bmc)
     bmc.set_defaults(handler=_cmd_bmc)
 
     delay = commands.add_parser("delay",
@@ -287,6 +344,12 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument("--no-redundancy", action="store_true",
                           help="skip the SAT redundancy-removal pass")
     optimize.set_defaults(handler=_cmd_optimize)
+
+    profile = commands.add_parser(
+        "profile",
+        help="per-phase effort report from a --trace JSONL file")
+    profile.add_argument("file")
+    profile.set_defaults(handler=_cmd_profile)
     return parser
 
 
@@ -294,7 +357,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    tracer = _tracer_from_args(args)
+    args.obs_tracer = tracer
+    try:
+        return args.handler(args)
+    finally:
+        if tracer is not None:
+            tracer.close()
 
 
 if __name__ == "__main__":

@@ -1,0 +1,62 @@
+"""Observability: tracing, metrics, and effort profiling (``repro.obs``).
+
+The paper's whole argument (Sections 4-6) turns on search-effort
+quantities -- decisions, implied assignments, conflicts, levels
+skipped by non-chronological backtracking, recorded and deleted
+clauses, restarts -- but a final :class:`~repro.solvers.result.
+SolverStats` blob says nothing about *where the time went* inside a
+long solve.  This package adds the three layers a production SAT
+service needs:
+
+* :mod:`repro.obs.trace` -- spans around solve/application calls and
+  periodic progress snapshots, written as JSONL through a pluggable
+  sink.  Tracing rides the solvers' existing cooperative checkpoints
+  (:mod:`repro.runtime.budget`), so the hot path pays **nothing new**
+  when disabled (see DESIGN.md, "Observability rides the
+  checkpoint").
+* :mod:`repro.obs.metrics` -- counters, gauges and histograms of
+  search shape (propagation-burst lengths, backjump distances,
+  learned-clause sizes, LBD), snapshotted into ``SolverStats.metrics``
+  and serializable to JSON.
+* :mod:`repro.obs.profile` -- replay of a recorded trace into a
+  human-readable per-phase effort report (the ``repro profile``
+  subcommand).
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SearchMetrics,
+    merge_snapshots,
+)
+from repro.obs.profile import build_report, profile_trace, render_report
+from repro.obs.trace import (
+    EVENT_KINDS,
+    JsonlSink,
+    ListSink,
+    NullSink,
+    Tracer,
+    validate_event,
+    validate_trace_file,
+)
+
+__all__ = [
+    "Counter",
+    "EVENT_KINDS",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "ListSink",
+    "MetricsRegistry",
+    "NullSink",
+    "SearchMetrics",
+    "Tracer",
+    "build_report",
+    "merge_snapshots",
+    "profile_trace",
+    "render_report",
+    "validate_event",
+    "validate_trace_file",
+]

@@ -1,0 +1,230 @@
+"""Metrics layer: counters, gauges and histograms of search shape.
+
+The final counters in :class:`~repro.solvers.result.SolverStats` say
+*how much* search happened; these metrics say what it *looked like* --
+the distribution of propagation-burst lengths (is BCP doing the work,
+as the paper claims for EDA instances?), backjump distances (is
+non-chronological backtracking actually skipping levels?),
+learned-clause sizes and LBD (are recorded clauses worth keeping?).
+
+Snapshots are plain JSON-serializable dicts, picklable across the
+portfolio's process boundary, and mergeable
+(:func:`merge_snapshots`), so they ride inside
+``SolverStats.metrics`` through every existing stats path.
+
+The module is dependency-free by design: ``repro.solvers.result``
+imports it lazily for metric-aware merging without creating a cycle.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence
+
+#: Power-of-two-ish bucket bounds suiting every search-shape quantity
+#: here: bursts of thousands, backjumps of tens, clause sizes of
+#: hundreds.  A bucket counts values <= its bound; larger values land
+#: in the overflow bucket.
+DEFAULT_BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+                  1024, 4096, 16384)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (default 1)."""
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, object]:
+        """Serializable state: ``{"type": "counter", "value": n}``."""
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A last-value-wins measurement (e.g. learned-DB size)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = value
+
+    def snapshot(self) -> Dict[str, object]:
+        """Serializable state: ``{"type": "gauge", "value": v}``."""
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """A fixed-bound histogram with count/sum/min/max.
+
+    Bucket ``i`` counts observations ``<= bounds[i]`` (and greater
+    than ``bounds[i-1]``); one extra overflow bucket counts the rest,
+    so ``len(buckets) == len(bounds) + 1``.
+    """
+
+    __slots__ = ("bounds", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BOUNDS):
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError("bounds must be non-empty and "
+                             "strictly increasing")
+        self.bounds = tuple(bounds)
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.buckets[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def snapshot(self) -> Dict[str, object]:
+        """Serializable state (type/count/sum/min/max/bounds/buckets)."""
+        return {"type": "histogram", "count": self.count,
+                "sum": self.total, "min": self.min, "max": self.max,
+                "bounds": list(self.bounds),
+                "buckets": list(self.buckets)}
+
+
+class MetricsRegistry:
+    """A named collection of metrics with one-call snapshotting."""
+
+    def __init__(self):
+        self._metrics: Dict[str, object] = {}
+
+    def _register(self, name: str, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter *name*."""
+        return self._register(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge *name*."""
+        return self._register(name, Gauge)
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = DEFAULT_BOUNDS
+                  ) -> Histogram:
+        """Get or create the histogram *name*."""
+        return self._register(name, lambda: Histogram(bounds))
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Every metric's serializable state, keyed by name."""
+        return {name: metric.snapshot()
+                for name, metric in sorted(self._metrics.items())}
+
+
+def _merge_histogram(mine: Dict[str, object],
+                     theirs: Dict[str, object]) -> Dict[str, object]:
+    merged = dict(mine)
+    merged["count"] = mine["count"] + theirs["count"]
+    merged["sum"] = mine["sum"] + theirs["sum"]
+    mins = [v for v in (mine["min"], theirs["min"]) if v is not None]
+    maxs = [v for v in (mine["max"], theirs["max"]) if v is not None]
+    merged["min"] = min(mins) if mins else None
+    merged["max"] = max(maxs) if maxs else None
+    if mine.get("bounds") == theirs.get("bounds"):
+        merged["buckets"] = [a + b for a, b in zip(mine["buckets"],
+                                                   theirs["buckets"])]
+    else:
+        # Incompatible bucketing: the scalar moments above stay exact,
+        # the shape is unrecoverable -- drop it rather than lie.
+        merged.pop("buckets", None)
+        merged.pop("bounds", None)
+    return merged
+
+
+def merge_snapshots(mine: Dict[str, Dict[str, object]],
+                    theirs: Dict[str, Dict[str, object]]
+                    ) -> Dict[str, Dict[str, object]]:
+    """Combine two registry snapshots (neither input is mutated).
+
+    Counters and histograms accumulate; gauges take the second
+    snapshot's value (it is the more recent one in every merge path:
+    ``SolverStats.merge`` folds a later call into an earlier total).
+    Metrics present in only one snapshot pass through unchanged.
+    """
+    merged: Dict[str, Dict[str, object]] = {
+        name: dict(snap) for name, snap in mine.items()}
+    for name, snap in theirs.items():
+        ours = merged.get(name)
+        if ours is None or ours.get("type") != snap.get("type"):
+            merged[name] = dict(snap)
+        elif snap["type"] == "counter":
+            merged[name] = {"type": "counter",
+                            "value": ours["value"] + snap["value"]}
+        elif snap["type"] == "gauge":
+            merged[name] = dict(snap)
+        elif snap["type"] == "histogram":
+            merged[name] = _merge_histogram(ours, snap)
+        else:
+            merged[name] = dict(snap)
+    return merged
+
+
+class SearchMetrics:
+    """The CDCL-facing recorder of the paper's search-shape signals.
+
+    Attach to a solver (``solver.metrics = SearchMetrics()``) and the
+    engine records:
+
+    * ``propagation_burst`` -- implied assignments per ``_propagate``
+      call (the BCP burst length);
+    * ``backjump_distance`` -- decision levels undone per conflict;
+    * ``learned_clause_size`` -- literals per recorded clause;
+    * ``learned_clause_lbd`` -- distinct decision levels per recorded
+      clause (the "literal block distance" quality signal).
+
+    The hot-path cost when *not* attached is a single ``is not None``
+    test per propagate call / per conflict; recording itself is one
+    histogram observation (see DESIGN.md).
+    """
+
+    __slots__ = ("registry", "bursts", "backjumps", "learned_sizes",
+                 "learned_lbd")
+
+    def __init__(self):
+        self.registry = MetricsRegistry()
+        self.bursts = self.registry.histogram("propagation_burst")
+        self.backjumps = self.registry.histogram(
+            "backjump_distance", bounds=(1, 2, 4, 8, 16, 32, 64, 128))
+        self.learned_sizes = self.registry.histogram(
+            "learned_clause_size")
+        self.learned_lbd = self.registry.histogram(
+            "learned_clause_lbd", bounds=(1, 2, 4, 8, 16, 32, 64, 128))
+
+    def burst(self, propagations: int) -> None:
+        """Record one BCP burst length."""
+        self.bursts.observe(propagations)
+
+    def on_conflict(self, backjump: int, clause_size: int,
+                    lbd: int) -> None:
+        """Record the shape of one conflict's resolution."""
+        self.backjumps.observe(backjump)
+        self.learned_sizes.observe(clause_size)
+        self.learned_lbd.observe(lbd)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """The registry snapshot (for ``SolverStats.metrics``)."""
+        return self.registry.snapshot()

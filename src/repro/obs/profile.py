@@ -1,0 +1,207 @@
+"""Replay a recorded JSONL trace into a per-phase effort report.
+
+This is the consumer half of :mod:`repro.obs.trace`: given a trace
+file, aggregate the spans into where-did-the-time-go totals, fold the
+progress snapshots into per-source effort rates (conflicts/s,
+decisions/s, propagations/s) and peaks (decision level, learned-DB
+size, RSS), and count the point events (restarts, ATPG faults, BMC
+depths).  The ``repro profile`` CLI subcommand prints
+:func:`render_report`'s text and exits non-zero when the trace
+violates the documented schema.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Tuple
+
+from repro.obs.trace import validate_event
+
+#: Progress attrs treated as monotonically increasing totals, for
+#: which the report derives average rates.
+_RATE_ATTRS = ("decisions", "conflicts", "propagations", "flips")
+
+#: Progress attrs treated as instantaneous readings, for which the
+#: report keeps the observed peak.
+_PEAK_ATTRS = ("decision_level", "learned_db", "trail", "rss_mb",
+               "unsat")
+
+
+def read_trace(path: str) -> Tuple[List[Dict[str, Any]], List[str]]:
+    """Parse and validate a JSONL trace file.
+
+    Returns ``(events, problems)``: every successfully decoded event
+    (schema-invalid ones included, so a report can still be built from
+    an imperfect trace) and the list of line-prefixed schema problems.
+    """
+    events: List[Dict[str, Any]] = []
+    problems: List[str] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                problems.append(f"line {lineno}: not JSON ({exc.msg})")
+                continue
+            for problem in validate_event(event):
+                problems.append(f"line {lineno}: {problem}")
+            if isinstance(event, dict):
+                events.append(event)
+    return events, problems
+
+
+def build_report(events: List[Dict[str, Any]],
+                 problems: List[str]) -> Dict[str, Any]:
+    """Aggregate decoded trace events into a report dict.
+
+    The report has keys ``num_events``, ``problems``, ``wall``
+    (trace extent in seconds), ``spans`` (per-name count / total /
+    max duration), ``progress`` (per-name sample count, span of
+    samples, per-attr totals with rates, per-attr peaks) and
+    ``events`` (per-name point-event counts).
+    """
+    spans: Dict[str, Dict[str, Any]] = {}
+    progress: Dict[str, Dict[str, Any]] = {}
+    counts: Dict[str, int] = {}
+    last_ts = 0.0
+
+    for event in events:
+        kind = event.get("kind")
+        name = event.get("name")
+        ts = event.get("ts")
+        if isinstance(ts, (int, float)) and not isinstance(ts, bool):
+            last_ts = max(last_ts, float(ts))
+        if not isinstance(name, str):
+            continue
+        if kind == "span_end":
+            attrs = event.get("attrs")
+            duration = attrs.get("duration") \
+                if isinstance(attrs, dict) else None
+            if not isinstance(duration, (int, float)) \
+                    or isinstance(duration, bool):
+                continue
+            agg = spans.setdefault(
+                name, {"count": 0, "total": 0.0, "max": 0.0})
+            agg["count"] += 1
+            agg["total"] += float(duration)
+            agg["max"] = max(agg["max"], float(duration))
+        elif kind == "progress":
+            attrs = event.get("attrs")
+            if not isinstance(attrs, dict):
+                continue
+            agg = progress.setdefault(
+                name, {"samples": 0, "first_ts": None, "last_ts": None,
+                       "totals": {}, "peaks": {}})
+            agg["samples"] += 1
+            if isinstance(ts, (int, float)) \
+                    and not isinstance(ts, bool):
+                if agg["first_ts"] is None:
+                    agg["first_ts"] = float(ts)
+                agg["last_ts"] = float(ts)
+            for attr in _RATE_ATTRS:
+                value = attrs.get(attr)
+                if isinstance(value, (int, float)) \
+                        and not isinstance(value, bool):
+                    agg["totals"][attr] = \
+                        agg["totals"].get(attr, 0) + value
+            for attr in _PEAK_ATTRS:
+                value = attrs.get(attr)
+                if isinstance(value, (int, float)) \
+                        and not isinstance(value, bool):
+                    prev = agg["peaks"].get(attr)
+                    if prev is None or value > prev:
+                        agg["peaks"][attr] = value
+        elif kind == "event":
+            counts[name] = counts.get(name, 0) + 1
+
+    for agg in progress.values():
+        first, last = agg["first_ts"], agg["last_ts"]
+        window = (last - first) if (first is not None
+                                    and last is not None) else 0.0
+        agg["window"] = window
+        agg["rates"] = {}
+        if window > 0:
+            for attr, total in agg["totals"].items():
+                agg["rates"][attr] = total / window
+
+    return {"num_events": len(events), "problems": list(problems),
+            "wall": last_ts, "spans": spans, "progress": progress,
+            "events": counts}
+
+
+def _fmt(value: float) -> str:
+    if value >= 1000:
+        return f"{value:,.0f}"
+    if value >= 10:
+        return f"{value:.1f}"
+    return f"{value:.3f}"
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """A human-readable effort report for :func:`build_report`'s dict."""
+    lines: List[str] = []
+    lines.append(f"trace: {report['num_events']} events over "
+                 f"{_fmt(report['wall'])}s"
+                 + (f", {len(report['problems'])} schema problem(s)"
+                    if report["problems"] else ""))
+
+    spans = report["spans"]
+    if spans:
+        lines.append("")
+        lines.append("spans (where the time went):")
+        grand = sum(agg["total"] for agg in spans.values())
+        width = max(len(name) for name in spans)
+        for name, agg in sorted(spans.items(),
+                                key=lambda kv: -kv[1]["total"]):
+            share = (100.0 * agg["total"] / grand) if grand > 0 else 0.0
+            lines.append(
+                f"  {name:<{width}}  x{agg['count']:<4d} "
+                f"total {_fmt(agg['total'])}s  "
+                f"max {_fmt(agg['max'])}s  ({share:.0f}%)")
+
+    progress = report["progress"]
+    if progress:
+        lines.append("")
+        lines.append("effort (from progress snapshots):")
+        for name, agg in sorted(progress.items()):
+            lines.append(f"  {name}: {agg['samples']} sample(s) over "
+                         f"{_fmt(agg['window'])}s")
+            for attr in _RATE_ATTRS:
+                if attr in agg["totals"]:
+                    total = agg["totals"][attr]
+                    rate = agg["rates"].get(attr)
+                    suffix = f" ({_fmt(rate)}/s)" if rate else ""
+                    lines.append(
+                        f"    {attr:<13} {_fmt(float(total))}{suffix}")
+            for attr in _PEAK_ATTRS:
+                if attr in agg["peaks"]:
+                    lines.append(f"    peak {attr:<8} "
+                                 f"{_fmt(float(agg['peaks'][attr]))}")
+
+    counts = report["events"]
+    if counts:
+        lines.append("")
+        lines.append("events:")
+        for name, count in sorted(counts.items()):
+            lines.append(f"  {name}: {count}")
+
+    if report["problems"]:
+        lines.append("")
+        lines.append("schema problems:")
+        for problem in report["problems"][:20]:
+            lines.append(f"  {problem}")
+        hidden = len(report["problems"]) - 20
+        if hidden > 0:
+            lines.append(f"  ... and {hidden} more")
+
+    return "\n".join(lines)
+
+
+def profile_trace(path: str) -> Tuple[str, List[str]]:
+    """Read, aggregate and render *path*; returns ``(text, problems)``."""
+    events, problems = read_trace(path)
+    report = build_report(events, problems)
+    return render_report(report), problems

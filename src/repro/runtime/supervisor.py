@@ -75,6 +75,10 @@ class WorkerReport:
     attempts: int = 1             # spawns, including respawns
     stats: Optional[SolverStats] = None
     wall_seconds: float = 0.0
+    #: Live progress samples relayed over the worker's pipe: dicts of
+    #: ``{"attempt", "elapsed", "stats"}`` in arrival order, spanning
+    #: every attempt (counters reset on respawn).
+    timeline: List[Dict] = field(default_factory=list)
 
 
 @dataclass
@@ -104,33 +108,86 @@ class PortfolioReport:
             counts[report.outcome] = counts.get(report.outcome, 0) + 1
         return counts
 
+    def effort_timelines(self) -> Dict[str, List[Dict]]:
+        """Per-worker progress samples, keyed by configuration name.
+
+        Each sample is ``{"attempt", "elapsed", "stats"}`` with the
+        worker's cumulative counters at that moment -- the live view
+        of where every configuration spent its effort.
+        """
+        return {report.name: list(report.timeline)
+                for report in self.workers}
+
+    def loss_summary(self) -> Dict[str, str]:
+        """One "why did this worker lose" line per non-winning worker."""
+        summary: Dict[str, str] = {}
+        for report in self.workers:
+            if (self.winner_index is not None
+                    and report.index == self.winner_index):
+                continue
+            effort = ""
+            stats = report.stats
+            if stats is not None:
+                effort = (f" after {stats.conflicts} conflicts / "
+                          f"{stats.decisions} decisions")
+            elif report.timeline:
+                last = report.timeline[-1]
+                s = last.get("stats", {})
+                effort = (f" at {s.get('conflicts', 0)} conflicts / "
+                          f"{s.get('decisions', 0)} decisions "
+                          f"({last.get('elapsed', 0.0):.2f}s in)")
+            if report.outcome is WorkerOutcome.CANCELLED:
+                reason = ("still searching when the race was decided"
+                          + effort)
+            elif report.outcome is WorkerOutcome.UNKNOWN:
+                reason = "exhausted its budget" + effort
+            elif report.outcome is WorkerOutcome.CRASHED:
+                reason = (f"crashed ({report.attempts} attempt(s), "
+                          f"retries exhausted)" + effort)
+            elif report.outcome is WorkerOutcome.TIMED_OUT:
+                reason = "hung or overran the deadline" + effort
+            else:
+                reason = ("reached a decisive verdict" + effort
+                          + " but a lower-index worker won the tie")
+            summary[report.name] = reason
+        return summary
+
 
 def stats_to_dict(stats: SolverStats) -> Dict[str, float]:
-    """Primitive (picklable) projection of the racing counters."""
-    return {key: getattr(stats, key) for key in (
-        "decisions", "propagations", "conflicts", "backtracks",
-        "learned_clauses", "restarts", "time_seconds")}
+    """Primitive (picklable) projection of every stats field.
+
+    Delegates to :meth:`SolverStats.as_dict`, which iterates
+    ``dataclasses.fields`` -- newly added counters can never be
+    silently dropped at the worker-pipe boundary again.
+    """
+    return stats.as_dict()
 
 
 def stats_from_dict(payload: Dict[str, float]) -> SolverStats:
-    stats = SolverStats()
-    for key, value in payload.items():
-        setattr(stats, key, value)
-    return stats
+    """Rebuild audited stats from a worker payload.
+
+    Delegates to :meth:`SolverStats.from_dict`: unknown keys and
+    wrong-typed values are dropped, never ``setattr``-ed.
+    """
+    return SolverStats.from_dict(payload)
 
 
 def _worker_main(index: int, attempt: int,
                  clause_lits: List[Tuple[int, ...]], num_vars: int,
                  config, budget: Optional[Budget],
                  heartbeats, channel,
-                 fault_plan: Optional[FaultPlan]) -> None:
+                 fault_plan: Optional[FaultPlan],
+                 progress_interval: Optional[float] = None) -> None:
     """Entry point of one supervised process (module-level: picklable).
 
     The formula travels as literal tuples; the verdict travels back as
     primitives over *channel*, this worker's private pipe end.
     Heartbeats are written through the solver's cooperative
     checkpoint, so a worker that stops propagating also stops
-    heartbeating -- which is exactly what hang detection needs.
+    heartbeating -- which is exactly what hang detection needs.  With a
+    *progress_interval*, the same checkpoint also sends periodic
+    ``("progress", index, attempt, elapsed, stats_dict)`` snapshots
+    over the pipe -- the supervisor's live per-worker effort timeline.
     """
     if fault_plan is not None:
         action = fault_plan.action(index, attempt)
@@ -142,9 +199,26 @@ def _worker_main(index: int, attempt: int,
         heartbeats[index] = time.monotonic()
 
     beat()
+    started = time.monotonic()
     formula = CNFFormula(num_vars=num_vars, clauses=clause_lits)
     solver = config.build_solver(formula, budget=budget)
-    solver.on_checkpoint = beat
+    if progress_interval is None:
+        solver.on_checkpoint = beat
+    else:
+        last_sent = [started]
+
+        def beat_and_report() -> None:
+            now = time.monotonic()
+            heartbeats[index] = now
+            if now - last_sent[0] >= progress_interval:
+                last_sent[0] = now
+                try:
+                    channel.send(("progress", index, attempt,
+                                  now - started,
+                                  stats_to_dict(solver.stats)))
+                except (BrokenPipeError, OSError):
+                    pass          # supervisor gone; keep solving
+        solver.on_checkpoint = beat_and_report
     result = solver.solve()
     beat()
     model = None
@@ -161,7 +235,7 @@ class _Slot:
 
     __slots__ = ("index", "config", "proc", "conn", "attempts",
                  "outcome", "result", "stats", "respawn_at", "died_at",
-                 "spawned_at", "finished_at")
+                 "spawned_at", "finished_at", "timeline", "traced_base")
 
     def __init__(self, index: int, config):
         self.index = index
@@ -176,6 +250,11 @@ class _Slot:
         self.died_at: Optional[float] = None
         self.spawned_at: Optional[float] = None
         self.finished_at: Optional[float] = None
+        # Progress samples across every attempt (survives respawns).
+        self.timeline: List[Dict] = []
+        # (attempt, stats) of the last sample the tracer actually
+        # emitted, so traced deltas stay sum-consistent under throttle.
+        self.traced_base: Tuple[int, Dict] = (-1, {})
 
     @property
     def settled(self) -> bool:
@@ -206,6 +285,14 @@ class Supervisor:
         scripted misbehaviour for tests (:mod:`repro.runtime.faults`).
     poll_interval:
         supervisor wake-up period.
+    progress_interval:
+        seconds between a worker's live counter snapshots over its
+        pipe (building the per-worker effort timelines); ``None``
+        disables them and restores bare heartbeats.
+    tracer:
+        optional :class:`repro.obs.trace.Tracer`: the race becomes a
+        ``portfolio.race`` span with spawn/outcome events and
+        per-worker progress relayed supervisor-side.
     """
 
     def __init__(self, configs: Sequence, *,
@@ -214,11 +301,15 @@ class Supervisor:
                  backoff_seconds: float = 0.1,
                  hang_timeout: Optional[float] = 10.0,
                  fault_plan: Optional[FaultPlan] = None,
-                 poll_interval: float = 0.05):
+                 poll_interval: float = 0.05,
+                 progress_interval: Optional[float] = 0.25,
+                 tracer=None):
         if not configs:
             raise ValueError("empty portfolio")
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if progress_interval is not None and progress_interval < 0:
+            raise ValueError("progress_interval must be >= 0")
         self.configs = list(configs)
         self.budget = budget or Budget()
         self.max_retries = max_retries
@@ -226,11 +317,27 @@ class Supervisor:
         self.hang_timeout = hang_timeout
         self.fault_plan = fault_plan
         self.poll_interval = poll_interval
+        self.progress_interval = progress_interval
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
 
     def run(self, formula: CNFFormula) -> PortfolioReport:
         """Race the configurations on *formula* under supervision."""
+        tracer = self.tracer
+        if tracer is None:
+            return self._run(formula)
+        with tracer.span("portfolio.race", workers=len(self.configs),
+                         num_vars=formula.num_vars,
+                         num_clauses=len(formula.clauses)) as end:
+            report = self._run(formula)
+            end["status"] = report.result.status.value
+            end["winner"] = report.winner
+            end["respawns"] = report.total_respawns
+            end["deadline_hit"] = report.deadline_hit
+            return report
+
+    def _run(self, formula: CNFFormula) -> PortfolioReport:
         started = time.monotonic()
         deadline = (None if self.budget.wall_seconds is None
                     else started + self.budget.wall_seconds)
@@ -255,7 +362,8 @@ class Supervisor:
                 target=_worker_main,
                 args=(slot.index, slot.attempts, clause_lits,
                       formula.num_vars, slot.config, worker_budget,
-                      heartbeats, writer, self.fault_plan),
+                      heartbeats, writer, self.fault_plan,
+                      self.progress_interval),
                 daemon=True)
             slot.attempts += 1
             slot.respawn_at = None
@@ -265,6 +373,10 @@ class Supervisor:
             slot.proc = proc
             proc.start()
             writer.close()    # keep only the worker's end open
+            if self.tracer is not None:
+                self.tracer.event("portfolio.spawn", worker=slot.index,
+                                  config=slot.config.name,
+                                  attempt=slot.attempts)
 
         def record_payload(target: _Slot, payload, now: float) -> None:
             _index, status, model, stats = self._validate(payload,
@@ -324,7 +436,12 @@ class Supervisor:
                         conn.close()
                         slot.conn = None
                         continue
-                    if (self._payload_valid(payload, clause_lits)
+                    if _is_progress(payload):
+                        # Live effort snapshot, not a verdict; fold it
+                        # into the timeline (or distrust the sender).
+                        if not self._record_progress(slot, payload):
+                            reject_payload(slot, now)
+                    elif (self._payload_valid(payload, clause_lits)
                             and payload[0] == slot.index):
                         record_payload(slot, payload, now)
                     else:
@@ -401,6 +518,45 @@ class Supervisor:
             slot.outcome = WorkerOutcome.CRASHED
             slot.finished_at = now
 
+    # -- progress timeline --------------------------------------------
+
+    def _record_progress(self, slot: _Slot, payload) -> bool:
+        """Fold one worker progress snapshot into its slot's timeline.
+
+        Returns False on any malformed field (the sender then loses
+        all trust, exactly like a malformed result payload).
+        """
+        _tag, index, attempt, elapsed, stats_dict = payload
+        if (not isinstance(index, int) or index != slot.index
+                or not isinstance(attempt, int) or attempt < 0
+                or not isinstance(elapsed, (int, float))
+                or isinstance(elapsed, bool) or elapsed < 0
+                or not isinstance(stats_dict, dict)):
+            return False
+        # Round-trip through the audited projection: unknown keys and
+        # wrong-typed values are discarded, never stored.
+        clean = stats_from_dict(stats_dict).as_dict()
+        tracer = self.tracer
+        if tracer is not None:
+            base_attempt, base = slot.traced_base
+            if base_attempt != attempt:   # respawn reset the counters
+                base = {}
+            if tracer.progress(
+                    f"portfolio.worker{slot.index}",
+                    worker=slot.index, config=slot.config.name,
+                    attempt=attempt, elapsed=float(elapsed),
+                    decisions=clean["decisions"]
+                    - base.get("decisions", 0),
+                    conflicts=clean["conflicts"]
+                    - base.get("conflicts", 0),
+                    propagations=clean["propagations"]
+                    - base.get("propagations", 0)):
+                slot.traced_base = (attempt, clean)
+        slot.timeline.append({"attempt": attempt,
+                              "elapsed": float(elapsed),
+                              "stats": clean})
+        return True
+
     # -- payload validation -------------------------------------------
 
     def _payload_valid(self, payload, clause_lits) -> bool:
@@ -462,7 +618,14 @@ class Supervisor:
                 index=slot.index, name=slot.config.name,
                 outcome=outcome, attempts=slot.attempts,
                 stats=slot.stats,
-                wall_seconds=max(0.0, end - begin)))
+                wall_seconds=max(0.0, end - begin),
+                timeline=slot.timeline))
+            if self.tracer is not None:
+                self.tracer.event(
+                    "portfolio.outcome", worker=slot.index,
+                    config=slot.config.name, outcome=outcome.value,
+                    attempts=slot.attempts,
+                    samples=len(slot.timeline))
 
         respawns = sum(max(0, slot.attempts - 1) for slot in slots)
         if decisive:
@@ -484,6 +647,12 @@ class Supervisor:
             result=SolverResult(Status.UNKNOWN), workers=workers,
             wall_seconds=now - started, deadline_hit=deadline_hit,
             total_respawns=respawns)
+
+
+def _is_progress(payload) -> bool:
+    """Shape test for a worker progress tuple (content audited later)."""
+    return (isinstance(payload, tuple) and len(payload) == 5
+            and payload[0] == "progress")
 
 
 def _model_satisfies(clause_lits, model: Dict[int, bool]) -> bool:

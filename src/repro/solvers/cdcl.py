@@ -39,7 +39,9 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.cnf.assignment import Assignment
 from repro.cnf.clause import Clause
 from repro.cnf.formula import CNFFormula
-from repro.runtime.budget import Budget, BudgetMeter
+from repro.runtime.budget import (Budget, BudgetMeter,
+                                  DEFAULT_CHECK_INTERVAL,
+                                  process_rss_mb)
 from repro.solvers.heuristics import DecisionHeuristic, VSIDSHeuristic
 from repro.solvers.restarts import NoRestarts, RestartPolicy
 from repro.solvers.result import SolverResult, SolverStats, Status
@@ -155,6 +157,16 @@ class CDCLSolver:
         #: Cooperative-checkpoint hook: fired every few thousand
         #: propagations while solving (portfolio worker heartbeats).
         self.on_checkpoint: Optional[Callable[[], None]] = None
+        #: Optional :class:`repro.obs.trace.Tracer`.  Spans wrap the
+        #: solve call; progress snapshots ride the cooperative
+        #: checkpoint above, so attaching a tracer adds NOTHING to the
+        #: hot path beyond arming the meter (zero-overhead-when-
+        #: disabled contract, see repro.obs.trace).
+        self.tracer = None
+        #: Optional :class:`repro.obs.metrics.SearchMetrics`.  Costs
+        #: one ``is not None`` test per propagate call / per conflict
+        #: when absent; the snapshot lands in ``stats.metrics``.
+        self.metrics = None
 
         self._num_vars = formula.num_vars
         n = self._num_vars + 1
@@ -291,6 +303,7 @@ class CDCLSolver:
         saved_phase = self._saved_phase if self.phase_saving else None
         on_assign = self.on_assign
         meter = self._meter
+        metrics = self.metrics
         dl = len(self._trail_lim)
         qhead = self._qhead
         propagations = 0
@@ -325,6 +338,8 @@ class CDCLSolver:
                     self.stats.propagations += propagations
                     if meter is not None:
                         meter.spend(propagations + 1)
+                    if metrics is not None:
+                        metrics.burst(propagations)
                     return ref
 
             # --- Long clauses: watched literals with in-place
@@ -386,6 +401,8 @@ class CDCLSolver:
                 self.stats.propagations += propagations
                 if meter is not None:
                     meter.spend(propagations + 1)
+                if metrics is not None:
+                    metrics.burst(propagations)
                 return conflict
 
         self._qhead = qhead
@@ -395,6 +412,8 @@ class CDCLSolver:
         # deadline/memory probe and heartbeat.
         if meter is not None:
             meter.spend(propagations + 1)
+        if metrics is not None:
+            metrics.burst(propagations)
         return None
 
     def _cancel_until(self, level: int) -> None:
@@ -605,17 +624,81 @@ class CDCLSolver:
         means "unsatisfiable under the assumptions"; recorded clauses
         remain valid for later calls (incremental SAT, Section 6).
         """
-        started = time.perf_counter()
-        self.heuristic.setup(self.formula)
-        if self.budget is not None or self.on_checkpoint is not None:
+        tracer = self.tracer
+        if tracer is None:
+            return self._solve(assumptions)
+        with tracer.span("cdcl.solve", num_vars=self._num_vars,
+                         num_clauses=len(self._clauses),
+                         num_assumptions=len(assumptions)) as end:
+            result = self._solve(assumptions)
+            end["status"] = result.status.value
+            end["decisions"] = result.stats.decisions
+            end["conflicts"] = result.stats.conflicts
+            end["restarts"] = result.stats.restarts
+            return result
+
+    def _progress_reporter(self, tracer) -> Callable[[], None]:
+        """A checkpoint hook emitting counter *deltas* plus the
+        instantaneous search state.  Baselines advance only when the
+        tracer actually emits (it throttles per-name), so the summed
+        deltas in a trace always equal the true totals."""
+        stats = self.stats
+        last = [stats.decisions, stats.conflicts, stats.propagations,
+                stats.learned_clauses]
+
+        def report() -> None:
+            if tracer.progress(
+                    "cdcl",
+                    decisions=stats.decisions - last[0],
+                    conflicts=stats.conflicts - last[1],
+                    propagations=stats.propagations - last[2],
+                    learned=stats.learned_clauses - last[3],
+                    decision_level=len(self._trail_lim),
+                    learned_db=len(self._learned),
+                    trail=len(self._trail),
+                    rss_mb=process_rss_mb()):
+                last[0] = stats.decisions
+                last[1] = stats.conflicts
+                last[2] = stats.propagations
+                last[3] = stats.learned_clauses
+        return report
+
+    def _arm_meter(self) -> None:
+        """Create the per-call meter when a budget, a checkpoint hook
+        or a tracer asks for one; leave it None otherwise (the hot
+        path then pays a single None-test per propagate call)."""
+        tracer = self.tracer
+        hook = self.on_checkpoint
+        interval = DEFAULT_CHECK_INTERVAL
+        if tracer is not None:
+            reporter = self._progress_reporter(tracer)
+            if hook is None:
+                hook = reporter
+            else:
+                user_hook = hook
+
+                def hook() -> None:
+                    user_hook()
+                    reporter()
+            if tracer.checkpoint_interval is not None:
+                interval = tracer.checkpoint_interval
+        if self.budget is not None or hook is not None:
             self._meter = (self.budget or Budget()).meter(
-                baseline=self.stats, on_checkpoint=self.on_checkpoint)
+                baseline=self.stats, on_checkpoint=hook,
+                check_interval=interval)
         else:
             self._meter = None
+
+    def _solve(self, assumptions: Sequence[int]) -> SolverResult:
+        started = time.perf_counter()
+        self.heuristic.setup(self.formula)
+        self._arm_meter()
         try:
             status = self._search(list(assumptions))
         finally:
             self.stats.time_seconds += time.perf_counter() - started
+            if self.metrics is not None:
+                self.stats.metrics = self.metrics.snapshot()
         model = self._model() if status is Status.SATISFIABLE else None
         self._cancel_until(0)
         return SolverResult(status, model, self.stats)
@@ -674,6 +757,11 @@ class CDCLSolver:
                     self.heuristic.on_restart()
                     conflicts_since_restart = 0
                     self._cancel_until(0)
+                    if self.tracer is not None:
+                        self.tracer.event(
+                            "cdcl.restart",
+                            restarts=self.stats.restarts,
+                            conflicts=self.stats.conflicts)
                 if conflicts_since_reduce >= self.deletion_interval:
                     conflicts_since_reduce = 0
                     self._reduce_learned()
@@ -740,6 +828,14 @@ class CDCLSolver:
                 self.stats.nonchronological_backtracks += 1
                 self.stats.levels_skipped += skipped
         self.stats.backtracks += 1
+        metrics = self.metrics
+        if metrics is not None:
+            # LBD (distinct decision levels in the learned clause) must
+            # be read before backtracking erases the levels.
+            level = self._level
+            lbd = len({level[q if q > 0 else -q] for q in learned_lits})
+            metrics.on_conflict(self.decision_level - target,
+                                len(learned_lits), lbd)
         self._cancel_until(target)
 
         asserting = learned_lits[0]

@@ -18,7 +18,9 @@ from typing import Dict, List, Optional, Tuple
 from repro.cnf.assignment import Assignment
 from repro.cnf.formula import CNFFormula
 from repro.cnf.literals import variable
-from repro.runtime.budget import Budget, BudgetMeter
+from repro.runtime.budget import (Budget, BudgetMeter,
+                                  DEFAULT_CHECK_INTERVAL,
+                                  process_rss_mb)
 from repro.solvers.heuristics import DecisionHeuristic, FixedOrderHeuristic
 from repro.solvers.result import SolverResult, SolverStats, Status
 
@@ -54,6 +56,9 @@ class DPLLSolver:
         self.budget = budget
         self._meter: Optional[BudgetMeter] = None
         self.stats = SolverStats()
+        #: Optional :class:`repro.obs.trace.Tracer`; progress rides
+        #: the same cooperative checkpoint budgets use.
+        self.tracer = None
 
         self._num_vars = formula.num_vars
         self._clauses: List[Tuple[int, ...]] = [
@@ -155,10 +160,52 @@ class DPLLSolver:
 
     def solve(self) -> SolverResult:
         """Run the search to completion or budget exhaustion."""
+        tracer = self.tracer
+        if tracer is None:
+            return self._solve()
+        with tracer.span("dpll.solve", num_vars=self._num_vars,
+                         num_clauses=len(self._clauses)) as end:
+            result = self._solve()
+            end["status"] = result.status.value
+            end["decisions"] = result.stats.decisions
+            end["conflicts"] = result.stats.conflicts
+            return result
+
+    def _progress_reporter(self, tracer):
+        """Checkpoint hook: counter deltas + instantaneous state
+        (baselines advance only on actual emission)."""
+        stats = self.stats
+        last = [stats.decisions, stats.conflicts, stats.propagations]
+
+        def report() -> None:
+            if tracer.progress(
+                    "dpll",
+                    decisions=stats.decisions - last[0],
+                    conflicts=stats.conflicts - last[1],
+                    propagations=stats.propagations - last[2],
+                    decision_level=len(self._levels),
+                    rss_mb=process_rss_mb()):
+                last[0] = stats.decisions
+                last[1] = stats.conflicts
+                last[2] = stats.propagations
+        return report
+
+    def _solve(self) -> SolverResult:
         started = time.perf_counter()
         self.heuristic.setup(self.formula)
-        self._meter = self.budget.meter(baseline=self.stats) \
-            if self.budget is not None else None
+        tracer = self.tracer
+        hook = None
+        interval = DEFAULT_CHECK_INTERVAL
+        if tracer is not None:
+            hook = self._progress_reporter(tracer)
+            if tracer.checkpoint_interval is not None:
+                interval = tracer.checkpoint_interval
+        if self.budget is not None or hook is not None:
+            self._meter = (self.budget or Budget()).meter(
+                baseline=self.stats, on_checkpoint=hook,
+                check_interval=interval)
+        else:
+            self._meter = None
         try:
             status = self._search()
         finally:

@@ -18,6 +18,7 @@ sequence of related queries:
 
 from __future__ import annotations
 
+from dataclasses import fields
 from typing import Iterable, Optional, Sequence
 
 from repro.cnf.formula import CNFFormula
@@ -94,6 +95,24 @@ class IncrementalSolver:
         """Recorded clauses currently retained by the engine."""
         return len(self._solver.learned_clauses())
 
+    @property
+    def tracer(self):
+        """The underlying engine's tracer (spans every solve call)."""
+        return self._solver.tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        self._solver.tracer = tracer
+
+    @property
+    def metrics(self):
+        """The underlying engine's search-shape recorder."""
+        return self._solver.metrics
+
+    @metrics.setter
+    def metrics(self, metrics) -> None:
+        self._solver.metrics = metrics
+
 
 def _snapshot(stats: SolverStats) -> SolverStats:
     copy = SolverStats()
@@ -102,18 +121,20 @@ def _snapshot(stats: SolverStats) -> SolverStats:
 
 
 def _delta(before: SolverStats, after: SolverStats) -> SolverStats:
+    """Per-call stats: *after* minus *before*, field-generically.
+
+    Counters subtract; ``max_decision_level`` and the ``metrics``
+    snapshot report the call's final state (per-call attribution of a
+    merged histogram is not recoverable, so the cumulative snapshot is
+    passed through).  Iterating ``dataclasses.fields`` keeps this
+    honest as fields are added -- the old hand-written version silently
+    dropped ``flips``/``tries``.
+    """
     delta = SolverStats()
-    delta.decisions = after.decisions - before.decisions
-    delta.propagations = after.propagations - before.propagations
-    delta.conflicts = after.conflicts - before.conflicts
-    delta.backtracks = after.backtracks - before.backtracks
-    delta.nonchronological_backtracks = (
-        after.nonchronological_backtracks
-        - before.nonchronological_backtracks)
-    delta.levels_skipped = after.levels_skipped - before.levels_skipped
-    delta.learned_clauses = after.learned_clauses - before.learned_clauses
-    delta.deleted_clauses = after.deleted_clauses - before.deleted_clauses
-    delta.restarts = after.restarts - before.restarts
-    delta.max_decision_level = after.max_decision_level
-    delta.time_seconds = after.time_seconds - before.time_seconds
+    for f in fields(SolverStats):
+        if f.name in ("max_decision_level", "metrics"):
+            setattr(delta, f.name, getattr(after, f.name))
+        else:
+            setattr(delta, f.name,
+                    getattr(after, f.name) - getattr(before, f.name))
     return delta

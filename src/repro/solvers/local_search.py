@@ -17,7 +17,8 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.cnf.assignment import Assignment
 from repro.cnf.formula import CNFFormula
 from repro.cnf.literals import variable
-from repro.runtime.budget import Budget
+from repro.runtime.budget import (Budget, DEFAULT_CHECK_INTERVAL,
+                                  process_rss_mb)
 from repro.solvers.result import SolverResult, SolverStats, Status
 
 
@@ -91,10 +92,56 @@ class _State:
         return out
 
 
+def _progress_reporter(tracer, name: str, stats: SolverStats,
+                       state: _State):
+    """Checkpoint hook: flip deltas plus the live unsatisfied-clause
+    count (baseline advances only on actual emission)."""
+    last = [stats.flips]
+
+    def report() -> None:
+        if tracer.progress(name, flips=stats.flips - last[0],
+                           tries=stats.tries,
+                           unsat=len(state.unsat),
+                           rss_mb=process_rss_mb()):
+            last[0] = stats.flips
+    return report
+
+
+def _build_meter(budget: Optional[Budget], tracer, name: str,
+                 stats: SolverStats, state: _State):
+    """The per-call meter, armed by a budget and/or a tracer; None
+    when neither is present (flip loop then skips the spend path)."""
+    if budget is None and tracer is None:
+        return None
+    reporter = None
+    interval = DEFAULT_CHECK_INTERVAL
+    if tracer is not None:
+        reporter = _progress_reporter(tracer, name, stats, state)
+        if tracer.checkpoint_interval is not None:
+            interval = tracer.checkpoint_interval
+    return (budget or Budget()).meter(baseline=stats,
+                                      on_checkpoint=reporter,
+                                      check_interval=interval)
+
+
+def _run_span(tracer, name: str, formula: CNFFormula, run):
+    """Wrap *run()* in a solve span when a tracer is attached."""
+    if tracer is None:
+        return run()
+    with tracer.span(name + ".solve", num_vars=formula.num_vars,
+                     num_clauses=len(formula.clauses)) as end:
+        result = run()
+        end["status"] = result.status.value
+        end["flips"] = result.stats.flips
+        end["tries"] = result.stats.tries
+        return result
+
+
 def solve_gsat(formula: CNFFormula, max_tries: int = 10,
                max_flips: int = 1000,
                seed: Optional[int] = 0,
-               budget: Optional[Budget] = None) -> SolverResult:
+               budget: Optional[Budget] = None,
+               tracer=None) -> SolverResult:
     """GSAT [32]: greedy hill-climbing on the satisfied-clause count.
 
     Each try starts from a random assignment and flips the variable
@@ -102,19 +149,32 @@ def solve_gsat(formula: CNFFormula, max_tries: int = 10,
     Returns SATISFIABLE with a model, or UNKNOWN -- never UNSATISFIABLE.
     *budget* adds a deadline / total-flip cap / memory ceiling across
     all tries (``max_flips`` stays the classical per-try cutoff).
+    *tracer* wraps the call in a span, marks each try, and emits
+    periodic flip-rate progress snapshots.
     """
+    return _run_span(tracer, "gsat", formula,
+                     lambda: _gsat(formula, max_tries, max_flips, seed,
+                                   budget, tracer))
+
+
+def _gsat(formula: CNFFormula, max_tries: int, max_flips: int,
+          seed: Optional[int], budget: Optional[Budget],
+          tracer) -> SolverResult:
     stats = SolverStats()
     started = time.perf_counter()
     rng = random.Random(seed)
-    meter = budget.meter(baseline=stats) if budget is not None else None
     if any(len(c) == 0 for c in formula):
         stats.time_seconds = time.perf_counter() - started
         return SolverResult(Status.UNSATISFIABLE, None, stats)
 
     state = _State(formula, rng)
+    meter = _build_meter(budget, tracer, "gsat", stats, state)
     for _ in range(max_tries):
         stats.tries += 1
         state.randomize()
+        if tracer is not None:
+            tracer.event("gsat.try", tries=stats.tries,
+                         unsat=len(state.unsat))
         for _ in range(max_flips):
             if not state.unsat:
                 stats.time_seconds = time.perf_counter() - started
@@ -147,27 +207,41 @@ def solve_gsat(formula: CNFFormula, max_tries: int = 10,
 def solve_walksat(formula: CNFFormula, max_tries: int = 10,
                   max_flips: int = 10000, noise: float = 0.5,
                   seed: Optional[int] = 0,
-                  budget: Optional[Budget] = None) -> SolverResult:
+                  budget: Optional[Budget] = None,
+                  tracer=None) -> SolverResult:
     """WalkSAT: pick a random unsatisfied clause; with probability
     *noise* flip a random variable of it, otherwise flip the variable
     with the lowest break count (zero break count is taken greedily).
     *budget* adds a deadline / total-flip cap / memory ceiling across
     all tries (``max_flips`` stays the classical per-try cutoff).
+    *tracer* wraps the call in a span, marks each try, and emits
+    periodic flip-rate progress snapshots.
     """
     if not 0.0 <= noise <= 1.0:
         raise ValueError("noise must be within [0, 1]")
+    return _run_span(tracer, "walksat", formula,
+                     lambda: _walksat(formula, max_tries, max_flips,
+                                      noise, seed, budget, tracer))
+
+
+def _walksat(formula: CNFFormula, max_tries: int, max_flips: int,
+             noise: float, seed: Optional[int],
+             budget: Optional[Budget], tracer) -> SolverResult:
     stats = SolverStats()
     started = time.perf_counter()
     rng = random.Random(seed)
-    meter = budget.meter(baseline=stats) if budget is not None else None
     if any(len(c) == 0 for c in formula):
         stats.time_seconds = time.perf_counter() - started
         return SolverResult(Status.UNSATISFIABLE, None, stats)
 
     state = _State(formula, rng)
+    meter = _build_meter(budget, tracer, "walksat", stats, state)
     for _ in range(max_tries):
         stats.tries += 1
         state.randomize()
+        if tracer is not None:
+            tracer.event("walksat.try", tries=stats.tries,
+                         unsat=len(state.unsat))
         for _ in range(max_flips):
             if not state.unsat:
                 stats.time_seconds = time.perf_counter() - started

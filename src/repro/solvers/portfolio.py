@@ -142,7 +142,8 @@ class PortfolioResult:
 def _solve_sequential(formula: CNFFormula,
                       configs: Sequence[PortfolioConfig],
                       max_conflicts: Optional[int],
-                      budget: Optional[Budget]) -> PortfolioResult:
+                      budget: Optional[Budget],
+                      tracer=None) -> PortfolioResult:
     """The ``processes=1`` fallback: try configurations in order,
     return the first decisive verdict.
 
@@ -162,8 +163,10 @@ def _solve_sequential(formula: CNFFormula,
             if remaining <= 0:
                 break
             call_budget = replace(budget, wall_seconds=remaining)
-        last = config.build_solver(formula, max_conflicts,
-                                   budget=call_budget).solve()
+        solver = config.build_solver(formula, max_conflicts,
+                                     budget=call_budget)
+        solver.tracer = tracer
+        last = solver.solve()
         finished.append(config.name)
         if last.status is not Status.UNKNOWN:
             return PortfolioResult(last, winner=config.name,
@@ -181,8 +184,9 @@ def solve_portfolio(formula: CNFFormula,
                     budget: Optional[Budget] = None,
                     max_retries: int = 2,
                     hang_timeout: Optional[float] = 10.0,
-                    fault_plan: Optional[FaultPlan] = None
-                    ) -> PortfolioResult:
+                    fault_plan: Optional[FaultPlan] = None,
+                    progress_interval: Optional[float] = 0.25,
+                    tracer=None) -> PortfolioResult:
     """Race a portfolio of CDCL configurations on *formula*.
 
     ``processes`` defaults to ``os.cpu_count()``; the portfolio runs
@@ -202,6 +206,13 @@ def solve_portfolio(formula: CNFFormula,
     ``max_retries``/``hang_timeout``/``fault_plan`` configure the
     :class:`~repro.runtime.supervisor.Supervisor` (crash respawn,
     hang detection, scripted faults for tests).
+
+    ``progress_interval`` sets how often each worker snapshots its
+    live counters over its pipe (building the per-worker effort
+    timelines in ``report``; ``None`` disables them); *tracer* records
+    the race as a ``portfolio.race`` span with spawn/outcome events
+    and relayed per-worker progress (sequential fallback: a plain
+    ``cdcl.solve`` span per configuration).
     """
     if processes is None:
         processes = os.cpu_count() or 1
@@ -219,13 +230,16 @@ def solve_portfolio(formula: CNFFormula,
             budget = replace(budget, wall_seconds=timeout)
 
     if processes == 1 or len(configs) == 1:
-        return _solve_sequential(formula, configs, max_conflicts, budget)
+        return _solve_sequential(formula, configs, max_conflicts,
+                                 budget, tracer=tracer)
 
     race_budget = merge_legacy_caps(budget, max_conflicts=max_conflicts)
     supervisor = Supervisor(configs, budget=race_budget or Budget(),
                             max_retries=max_retries,
                             hang_timeout=hang_timeout,
-                            fault_plan=fault_plan)
+                            fault_plan=fault_plan,
+                            progress_interval=progress_interval,
+                            tracer=tracer)
     report = supervisor.run(formula)
     finished = [w.name for w in report.workers
                 if w.outcome in (WorkerOutcome.SAT, WorkerOutcome.UNSAT,

@@ -141,8 +141,8 @@ def _closure(clauses: List[Tuple[int, ...]],
 def recursive_learn(formula: CNFFormula,
                     assignment: Optional[Dict[int, bool]] = None,
                     depth: int = 1,
-                    budget: Optional[Budget] = None
-                    ) -> RecursiveLearningResult:
+                    budget: Optional[Budget] = None,
+                    tracer=None) -> RecursiveLearningResult:
     """Run recursive learning under *assignment* (Figure 4).
 
     Every assignment found necessary is explained by an implicate whose
@@ -153,7 +153,27 @@ def recursive_learn(formula: CNFFormula,
 
     *budget* bounds the pass; on exhaustion the result carries the
     (sound) assignments derived so far with ``exhausted=True``.
+    *tracer* wraps the pass in a ``recursive_learning.pass`` span
+    whose end attrs report the yield (necessary assignments,
+    implicates, conflict/exhaustion).
     """
+    if tracer is None:
+        return _recursive_learn(formula, assignment, depth, budget)
+    with tracer.span("recursive_learning.pass", depth=depth,
+                     num_clauses=len(formula.clauses)) as end:
+        result = _recursive_learn(formula, assignment, depth, budget)
+        end["necessary"] = len(result.necessary)
+        end["implicates"] = len(result.implicates)
+        end["conflict"] = result.conflict
+        end["exhausted"] = result.exhausted
+        return result
+
+
+def _recursive_learn(formula: CNFFormula,
+                     assignment: Optional[Dict[int, bool]],
+                     depth: int,
+                     budget: Optional[Budget]
+                     ) -> RecursiveLearningResult:
     if depth < 1:
         raise ValueError("depth must be >= 1")
     base = dict(assignment or {})

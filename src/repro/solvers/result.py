@@ -12,8 +12,8 @@ clauses, and restarts.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Optional
 
 from repro.cnf.assignment import Assignment
 
@@ -43,24 +43,63 @@ class SolverStats:
     flips: int = 0          # local search
     tries: int = 0          # local search
     time_seconds: float = 0.0
+    #: Optional registry snapshot from ``repro.obs.metrics`` (search
+    #: shape histograms); None unless a recorder was attached.
+    metrics: Optional[Dict[str, Dict[str, Any]]] = None
 
     def merge(self, other: "SolverStats") -> None:
-        """Accumulate *other* into this object (incremental solving)."""
-        self.decisions += other.decisions
-        self.propagations += other.propagations
-        self.conflicts += other.conflicts
-        self.backtracks += other.backtracks
-        self.nonchronological_backtracks += \
-            other.nonchronological_backtracks
-        self.levels_skipped += other.levels_skipped
-        self.learned_clauses += other.learned_clauses
-        self.deleted_clauses += other.deleted_clauses
-        self.restarts += other.restarts
-        self.max_decision_level = max(self.max_decision_level,
-                                      other.max_decision_level)
-        self.flips += other.flips
-        self.tries += other.tries
-        self.time_seconds += other.time_seconds
+        """Accumulate *other* into this object (incremental solving).
+
+        Iterates ``dataclasses.fields`` so newly added counters can
+        never be silently dropped: numeric fields sum,
+        ``max_decision_level`` keeps the maximum, and ``metrics``
+        snapshots combine via
+        :func:`repro.obs.metrics.merge_snapshots`.
+        """
+        for f in fields(self):
+            mine = getattr(self, f.name)
+            theirs = getattr(other, f.name)
+            if f.name == "max_decision_level":
+                setattr(self, f.name, max(mine, theirs))
+            elif f.name == "metrics":
+                if theirs is None:
+                    continue
+                if mine is None:
+                    self.metrics = theirs
+                else:
+                    from repro.obs.metrics import merge_snapshots
+                    self.metrics = merge_snapshots(mine, theirs)
+            else:
+                setattr(self, f.name, mine + theirs)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Every field as a JSON-serializable dict (pipe/JSON safe)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SolverStats":
+        """Rebuild stats from :meth:`as_dict` output.
+
+        Unknown keys and wrong-typed values are dropped (worker
+        payloads cross a process boundary and are audited, never
+        trusted), so a malformed dict yields defaults rather than
+        arbitrary attribute injection.
+        """
+        stats = cls()
+        for f in fields(cls):
+            if f.name not in payload:
+                continue
+            value = payload[f.name]
+            if f.name == "metrics":
+                if isinstance(value, dict):
+                    stats.metrics = value
+            elif f.name == "time_seconds":
+                if isinstance(value, (int, float)) \
+                        and not isinstance(value, bool):
+                    stats.time_seconds = float(value)
+            elif isinstance(value, int) and not isinstance(value, bool):
+                setattr(stats, f.name, value)
+        return stats
 
 
 @dataclass

@@ -181,3 +181,67 @@ class TestOptimize:
         save_bench(c17(), right)
         assert main(["cec", left, right, "--strash"]) == 0
         assert "EQUIVALENT" in capsys.readouterr().out
+
+
+class TestObservability:
+    def sat_path(self, tmp_path):
+        formula = random_ksat_at_ratio(12, ratio=3.0, seed=0)
+        path = str(tmp_path / "sat.cnf")
+        save_dimacs(formula, path)
+        return path
+
+    def test_solve_trace_writes_valid_jsonl(self, tmp_path, capsys):
+        from repro.obs import validate_trace_file
+        trace = str(tmp_path / "trace.jsonl")
+        code = main(["solve", self.sat_path(tmp_path),
+                     "--trace", trace])
+        capsys.readouterr()
+        assert code == 10
+        count, problems = validate_trace_file(trace)
+        assert count >= 2
+        assert problems == []
+
+    def test_solve_stats_json(self, tmp_path, capsys):
+        import json
+        code = main(["solve", self.sat_path(tmp_path), "--stats-json"])
+        assert code == 10
+        out = capsys.readouterr().out
+        stats = json.loads(out.splitlines()[-1])
+        assert stats["decisions"] >= 0
+        assert "metrics" in stats
+        assert stats["metrics"]["propagation_burst"]["count"] > 0
+
+    def test_profile_renders_trace(self, tmp_path, capsys):
+        trace = str(tmp_path / "trace.jsonl")
+        main(["solve", self.sat_path(tmp_path), "--trace", trace])
+        capsys.readouterr()
+        assert main(["profile", trace]) == 0
+        out = capsys.readouterr().out
+        assert "cdcl.solve" in out
+
+    def test_profile_flags_schema_problems(self, tmp_path, capsys):
+        bad = str(tmp_path / "bad.jsonl")
+        with open(bad, "w", encoding="utf-8") as handle:
+            handle.write("not json\n")
+        assert main(["profile", bad]) == 1
+        assert "schema problem" in capsys.readouterr().out
+
+    def test_bmc_trace(self, tmp_path, capsys):
+        from repro.obs import validate_trace_file
+        source = str(tmp_path / "cnt.bench")
+        save_bench(binary_counter(2), source)
+        trace = str(tmp_path / "bmc.jsonl")
+        main(["bmc", source, "--depth", "4", "--trace", trace])
+        capsys.readouterr()
+        count, problems = validate_trace_file(trace)
+        assert problems == []
+        assert count >= 2
+
+    def test_atpg_trace(self, c17_path, tmp_path, capsys):
+        from repro.obs import validate_trace_file
+        trace = str(tmp_path / "atpg.jsonl")
+        assert main(["atpg", c17_path, "--trace", trace]) == 0
+        capsys.readouterr()
+        count, problems = validate_trace_file(trace)
+        assert problems == []
+        assert count >= 2

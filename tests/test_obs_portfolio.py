@@ -1,0 +1,122 @@
+"""Live portfolio progress: per-worker effort timelines, loss
+summaries, and supervisor-side tracing of a race."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cnf.generators import pigeonhole
+from repro.obs import ListSink, Tracer, validate_event
+from repro.runtime.supervisor import Supervisor, WorkerOutcome
+from repro.solvers.portfolio import default_portfolio, solve_portfolio
+from repro.solvers.result import Status
+
+
+def race(tracer=None, progress_interval=0.0):
+    """A short supervised race every worker can finish (UNSAT)."""
+    return solve_portfolio(pigeonhole(7), processes=2,
+                           progress_interval=progress_interval,
+                           tracer=tracer)
+
+
+class TestEffortTimelines:
+    def test_workers_report_samples(self):
+        result = race()
+        assert result.status is Status.UNSATISFIABLE
+        report = result.report
+        timelines = report.effort_timelines()
+        assert set(timelines) == {w.name for w in report.workers}
+        assert any(timelines.values()), "no worker reported progress"
+        for samples in timelines.values():
+            elapsed = [s["elapsed"] for s in samples]
+            assert elapsed == sorted(elapsed)
+            for sample in samples:
+                assert set(sample) == {"attempt", "elapsed", "stats"}
+                assert isinstance(sample["stats"]["decisions"], int)
+                assert sample["stats"]["propagations"] >= 0
+
+    def test_progress_disabled_leaves_timelines_empty(self):
+        result = race(progress_interval=None)
+        assert result.status is Status.UNSATISFIABLE
+        assert all(not w.timeline for w in result.report.workers)
+
+    def test_negative_progress_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Supervisor(default_portfolio(2), progress_interval=-0.5)
+
+
+class TestLossSummary:
+    def test_every_non_winner_explained(self):
+        result = race()
+        report = result.report
+        summary = report.loss_summary()
+        losers = [w for w in report.workers
+                  if w.index != report.winner_index]
+        assert set(summary) == {w.name for w in losers}
+        for reason in summary.values():
+            assert isinstance(reason, str) and reason
+
+    def test_cancelled_and_tied_workers_distinguished(self):
+        result = race()
+        report = result.report
+        summary = report.loss_summary()
+        for worker in report.workers:
+            if worker.index == report.winner_index:
+                continue
+            reason = summary[worker.name]
+            if worker.outcome is WorkerOutcome.CANCELLED:
+                assert "still searching" in reason
+            elif worker.outcome is WorkerOutcome.UNSAT:
+                assert "lower-index worker won" in reason
+
+
+class TestRaceTracing:
+    def test_span_and_lifecycle_events(self):
+        sink = ListSink()
+        result = race(tracer=Tracer(sink, progress_interval=0.0))
+        assert result.status is Status.UNSATISFIABLE
+        problems = [p for e in sink.events for p in validate_event(e)]
+        assert problems == [], problems
+
+        begins = [e for e in sink.events if e["kind"] == "span_begin"]
+        assert [e["name"] for e in begins] == ["portfolio.race"]
+        ends = [e for e in sink.events if e["kind"] == "span_end"]
+        assert ends[0]["attrs"]["status"] == "UNSATISFIABLE"
+        assert ends[0]["attrs"]["winner"] == result.winner
+
+        spawns = [e for e in sink.events
+                  if e["name"] == "portfolio.spawn"]
+        outcomes = [e for e in sink.events
+                    if e["name"] == "portfolio.outcome"]
+        assert len(spawns) == len(result.report.workers)
+        assert len(outcomes) == len(result.report.workers)
+        for event in spawns + outcomes:
+            assert event["span"] == begins[0]["span"]
+
+    def test_worker_progress_relayed(self):
+        sink = ListSink()
+        result = race(tracer=Tracer(sink, progress_interval=0.0))
+        progress = [e for e in sink.events if e["kind"] == "progress"]
+        # Progress reaches the supervisor only if a worker checkpoints
+        # before the race is decided; with progress_interval=0 and an
+        # UNSAT instance every finisher sends at least one snapshot.
+        assert progress, "no worker progress relayed to the tracer"
+        for event in progress:
+            assert event["name"].startswith("portfolio.worker")
+            attrs = event["attrs"]
+            assert attrs["config"] in [w.name
+                                       for w in result.report.workers]
+            assert attrs["decisions"] >= 0
+            assert attrs["elapsed"] >= 0
+
+    def test_sequential_fallback_traces_engine_spans(self):
+        sink = ListSink()
+        result = solve_portfolio(pigeonhole(4), processes=1,
+                                 tracer=Tracer(sink,
+                                               progress_interval=0.0))
+        assert result.status is Status.UNSATISFIABLE
+        problems = [p for e in sink.events for p in validate_event(e)]
+        assert problems == [], problems
+        names = [e["name"] for e in sink.events
+                 if e["kind"] == "span_begin"]
+        assert names == ["cdcl.solve"]

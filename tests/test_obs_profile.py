@@ -1,0 +1,117 @@
+"""Unit tests for repro.obs.profile: trace aggregation and the
+rendered effort report."""
+
+from repro.cnf.generators import pigeonhole
+from repro.obs import (
+    JsonlSink,
+    Tracer,
+    build_report,
+    profile_trace,
+    render_report,
+)
+from repro.obs.profile import read_trace
+from repro.solvers.cdcl import CDCLSolver
+
+
+def synthetic_events():
+    return [
+        {"ts": 0.0, "kind": "span_begin", "name": "cdcl.solve",
+         "span": 0, "parent": None, "attrs": {}},
+        {"ts": 0.1, "kind": "progress", "name": "cdcl", "span": 0,
+         "attrs": {"decisions": 10, "conflicts": 2,
+                   "decision_level": 5}},
+        {"ts": 0.3, "kind": "progress", "name": "cdcl", "span": 0,
+         "attrs": {"decisions": 30, "conflicts": 4,
+                   "decision_level": 9}},
+        {"ts": 0.35, "kind": "event", "name": "cdcl.restart",
+         "span": 0, "attrs": {"restarts": 1}},
+        {"ts": 0.4, "kind": "span_end", "name": "cdcl.solve",
+         "span": 0, "attrs": {"duration": 0.4}},
+    ]
+
+
+class TestBuildReport:
+    def test_span_aggregation(self):
+        report = build_report(synthetic_events(), [])
+        agg = report["spans"]["cdcl.solve"]
+        assert agg["count"] == 1
+        assert agg["total"] == 0.4
+        assert agg["max"] == 0.4
+        assert report["wall"] == 0.4
+
+    def test_progress_totals_rates_and_peaks(self):
+        report = build_report(synthetic_events(), [])
+        agg = report["progress"]["cdcl"]
+        assert agg["samples"] == 2
+        assert agg["totals"] == {"decisions": 40, "conflicts": 6}
+        assert abs(agg["window"] - 0.2) < 1e-9
+        assert abs(agg["rates"]["decisions"] - 200.0) < 1e-6
+        assert agg["peaks"] == {"decision_level": 9}
+
+    def test_event_counts(self):
+        report = build_report(synthetic_events(), [])
+        assert report["events"] == {"cdcl.restart": 1}
+
+    def test_single_sample_has_no_rates(self):
+        events = synthetic_events()[:2]
+        agg = build_report(events, [])["progress"]["cdcl"]
+        assert agg["window"] == 0.0
+        assert agg["rates"] == {}
+
+    def test_problems_carried_through(self):
+        report = build_report([], ["line 3: bad"])
+        assert report["problems"] == ["line 3: bad"]
+
+
+class TestRenderReport:
+    def test_sections_present(self):
+        text = render_report(build_report(synthetic_events(), []))
+        assert "spans (where the time went):" in text
+        assert "cdcl.solve" in text
+        assert "effort (from progress snapshots):" in text
+        assert "decisions" in text
+        assert "peak decision_level" in text
+        assert "cdcl.restart: 1" in text
+
+    def test_problem_section_rendered(self):
+        text = render_report(build_report([], ["line 1: oops"]))
+        assert "schema problems:" in text
+        assert "line 1: oops" in text
+
+    def test_problem_list_truncated(self):
+        problems = [f"line {n}: bad" for n in range(1, 31)]
+        text = render_report(build_report([], problems))
+        assert "... and 10 more" in text
+
+
+class TestFileRoundTrip:
+    def record(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        solver = CDCLSolver(pigeonhole(4))
+        solver.tracer = Tracer(JsonlSink(path), progress_interval=0.0,
+                               checkpoint_interval=64)
+        result = solver.solve()
+        solver.tracer.close()
+        return path, result
+
+    def test_read_trace_clean(self, tmp_path):
+        path, _ = self.record(tmp_path)
+        events, problems = read_trace(path)
+        assert problems == []
+        assert events
+
+    def test_profile_trace_renders(self, tmp_path):
+        path, result = self.record(tmp_path)
+        text, problems = profile_trace(path)
+        assert problems == []
+        assert "cdcl.solve" in text
+        assert "events over" in text
+
+    def test_profile_trace_reports_schema_problems(self, tmp_path):
+        path = str(tmp_path / "bad.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"ts": -1, "kind": "event", "name": "x", '
+                         '"span": null, "attrs": {}}\n')
+        text, problems = profile_trace(path)
+        assert problems
+        assert "schema problem" in text

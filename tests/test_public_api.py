@@ -54,6 +54,10 @@ PUBLIC_MODULES = [
     "repro.runtime.budget",
     "repro.runtime.supervisor",
     "repro.runtime.faults",
+    "repro.obs",
+    "repro.obs.trace",
+    "repro.obs.metrics",
+    "repro.obs.profile",
     "repro.bdd",
     "repro.bdd.manager",
     "repro.bdd.circuit",
