@@ -11,23 +11,37 @@ scan, so the two engines follow (near-)identical search paths: the
 measured ratio is engine mechanics, not decision luck.
 
 Each instance is timed ``--repeats`` times per engine (interleaved,
-minimum taken) to suppress warm-up noise.  Verdicts must agree; SAT
+minimum taken) to suppress warm-up noise.  Every run is timed on both
+clocks -- wall (``perf_counter``) and process CPU (``process_time``)
+-- and all ratios are computed from CPU seconds: the engines are
+single-threaded and CPU-bound, so on shared/virtualised machines the
+CPU clock excludes hypervisor steal time and scheduler gaps that
+would otherwise swamp the comparison.  Verdicts must agree; SAT
 models from both engines are verified against the formula.  Results
-are written as JSON (default ``BENCH_PR3.json`` next to this file)
-with per-instance wall-clock and search counters plus the counter
+are written as JSON (default ``BENCH_PR4.json`` next to this file)
+with per-instance timings and search counters plus the counter
 *deltas* between the engines (``effort_delta``), so the perf
 trajectory tracks search effort as well as wall clock.
 
 Since PR 3 each instance is additionally run once with a live tracer
 and metrics recorder attached (JSONL to ``os.devnull``), and the
-per-instance ``tracing_overhead`` ratio (traced / untraced wall clock)
+per-instance ``tracing_overhead`` ratio (traced / untraced CPU time)
 quantifies the cost of the observability layer when *enabled*; the
 disabled path is the plain ``after`` timing.
+
+Since PR 4 (clause arena + compacting GC) each instance also gets one
+live-engine run under an active deletion policy.  Its verdict must
+match the main race, SAT models are re-verified, and the record keeps
+the arena occupancy (fill ratio, peak buffer ints), GC counters
+(collections, reclaimed ints) and the BCP rate of both the keep-mode
+and deletion-mode runs -- on deletion-heavy UNSAT instances the
+smaller clause DB shows up directly as a higher propagation rate.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_harness.py            # full
     PYTHONPATH=src python benchmarks/perf_harness.py --smoke    # <60 s
+    PYTHONPATH=src python benchmarks/perf_harness.py --tiny     # CI
     PYTHONPATH=src python benchmarks/perf_harness.py -o out.json
 """
 
@@ -76,15 +90,22 @@ def _mutant_miter(width: int, seed: int):
     return encode_miter(rca, mutate_circuit(rca, seed=seed)).formula
 
 
-def build_suite(smoke: bool):
+def build_suite(smoke: bool, tiny: bool = False):
     """The fixed instance list: (name, formula) pairs.
 
     The mix spans the regimes the engines see in practice: large
     underconstrained instances (BCP/decide bound, the paper notes BCP
     dominates EDA workloads), circuit miters at growing width, and
     near-threshold / combinatorial refutations (conflict-analysis
-    bound).
+    bound).  ``tiny`` keeps just two small instances -- one SAT, one
+    deletion-heavy UNSAT -- for the CI perf-smoke job.
     """
+    if tiny:
+        return [
+            ("rksat-sat-120", random_ksat_at_ratio(120, 4.27, 3,
+                                                   seed=100)),
+            ("php-6", pigeonhole(6)),
+        ]
     suite = [
         ("rksat-sat-120", random_ksat_at_ratio(120, 4.27, 3, seed=100)),
         ("rksat-unsat-150", random_ksat_at_ratio(150, 4.27, 3, seed=102)),
@@ -106,14 +127,27 @@ def build_suite(smoke: bool):
     return suite
 
 
+def _timed(solver):
+    """Solve once, timed on both clocks: wall (``perf_counter``) and
+    process CPU (``process_time``).  Ratios are computed from CPU
+    seconds -- both engines are single-threaded and CPU-bound, and on
+    shared machines the CPU clock excludes hypervisor steal time and
+    scheduling gaps that would otherwise dominate the comparison.
+    Wall seconds are still recorded for the absolute trajectory."""
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    result = solver.solve()
+    cpu = time.process_time() - cpu0
+    wall = time.perf_counter() - wall0
+    return wall, cpu, result
+
+
 def _run_new(formula):
     solver = CDCLSolver(
         formula, heuristic=VSIDSHeuristic(seed=0),
         restart_policy=make_restart_policy("luby", 64),
         phase_saving=True)
-    start = time.perf_counter()
-    result = solver.solve()
-    return time.perf_counter() - start, result
+    return _timed(solver)
 
 
 def _run_traced(formula):
@@ -128,11 +162,25 @@ def _run_traced(formula):
     sink = JsonlSink(os.devnull)
     solver.tracer = Tracer(sink)
     solver.metrics = SearchMetrics()
-    start = time.perf_counter()
-    result = solver.solve()
-    elapsed = time.perf_counter() - start
+    wall, cpu, result = _timed(solver)
     sink.close()
-    return elapsed, result
+    return wall, cpu, result
+
+
+def _run_deletion(formula):
+    """The live engine under an active deletion policy (rel_sat-style
+    size bound): clause-DB growth is curbed by compacting GC.  Returns
+    the timing, the result and the engine's arena-occupancy snapshot
+    (fill ratio, peak ints, GC counters).  The legacy baseline has no
+    deletion support at all, so this run only exists on the live side;
+    its verdict is still cross-checked against the main race."""
+    solver = CDCLSolver(
+        formula, heuristic=VSIDSHeuristic(seed=0),
+        restart_policy=make_restart_policy("luby", 64),
+        phase_saving=True,
+        deletion="size", deletion_bound=6, deletion_interval=250)
+    wall, cpu, result = _timed(solver)
+    return wall, cpu, result, solver.arena_occupancy()
 
 
 def _run_old(formula):
@@ -140,9 +188,7 @@ def _run_old(formula):
         formula, heuristic=LegacyVSIDS(),
         restart_policy=make_restart_policy("luby", 64),
         phase_saving=True)
-    start = time.perf_counter()
-    result = solver.solve()
-    return time.perf_counter() - start, result
+    return _timed(solver)
 
 
 def _verify_model(formula, result, engine: str, name: str) -> None:
@@ -156,22 +202,32 @@ def bench_instance(name, formula, repeats: int):
     """Race both engines on one instance; returns the result record."""
     best_new = best_old = best_traced = None
     for _ in range(repeats):
-        elapsed, result = _run_new(formula)
-        if best_new is None or elapsed < best_new[0]:
-            best_new = (elapsed, result)
-        elapsed, result = _run_old(formula)
-        if best_old is None or elapsed < best_old[0]:
-            best_old = (elapsed, result)
-        elapsed, result = _run_traced(formula)
-        if best_traced is None or elapsed < best_traced[0]:
-            best_traced = (elapsed, result)
-    (new_time, new_result), (old_time, old_result) = best_new, best_old
-    traced_time, traced_result = best_traced
+        # Best repetition is picked on CPU seconds: wall clock on a
+        # shared machine includes steal time that has nothing to do
+        # with either engine.
+        wall, cpu, result = _run_new(formula)
+        if best_new is None or cpu < best_new[1]:
+            best_new = (wall, cpu, result)
+        wall, cpu, result = _run_old(formula)
+        if best_old is None or cpu < best_old[1]:
+            best_old = (wall, cpu, result)
+        wall, cpu, result = _run_traced(formula)
+        if best_traced is None or cpu < best_traced[1]:
+            best_traced = (wall, cpu, result)
+    new_wall, new_time, new_result = best_new
+    old_wall, old_time, old_result = best_old
+    traced_wall, traced_time, traced_result = best_traced
+    del_wall, del_time, del_result, del_occupancy = _run_deletion(formula)
 
     if traced_result.status is not new_result.status:
         raise AssertionError(
             f"tracing changed the verdict on {name}: "
             f"traced={traced_result.status} plain={new_result.status}")
+    if del_result.status is not new_result.status:
+        raise AssertionError(
+            f"deletion changed the verdict on {name}: "
+            f"deletion={del_result.status} keep={new_result.status}")
+    _verify_model(formula, del_result, "deletion-mode engine", name)
 
     if new_result.status is not old_result.status:
         raise AssertionError(
@@ -195,17 +251,41 @@ def bench_instance(name, formula, repeats: int):
         "num_clauses": formula.num_clauses,
         "status": new_result.status.name,
         "model_verified": new_result.status is Status.SATISFIABLE,
-        "before": {"wall_seconds": round(old_time, 6), **before},
-        "after": {"wall_seconds": round(new_time, 6), **after},
+        "before": {"wall_seconds": round(old_wall, 6),
+                   "cpu_seconds": round(old_time, 6), **before},
+        "after": {"wall_seconds": round(new_wall, 6),
+                  "cpu_seconds": round(new_time, 6), **after},
         # Search-effort deltas (after - before): the engines follow
         # near-identical search paths, so nonzero deltas flag a
         # behavioural (not just mechanical) change.
         "effort_delta": {key: after[key] - before[key]
                          for key in ("decisions", "conflicts",
                                      "propagations")},
+        # CPU-seconds ratio (see _timed): engine mechanics, not
+        # hypervisor weather.
         "speedup": round(old_time / new_time, 3),
-        "traced_wall_seconds": round(traced_time, 6),
+        "traced_wall_seconds": round(traced_wall, 6),
+        "traced_cpu_seconds": round(traced_time, 6),
         "tracing_overhead": round(traced_time / new_time, 3),
+        # One live-engine run under an active deletion policy: the
+        # clause arena's occupancy and GC yield on this instance, and
+        # the BCP rate of both live runs (deletion shrinks the DB, so
+        # on deletion-heavy UNSAT instances its rate is the higher).
+        "deletion": {
+            "wall_seconds": round(del_wall, 6),
+            "cpu_seconds": round(del_time, 6),
+            "speedup_vs_legacy": round(old_time / del_time, 3),
+            "gc_runs": del_result.stats.gc_runs,
+            "gc_reclaimed_ints": del_result.stats.gc_reclaimed_ints,
+            "deleted_clauses": del_result.stats.deleted_clauses,
+            "arena_fill_ratio": del_occupancy["fill_ratio"],
+            "arena_peak_ints": del_occupancy["peak_ints"],
+            "arena_live_ints": del_occupancy["live_ints"],
+            "propagations_per_sec": round(
+                del_result.stats.propagations / del_time),
+            "keep_propagations_per_sec": round(
+                new_result.stats.propagations / new_time),
+        },
     }
 
 
@@ -213,33 +293,47 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="small suite + 1 repeat, finishes in <60 s")
+    parser.add_argument("--tiny", action="store_true",
+                        help="two tiny instances + 1 repeat (the CI "
+                             "perf-smoke job); exits non-zero on any "
+                             "verdict mismatch")
     parser.add_argument("--repeats", type=int, default=None,
                         help="timing repetitions per engine per "
-                             "instance (default: 3, smoke: 1)")
+                             "instance (default: 3, smoke/tiny: 1)")
     parser.add_argument("-o", "--output", default=None,
-                        help="output JSON path (default: BENCH_PR3.json "
+                        help="output JSON path (default: BENCH_PR4.json "
                              "next to this script; '-' for stdout only)")
     args = parser.parse_args(argv)
 
-    repeats = args.repeats or (1 if args.smoke else 3)
+    repeats = args.repeats or (1 if (args.smoke or args.tiny) else 3)
     records = []
-    for name, formula in build_suite(args.smoke):
+    for name, formula in build_suite(args.smoke, tiny=args.tiny):
         record = bench_instance(name, formula, repeats)
         records.append(record)
+        deletion = record["deletion"]
+        gc_note = (f"gc {deletion['gc_runs']} "
+                   f"fill {deletion['arena_fill_ratio']:.2f}"
+                   if deletion["gc_runs"] else "gc 0")
         print(f"{name:18s} {record['status']:14s} "
-              f"before {record['before']['wall_seconds']*1000:9.1f}ms  "
-              f"after {record['after']['wall_seconds']*1000:9.1f}ms  "
+              f"before {record['before']['cpu_seconds']*1000:9.1f}ms  "
+              f"after {record['after']['cpu_seconds']*1000:9.1f}ms  "
               f"x{record['speedup']:.2f}  "
-              f"traced x{record['tracing_overhead']:.2f}", flush=True)
+              f"traced x{record['tracing_overhead']:.2f}  "
+              f"{gc_note}", flush=True)
 
     speedups = [r["speedup"] for r in records]
     overheads = [r["tracing_overhead"] for r in records]
     summary = {
-        "bench": "PR3 observability (vs PR1 legacy baseline)",
+        "bench": "PR4 clause arena + compacting GC "
+                 "(vs PR1 legacy baseline)",
         "baseline": "benchmarks/legacy_cdcl.py (seed engine @00ba90a)",
         "config": "VSIDS seed=0, Luby-64 restarts, phase saving",
+        "timing": "ratios from process CPU seconds, best of repeats "
+                  "(wall seconds recorded alongside)",
+        "deletion_config": "size bound=6 interval=250 (extra live run)",
         "repeats": repeats,
         "smoke": args.smoke,
+        "tiny": args.tiny,
         "median_speedup": round(statistics.median(speedups), 3),
         "min_speedup": round(min(speedups), 3),
         "max_speedup": round(max(speedups), 3),
@@ -257,7 +351,7 @@ def main(argv=None) -> int:
 
     if args.output != "-":
         out_path = Path(args.output) if args.output \
-            else BENCH_DIR.parent / "BENCH_PR3.json"
+            else BENCH_DIR.parent / "BENCH_PR4.json"
         out_path.write_text(json.dumps(summary, indent=2) + "\n")
         print(f"wrote {out_path}")
     return 0

@@ -4,8 +4,10 @@ This is the consumer half of :mod:`repro.obs.trace`: given a trace
 file, aggregate the spans into where-did-the-time-go totals, fold the
 progress snapshots into per-source effort rates (conflicts/s,
 decisions/s, propagations/s) and peaks (decision level, learned-DB
-size, RSS), and count the point events (restarts, ATPG faults, BMC
-depths).  The ``repro profile`` CLI subcommand prints
+size, RSS), summarize the clause-DB lifecycle (learned-clause and
+arena-occupancy peaks from progress snapshots, reclaim totals from
+``cdcl.gc`` events), and count the point events (restarts, ATPG
+faults, BMC depths).  The ``repro profile`` CLI subcommand prints
 :func:`render_report`'s text and exits non-zero when the trace
 violates the documented schema.
 """
@@ -24,7 +26,7 @@ _RATE_ATTRS = ("decisions", "conflicts", "propagations", "flips")
 #: Progress attrs treated as instantaneous readings, for which the
 #: report keeps the observed peak.
 _PEAK_ATTRS = ("decision_level", "learned_db", "trail", "rss_mb",
-               "unsat")
+               "unsat", "arena_lits", "arena_fill")
 
 
 def read_trace(path: str) -> Tuple[List[Dict[str, Any]], List[str]]:
@@ -66,6 +68,9 @@ def build_report(events: List[Dict[str, Any]],
     spans: Dict[str, Dict[str, Any]] = {}
     progress: Dict[str, Dict[str, Any]] = {}
     counts: Dict[str, int] = {}
+    gc: Dict[str, Any] = {"collections": 0, "reclaimed_ints": 0,
+                          "collected_clauses": 0, "min_fill": None,
+                          "last": None}
     last_ts = 0.0
 
     for event in events:
@@ -116,6 +121,28 @@ def build_report(events: List[Dict[str, Any]],
                         agg["peaks"][attr] = value
         elif kind == "event":
             counts[name] = counts.get(name, 0) + 1
+            if name == "cdcl.gc":
+                attrs = event.get("attrs")
+                if isinstance(attrs, dict):
+                    gc["collections"] += 1
+                    for src, dst in (("reclaimed_ints",
+                                      "reclaimed_ints"),
+                                     ("collected",
+                                      "collected_clauses")):
+                        value = attrs.get(src)
+                        if isinstance(value, int) \
+                                and not isinstance(value, bool):
+                            gc[dst] += value
+                    fill = attrs.get("fill")
+                    if isinstance(fill, (int, float)) \
+                            and not isinstance(fill, bool):
+                        if gc["min_fill"] is None \
+                                or fill < gc["min_fill"]:
+                            gc["min_fill"] = fill
+                    gc["last"] = {k: attrs[k] for k
+                                  in ("live_ints", "clauses",
+                                      "learned_db")
+                                  if k in attrs}
 
     for agg in progress.values():
         first, last = agg["first_ts"], agg["last_ts"]
@@ -129,7 +156,7 @@ def build_report(events: List[Dict[str, Any]],
 
     return {"num_events": len(events), "problems": list(problems),
             "wall": last_ts, "spans": spans, "progress": progress,
-            "events": counts}
+            "events": counts, "clause_db": gc}
 
 
 def _fmt(value: float) -> str:
@@ -180,6 +207,43 @@ def render_report(report: Dict[str, Any]) -> str:
                 if attr in agg["peaks"]:
                     lines.append(f"    peak {attr:<8} "
                                  f"{_fmt(float(agg['peaks'][attr]))}")
+
+    gc = report.get("clause_db") or {}
+    arena_seen = any("arena_lits" in agg.get("peaks", {})
+                     for agg in progress.values())
+    if gc.get("collections") or arena_seen:
+        lines.append("")
+        lines.append("clause DB (arena occupancy and GC):")
+        for name, agg in sorted(progress.items()):
+            peaks = agg.get("peaks", {})
+            if "arena_lits" not in peaks and "learned_db" not in peaks:
+                continue
+            parts = []
+            if "learned_db" in peaks:
+                parts.append(
+                    f"peak learned {_fmt(float(peaks['learned_db']))}")
+            if "arena_lits" in peaks:
+                parts.append(
+                    f"peak arena {_fmt(float(peaks['arena_lits']))} "
+                    f"lits")
+            if "arena_fill" in peaks:
+                parts.append(f"fill <= {peaks['arena_fill']:.2f}")
+            lines.append(f"  {name}: " + ", ".join(parts))
+        if gc.get("collections"):
+            reclaim = (f", reclaimed {gc['reclaimed_ints']:,} ints / "
+                       f"{gc['collected_clauses']:,} clauses"
+                       if gc.get("reclaimed_ints") is not None else "")
+            lines.append(f"  gc: {gc['collections']} collection(s)"
+                         + reclaim)
+            if gc.get("min_fill") is not None:
+                lines.append(f"  gc: min fill {gc['min_fill']:.2f}")
+            last = gc.get("last")
+            if last:
+                lines.append(
+                    "  gc: after last collection "
+                    + ", ".join(f"{k}={last[k]:,}" for k in
+                                ("live_ints", "clauses", "learned_db")
+                                if k in last))
 
     counts = report["events"]
     if counts:

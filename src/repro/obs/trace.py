@@ -44,6 +44,25 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 EVENT_KINDS = frozenset(
     {"span_begin", "span_end", "event", "progress"})
 
+#: Required attributes of *known* named ``event`` lines.  The schema
+#: stays open -- an unknown event name validates freely -- but a known
+#: name must carry at least these attrs with the tagged type ("int" is
+#: an integer, "number" admits floats; bools never qualify).  This is
+#: what keeps producers (the CDCL engine's GC/restart events) and
+#: consumers (``repro profile``'s clause-DB section) from drifting
+#: apart silently.
+NAMED_EVENT_ATTRS: Dict[str, Dict[str, str]] = {
+    "cdcl.gc": {
+        "reclaimed_ints": "int",   # flat-buffer slots reclaimed
+        "collected": "int",        # clauses deleted this collection
+        "live_ints": "int",        # buffer occupancy after compaction
+        "clauses": "int",          # clauses surviving in the arena
+        "learned_db": "int",       # learned clauses surviving
+        "fill": "number",          # live_ints / peak_lits
+    },
+    "cdcl.restart": {"restarts": "int", "conflicts": "int"},
+}
+
 #: Exactly the keys a trace event may have (``parent`` only on
 #: ``span_begin``).
 _TOP_KEYS = frozenset({"ts", "kind", "name", "span", "parent", "attrs"})
@@ -287,6 +306,21 @@ def validate_event(event: Any) -> List[str]:
                 or isinstance(duration, bool) or duration < 0:
             problems.append(
                 "span_end attrs require a numeric duration >= 0")
+    if kind == "event" and isinstance(attrs, dict):
+        required = NAMED_EVENT_ATTRS.get(name)
+        if required is not None:
+            for attr, tag in required.items():
+                if attr not in attrs:
+                    problems.append(
+                        f"event {name!r} requires attr {attr!r}")
+                    continue
+                value = attrs[attr]
+                if isinstance(value, bool) or not isinstance(
+                        value, int if tag == "int" else (int, float)):
+                    problems.append(
+                        f"event {name!r} attr {attr!r} must be "
+                        f"{'an integer' if tag == 'int' else 'a number'}"
+                        f", got {value!r}")
     return problems
 
 

@@ -212,6 +212,12 @@ def _worker_main(index: int, attempt: int,
             heartbeats[index] = now
             if now - last_sent[0] >= progress_interval:
                 last_sent[0] = now
+                arena = getattr(solver, "arena", None)
+                if arena is not None:
+                    # Sync the clause-arena high-water mark so live
+                    # snapshots report occupancy (the engine itself
+                    # only syncs it at GC time and at solve end).
+                    solver.stats.arena_peak_lits = arena.peak_lits
                 try:
                     channel.send(("progress", index, attempt,
                                   now - started,
@@ -550,7 +556,9 @@ class Supervisor:
                     conflicts=clean["conflicts"]
                     - base.get("conflicts", 0),
                     propagations=clean["propagations"]
-                    - base.get("propagations", 0)):
+                    - base.get("propagations", 0),
+                    gc_runs=clean["gc_runs"] - base.get("gc_runs", 0),
+                    arena_lits=clean["arena_peak_lits"]):
                 slot.traced_base = (attempt, clean)
         slot.timeline.append({"attempt": attempt,
                               "elapsed": float(elapsed),

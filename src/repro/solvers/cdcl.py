@@ -17,11 +17,20 @@ backtrack search:
 Propagation uses two watched literals over a **flat, literal-indexed
 watch table** (index ``2*var + sign`` -- no dict hashing on the hot
 path) with a dedicated **binary-clause fast path**: two-literal
-clauses are stored as ``(implied literal, clause)`` pairs keyed by the
-falsified literal and propagated without touching watch positions at
-all.  Truth-value tests inside ``_propagate`` are inlined against the
-assignment array rather than routed through ``value_of_literal``.
-See DESIGN.md ("Hot-path data layout") for the layout rationale.
+clauses are stored as ``(implied literal, clause id)`` pairs keyed by
+the falsified literal and propagated without touching watch positions
+at all.  Truth-value tests inside ``_propagate`` are inlined against
+the assignment array rather than routed through ``value_of_literal``.
+
+Since PR 4 the clause database itself is a
+:class:`~repro.solvers.clause_arena.ClauseArena`: all literals live in
+one flat buffer, watch lists and antecedent slots hold **integer
+clause ids**, watched-literal normalization is two element swaps
+inside the buffer, and learned-database reduction is a **compacting
+garbage collection** (survivors copied to the front, every stored id
+remapped) -- so no ``deleted``-flag test survives anywhere on the hot
+path.  See DESIGN.md ("Clause-DB memory layout") for the layout and
+the GC remap protocol.
 
 Decisions are delegated to the pluggable heuristics of
 :mod:`repro.solvers.heuristics` (heap-backed since PR 1); restarts to
@@ -34,7 +43,8 @@ engine, which is precisely the architectural claim of the paper.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple, Union)
 
 from repro.cnf.assignment import Assignment
 from repro.cnf.clause import Clause
@@ -42,26 +52,15 @@ from repro.cnf.formula import CNFFormula
 from repro.runtime.budget import (Budget, BudgetMeter,
                                   DEFAULT_CHECK_INTERVAL,
                                   process_rss_mb)
+from repro.solvers.clause_arena import ClauseArena
 from repro.solvers.heuristics import DecisionHeuristic, VSIDSHeuristic
 from repro.solvers.restarts import NoRestarts, RestartPolicy
 from repro.solvers.result import SolverResult, SolverStats, Status
 
-
-class _ClauseRef:
-    """A clause as stored in the solver: mutable literal order for the
-    watched-literal scheme, plus learned-clause metadata."""
-
-    __slots__ = ("lits", "learned", "deleted", "activity")
-
-    def __init__(self, lits: List[int], learned: bool = False):
-        self.lits = lits
-        self.learned = learned
-        self.deleted = False
-        self.activity = 0.0
-
-    def __repr__(self) -> str:
-        tag = "L" if self.learned else "O"
-        return f"<{tag}{self.lits}>"
+#: An antecedent slot: ``None`` (decision / unit), an int clause id in
+#: the arena, or -- only with learning disabled -- the bare literal
+#: list of an unrecorded implicate.
+Reason = Union[None, int, Sequence[int]]
 
 
 def _lit_index(lit: int) -> int:
@@ -90,7 +89,7 @@ class CDCLSolver:
     deletion_bound:
         size bound k / relevance bound r for the above.
     deletion_interval:
-        conflicts between learned-database reductions.
+        conflicts between learned-database collections.
     minimize_learned:
         self-subsumption minimization of recorded clauses (drop a
         literal whose antecedent is covered by the clause itself).
@@ -161,7 +160,9 @@ class CDCLSolver:
         #: solve call; progress snapshots ride the cooperative
         #: checkpoint above, so attaching a tracer adds NOTHING to the
         #: hot path beyond arming the meter (zero-overhead-when-
-        #: disabled contract, see repro.obs.trace).
+        #: disabled contract, see repro.obs.trace).  GC compactions
+        #: additionally emit ``cdcl.gc`` events (once per collection,
+        #: off the hot path).
         self.tracer = None
         #: Optional :class:`repro.obs.metrics.SearchMetrics`.  Costs
         #: one ``is not None`` test per propagate call / per conflict
@@ -172,19 +173,23 @@ class CDCLSolver:
         n = self._num_vars + 1
         self._values: List[Optional[bool]] = [None] * n
         self._level: List[int] = [0] * n
-        self._antecedent: List[Optional[_ClauseRef]] = [None] * n
+        self._antecedent: List[Reason] = [None] * n
         self._trail: List[int] = []
         self._trail_lim: List[int] = []
         self._qhead = 0
+        #: The clause database: one flat literal buffer addressed by
+        #: integer clause ids (see repro.solvers.clause_arena).
+        self.arena = ClauseArena()
         # Flat literal-indexed tables (slot 2*var+sign, see
-        # _lit_index).  _watches holds clauses of length >= 3 watched
-        # at that literal; _bins holds (implied, clause) pairs keyed by
-        # the literal whose falsification triggers the implication.
-        self._watches: List[List[_ClauseRef]] = [[] for _ in range(2 * n)]
-        self._bins: List[List[Tuple[int, _ClauseRef]]] = \
+        # _lit_index).  _watches holds ids of clauses of length >= 3
+        # watched at that literal; _bins holds (implied, clause id)
+        # pairs keyed by the literal whose falsification triggers the
+        # implication.
+        self._watches: List[List[int]] = [[] for _ in range(2 * n)]
+        self._bins: List[List[Tuple[int, int]]] = \
             [[] for _ in range(2 * n)]
-        self._clauses: List[_ClauseRef] = []
-        self._learned: List[_ClauseRef] = []
+        self._clauses: List[int] = []
+        self._learned: List[int] = []
         self._root_conflict = False
         self._pending_units: List[int] = []
 
@@ -205,23 +210,28 @@ class CDCLSolver:
         if len(lits) == 1:
             self._pending_units.append(lits[0])
             return
-        self._attach(_ClauseRef(lits, learned=False), learned=False)
+        self._attach(self.arena.add(lits, learned=False), learned=False)
 
-    def _attach(self, ref: _ClauseRef, learned: bool) -> None:
-        (self._learned if learned else self._clauses).append(ref)
-        lits = ref.lits
-        if len(lits) == 2:
-            a, b = lits
-            self._bins[_lit_index(a)].append((b, ref))
-            self._bins[_lit_index(b)].append((a, ref))
+    def _attach(self, cid: int, learned: bool) -> None:
+        """Register arena clause *cid* with the watch machinery."""
+        (self._learned if learned else self._clauses).append(cid)
+        arena = self.arena
+        lits = arena.lits
+        base = arena.off[cid]
+        if arena.end[cid] - base == 2:
+            a, b = lits[base], lits[base + 1]
+            self._bins[_lit_index(a)].append((b, cid))
+            self._bins[_lit_index(b)].append((a, cid))
         else:
-            self._watches[_lit_index(lits[0])].append(ref)
-            self._watches[_lit_index(lits[1])].append(ref)
+            self._watches[_lit_index(lits[base])].append(cid)
+            self._watches[_lit_index(lits[base + 1])].append(cid)
 
     def add_clause(self, literals: Iterable[int]) -> None:
         """Add a clause between solve calls (incremental interface).
 
-        Only legal at decision level 0; raises otherwise.
+        Only legal at decision level 0; raises otherwise.  The clause
+        is appended to the arena and, like every original clause,
+        survives all later GC compactions.
         """
         if self._trail_lim:
             raise RuntimeError("add_clause only allowed at level 0")
@@ -242,9 +252,22 @@ class CDCLSolver:
         self._num_vars = var
 
     def learned_clauses(self) -> List[Clause]:
-        """The currently recorded (non-deleted) conflict clauses."""
-        return [Clause(ref.lits) for ref in self._learned
-                if not ref.deleted]
+        """The currently recorded conflict clauses."""
+        arena = self.arena
+        return [Clause(arena.lits_of(cid)) for cid in self._learned]
+
+    def clause_ids(self) -> List[int]:
+        """Every live clause id: originals first, then learned (both
+        in attach order).  Ids are stable until the next collection."""
+        return list(self._clauses) + list(self._learned)
+
+    def arena_occupancy(self) -> Dict[str, float]:
+        """The arena's memory snapshot plus this solver's GC counters
+        (what portfolio workers report in their progress payloads)."""
+        snapshot = self.arena.occupancy()
+        snapshot["gc_runs"] = self.stats.gc_runs
+        snapshot["gc_reclaimed_ints"] = self.stats.gc_reclaimed_ints
+        return snapshot
 
     # ------------------------------------------------------------------
     # Assignment and propagation
@@ -269,7 +292,7 @@ class CDCLSolver:
     def _is_assigned(self, var: int) -> bool:
         return self._values[var] is not None
 
-    def _enqueue(self, lit: int, reason: Optional[_ClauseRef]) -> bool:
+    def _enqueue(self, lit: int, reason: Reason) -> bool:
         """Assign *lit*; False when it contradicts the current value."""
         current = self.value_of_literal(lit)
         if current is not None:
@@ -285,14 +308,19 @@ class CDCLSolver:
             self.on_assign(lit)
         return True
 
-    def _propagate(self) -> Optional[_ClauseRef]:
-        """Two-watched-literal BCP; returns the conflicting clause.
+    def _propagate(self) -> Optional[int]:
+        """Two-watched-literal BCP; returns the conflicting clause id.
 
         This is the hottest loop in the library, so everything is
         inlined: truth values come straight from the assignment array,
-        watch lists are flat-array slots, binary clauses take the
-        pair-list fast path, and assignments skip ``_enqueue`` (the
-        hooks and phase saving are replicated here).
+        watch lists are flat-array slots holding integer clause ids,
+        clause literals are read by index arithmetic on the arena's
+        one flat buffer (no attribute loads, no per-clause list
+        headers), binary clauses take the pair-list fast path, and
+        assignments skip ``_enqueue`` (the hooks and phase saving are
+        replicated here).  Watched-literal normalization is two
+        element swaps inside the buffer.  There is no deleted-clause
+        test: collections remove ids from the watch lists eagerly.
         """
         values = self._values
         trail = self._trail
@@ -300,6 +328,10 @@ class CDCLSolver:
         bins = self._bins
         level = self._level
         antecedent = self._antecedent
+        arena = self.arena
+        alits = arena.lits
+        aoff = arena.off
+        aend = arena.end
         saved_phase = self._saved_phase if self.phase_saving else None
         on_assign = self.on_assign
         meter = self._meter
@@ -307,9 +339,6 @@ class CDCLSolver:
         dl = len(self._trail_lim)
         qhead = self._qhead
         propagations = 0
-        # Deleted refs only exist under an active deletion policy;
-        # skip the per-watcher flag test otherwise.
-        check_deleted = self.deletion != "keep"
 
         while qhead < len(trail):
             lit = trail[qhead]
@@ -319,14 +348,14 @@ class CDCLSolver:
             fidx = lit + lit + 1 if lit > 0 else -(lit + lit)
 
             # --- Binary fast path: stored implications, no watch
-            # maintenance, no clause-object literal scans.
-            for other, ref in bins[fidx]:
+            # maintenance, no literal scans.
+            for other, cid in bins[fidx]:
                 ovar = other if other > 0 else -other
                 value = values[ovar]
                 if value is None:
                     values[ovar] = other > 0
                     level[ovar] = dl
-                    antecedent[ovar] = ref
+                    antecedent[ovar] = cid
                     trail.append(other)
                     propagations += 1
                     if saved_phase is not None:
@@ -340,7 +369,7 @@ class CDCLSolver:
                         meter.spend(propagations + 1)
                     if metrics is not None:
                         metrics.burst(propagations)
-                    return ref
+                    return cid
 
             # --- Long clauses: watched literals with in-place
             # compaction of the watch list.
@@ -349,46 +378,46 @@ class CDCLSolver:
                 continue
             read = write = 0
             end = len(watchers)
-            conflict: Optional[_ClauseRef] = None
+            conflict = -1
             while read < end:
-                ref = watchers[read]
+                cid = watchers[read]
                 read += 1
-                if check_deleted and ref.deleted:
-                    continue
-                lits = ref.lits
-                # Normalize: the false watch sits at position 1.
-                if lits[0] == false_lit:
-                    lits[0] = lits[1]
-                    lits[1] = false_lit
-                first = lits[0]
+                base = aoff[cid]
+                # Normalize: the false watch sits at slot base+1.
+                first = alits[base]
+                if first == false_lit:
+                    b1 = base + 1
+                    first = alits[b1]
+                    alits[base] = first
+                    alits[b1] = false_lit
                 fvar = first if first > 0 else -first
                 fval = values[fvar]
                 if fval is not None and fval == (first > 0):
-                    watchers[write] = ref
+                    watchers[write] = cid
                     write += 1
                     continue
-                for k in range(2, len(lits)):
-                    lk = lits[k]
+                for k in range(base + 2, aend[cid]):
+                    lk = alits[k]
                     value = values[lk if lk > 0 else -lk]
                     if value is None or value == (lk > 0):
-                        lits[1] = lk
-                        lits[k] = false_lit
+                        alits[base + 1] = lk
+                        alits[k] = false_lit
                         watches[lk + lk if lk > 0
-                                else 1 - lk - lk].append(ref)
+                                else 1 - lk - lk].append(cid)
                         break
                 else:
-                    watchers[write] = ref
+                    watchers[write] = cid
                     write += 1
                     if fval is not None:       # first false: conflict
                         while read < end:
                             watchers[write] = watchers[read]
                             write += 1
                             read += 1
-                        conflict = ref
+                        conflict = cid
                         break
                     values[fvar] = first > 0
                     level[fvar] = dl
-                    antecedent[fvar] = ref
+                    antecedent[fvar] = cid
                     trail.append(first)
                     propagations += 1
                     if saved_phase is not None:
@@ -396,7 +425,7 @@ class CDCLSolver:
                     if on_assign is not None:
                         on_assign(first)
             del watchers[write:]
-            if conflict is not None:
+            if conflict >= 0:
                 self._qhead = len(trail)
                 self.stats.propagations += propagations
                 if meter is not None:
@@ -425,15 +454,18 @@ class CDCLSolver:
         values = self._values
         antecedent = self._antecedent
         on_unassign = self.on_unassign
-        heuristic_unassign = self.heuristic.on_unassign
-        for index in range(len(trail) - 1, target - 1, -1):
+        if on_unassign is not None:
+            for index in range(len(trail) - 1, target - 1, -1):
+                on_unassign(trail[index])
+        for index in range(target, len(trail)):
             lit = trail[index]
             var = lit if lit > 0 else -lit
-            if on_unassign is not None:
-                on_unassign(lit)
             values[var] = None
             antecedent[var] = None
-            heuristic_unassign(var)
+        # One call for the whole undone suffix: the heap-backed
+        # heuristics hoist their locals once per backjump instead of
+        # paying a method call per variable.
+        self.heuristic.on_unassign_batch(trail, target)
         del trail[target:]
         del self._trail_lim[level:]
         self._qhead = target
@@ -442,7 +474,18 @@ class CDCLSolver:
     # Conflict analysis (Diagnose)
     # ------------------------------------------------------------------
 
-    def _analyze_1uip(self, conflict: _ClauseRef) -> Tuple[List[int], int]:
+    def _reason_lits(self, reason: Reason) -> Sequence[int]:
+        """The literals of an antecedent slot: ``()`` for decisions,
+        an arena slice for recorded clause ids, the list itself for
+        unrecorded implicates (learning disabled)."""
+        if reason is None:
+            return ()
+        if type(reason) is int:
+            arena = self.arena
+            return arena.lits[arena.off[reason]:arena.end[reason]]
+        return reason
+
+    def _analyze_1uip(self, conflict: int) -> Tuple[List[int], int]:
         """First-UIP conflict analysis.
 
         Returns the learned clause (asserting literal first) and the
@@ -453,10 +496,15 @@ class CDCLSolver:
         level = self._level
         trail = self._trail
         antecedents = self._antecedent
+        arena = self.arena
+        alits = arena.lits
+        aoff = arena.off
+        aend = arena.end
         current_level = len(self._trail_lim)
         counter = 0
         lit = None
-        reason_lits: Sequence[int] = conflict.lits
+        base = aoff[conflict]
+        reason_lits: Sequence[int] = alits[base:aend[conflict]]
         index = len(trail)
 
         while True:
@@ -483,7 +531,13 @@ class CDCLSolver:
             if counter == 0:
                 break
             antecedent = antecedents[var]
-            reason_lits = antecedent.lits if antecedent is not None else ()
+            if antecedent is None:
+                reason_lits = ()
+            elif type(antecedent) is int:
+                base = aoff[antecedent]
+                reason_lits = alits[base:aend[antecedent]]
+            else:
+                reason_lits = antecedent
         learned[0] = -lit
 
         if self.minimize_learned and len(learned) > 2:
@@ -515,7 +569,7 @@ class CDCLSolver:
                 kept.append(q)
                 continue
             redundant = True
-            for r in antecedent.lits:
+            for r in self._reason_lits(antecedent):
                 if abs(r) == abs(q):
                     continue
                 if self._level[abs(r)] == 0 or r in members:
@@ -526,13 +580,13 @@ class CDCLSolver:
                 kept.append(q)
         return kept
 
-    def _analyze_decision_cut(self, conflict: _ClauseRef
+    def _analyze_decision_cut(self, conflict: int
                               ) -> Tuple[List[int], int]:
         """All-decision conflict cut: resolve back to decision
         variables only (the ablation alternative to 1-UIP)."""
         seen = [False] * (self._num_vars + 1)
         decisions: List[int] = []
-        stack = list(conflict.lits)
+        stack = list(self.arena.lits_of(conflict))
         while stack:
             q = stack.pop()
             var = abs(q)
@@ -544,7 +598,7 @@ class CDCLSolver:
                 value = self._values[var]
                 decisions.append(-var if value else var)
             else:
-                stack.extend(antecedent.lits)
+                stack.extend(self._reason_lits(antecedent))
 
         # Asserting literal: the (negated) current-level decision.
         current = self.decision_level
@@ -556,45 +610,112 @@ class CDCLSolver:
         backtrack = self._level[abs(learned[1])]
         return learned, backtrack
 
-    def _analyze(self, conflict: _ClauseRef) -> Tuple[List[int], int]:
+    def _analyze(self, conflict: int) -> Tuple[List[int], int]:
         if self.conflict_cut == "1uip":
             return self._analyze_1uip(conflict)
         return self._analyze_decision_cut(conflict)
 
     # ------------------------------------------------------------------
-    # Learned-database reduction
+    # Learned-database reduction (compacting GC)
     # ------------------------------------------------------------------
 
-    def _locked(self, ref: _ClauseRef) -> bool:
-        """A clause currently acting as an antecedent must stay."""
-        lit = ref.lits[0]
+    def _locked(self, cid: int) -> bool:
+        """A clause currently acting as an antecedent must stay.
+
+        The implied literal of an antecedent clause always sits at
+        watch position 0: it was there when the clause became unit,
+        and normalization can only displace a *falsified* position-0
+        literal, never a true one.
+        """
+        arena = self.arena
+        lit = arena.lits[arena.off[cid]]
         return (self.value_of_literal(lit) is True
-                and self._antecedent[abs(lit)] is ref)
+                and self._antecedent[abs(lit)] == cid)
 
     def _reduce_learned(self) -> None:
-        """Apply the configured deletion policy (paper properties 2-3)."""
+        """Apply the configured deletion policy (paper properties 2-3)
+        as a compacting collection.
+
+        Doomed clauses are identified by policy, then the arena copies
+        the survivors to the front of a fresh buffer and every stored
+        clause id -- watch lists, binary pairs, antecedent slots,
+        clause registries -- is rewritten through the returned remap.
+        The hot path never sees a dead id, so ``_propagate`` carries
+        no deleted-clause test at all.
+        """
         if self.deletion == "keep":
             return
-        survivors: List[_ClauseRef] = []
-        for ref in self._learned:
-            if ref.deleted:
-                continue
-            if len(ref.lits) <= 2 or self._locked(ref):
-                survivors.append(ref)
+        arena = self.arena
+        aoff = arena.off
+        aend = arena.end
+        alits = arena.lits
+        doomed: set = set()
+        for cid in self._learned:
+            size = aend[cid] - aoff[cid]
+            if size <= 2 or self._locked(cid):
                 continue
             if self.deletion == "size":
-                drop = len(ref.lits) > self.deletion_bound
+                drop = size > self.deletion_bound
             else:  # relevance-based learning [4]
                 unassigned = sum(
-                    1 for lit in ref.lits
+                    1 for lit in alits[aoff[cid]:aend[cid]]
                     if self.value_of_literal(lit) is None)
                 drop = unassigned > self.deletion_bound
             if drop:
-                ref.deleted = True
-                self.stats.deleted_clauses += 1
+                doomed.add(cid)
+        if not doomed:
+            return
+
+        self.stats.deleted_clauses += len(doomed)
+        reclaimed = sum(aend[cid] - aoff[cid] for cid in doomed)
+        remap = arena.compact(doomed)
+
+        # Rewrite every stored id through the remap.  All originals,
+        # binaries and locked clauses survive, so every id reachable
+        # from the registries or a live antecedent slot maps >= 0.
+        self._clauses = [remap[cid] for cid in self._clauses]
+        self._learned = [remap[cid] for cid in self._learned
+                         if remap[cid] >= 0]
+        antecedent = self._antecedent
+        for var in range(len(antecedent)):
+            reason = antecedent[var]
+            if type(reason) is int:
+                antecedent[var] = remap[reason]
+
+        # Rebuild the watch tables from the surviving clauses' first
+        # two slots: the buffer copy preserved literal order, so this
+        # reproduces exactly the live watch state minus the dead ids.
+        n = self._num_vars + 1
+        watches: List[List[int]] = [[] for _ in range(2 * n)]
+        bins: List[List[Tuple[int, int]]] = [[] for _ in range(2 * n)]
+        alits = arena.lits
+        aoff = arena.off
+        aend = arena.end
+        for cid in range(len(aoff)):
+            base = aoff[cid]
+            if aend[cid] - base == 2:
+                a, b = alits[base], alits[base + 1]
+                bins[_lit_index(a)].append((b, cid))
+                bins[_lit_index(b)].append((a, cid))
             else:
-                survivors.append(ref)
-        self._learned = survivors
+                watches[_lit_index(alits[base])].append(cid)
+                watches[_lit_index(alits[base + 1])].append(cid)
+        self._watches = watches
+        self._bins = bins
+
+        stats = self.stats
+        stats.gc_runs += 1
+        stats.gc_reclaimed_ints += reclaimed
+        stats.arena_peak_lits = arena.peak_lits
+        if self.tracer is not None:
+            self.tracer.event(
+                "cdcl.gc",
+                reclaimed_ints=reclaimed,
+                collected=len(doomed),
+                live_ints=arena.live_ints(),
+                clauses=len(arena),
+                learned_db=len(self._learned),
+                fill=round(arena.fill_ratio(), 4))
 
     # ------------------------------------------------------------------
     # Decisions
@@ -605,7 +726,8 @@ class CDCLSolver:
             lit = self.decide_override()
             if lit is not None:
                 return lit
-        lit = self.heuristic.decide(self._num_vars, self._is_assigned)
+        lit = self.heuristic.decide(self._num_vars, self._is_assigned,
+                                    values=self._values)
         if lit is not None and self.phase_saving:
             var = abs(lit)
             saved = self._saved_phase.get(var)
@@ -635,6 +757,7 @@ class CDCLSolver:
             end["decisions"] = result.stats.decisions
             end["conflicts"] = result.stats.conflicts
             end["restarts"] = result.stats.restarts
+            end["gc_runs"] = result.stats.gc_runs
             return result
 
     def _progress_reporter(self, tracer) -> Callable[[], None]:
@@ -643,6 +766,7 @@ class CDCLSolver:
         tracer actually emits (it throttles per-name), so the summed
         deltas in a trace always equal the true totals."""
         stats = self.stats
+        arena = self.arena
         last = [stats.decisions, stats.conflicts, stats.propagations,
                 stats.learned_clauses]
 
@@ -656,6 +780,8 @@ class CDCLSolver:
                     decision_level=len(self._trail_lim),
                     learned_db=len(self._learned),
                     trail=len(self._trail),
+                    arena_lits=arena.live_ints(),
+                    arena_fill=round(arena.fill_ratio(), 4),
                     rss_mb=process_rss_mb()):
                 last[0] = stats.decisions
                 last[1] = stats.conflicts
@@ -697,6 +823,8 @@ class CDCLSolver:
             status = self._search(list(assumptions))
         finally:
             self.stats.time_seconds += time.perf_counter() - started
+            if self.arena.peak_lits > self.stats.arena_peak_lits:
+                self.stats.arena_peak_lits = self.arena.peak_lits
             if self.metrics is not None:
                 self.stats.metrics = self.metrics.snapshot()
         model = self._model() if status is Status.SATISFIABLE else None
@@ -815,7 +943,7 @@ class CDCLSolver:
                 return lit
         return self._decide()
 
-    def _handle_conflict(self, conflict: _ClauseRef) -> None:
+    def _handle_conflict(self, conflict: int) -> None:
         learned_lits, backtrack = self._analyze(conflict)
         self.heuristic.on_conflict(learned_lits)
 
@@ -828,6 +956,7 @@ class CDCLSolver:
                 self.stats.nonchronological_backtracks += 1
                 self.stats.levels_skipped += skipped
         self.stats.backtracks += 1
+        lbd = 0
         metrics = self.metrics
         if metrics is not None:
             # LBD (distinct decision levels in the learned clause) must
@@ -840,10 +969,11 @@ class CDCLSolver:
 
         asserting = learned_lits[0]
         if self.learning and len(learned_lits) > 1:
-            ref = _ClauseRef(list(learned_lits), learned=True)
-            self._attach(ref, learned=True)
+            cid = self.arena.add(list(learned_lits), learned=True,
+                                 lbd=lbd)
+            self._attach(cid, learned=True)
             self.stats.learned_clauses += 1
-            self._enqueue(asserting, ref)
+            self._enqueue(asserting, cid)
         elif len(learned_lits) == 1:
             # Unit implicates always persist (they go to level 0).
             self._cancel_until(0)
@@ -852,12 +982,12 @@ class CDCLSolver:
             self._enqueue(asserting, None)
         else:
             # Learning disabled: the derived clause is still a valid
-            # implicate, so it serves as the (unrecorded) reason for the
-            # re-asserted literal; it is simply never watched, hence
-            # never prunes future search -- the paper's pre-learning
+            # implicate, so its bare literal list serves as the
+            # (unrecorded) reason for the re-asserted literal; it
+            # never enters the arena, is never watched, hence never
+            # prunes future search -- the paper's pre-learning
             # baseline.
-            ref = _ClauseRef(list(learned_lits), learned=True)
-            self._enqueue(asserting, ref)
+            self._enqueue(asserting, list(learned_lits))
 
 
 def solve_cdcl(formula: CNFFormula, **kwargs) -> SolverResult:

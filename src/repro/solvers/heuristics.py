@@ -157,6 +157,34 @@ class LiteralHeap:
                 heapq.heappush(self._heap, (-s, self._rank[nvar], nvar))
                 live.add(nvar)
 
+    def on_unassign_batch(self, trail: List[int], start: int) -> None:
+        """Re-enter every variable of ``trail[start:]`` in one call.
+
+        Backjumps undo whole trail suffixes, so the engine hands the
+        suffix over once instead of paying a method call per variable.
+        Heap order is insertion-order independent (the ``(-score,
+        rank)`` key is unique per literal), so batching cannot change
+        which literal surfaces next."""
+        live = self._live
+        score = self._score
+        rank = self._rank
+        heap = self._heap
+        push = heapq.heappush
+        for index in range(start, len(trail)):
+            lit = trail[index]
+            var = lit if lit > 0 else -lit
+            if var not in live:
+                s = score.get(var)
+                if s is not None:
+                    push(heap, (-s, rank[var], var))
+                    live.add(var)
+            var = -var
+            if var not in live:
+                s = score.get(var)
+                if s is not None:
+                    push(heap, (-s, rank[var], var))
+                    live.add(var)
+
     def rebuild(self) -> None:
         """Repopulate the heap from the score table (recovery path for
         engines that never call :meth:`on_unassign`)."""
@@ -166,16 +194,30 @@ class LiteralHeap:
         heapq.heapify(self._heap)
         self._live = set(self._score)
 
-    def pop_best(self, is_assigned) -> Optional[int]:
+    def pop_best(self, is_assigned, values=None) -> Optional[int]:
         """Pop and return the highest-scored unassigned literal, or
-        ``None`` when the heap holds none."""
+        ``None`` when the heap holds none.
+
+        When *values* (the engine's variable-indexed assignment array)
+        is given, assignment status is read straight from it instead
+        of through the *is_assigned* callback -- one list index per
+        popped entry rather than a Python call."""
         heap = self._heap
         score = self._score
         live = self._live
         pop = heapq.heappop
+        if values is not None:
+            while heap:
+                neg_score, _, lit = pop(heap)
+                if score.get(lit) != -neg_score:
+                    continue               # stale score: re-bumped
+                live.discard(lit)
+                if values[lit if lit > 0 else -lit] is not None:
+                    continue               # restored via on_unassign
+                return lit
+            return None
         while heap:
-            neg_score, _, lit = heap[0]
-            pop(heap)
+            neg_score, _, lit = pop(heap)
             if score.get(lit) != -neg_score:
                 continue                   # stale score: re-bumped
             live.discard(lit)
@@ -214,9 +256,22 @@ class DecisionHeuristic:
     def on_unassign(self, var: int) -> None:
         """Observe *var* becoming unassigned during backtracking."""
 
-    def decide(self, num_vars: int, is_assigned) -> Optional[int]:
+    def on_unassign_batch(self, trail: List[int], start: int) -> None:
+        """Observe every variable of ``trail[start:]`` becoming
+        unassigned (one call per backjump).  Heap-backed policies
+        override this with a loop-hoisted implementation; the default
+        just fans out to :meth:`on_unassign`."""
+        on_unassign = self.on_unassign
+        for index in range(start, len(trail)):
+            lit = trail[index]
+            on_unassign(lit if lit > 0 else -lit)
+
+    def decide(self, num_vars: int, is_assigned,
+               values=None) -> Optional[int]:
         """Return a decision literal, or ``None`` when all variables
-        are assigned.  *is_assigned(var)* reports assignment status."""
+        are assigned.  *is_assigned(var)* reports assignment status;
+        engines may also pass their variable-indexed assignment array
+        as *values* so heap policies can read status by list index."""
         raise NotImplementedError
 
     def _random_decision(self, num_vars: int, is_assigned) -> Optional[int]:
@@ -248,27 +303,30 @@ class HeapBackedHeuristic(DecisionHeuristic):
         # Instance-level binding skips one dispatch layer on the
         # engine's backtracking hot path.
         self.on_unassign = self._heap.on_unassign
+        self.on_unassign_batch = self._heap.on_unassign_batch
 
-    def decide(self, num_vars: int, is_assigned) -> Optional[int]:
+    def decide(self, num_vars: int, is_assigned,
+               values=None) -> Optional[int]:
         pick = self._maybe_random(num_vars, is_assigned)
         if pick is not False:
             return pick
         heap = self._heap
         heap.ensure_vars(num_vars)
-        lit = heap.pop_best(is_assigned)
+        lit = heap.pop_best(is_assigned, values)
         if lit is None:
             # Engines without unassign notifications (plain DPLL)
             # drain the heap; rebuild once and retry before concluding
             # that every variable is assigned.
             heap.rebuild()
-            lit = heap.pop_best(is_assigned)
+            lit = heap.pop_best(is_assigned, values)
         return lit
 
 
 class FixedOrderHeuristic(DecisionHeuristic):
     """Branch on the lowest-index unassigned variable, value True."""
 
-    def decide(self, num_vars: int, is_assigned) -> Optional[int]:
+    def decide(self, num_vars: int, is_assigned,
+               values=None) -> Optional[int]:
         pick = self._maybe_random(num_vars, is_assigned)
         if pick is not False:
             return pick
@@ -281,7 +339,8 @@ class FixedOrderHeuristic(DecisionHeuristic):
 class RandomHeuristic(DecisionHeuristic):
     """Uniformly random unassigned variable with random polarity."""
 
-    def decide(self, num_vars: int, is_assigned) -> Optional[int]:
+    def decide(self, num_vars: int, is_assigned,
+               values=None) -> Optional[int]:
         return self._random_decision(num_vars, is_assigned)
 
 

@@ -95,6 +95,13 @@ class IncrementalSolver:
         """Recorded clauses currently retained by the engine."""
         return len(self._solver.learned_clauses())
 
+    def arena_occupancy(self):
+        """The engine's clause-arena memory snapshot (clauses,
+        live/peak buffer ints, fill ratio, GC counters).  Occupancy is
+        cumulative across calls: added clauses and surviving learned
+        clauses stay in the arena through every GC compaction."""
+        return self._solver.arena_occupancy()
+
     @property
     def tracer(self):
         """The underlying engine's tracer (spans every solve call)."""
@@ -123,16 +130,18 @@ def _snapshot(stats: SolverStats) -> SolverStats:
 def _delta(before: SolverStats, after: SolverStats) -> SolverStats:
     """Per-call stats: *after* minus *before*, field-generically.
 
-    Counters subtract; ``max_decision_level`` and the ``metrics``
-    snapshot report the call's final state (per-call attribution of a
-    merged histogram is not recoverable, so the cumulative snapshot is
-    passed through).  Iterating ``dataclasses.fields`` keeps this
-    honest as fields are added -- the old hand-written version silently
-    dropped ``flips``/``tries``.
+    Counters subtract; ``max_decision_level``, ``arena_peak_lits``
+    (state readings, not counters) and the ``metrics`` snapshot report
+    the call's final state (per-call attribution of a merged histogram
+    is not recoverable, so the cumulative snapshot is passed through).
+    Iterating ``dataclasses.fields`` keeps this honest as fields are
+    added -- the old hand-written version silently dropped
+    ``flips``/``tries``.
     """
     delta = SolverStats()
     for f in fields(SolverStats):
-        if f.name in ("max_decision_level", "metrics"):
+        if f.name in ("max_decision_level", "arena_peak_lits",
+                      "metrics"):
             setattr(delta, f.name, getattr(after, f.name))
         else:
             setattr(delta, f.name,

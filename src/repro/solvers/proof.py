@@ -22,7 +22,7 @@ runs against every UNSAT answer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.cnf.clause import Clause
 from repro.cnf.formula import CNFFormula
@@ -52,16 +52,22 @@ def attach_proof_logger(solver) -> Proof:
     ``heuristic.on_conflict`` observation channel is not enough (it
     sees literals, not persistence), so the logger intercepts
     ``_attach`` and unit learning.  Returns the live :class:`Proof`.
+
+    Clauses are integer ids into the solver's flat
+    :class:`~repro.solvers.clause_arena.ClauseArena`; the logger
+    snapshots the literals at attach time (``arena.lits_of``), so
+    later GC compactions -- which renumber ids and recycle buffer
+    space -- can never corrupt an already-logged step.
     """
     proof = Proof()
     original_attach = solver._attach
     original_handle = solver._handle_conflict
     original_search = solver._search
 
-    def logging_attach(ref, learned):
+    def logging_attach(cid, learned):
         if learned:
-            proof.steps.append(Clause(ref.lits))
-        original_attach(ref, learned)
+            proof.steps.append(Clause(solver.arena.lits_of(cid)))
+        original_attach(cid, learned)
 
     def logging_handle(conflict):
         # Unit implicates bypass _attach (they go to the pending-unit
@@ -85,7 +91,34 @@ def attach_proof_logger(solver) -> Proof:
     return proof
 
 
-def _rup_conflict(clauses: List[Tuple[int, ...]],
+class _FlatClauseSet:
+    """Arena-style flat clause storage for the RUP checker.
+
+    The checker's unit propagation repeatedly sweeps the whole clause
+    set, so it uses the same memory layout as the solver's
+    :class:`~repro.solvers.clause_arena.ClauseArena` -- one flat
+    literal buffer plus offset/end arrays, iterated by integer clause
+    id -- without importing any solver code (the checker must stay
+    independent of what it validates).
+    """
+
+    __slots__ = ("lits", "off", "end")
+
+    def __init__(self) -> None:
+        self.lits: List[int] = []
+        self.off: List[int] = []
+        self.end: List[int] = []
+
+    def add(self, literals: Sequence[int]) -> None:
+        self.off.append(len(self.lits))
+        self.lits.extend(literals)
+        self.end.append(len(self.lits))
+
+    def __len__(self) -> int:
+        return len(self.off)
+
+
+def _rup_conflict(clauses: _FlatClauseSet,
                   assumed_false: Sequence[int]) -> bool:
     """True when unit propagation refutes ``clauses`` under the
     negation of *assumed_false* (i.e. the clause is a RUP consequence).
@@ -97,15 +130,19 @@ def _rup_conflict(clauses: List[Tuple[int, ...]],
             return True        # the clause is a tautology
         assignment[var] = value
 
+    lits = clauses.lits
+    off = clauses.off
+    end = clauses.end
     changed = True
     while changed:
         changed = False
-        for clause in clauses:
+        for cid in range(len(off)):
             unassigned = None
             count = 0
             satisfied = False
-            for lit in clause:
-                value = assignment.get(variable(lit))
+            for k in range(off[cid], end[cid]):
+                lit = lits[k]
+                value = assignment.get(lit if lit > 0 else -lit)
                 if value is None:
                     unassigned = lit
                     count += 1
@@ -138,13 +175,15 @@ def check_rup_proof(formula: CNFFormula, proof: Proof
     Checks every step in order and, for a complete proof, that the
     accumulated clause set propagates to conflict outright.
     """
-    clauses: List[Tuple[int, ...]] = [tuple(c) for c in formula
-                                      if not c.is_tautology()]
+    clauses = _FlatClauseSet()
+    for c in formula:
+        if not c.is_tautology():
+            clauses.add(tuple(c))
     for index, step in enumerate(proof.steps):
         if not _rup_conflict(clauses, tuple(step)):
             return ProofCheckResult(False, failed_step=index,
                                     steps_checked=index)
-        clauses.append(tuple(step))
+        clauses.add(tuple(step))
     if proof.complete:
         if not _rup_conflict(clauses, ()):
             return ProofCheckResult(False, failed_step=len(proof.steps),

@@ -23,6 +23,7 @@ from repro.cnf.clause import Clause
 from repro.cnf.formula import CNFFormula
 from repro.cnf.literals import variable
 from repro.runtime.budget import Budget, BudgetMeter
+from repro.solvers.clause_arena import ClauseArena
 
 
 @dataclass
@@ -43,22 +44,29 @@ class RecursiveLearningResult:
     exhausted: bool = False
 
 
-def _unit_propagate(clauses: List[Tuple[int, ...]],
+def _unit_propagate(clauses: ClauseArena,
                     assignment: Dict[int, bool]) -> Optional[Dict[int, bool]]:
     """Extend *assignment* (copied) by unit propagation.
 
-    Returns the extended assignment, or ``None`` on conflict.
+    Returns the extended assignment, or ``None`` on conflict.  The
+    clause set is a flat :class:`ClauseArena` iterated by integer
+    clause id -- the sweep reads one contiguous literal buffer instead
+    of chasing per-clause tuples (the same layout the CDCL core uses).
     """
     work = dict(assignment)
+    lits = clauses.lits
+    off = clauses.off
+    end = clauses.end
     changed = True
     while changed:
         changed = False
-        for clause in clauses:
+        for cid in range(len(off)):
             unassigned_lit = None
             unassigned_count = 0
             satisfied = False
-            for lit in clause:
-                value = work.get(variable(lit))
+            for k in range(off[cid], end[cid]):
+                lit = lits[k]
+                value = work.get(lit if lit > 0 else -lit)
                 if value is None:
                     unassigned_lit = lit
                     unassigned_count += 1
@@ -75,7 +83,7 @@ def _unit_propagate(clauses: List[Tuple[int, ...]],
     return work
 
 
-def _closure(clauses: List[Tuple[int, ...]],
+def _closure(clauses: ClauseArena,
              assignment: Dict[int, bool],
              depth: int,
              meter: Optional[BudgetMeter] = None
@@ -83,9 +91,10 @@ def _closure(clauses: List[Tuple[int, ...]],
     """All assignments implied by *assignment* at recursion *depth*.
 
     Depth 0 is plain unit propagation; depth k additionally splits on
-    every unresolved clause, recursing at depth k-1 into each way of
-    satisfying it and keeping the assignments common to all consistent
-    ways.  Returns ``None`` when the assignment is infeasible.
+    every unresolved clause (visited in clause-id order), recursing at
+    depth k-1 into each way of satisfying it and keeping the
+    assignments common to all consistent ways.  Returns ``None`` when
+    the assignment is infeasible.
 
     With a *meter*, the pass degrades gracefully: once the budget is
     blown no further clause is split, and the assignments gathered so
@@ -97,10 +106,14 @@ def _closure(clauses: List[Tuple[int, ...]],
     if depth <= 0:
         return work
 
+    lits = clauses.lits
+    off = clauses.off
+    end = clauses.end
     progress = True
     while progress:
         progress = False
-        for clause in clauses:
+        for cid in range(len(off)):
+            clause = lits[off[cid]:end[cid]]
             if meter is not None and meter.spend(len(clause)):
                 return work       # budget blown: sound partial result
             satisfied = any(work.get(variable(lit)) == (lit > 0)
@@ -177,7 +190,9 @@ def _recursive_learn(formula: CNFFormula,
     if depth < 1:
         raise ValueError("depth must be >= 1")
     base = dict(assignment or {})
-    clauses = [tuple(c) for c in formula]
+    clauses = ClauseArena()
+    for c in formula:
+        clauses.add(tuple(c))
     meter = budget.meter() if budget is not None else None
 
     closure = _closure(clauses, base, depth, meter)

@@ -39,7 +39,14 @@ class SolverStats:
     learned_clauses: int = 0
     deleted_clauses: int = 0
     restarts: int = 0
+    #: Compacting clause-DB collections run, and flat-buffer slots
+    #: (ints) they reclaimed (CDCL arena, PR 4).
+    gc_runs: int = 0
+    gc_reclaimed_ints: int = 0
     max_decision_level: int = 0
+    #: High-water mark of the clause arena's flat literal buffer --
+    #: an occupancy reading, so it merges via max, not sum.
+    arena_peak_lits: int = 0
     flips: int = 0          # local search
     tries: int = 0          # local search
     time_seconds: float = 0.0
@@ -59,7 +66,7 @@ class SolverStats:
         for f in fields(self):
             mine = getattr(self, f.name)
             theirs = getattr(other, f.name)
-            if f.name == "max_decision_level":
+            if f.name in ("max_decision_level", "arena_peak_lits"):
                 setattr(self, f.name, max(mine, theirs))
             elif f.name == "metrics":
                 if theirs is None:
