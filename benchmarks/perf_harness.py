@@ -18,7 +18,7 @@ single-threaded and CPU-bound, so on shared/virtualised machines the
 CPU clock excludes hypervisor steal time and scheduler gaps that
 would otherwise swamp the comparison.  Verdicts must agree; SAT
 models from both engines are verified against the formula.  Results
-are written as JSON (default ``BENCH_PR4.json`` next to this file)
+are written as JSON (default ``BENCH_PR5.json`` next to this file)
 with per-instance timings and search counters plus the counter
 *deltas* between the engines (``effort_delta``), so the perf
 trajectory tracks search effort as well as wall clock.
@@ -36,6 +36,15 @@ the arena occupancy (fill ratio, peak buffer ints), GC counters
 (collections, reclaimed ints) and the BCP rate of both the keep-mode
 and deletion-mode runs -- on deletion-heavy UNSAT instances the
 smaller clause DB shows up directly as a higher propagation rate.
+
+Since PR 5 (result certification) every UNSAT instance is also run
+once with a streamed DRUP proof attached (:mod:`repro.verify.drat`),
+the proof is validated by the independent checker, and the record
+keeps the emission overhead (certified / uncertified CPU ratio),
+proof volume (bytes, steps, deletions) and checker wall time.  The
+run **gates** on ``median_certified_overhead <= 1.25``: proof
+streaming is supposed to be cheap, and this is where a regression
+would surface.
 
 Usage::
 
@@ -183,6 +192,49 @@ def _run_deletion(formula):
     return wall, cpu, result, solver.arena_occupancy()
 
 
+def _run_certified(formula):
+    """The live engine streaming a DRUP proof to a real file, then the
+    independent checker validating it.  Solve timing and check timing
+    are kept separate: emission overhead is what the *solver* pays;
+    the checker runs after the fact (and typically off the critical
+    path).  Returns ``(wall, cpu, result, proof_info)``."""
+    import tempfile
+
+    from repro.verify.checker import check_proof_file
+    from repro.verify.drat import FileProofSink, attach_proof_stream
+
+    handle, proof_path = tempfile.mkstemp(suffix=".drup",
+                                          prefix="repro-bench-")
+    os.close(handle)
+    solver = CDCLSolver(
+        formula, heuristic=VSIDSHeuristic(seed=0),
+        restart_policy=make_restart_policy("luby", 64),
+        phase_saving=True)
+    sink = attach_proof_stream(solver, FileProofSink(proof_path))
+    try:
+        wall, cpu, result = _timed(solver)
+        sink.close()
+        info = {"proof_bytes": sink.bytes_written,
+                "proof_adds": sink.adds,
+                "proof_deletes": sink.deletes}
+        if result.status is Status.UNSATISFIABLE:
+            check0 = time.perf_counter()
+            outcome = check_proof_file(formula, proof_path)
+            info["check_seconds"] = round(
+                time.perf_counter() - check0, 6)
+            info["proof_valid"] = outcome.valid
+            if not outcome.valid:
+                raise AssertionError(
+                    f"certified run produced an invalid proof: "
+                    f"{outcome.error}")
+    finally:
+        try:
+            os.remove(proof_path)
+        except OSError:
+            pass
+    return wall, cpu, result, info
+
+
 def _run_old(formula):
     solver = LegacyCDCLSolver(
         formula, heuristic=LegacyVSIDS(),
@@ -200,7 +252,7 @@ def _verify_model(formula, result, engine: str, name: str) -> None:
 
 def bench_instance(name, formula, repeats: int):
     """Race both engines on one instance; returns the result record."""
-    best_new = best_old = best_traced = None
+    best_new = best_old = best_traced = best_cert = None
     for _ in range(repeats):
         # Best repetition is picked on CPU seconds: wall clock on a
         # shared machine includes steal time that has nothing to do
@@ -214,10 +266,19 @@ def bench_instance(name, formula, repeats: int):
         wall, cpu, result = _run_traced(formula)
         if best_traced is None or cpu < best_traced[1]:
             best_traced = (wall, cpu, result)
+        wall, cpu, result, info = _run_certified(formula)
+        if best_cert is None or cpu < best_cert[1]:
+            best_cert = (wall, cpu, result, info)
     new_wall, new_time, new_result = best_new
     old_wall, old_time, old_result = best_old
     traced_wall, traced_time, traced_result = best_traced
+    cert_wall, cert_time, cert_result, cert_info = best_cert
     del_wall, del_time, del_result, del_occupancy = _run_deletion(formula)
+
+    if cert_result.status is not new_result.status:
+        raise AssertionError(
+            f"proof streaming changed the verdict on {name}: "
+            f"certified={cert_result.status} plain={new_result.status}")
 
     if traced_result.status is not new_result.status:
         raise AssertionError(
@@ -286,6 +347,17 @@ def bench_instance(name, formula, repeats: int):
             "keep_propagations_per_sec": round(
                 new_result.stats.propagations / new_time),
         },
+        # One live-engine run streaming a DRUP proof to disk.  The
+        # overhead ratio (certified / plain CPU) is the price of
+        # emission; on UNSAT instances the proof is also validated by
+        # the independent checker (checker time kept separate -- it
+        # runs off the solver's critical path).
+        "certified": {
+            "wall_seconds": round(cert_wall, 6),
+            "cpu_seconds": round(cert_time, 6),
+            "overhead": round(cert_time / new_time, 3),
+            **cert_info,
+        },
     }
 
 
@@ -301,7 +373,7 @@ def main(argv=None) -> int:
                         help="timing repetitions per engine per "
                              "instance (default: 3, smoke/tiny: 1)")
     parser.add_argument("-o", "--output", default=None,
-                        help="output JSON path (default: BENCH_PR4.json "
+                        help="output JSON path (default: BENCH_PR5.json "
                              "next to this script; '-' for stdout only)")
     args = parser.parse_args(argv)
 
@@ -319,13 +391,19 @@ def main(argv=None) -> int:
               f"after {record['after']['cpu_seconds']*1000:9.1f}ms  "
               f"x{record['speedup']:.2f}  "
               f"traced x{record['tracing_overhead']:.2f}  "
+              f"cert x{record['certified']['overhead']:.2f}  "
               f"{gc_note}", flush=True)
 
     speedups = [r["speedup"] for r in records]
     overheads = [r["tracing_overhead"] for r in records]
+    # The certified-overhead gate is judged on UNSAT instances only:
+    # that is where a proof is actually produced end-to-end (on SAT
+    # runs the sink sees just the learned-clause stream).
+    cert_overheads = [r["certified"]["overhead"] for r in records
+                      if r["status"] == "UNSATISFIABLE"]
     summary = {
-        "bench": "PR4 clause arena + compacting GC "
-                 "(vs PR1 legacy baseline)",
+        "bench": "PR5 certified answers: streamed DRUP proofs + "
+                 "independent checker (vs PR1 legacy baseline)",
         "baseline": "benchmarks/legacy_cdcl.py (seed engine @00ba90a)",
         "config": "VSIDS seed=0, Luby-64 restarts, phase saving",
         "timing": "ratios from process CPU seconds, best of repeats "
@@ -340,6 +418,12 @@ def main(argv=None) -> int:
         "median_tracing_overhead": round(statistics.median(overheads),
                                          3),
         "max_tracing_overhead": round(max(overheads), 3),
+        "median_certified_overhead": round(
+            statistics.median(cert_overheads), 3) if cert_overheads
+            else None,
+        "max_certified_overhead": round(max(cert_overheads), 3)
+            if cert_overheads else None,
+        "certified_gate": 1.25,
         "instances": records,
     }
     print(f"median speedup: x{summary['median_speedup']:.2f}  "
@@ -348,12 +432,25 @@ def main(argv=None) -> int:
     print(f"median tracing overhead: "
           f"x{summary['median_tracing_overhead']:.2f}  "
           f"(max x{summary['max_tracing_overhead']:.2f})")
+    if cert_overheads:
+        print(f"median certified overhead (UNSAT): "
+              f"x{summary['median_certified_overhead']:.2f}  "
+              f"(max x{summary['max_certified_overhead']:.2f}, "
+              f"gate <=x{summary['certified_gate']:.2f})")
 
     if args.output != "-":
         out_path = Path(args.output) if args.output \
-            else BENCH_DIR.parent / "BENCH_PR4.json"
+            else BENCH_DIR.parent / "BENCH_PR5.json"
         out_path.write_text(json.dumps(summary, indent=2) + "\n")
         print(f"wrote {out_path}")
+
+    if cert_overheads and summary["median_certified_overhead"] \
+            > summary["certified_gate"]:
+        print(f"FAIL: median certified overhead "
+              f"x{summary['median_certified_overhead']:.2f} exceeds "
+              f"the x{summary['certified_gate']:.2f} gate",
+              file=sys.stderr)
+        return 1
     return 0
 
 

@@ -64,6 +64,12 @@ class FaultResult:
     outcome: TestOutcome
     vector: Optional[Dict[str, Optional[bool]]] = None
     stats: SolverStats = field(default_factory=SolverStats)
+    #: :class:`repro.verify.certificate.Certificate` when the fault
+    #: was solved under ``certify=True``: a checked UNSAT proof for
+    #: REDUNDANT, an audited model for DETECTED.  A fault whose proof
+    #: failed the check is reported ABORTED (never REDUNDANT) with the
+    #: diagnostic in ``certificate.reason``.
+    certificate: Optional[object] = None
 
 
 @dataclass
@@ -101,7 +107,9 @@ def solve_fault(circuit: Circuit, fault: StuckAtFault,
                 method: str = "cdcl",
                 max_conflicts: Optional[int] = 20000,
                 budget: Optional[Budget] = None,
-                tracer=None) -> FaultResult:
+                tracer=None,
+                certify: bool = False,
+                proof_dir: Optional[str] = None) -> FaultResult:
     """Generate a test for one fault (or prove it redundant).
 
     *method*: ``"cdcl"`` solves the miter CNF directly;
@@ -112,7 +120,21 @@ def solve_fault(circuit: Circuit, fault: StuckAtFault,
     call (deadline / counters / memory); exhaustion yields ABORTED.
     *tracer* is handed to the underlying CDCL/portfolio solve (the
     ``"circuit"`` path has no engine-level tracing).
+
+    With *certify*, a REDUNDANT verdict must carry a DRUP proof that
+    passes the independent checker and a DETECTED vector's underlying
+    model is audited; a failed check demotes the fault to ABORTED --
+    a certified run never declares a fault redundant on the solver's
+    word alone.  Proof files land in *proof_dir* (named per fault)
+    when given, else in cleaned-up temporaries.  The structural
+    ``"circuit"`` method records no clausal derivation and cannot
+    certify: asking for both raises ``ValueError``.
     """
+    if certify and method == "circuit":
+        raise ValueError(
+            "certify=True needs a clausal proof; the structural "
+            "'circuit' method records none -- use 'cdcl' or "
+            "'portfolio'")
     faulty = inject_fault(circuit, fault)
     if method == "circuit":
         from repro.circuits.tseitin import build_miter
@@ -130,24 +152,56 @@ def solve_fault(circuit: Circuit, fault: StuckAtFault,
         return FaultResult(fault, TestOutcome.ABORTED, stats=result.stats)
 
     encoding = encode_miter(circuit, faulty)
+    proof_path = None
+    if certify and proof_dir is not None:
+        import os
+        os.makedirs(proof_dir, exist_ok=True)
+        proof_path = os.path.join(
+            proof_dir, f"atpg-{fault.node}-sa{int(fault.value)}.drup")
     if method == "portfolio":
         from repro.solvers.portfolio import solve_portfolio
-        result = solve_portfolio(encoding.formula,
+        race_dir = None
+        ephemeral_dir = None
+        if certify:
+            race_dir = proof_dir
+            if race_dir is None:
+                import shutil
+                import tempfile
+                ephemeral_dir = tempfile.mkdtemp(prefix="repro-atpg-")
+                race_dir = ephemeral_dir
+        try:
+            result = solve_portfolio(
+                encoding.formula, max_conflicts=max_conflicts,
+                budget=budget, tracer=tracer,
+                proof_dir=race_dir).result
+        finally:
+            if ephemeral_dir is not None:
+                shutil.rmtree(ephemeral_dir, ignore_errors=True)
+        if ephemeral_dir is not None and result.certificate is not None:
+            result.certificate.proof_path = None
+    elif certify:
+        from repro.verify.certificate import certified_solve
+        result = certified_solve(encoding.formula,
+                                 proof_path=proof_path, tracer=tracer,
                                  max_conflicts=max_conflicts,
-                                 budget=budget, tracer=tracer).result
+                                 budget=budget)
     else:
         solver = CDCLSolver(encoding.formula, max_conflicts=max_conflicts,
                             budget=budget)
         solver.tracer = tracer
         result = solver.solve()
+    certificate = result.certificate
     if result.is_sat:
         vector = encoding.input_vector(result.assignment, default=False)
         return FaultResult(fault, TestOutcome.DETECTED, vector,
-                           result.stats)
+                           result.stats, certificate=certificate)
     if result.is_unsat:
         return FaultResult(fault, TestOutcome.REDUNDANT,
-                           stats=result.stats)
-    return FaultResult(fault, TestOutcome.ABORTED, stats=result.stats)
+                           stats=result.stats, certificate=certificate)
+    # UNKNOWN -- including a certified UNSAT demoted by a failed proof
+    # check (its diagnostic travels in the certificate).
+    return FaultResult(fault, TestOutcome.ABORTED, stats=result.stats,
+                       certificate=certificate)
 
 
 class ATPGEngine:
@@ -177,6 +231,14 @@ class ATPGEngine:
         ``atpg.run`` span with one ``atpg.fault`` event per targeted
         fault (node, stuck-at value, outcome, effort) and the
         per-fault solver spans nested inside.
+    certify:
+        certify every per-fault answer (see :func:`solve_fault`):
+        REDUNDANT requires a checker-validated DRUP proof, DETECTED an
+        audited model; failed checks degrade to ABORTED.  Incompatible
+        with ``method="circuit"``.
+    proof_dir:
+        where certified proof files are kept (per-fault names);
+        ``None`` uses cleaned-up temporaries.
     """
 
     def __init__(self, circuit: Circuit, method: str = "cdcl",
@@ -185,10 +247,17 @@ class ATPGEngine:
                  max_conflicts: Optional[int] = 20000,
                  seed: int = 0,
                  budget: Optional[Budget] = None,
-                 tracer=None):
+                 tracer=None,
+                 certify: bool = False,
+                 proof_dir: Optional[str] = None):
         circuit.validate()
         if circuit.is_sequential():
             raise ValueError("combinational ATPG only")
+        if certify and method == "circuit":
+            raise ValueError(
+                "certify=True needs a clausal proof; the structural "
+                "'circuit' method records none -- use 'cdcl' or "
+                "'portfolio'")
         self.circuit = circuit
         self.method = method
         self.fault_dropping = fault_dropping
@@ -197,6 +266,8 @@ class ATPGEngine:
         self.max_conflicts = max_conflicts
         self.budget = budget
         self.tracer = tracer
+        self.certify = certify
+        self.proof_dir = proof_dir
         self.rng = random.Random(seed)
 
     def fault_list(self) -> List[StuckAtFault]:
@@ -276,7 +347,9 @@ class ATPGEngine:
                 if meter is not None else None
             result = solve_fault(self.circuit, fault, self.method,
                                  self.max_conflicts,
-                                 budget=fault_budget, tracer=tracer)
+                                 budget=fault_budget, tracer=tracer,
+                                 certify=self.certify,
+                                 proof_dir=self.proof_dir)
             report.results.append(result)
             if tracer is not None:
                 tracer.event("atpg.fault", node=fault.node,

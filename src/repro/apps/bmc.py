@@ -41,6 +41,15 @@ class BMCResult:
     depths_proved: int = 0
     budget_exhausted: bool = False
     stats: SolverStats = field(default_factory=SolverStats)
+    #: Certified sweeps only: one
+    #: :class:`repro.verify.certificate.Certificate` per decided
+    #: depth, in depth order (unreachability proofs for UNSAT frames,
+    #: an audited model for the failing frame).
+    certificates: List = field(default_factory=list)
+    #: A certified depth produced an UNSAT whose proof failed the
+    #: independent check; the sweep stopped there and that depth does
+    #: NOT count as proved (the diagnostic is in the last certificate).
+    discrepant: bool = False
 
     @property
     def property_holds(self) -> bool:
@@ -62,11 +71,25 @@ class BoundedModelChecker:
         ``bmc.check`` span with one ``bmc.depth`` event per frame
         (status plus per-depth conflict/decision effort) and the
         per-depth solver spans nested inside.
+    certify:
+        certify every depth: each frame's query runs as a fresh
+        certified solve over a mirror of the accumulated unrolling
+        (the incremental solver's learned-clause reuse cannot be kept
+        -- a depth-t proof must derive from depth-t clauses alone), an
+        UNSAT depth only counts as proved once its DRUP proof passes
+        the independent checker, and the failing frame's model is
+        audited.  A failed check stops the sweep with
+        ``discrepant=True``.
+    proof_dir:
+        where per-depth proof files (``depth{t}.drup``) are kept;
+        ``None`` uses cleaned-up temporaries.
     """
 
     def __init__(self, circuit: Circuit,
                  initial_state: Optional[Dict[str, bool]] = None,
-                 tracer=None):
+                 tracer=None,
+                 certify: bool = False,
+                 proof_dir: Optional[str] = None):
         circuit.validate()
         self.circuit = circuit
         self.initial_state = {dff: False for dff in circuit.dffs}
@@ -75,8 +98,22 @@ class BoundedModelChecker:
         self.solver = IncrementalSolver()
         self.tracer = tracer
         self.solver.tracer = tracer
+        self.certify = certify
+        self.proof_dir = proof_dir
         #: var_of[frame][node]
         self.frames: List[Dict[str, int]] = []
+        #: Certified sweeps mirror every clause fed to the incremental
+        #: solver, so each depth can be re-posed as a standalone
+        #: formula whose proof stands on its own.
+        self._mirror: List[List[int]] = []
+        self._max_var = 0
+
+    def _post(self, clause: List[int]) -> None:
+        """Add *clause* to the incremental solver (and the certified
+        mirror)."""
+        self.solver.add_clause(clause)
+        if self.certify:
+            self._mirror.append(list(clause))
 
     def _add_frame(self) -> Dict[str, int]:
         """Encode one more time frame and link the DFFs."""
@@ -84,6 +121,7 @@ class BoundedModelChecker:
         var_of: Dict[str, int] = {}
         for name in self.circuit.topological_order():
             var_of[name] = self.solver.new_var()
+            self._max_var = max(self._max_var, var_of[name])
         for name in self.circuit.topological_order():
             node = self.circuit.node(name)
             if node.gate_type is GateType.INPUT:
@@ -91,21 +129,19 @@ class BoundedModelChecker:
             if node.gate_type is GateType.DFF:
                 if frame_index == 0:
                     value = self.initial_state[name]
-                    self.solver.add_clause(
+                    self._post(
                         [var_of[name] if value else -var_of[name]])
                 else:
                     previous = self.frames[frame_index - 1]
                     data = node.fanins[0]
                     # q_t == data_{t-1}
-                    self.solver.add_clause([-var_of[name],
-                                            previous[data]])
-                    self.solver.add_clause([var_of[name],
-                                            -previous[data]])
+                    self._post([-var_of[name], previous[data]])
+                    self._post([var_of[name], -previous[data]])
                 continue
             inputs = [var_of[f] for f in node.fanins]
             for clause in gate_cnf_clauses(node.gate_type,
                                            var_of[name], inputs):
-                self.solver.add_clause(clause)
+                self._post(clause)
         self.frames.append(var_of)
         return var_of
 
@@ -155,8 +191,13 @@ class BoundedModelChecker:
             assumption = var if bad_value else -var
             call_budget = (meter.remaining_budget()
                            if meter is not None else None)
-            call = self.solver.solve(assumptions=[assumption],
-                                     budget=call_budget)
+            if self.certify:
+                call = self._certified_depth(depth, assumption,
+                                             call_budget)
+                result.certificates.append(call.certificate)
+            else:
+                call = self.solver.solve(assumptions=[assumption],
+                                         budget=call_budget)
             result.stats.merge(call.stats)
             if tracer is not None:
                 # call.stats is already the per-call delta, so these
@@ -170,11 +211,45 @@ class BoundedModelChecker:
                 result.trace = self._extract_trace(call.assignment, depth)
                 return result
             if not call.is_unsat:
+                certificate = call.certificate
+                if (certificate is not None
+                        and certificate.valid is False):
+                    # A depth whose proof failed the check: stop, and
+                    # never count this (or deeper) frames as proved.
+                    result.discrepant = True
+                    return result
                 # UNKNOWN: this depth is undecided, not proved.
                 result.budget_exhausted = True
                 return result
             result.depths_proved = depth + 1
         return result
+
+    def _certified_depth(self, depth: int, assumption: int,
+                         budget: Optional[Budget]):
+        """One depth as a standalone certified solve.
+
+        The accumulated unrolling plus the depth's property literal is
+        re-posed as a fresh formula, so the streamed DRUP proof
+        derives from exactly the clauses it certifies -- an
+        incremental solver's cross-call learned clauses would poison
+        the derivation.  UNSAT means *this* depth is unreachable; the
+        proof file (``depth{t}.drup``) certifies it independently.
+        """
+        import os
+
+        from repro.cnf.formula import CNFFormula
+        from repro.verify.certificate import certified_solve
+
+        formula = CNFFormula(
+            num_vars=self._max_var,
+            clauses=self._mirror + [[assumption]])
+        proof_path = None
+        if self.proof_dir is not None:
+            os.makedirs(self.proof_dir, exist_ok=True)
+            proof_path = os.path.join(self.proof_dir,
+                                      f"depth{depth}.drup")
+        return certified_solve(formula, proof_path=proof_path,
+                               tracer=self.tracer, budget=budget)
 
     def _extract_trace(self, assignment, depth: int
                        ) -> List[Dict[str, bool]]:
@@ -192,10 +267,13 @@ def check_safety(circuit: Circuit, output: str, bad_value: bool = True,
                  max_depth: int = 10,
                  initial_state: Optional[Dict[str, bool]] = None,
                  budget: Optional[Budget] = None,
-                 tracer=None) -> BMCResult:
+                 tracer=None,
+                 certify: bool = False,
+                 proof_dir: Optional[str] = None) -> BMCResult:
     """One-shot bounded safety check (see
     :meth:`BoundedModelChecker.check_output`)."""
-    checker = BoundedModelChecker(circuit, initial_state, tracer=tracer)
+    checker = BoundedModelChecker(circuit, initial_state, tracer=tracer,
+                                  certify=certify, proof_dir=proof_dir)
     return checker.check_output(output, bad_value, max_depth,
                                 budget=budget)
 

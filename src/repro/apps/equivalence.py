@@ -44,6 +44,13 @@ class EquivalenceReport:
     variables_eliminated: int = 0
     budget_exhausted: bool = False
     stats: SolverStats = field(default_factory=SolverStats)
+    #: :class:`repro.verify.certificate.Certificate` under
+    #: ``certify=True``: a checked DRUP proof of the miter's
+    #: unsatisfiability for ``equivalent=True``, an audited
+    #: counterexample model for ``equivalent=False``.  A failed check
+    #: yields ``equivalent=None`` with the diagnostic here -- a
+    #: certified checker never proclaims equivalence it cannot defend.
+    certificate: Optional[object] = None
 
 
 def check_equivalence(circuit_a: Circuit, circuit_b: Circuit,
@@ -55,7 +62,10 @@ def check_equivalence(circuit_a: Circuit, circuit_b: Circuit,
                       backend: str = "cdcl",
                       portfolio_processes: Optional[int] = None,
                       budget: Optional[Budget] = None,
-                      tracer=None) -> EquivalenceReport:
+                      tracer=None,
+                      certify: bool = False,
+                      proof_dir: Optional[str] = None
+                      ) -> EquivalenceReport:
     """Check functional equivalence of two combinational circuits.
 
     The circuits must share input and output name lists (reorderings
@@ -71,20 +81,35 @@ def check_equivalence(circuit_a: Circuit, circuit_b: Circuit,
     ``budget_exhausted=True`` rather than raising.  *tracer* records
     the check as a ``cec.check`` span with ``cec.simulation`` /
     ``cec.preprocess`` phase events and the SAT effort nested inside.
+
+    With *certify*, an ``equivalent=True`` verdict must carry a DRUP
+    proof of the miter CNF's unsatisfiability that passes the
+    independent checker (kept in *proof_dir* when given), and a SAT
+    counterexample's model is audited; failed checks return
+    ``equivalent=None``.  Certification is incompatible with
+    ``use_preprocessing``: the equivalency-reasoning pass rewrites the
+    formula (and can even conclude UNSAT itself), so a proof of the
+    rewritten CNF would not certify the miter actually encoded --
+    asking for both raises ``ValueError``.
     """
     if backend not in ("cdcl", "portfolio"):
         raise ValueError(f"unknown backend {backend!r}")
+    if certify and use_preprocessing:
+        raise ValueError(
+            "certify=True is incompatible with use_preprocessing: the "
+            "preprocessed CNF is not the encoded miter, so its proof "
+            "certifies the wrong formula")
     if tracer is None:
         return _check_equivalence(
             circuit_a, circuit_b, simulation_vectors, use_preprocessing,
             use_strash, max_conflicts, seed, backend,
-            portfolio_processes, budget, None)
+            portfolio_processes, budget, None, certify, proof_dir)
     with tracer.span("cec.check", circuit_a=circuit_a.name,
                      circuit_b=circuit_b.name, backend=backend) as end:
         report = _check_equivalence(
             circuit_a, circuit_b, simulation_vectors, use_preprocessing,
             use_strash, max_conflicts, seed, backend,
-            portfolio_processes, budget, tracer)
+            portfolio_processes, budget, tracer, certify, proof_dir)
         end["equivalent"] = report.equivalent
         end["refuted_by_simulation"] = report.refuted_by_simulation
         end["budget_exhausted"] = report.budget_exhausted
@@ -100,7 +125,10 @@ def _check_equivalence(circuit_a: Circuit, circuit_b: Circuit,
                        backend: str,
                        portfolio_processes: Optional[int],
                        budget: Optional[Budget],
-                       tracer) -> EquivalenceReport:
+                       tracer,
+                       certify: bool = False,
+                       proof_dir: Optional[str] = None
+                       ) -> EquivalenceReport:
     rng = random.Random(seed)
     for index in range(simulation_vectors):
         vector = random_vector(circuit_a, rng)
@@ -147,20 +175,52 @@ def _check_equivalence(circuit_a: Circuit, circuit_b: Circuit,
 
     if backend == "portfolio":
         from repro.solvers.portfolio import solve_portfolio
-        result = solve_portfolio(formula, processes=portfolio_processes,
+        race_dir = None
+        ephemeral_dir = None
+        if certify:
+            race_dir = proof_dir
+            if race_dir is None:
+                import shutil
+                import tempfile
+                ephemeral_dir = tempfile.mkdtemp(prefix="repro-cec-")
+                race_dir = ephemeral_dir
+        try:
+            result = solve_portfolio(formula,
+                                     processes=portfolio_processes,
+                                     max_conflicts=max_conflicts,
+                                     seed=seed, budget=budget,
+                                     tracer=tracer,
+                                     proof_dir=race_dir).result
+        finally:
+            if ephemeral_dir is not None:
+                shutil.rmtree(ephemeral_dir, ignore_errors=True)
+        if ephemeral_dir is not None and result.certificate is not None:
+            result.certificate.proof_path = None
+    elif certify:
+        import os
+        from repro.verify.certificate import certified_solve
+        proof_path = None
+        if proof_dir is not None:
+            os.makedirs(proof_dir, exist_ok=True)
+            proof_path = os.path.join(
+                proof_dir,
+                f"cec-{circuit_a.name}-vs-{circuit_b.name}.drup")
+        result = certified_solve(formula, proof_path=proof_path,
+                                 tracer=tracer,
                                  max_conflicts=max_conflicts,
-                                 seed=seed, budget=budget,
-                                 tracer=tracer).result
+                                 budget=budget)
     else:
         solver = CDCLSolver(formula, max_conflicts=max_conflicts,
                             budget=budget)
         solver.tracer = tracer
         result = solver.solve()
+    certificate = result.certificate
     if result.status is Status.UNSATISFIABLE:
         return EquivalenceReport(True,
                                  simulation_vectors=simulation_vectors,
                                  variables_eliminated=eliminated,
-                                 stats=result.stats)
+                                 stats=result.stats,
+                                 certificate=certificate)
     if result.status is Status.SATISFIABLE:
         model = lift(result.assignment) if lift else result.assignment
         vector = encoding.input_vector(model, default=False)
@@ -168,12 +228,17 @@ def _check_equivalence(circuit_a: Circuit, circuit_b: Circuit,
         return EquivalenceReport(False, witness,
                                  simulation_vectors=simulation_vectors,
                                  variables_eliminated=eliminated,
-                                 stats=result.stats)
+                                 stats=result.stats,
+                                 certificate=certificate)
+    # UNKNOWN: genuine budget exhaustion, or a certified UNSAT demoted
+    # by a failed proof check (the certificate carries the diagnostic).
+    demoted = certificate is not None and certificate.valid is False
     return EquivalenceReport(None,
                              simulation_vectors=simulation_vectors,
                              variables_eliminated=eliminated,
-                             budget_exhausted=True,
-                             stats=result.stats)
+                             budget_exhausted=not demoted,
+                             stats=result.stats,
+                             certificate=certificate)
 
 
 def mutate_circuit(circuit: Circuit, seed: int = 0) -> Circuit:

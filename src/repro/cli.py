@@ -12,11 +12,20 @@ Wraps the library's main flows for shell use:
   equivalence-certified.
 * ``profile TRACE.jsonl`` -- render a recorded trace into a per-phase
   effort report (non-zero exit on schema violations).
+* ``check FILE.cnf PROOF.drup`` -- validate a DRUP proof with the
+  independent checker (exit 0 = valid, 1 = rejected with a line
+  diagnostic).
+* ``fuzz`` -- differential fuzzing of the solver stack with shrunk
+  on-disk reproducers for any failure.
 
 ``solve``, ``atpg``, ``cec`` and ``bmc`` accept ``--trace FILE`` to
 record a JSONL event trace (:mod:`repro.obs`); ``solve --stats-json``
 additionally prints the final counters (and, single-engine, the
-search-quality histograms) as one JSON line.
+search-quality histograms) as one JSON line.  The same four commands
+accept ``--certify`` (with optional ``--proof-dir DIR``): every UNSAT
+verdict must then carry a DRUP proof validated by the independent
+checker, SAT models are audited, and an answer whose evidence fails
+the check is *demoted* to unknown -- never reported as proved.
 
 Exit codes follow the SAT-competition convention for ``solve``
 (10 = SAT, 20 = UNSAT, 0 = unknown) and 0/1 = pass/fail elsewhere.
@@ -56,6 +65,17 @@ def _add_obs_flags(subparser) -> None:
                                 "(inspect with 'repro profile FILE')")
 
 
+def _add_certify_flags(subparser) -> None:
+    subparser.add_argument("--certify", action="store_true",
+                           help="require checker-validated DRUP proofs "
+                                "for UNSAT answers and audited models "
+                                "for SAT ones; unverifiable answers "
+                                "are demoted to unknown")
+    subparser.add_argument("--proof-dir", default=None, metavar="DIR",
+                           help="keep the proof files here (default: "
+                                "cleaned-up temporaries)")
+
+
 def _add_budget_flags(subparser) -> None:
     subparser.add_argument("--timeout", type=float, default=None,
                            metavar="SECONDS",
@@ -75,6 +95,11 @@ def _cmd_solve(args) -> int:
 
     budget = _budget_from_args(args)
     tracer = getattr(args, "obs_tracer", None)
+    if args.certify and args.preprocess:
+        print("error: --certify is incompatible with --preprocess "
+              "(the proof would certify the preprocessed formula, not "
+              "the input)", file=sys.stderr)
+        return 2
     formula = load_dimacs(args.file)
     lift = None
     if args.preprocess:
@@ -86,12 +111,40 @@ def _cmd_solve(args) -> int:
         formula = pre.formula
     if args.portfolio:
         from repro.solvers.portfolio import solve_portfolio
-        result = solve_portfolio(formula, processes=args.portfolio,
-                                 max_conflicts=args.max_conflicts,
-                                 budget=budget, tracer=tracer)
+        race_dir = None
+        ephemeral_dir = None
+        if args.certify:
+            race_dir = args.proof_dir
+            if race_dir is None:
+                import shutil
+                import tempfile
+                ephemeral_dir = tempfile.mkdtemp(prefix="repro-solve-")
+                race_dir = ephemeral_dir
+        try:
+            result = solve_portfolio(formula, processes=args.portfolio,
+                                     max_conflicts=args.max_conflicts,
+                                     budget=budget, tracer=tracer,
+                                     proof_dir=race_dir)
+        finally:
+            if ephemeral_dir is not None:
+                shutil.rmtree(ephemeral_dir, ignore_errors=True)
         if result.winner:
             print(f"c portfolio winner: {result.winner}")
         result = result.result
+        if ephemeral_dir is not None and result.certificate is not None:
+            result.certificate.proof_path = None
+    elif args.certify:
+        import os
+        from repro.verify.certificate import certified_solve
+        proof_path = None
+        if args.proof_dir is not None:
+            os.makedirs(args.proof_dir, exist_ok=True)
+            stem = os.path.splitext(os.path.basename(args.file))[0]
+            proof_path = os.path.join(args.proof_dir, stem + ".drup")
+        result = certified_solve(formula, proof_path=proof_path,
+                                 tracer=tracer,
+                                 max_conflicts=args.max_conflicts,
+                                 budget=budget)
     else:
         solver = CDCLSolver(formula, max_conflicts=args.max_conflicts,
                             budget=budget)
@@ -102,6 +155,8 @@ def _cmd_solve(args) -> int:
             from repro.obs import SearchMetrics
             solver.metrics = SearchMetrics()
         result = solver.solve()
+    if args.certify and result.certificate is not None:
+        print(f"c certificate: {result.certificate.summary()}")
     if result.is_sat:
         model = lift(result.assignment) if lift else result.assignment
         print("s SATISFIABLE")
@@ -131,10 +186,23 @@ def _cmd_atpg(args) -> int:
     engine = ATPGEngine(circuit, collapse=args.collapse,
                         fault_dropping=not args.no_dropping,
                         budget=_budget_from_args(args),
-                        tracer=getattr(args, "obs_tracer", None))
+                        tracer=getattr(args, "obs_tracer", None),
+                        certify=args.certify,
+                        proof_dir=args.proof_dir)
     report = engine.run()
     if report.budget_exhausted:
         print("note: budget exhausted, report is partial")
+    if args.certify:
+        proofs = sum(1 for r in report.results
+                     if r.certificate is not None
+                     and r.certificate.kind == "proof"
+                     and r.certificate.valid)
+        demoted = sum(1 for r in report.results
+                      if r.certificate is not None
+                      and r.certificate.valid is False)
+        print(f"certified:  {proofs} redundancy proofs checked"
+              + (f", {demoted} answer(s) demoted (check failed)"
+                 if demoted else ""))
     print(f"faults:     {len(report.results)}")
     print(f"detected:   {report.count(TestOutcome.DETECTED)} by SAT, "
           f"{report.count(TestOutcome.DETECTED_BY_SIMULATION)} "
@@ -156,6 +224,11 @@ def _cmd_cec(args) -> int:
 
     left = load_bench(args.left)
     right = load_bench(args.right)
+    if args.certify and args.preprocess:
+        print("error: --certify is incompatible with --preprocess "
+              "(the proof would certify the preprocessed miter, not "
+              "the encoded one)", file=sys.stderr)
+        return 2
     report = check_equivalence(
         left, right,
         use_preprocessing=args.preprocess,
@@ -163,7 +236,11 @@ def _cmd_cec(args) -> int:
         backend="portfolio" if args.portfolio else "cdcl",
         portfolio_processes=args.portfolio or None,
         budget=_budget_from_args(args),
-        tracer=getattr(args, "obs_tracer", None))
+        tracer=getattr(args, "obs_tracer", None),
+        certify=args.certify,
+        proof_dir=args.proof_dir)
+    if args.certify and report.certificate is not None:
+        print(f"certificate: {report.certificate.summary()}")
     if report.equivalent is True:
         print("EQUIVALENT")
         return 0
@@ -174,7 +251,11 @@ def _cmd_cec(args) -> int:
               " ".join(f"{n}={int(report.counterexample[n])}"
                        for n in names))
         return 1
-    print("UNKNOWN (budget exhausted)")
+    certificate = report.certificate
+    if certificate is not None and certificate.valid is False:
+        print("UNKNOWN (answer demoted: certification failed)")
+    else:
+        print("UNKNOWN (budget exhausted)")
     return 2
 
 
@@ -187,7 +268,23 @@ def _cmd_bmc(args) -> int:
     result = check_safety(circuit, output, bad_value=not args.low,
                           max_depth=args.depth,
                           budget=_budget_from_args(args),
-                          tracer=getattr(args, "obs_tracer", None))
+                          tracer=getattr(args, "obs_tracer", None),
+                          certify=args.certify,
+                          proof_dir=args.proof_dir)
+    if args.certify:
+        checked = sum(1 for c in result.certificates
+                      if c is not None and c.kind == "proof" and c.valid)
+        print(f"certified: {checked} per-depth unreachability "
+              f"proofs checked")
+    if result.discrepant:
+        print(f"DISCREPANT: depth {result.depths_proved} produced an "
+              f"UNSAT whose proof failed the independent check "
+              f"(property proved only through depth "
+              f"{result.depths_proved - 1})"
+              if result.depths_proved else
+              "DISCREPANT: first depth's proof failed the independent "
+              "check; nothing proved")
+        return 2
     if result.budget_exhausted:
         print(f"budget exhausted: property proved through depth "
               f"{result.depths_proved - 1}"
@@ -263,6 +360,43 @@ def _cmd_profile(args) -> int:
     return 1 if problems else 0
 
 
+def _cmd_check(args) -> int:
+    from repro.cnf.dimacs import load_dimacs
+    from repro.verify.checker import check_proof_file
+
+    formula = load_dimacs(args.formula)
+    outcome = check_proof_file(formula, args.proof)
+    if outcome.valid:
+        print(f"VALID: {outcome.adds} additions, {outcome.deletes} "
+              f"deletions, empty clause derived")
+        return 0
+    print(f"INVALID: {outcome.error}")
+    return 1
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.verify.fuzz import run_fuzz
+
+    def progress(done, report):
+        if done % args.progress_every == 0:
+            print(f"[{done}/{args.iterations}] {report.summary()}",
+                  flush=True)
+
+    report = run_fuzz(args.iterations, seed=args.seed,
+                      out_dir=args.out_dir,
+                      max_vars=args.max_vars,
+                      portfolio_every=args.portfolio_every,
+                      on_progress=progress
+                      if args.progress_every > 0 else None)
+    print(report.summary())
+    for failure in report.failures:
+        where = f" -> {failure.cnf_path}" if failure.cnf_path else ""
+        print(f"FAILURE [{failure.kind}] seed={failure.seed}: "
+              f"{failure.detail} (shrunk {failure.original_clauses} -> "
+              f"{failure.shrunk_clauses} clauses){where}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -285,6 +419,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "as one JSON line")
     _add_budget_flags(solve)
     _add_obs_flags(solve)
+    _add_certify_flags(solve)
     solve.set_defaults(handler=_cmd_solve)
 
     atpg = commands.add_parser("atpg",
@@ -298,6 +433,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the generated vectors")
     _add_budget_flags(atpg)
     _add_obs_flags(atpg)
+    _add_certify_flags(atpg)
     atpg.set_defaults(handler=_cmd_atpg)
 
     cec = commands.add_parser("cec",
@@ -312,6 +448,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="structurally hash the miter first")
     _add_budget_flags(cec)
     _add_obs_flags(cec)
+    _add_certify_flags(cec)
     cec.set_defaults(handler=_cmd_cec)
 
     bmc = commands.add_parser("bmc", help="bounded safety check")
@@ -323,6 +460,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="look for value 0 instead of 1")
     _add_budget_flags(bmc)
     _add_obs_flags(bmc)
+    _add_certify_flags(bmc)
     bmc.set_defaults(handler=_cmd_bmc)
 
     delay = commands.add_parser("delay",
@@ -350,6 +488,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-phase effort report from a --trace JSONL file")
     profile.add_argument("file")
     profile.set_defaults(handler=_cmd_profile)
+
+    check = commands.add_parser(
+        "check",
+        help="validate a DRUP proof with the independent checker")
+    check.add_argument("formula", help="the DIMACS CNF the proof is of")
+    check.add_argument("proof", help="the DRUP proof file")
+    check.set_defaults(handler=_cmd_check)
+
+    fuzz = commands.add_parser(
+        "fuzz",
+        help="differential fuzzing of the solver stack "
+             "(CDCL vs DPLL vs recursive learning, proofs checked)")
+    fuzz.add_argument("--iterations", type=int, default=100)
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--out-dir", default=None, metavar="DIR",
+                      help="write shrunk reproducers (DIMACS + JSON) "
+                           "here on failure")
+    fuzz.add_argument("--max-vars", type=int, default=26,
+                      help="instance size cap")
+    fuzz.add_argument("--portfolio-every", type=int, default=0,
+                      metavar="K",
+                      help="every K rounds, race a certified "
+                           "supervised portfolio under a random "
+                           "fault plan (0 = never)")
+    fuzz.add_argument("--progress-every", type=int, default=100,
+                      metavar="N",
+                      help="print a progress line every N rounds "
+                           "(0 = silent)")
+    fuzz.set_defaults(handler=_cmd_fuzz)
     return parser
 
 

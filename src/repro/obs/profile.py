@@ -71,6 +71,9 @@ def build_report(events: List[Dict[str, Any]],
     gc: Dict[str, Any] = {"collections": 0, "reclaimed_ints": 0,
                           "collected_clauses": 0, "min_fill": None,
                           "last": None}
+    verify: Dict[str, Any] = {"checks": 0, "valid": 0, "invalid": 0,
+                              "steps": 0, "bytes": 0,
+                              "check_seconds": 0.0}
     last_ts = 0.0
 
     for event in events:
@@ -143,6 +146,23 @@ def build_report(events: List[Dict[str, Any]],
                                   in ("live_ints", "clauses",
                                       "learned_db")
                                   if k in attrs}
+            elif name == "verify.check":
+                attrs = event.get("attrs")
+                if isinstance(attrs, dict):
+                    verify["checks"] += 1
+                    if attrs.get("valid") == 1:
+                        verify["valid"] += 1
+                    else:
+                        verify["invalid"] += 1
+                    for attr in ("steps", "bytes"):
+                        value = attrs.get(attr)
+                        if isinstance(value, int) \
+                                and not isinstance(value, bool):
+                            verify[attr] += value
+                    seconds = attrs.get("check_seconds")
+                    if isinstance(seconds, (int, float)) \
+                            and not isinstance(seconds, bool):
+                        verify["check_seconds"] += float(seconds)
 
     for agg in progress.values():
         first, last = agg["first_ts"], agg["last_ts"]
@@ -156,7 +176,7 @@ def build_report(events: List[Dict[str, Any]],
 
     return {"num_events": len(events), "problems": list(problems),
             "wall": last_ts, "spans": spans, "progress": progress,
-            "events": counts, "clause_db": gc}
+            "events": counts, "clause_db": gc, "certification": verify}
 
 
 def _fmt(value: float) -> str:
@@ -244,6 +264,23 @@ def render_report(report: Dict[str, Any]) -> str:
                     + ", ".join(f"{k}={last[k]:,}" for k in
                                 ("live_ints", "clauses", "learned_db")
                                 if k in last))
+
+    verify = report.get("certification") or {}
+    if verify.get("checks"):
+        lines.append("")
+        lines.append("certification (independent proof/model checks):")
+        lines.append(f"  checks: {verify['checks']} "
+                     f"({verify['valid']} valid, "
+                     f"{verify['invalid']} rejected)")
+        lines.append(f"  proof volume: {verify['steps']:,} steps / "
+                     f"{verify['bytes']:,} bytes")
+        lines.append(f"  checker time: "
+                     f"{_fmt(verify['check_seconds'])}s total"
+                     + (f", {_fmt(verify['check_seconds'] / verify['checks'])}s"
+                        f" avg" if verify["checks"] else ""))
+        if verify["invalid"]:
+            lines.append("  WARNING: rejected checks present -- some "
+                         "answer was demoted")
 
     counts = report["events"]
     if counts:

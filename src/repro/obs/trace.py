@@ -61,6 +61,16 @@ NAMED_EVENT_ATTRS: Dict[str, Dict[str, str]] = {
         "fill": "number",          # live_ints / peak_lits
     },
     "cdcl.restart": {"restarts": "int", "conflicts": "int"},
+    # One independent proof/model check (repro.verify): proof steps
+    # processed, proof bytes on disk, checker wall time, and the
+    # verdict (1 = valid, 0 = rejected; int because bools don't
+    # qualify as "int"/"number").
+    "verify.check": {
+        "steps": "int",
+        "bytes": "int",
+        "check_seconds": "number",
+        "valid": "int",
+    },
 }
 
 #: Exactly the keys a trace event may have (``parent`` only on

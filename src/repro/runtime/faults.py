@@ -11,7 +11,12 @@ misbehave in a prescribed, reproducible way:
 * **hang** -- spin forever without heartbeating, as a livelocked or
   deadlocked engine would;
 * **garbage** -- report a malformed or false payload (bad status
-  name, non-model "model"), as a corrupted engine would.
+  name, non-model "model"), as a corrupted engine would;
+* **false_unsat** -- report a well-formed UNSATISFIABLE verdict
+  without having solved (and so without a proof), as a buggy engine
+  would.  Under a certifying supervisor (``proof_dir`` set) this must
+  be caught by the proof check and degraded to ``DISCREPANT``; an
+  uncertified race has no defence against it, which is the point.
 
 Faults are keyed by ``(worker index, attempt)`` so a plan can say
 "worker 2 crashes on its first two attempts, then behaves", which is
@@ -30,6 +35,7 @@ from typing import Dict, FrozenSet, Optional
 CRASH = "crash"
 HANG = "hang"
 GARBAGE = "garbage"
+FALSE_UNSAT = "false_unsat"
 
 
 @dataclass(frozen=True)
@@ -48,17 +54,22 @@ class FaultPlan:
     garbage:
         worker index -> number of leading attempts that return a
         corrupt payload instead of solving.
+    false_unsat:
+        worker index -> number of leading attempts that claim
+        UNSATISFIABLE without solving (and without writing a proof).
     """
 
     crashes: Dict[int, int] = field(default_factory=dict)
     hangs: FrozenSet[int] = field(default_factory=frozenset)
     garbage: Dict[int, int] = field(default_factory=dict)
+    false_unsat: Dict[int, int] = field(default_factory=dict)
 
     def __post_init__(self):
         # Normalize so equal plans compare/pickle identically.
         object.__setattr__(self, "crashes", dict(self.crashes))
         object.__setattr__(self, "hangs", frozenset(self.hangs))
         object.__setattr__(self, "garbage", dict(self.garbage))
+        object.__setattr__(self, "false_unsat", dict(self.false_unsat))
 
     def action(self, index: int, attempt: int) -> Optional[str]:
         """The scripted fault for this (worker, attempt), or None."""
@@ -68,6 +79,8 @@ class FaultPlan:
             return CRASH
         if attempt < self.garbage.get(index, 0):
             return GARBAGE
+        if attempt < self.false_unsat.get(index, 0):
+            return FALSE_UNSAT
         return None
 
     @classmethod
@@ -100,5 +113,9 @@ def execute_fault(action: str, index: int, channel) -> None:
         # Wrong arity AND a bogus status: must fail payload
         # validation, never parse as a real verdict.
         channel.send(("garbage", index, "NOT_A_STATUS"))
+    elif action == FALSE_UNSAT:
+        # A perfectly well-formed lie: passes payload validation, so
+        # only a proof audit (supervisor proof_dir) can reject it.
+        channel.send((index, 0, "UNSATISFIABLE", None, {}))
     else:
         raise ValueError(f"unknown fault action {action!r}")

@@ -17,6 +17,12 @@ believed.  This module wraps the race in a :class:`Supervisor` that
 * **audits payloads** -- malformed tuples, unknown status names and
   SAT claims whose model does not satisfy the formula are rejected
   and treated as crashes (the worker clearly can't be trusted);
+* **audits UNSAT claims** when a ``proof_dir`` is configured: each
+  worker streams a DRUP proof to a per-attempt file, and a worker
+  claiming UNSAT must pass the independent checker
+  (:mod:`repro.verify.checker`) before the race settles; on check
+  failure the slot degrades to ``DISCREPANT`` and the race continues
+  -- the UNSAT mirror of the SAT model audit;
 * enforces the race-wide wall-clock **deadline** from the
   :class:`~repro.runtime.budget.Budget`, cancelling everything still
   running when it expires;
@@ -30,6 +36,7 @@ paths deterministically reachable from tests.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass, field
 from enum import Enum
@@ -63,6 +70,7 @@ class WorkerOutcome(Enum):
     CRASHED = "CRASHED"           # died without a trustworthy result
     TIMED_OUT = "TIMED_OUT"       # hung or overran the deadline
     CANCELLED = "CANCELLED"       # healthy, lost the race
+    DISCREPANT = "DISCREPANT"     # claimed UNSAT, proof check failed
 
 
 @dataclass
@@ -75,6 +83,10 @@ class WorkerReport:
     attempts: int = 1             # spawns, including respawns
     stats: Optional[SolverStats] = None
     wall_seconds: float = 0.0
+    #: Checker diagnostic when the outcome is ``DISCREPANT`` (the
+    #: worker claimed UNSAT but its proof failed the independent
+    #: check) -- e.g. ``"line 3: clause is not a RUP consequence..."``.
+    discrepancy: Optional[str] = None
     #: Live progress samples relayed over the worker's pipe: dicts of
     #: ``{"attempt", "elapsed", "stats"}`` in arrival order, spanning
     #: every attempt (counters reset on respawn).
@@ -146,6 +158,11 @@ class PortfolioReport:
                           f"retries exhausted)" + effort)
             elif report.outcome is WorkerOutcome.TIMED_OUT:
                 reason = "hung or overran the deadline" + effort
+            elif report.outcome is WorkerOutcome.DISCREPANT:
+                reason = ("claimed UNSAT but its proof failed the "
+                          "independent check"
+                          + (f" ({report.discrepancy})"
+                             if report.discrepancy else "") + effort)
             else:
                 reason = ("reached a decisive verdict" + effort
                           + " but a lower-index worker won the tie")
@@ -177,7 +194,8 @@ def _worker_main(index: int, attempt: int,
                  config, budget: Optional[Budget],
                  heartbeats, channel,
                  fault_plan: Optional[FaultPlan],
-                 progress_interval: Optional[float] = None) -> None:
+                 progress_interval: Optional[float] = None,
+                 proof_path: Optional[str] = None) -> None:
     """Entry point of one supervised process (module-level: picklable).
 
     The formula travels as literal tuples; the verdict travels back as
@@ -188,6 +206,10 @@ def _worker_main(index: int, attempt: int,
     *progress_interval*, the same checkpoint also sends periodic
     ``("progress", index, attempt, elapsed, stats_dict)`` snapshots
     over the pipe -- the supervisor's live per-worker effort timeline.
+
+    With a *proof_path* the worker streams a DRUP proof there while
+    solving; the supervisor checks it before believing an UNSAT claim.
+    A non-UNSAT outcome removes the (partial, useless) file.
     """
     if fault_plan is not None:
         action = fault_plan.action(index, attempt)
@@ -202,6 +224,10 @@ def _worker_main(index: int, attempt: int,
     started = time.monotonic()
     formula = CNFFormula(num_vars=num_vars, clauses=clause_lits)
     solver = config.build_solver(formula, budget=budget)
+    sink = None
+    if proof_path is not None:
+        from repro.verify.drat import FileProofSink, attach_proof_stream
+        sink = attach_proof_stream(solver, FileProofSink(proof_path))
     if progress_interval is None:
         solver.on_checkpoint = beat
     else:
@@ -226,6 +252,13 @@ def _worker_main(index: int, attempt: int,
                     pass          # supervisor gone; keep solving
         solver.on_checkpoint = beat_and_report
     result = solver.solve()
+    if sink is not None:
+        sink.close()
+        if result.status is not Status.UNSATISFIABLE:
+            try:
+                os.remove(proof_path)
+            except OSError:
+                pass
     beat()
     model = None
     if result.assignment is not None:
@@ -241,7 +274,8 @@ class _Slot:
 
     __slots__ = ("index", "config", "proc", "conn", "attempts",
                  "outcome", "result", "stats", "respawn_at", "died_at",
-                 "spawned_at", "finished_at", "timeline", "traced_base")
+                 "spawned_at", "finished_at", "timeline", "traced_base",
+                 "proof_path", "discrepancy")
 
     def __init__(self, index: int, config):
         self.index = index
@@ -249,6 +283,10 @@ class _Slot:
         self.proc = None
         self.conn = None              # supervisor end of the pipe
         self.attempts = 0
+        #: DRUP proof file of the *latest* attempt (proof_dir mode).
+        self.proof_path: Optional[str] = None
+        #: Checker diagnostic when the slot went DISCREPANT.
+        self.discrepancy: Optional[str] = None
         self.outcome: Optional[WorkerOutcome] = None
         self.result: Optional[SolverResult] = None
         self.stats: Optional[SolverStats] = None
@@ -295,6 +333,13 @@ class Supervisor:
         seconds between a worker's live counter snapshots over its
         pipe (building the per-worker effort timelines); ``None``
         disables them and restores bare heartbeats.
+    proof_dir:
+        directory for per-attempt DRUP proof files.  When set, every
+        worker streams its derivation there and an UNSAT claim is only
+        believed after the independent checker validates the file; a
+        failed check settles that slot as ``DISCREPANT`` while the
+        race continues.  ``None`` (default) trusts UNSAT claims as
+        before.
     tracer:
         optional :class:`repro.obs.trace.Tracer`: the race becomes a
         ``portfolio.race`` span with spawn/outcome events and
@@ -309,6 +354,7 @@ class Supervisor:
                  fault_plan: Optional[FaultPlan] = None,
                  poll_interval: float = 0.05,
                  progress_interval: Optional[float] = 0.25,
+                 proof_dir: Optional[str] = None,
                  tracer=None):
         if not configs:
             raise ValueError("empty portfolio")
@@ -324,6 +370,9 @@ class Supervisor:
         self.fault_plan = fault_plan
         self.poll_interval = poll_interval
         self.progress_interval = progress_interval
+        self.proof_dir = proof_dir
+        if proof_dir is not None:
+            os.makedirs(proof_dir, exist_ok=True)
         self.tracer = tracer
 
     # ------------------------------------------------------------------
@@ -358,6 +407,20 @@ class Supervisor:
             worker_budget = self.budget
             if deadline is not None:
                 worker_budget = self.budget.remaining_after(now - started)
+            # Respawns run a *perturbed* configuration: a config that
+            # crashes deterministically would otherwise burn all its
+            # backoff retries re-crashing identically.
+            config = slot.config
+            if slot.attempts > 0:
+                perturbed = getattr(config, "perturbed", None)
+                if perturbed is not None:
+                    config = perturbed(slot.attempts)
+            proof_path = None
+            if self.proof_dir is not None:
+                proof_path = os.path.join(
+                    self.proof_dir,
+                    f"worker{slot.index}-attempt{slot.attempts}.drup")
+            slot.proof_path = proof_path
             # A fresh pipe per attempt: the previous one may hold the
             # torn remains of a killed sender.
             if slot.conn is not None:
@@ -367,9 +430,9 @@ class Supervisor:
             proc = ctx.Process(
                 target=_worker_main,
                 args=(slot.index, slot.attempts, clause_lits,
-                      formula.num_vars, slot.config, worker_budget,
+                      formula.num_vars, config, worker_budget,
                       heartbeats, writer, self.fault_plan,
-                      self.progress_interval),
+                      self.progress_interval, proof_path),
                 daemon=True)
             slot.attempts += 1
             slot.respawn_at = None
@@ -382,17 +445,42 @@ class Supervisor:
             if self.tracer is not None:
                 self.tracer.event("portfolio.spawn", worker=slot.index,
                                   config=slot.config.name,
-                                  attempt=slot.attempts)
+                                  attempt=slot.attempts,
+                                  seed=getattr(config, "seed", None))
 
         def record_payload(target: _Slot, payload, now: float) -> None:
             _index, status, model, stats = self._validate(payload,
                                                           clause_lits)
             if target.settled or target.result is not None:
                 return                        # stale duplicate
+            certificate = None
+            if (status is Status.UNSATISFIABLE
+                    and self.proof_dir is not None):
+                # The UNSAT mirror of the SAT model audit: the claim
+                # is only believed once the worker's streamed proof
+                # passes the independent checker.  A missing or
+                # invalid proof settles the slot as DISCREPANT and
+                # the race continues without it.
+                from repro.verify.certificate import check_unsat_proof
+                certificate = check_unsat_proof(
+                    formula, target.proof_path or "", self.tracer)
+                if not certificate.valid:
+                    target.outcome = WorkerOutcome.DISCREPANT
+                    target.discrepancy = certificate.reason
+                    target.stats = stats
+                    target.finished_at = now
+                    if self.tracer is not None:
+                        self.tracer.event(
+                            "portfolio.discrepant", worker=target.index,
+                            config=target.config.name,
+                            reason=certificate.reason
+                            or "proof check failed")
+                    return
             target.stats = stats
             target.finished_at = now
             assignment = Assignment(model) if model is not None else None
-            target.result = SolverResult(status, assignment, stats)
+            target.result = SolverResult(status, assignment, stats,
+                                         certificate=certificate)
             if status is Status.UNKNOWN:
                 target.outcome = WorkerOutcome.UNKNOWN
 
@@ -627,6 +715,7 @@ class Supervisor:
                 outcome=outcome, attempts=slot.attempts,
                 stats=slot.stats,
                 wall_seconds=max(0.0, end - begin),
+                discrepancy=slot.discrepancy,
                 timeline=slot.timeline))
             if self.tracer is not None:
                 self.tracer.event(

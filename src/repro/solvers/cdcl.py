@@ -168,6 +168,13 @@ class CDCLSolver:
         #: one ``is not None`` test per propagate call / per conflict
         #: when absent; the snapshot lands in ``stats.metrics``.
         self.metrics = None
+        #: Proof hook: called by ``_reduce_learned`` with the literal
+        #: lists of the clauses a collection is about to drop, *before*
+        #: the arena compaction invalidates their ids.  The streaming
+        #: proof writer (``repro.verify``) turns these into DRUP
+        #: deletion lines so checker-side propagation stays bounded.
+        self.on_proof_delete: \
+            Optional[Callable[[List[List[int]]], None]] = None
 
         self._num_vars = formula.num_vars
         n = self._num_vars + 1
@@ -666,6 +673,11 @@ class CDCLSolver:
         if not doomed:
             return
 
+        if self.on_proof_delete is not None:
+            # Snapshot literals now: compact() recycles the buffer and
+            # renumbers ids, after which these cids mean nothing.
+            self.on_proof_delete(
+                [list(alits[aoff[cid]:aend[cid]]) for cid in doomed])
         self.stats.deleted_clauses += len(doomed)
         reclaimed = sum(aend[cid] - aoff[cid] for cid in doomed)
         remap = arena.compact(doomed)

@@ -78,6 +78,21 @@ class PortfolioConfig:
             budget=budget,
         )
 
+    def perturbed(self, attempt: int) -> "PortfolioConfig":
+        """This configuration jittered for respawn *attempt*.
+
+        A worker that crashes deterministically (bad interaction of
+        config and instance) would burn every backoff retry re-running
+        the identical search; the supervisor therefore respawns with a
+        shifted seed and a floor of decision randomness so the retry
+        explores a genuinely different trajectory.  The name is kept:
+        reports stay keyed by the configured identity.
+        """
+        if attempt <= 0:
+            return self
+        return replace(self, seed=self.seed + 7919 * attempt,
+                       random_freq=max(self.random_freq, 0.02))
+
 
 #: The diversification axes cycled by :func:`default_portfolio`:
 #: heuristic x restart policy x randomness x phase saving.  Seeds are
@@ -143,19 +158,25 @@ def _solve_sequential(formula: CNFFormula,
                       configs: Sequence[PortfolioConfig],
                       max_conflicts: Optional[int],
                       budget: Optional[Budget],
-                      tracer=None) -> PortfolioResult:
+                      tracer=None,
+                      proof_dir: Optional[str] = None) -> PortfolioResult:
     """The ``processes=1`` fallback: try configurations in order,
     return the first decisive verdict.
 
     The budget's wall-clock deadline governs the whole scan: each
     configuration receives only the remaining time, and once the
     deadline passes the scan stops with UNKNOWN instead of starting
-    the next engine.
+    the next engine.  With a *proof_dir* the scan certifies in
+    process: every UNSAT claim must pass the independent proof check
+    (a failed check demotes that configuration's answer to UNKNOWN
+    and the scan continues) and SAT models are audited.
     """
     started = time.monotonic()
     wall = budget.wall_seconds if budget is not None else None
     last = SolverResult(Status.UNKNOWN)
     finished = []
+    if proof_dir is not None:
+        os.makedirs(proof_dir, exist_ok=True)
     for index, config in enumerate(configs):
         call_budget = budget
         if wall is not None:
@@ -166,13 +187,57 @@ def _solve_sequential(formula: CNFFormula,
         solver = config.build_solver(formula, max_conflicts,
                                      budget=call_budget)
         solver.tracer = tracer
-        last = solver.solve()
+        if proof_dir is None:
+            last = solver.solve()
+        else:
+            last = _certified_sequential_solve(
+                formula, solver,
+                os.path.join(proof_dir, f"seq{index}-{config.name}.drup"),
+                tracer)
         finished.append(config.name)
         if last.status is not Status.UNKNOWN:
             return PortfolioResult(last, winner=config.name,
                                    winner_index=index, processes_used=1,
                                    finished=finished)
     return PortfolioResult(last, processes_used=1, finished=finished)
+
+
+def _certified_sequential_solve(formula: CNFFormula, solver: CDCLSolver,
+                                proof_path: str, tracer) -> SolverResult:
+    """One certified solve of a pre-built engine (sequential scan).
+
+    Mirrors :func:`repro.verify.certificate.certified_solve`, but on a
+    configuration-built solver: UNSAT must pass the proof check or is
+    demoted to UNKNOWN; SAT models are audited; partial proofs are
+    removed.
+    """
+    from repro.verify.certificate import (check_unsat_proof,
+                                          model_certificate)
+    from repro.verify.drat import FileProofSink, attach_proof_stream
+
+    sink = attach_proof_stream(solver, FileProofSink(proof_path))
+    try:
+        result = solver.solve()
+    finally:
+        sink.close()
+    if result.status is Status.UNSATISFIABLE:
+        certificate = check_unsat_proof(formula, proof_path, tracer)
+        if certificate.valid:
+            result.certificate = certificate
+            return result
+        return SolverResult(Status.UNKNOWN, None, result.stats,
+                            certificate=certificate)
+    try:
+        os.remove(proof_path)
+    except OSError:
+        pass
+    if result.status is Status.SATISFIABLE:
+        certificate = model_certificate(formula, result.assignment)
+        if not certificate.valid:
+            return SolverResult(Status.UNKNOWN, None, result.stats,
+                                certificate=certificate)
+        result.certificate = certificate
+    return result
 
 
 def solve_portfolio(formula: CNFFormula,
@@ -186,6 +251,7 @@ def solve_portfolio(formula: CNFFormula,
                     hang_timeout: Optional[float] = 10.0,
                     fault_plan: Optional[FaultPlan] = None,
                     progress_interval: Optional[float] = 0.25,
+                    proof_dir: Optional[str] = None,
                     tracer=None) -> PortfolioResult:
     """Race a portfolio of CDCL configurations on *formula*.
 
@@ -213,6 +279,12 @@ def solve_portfolio(formula: CNFFormula,
     the race as a ``portfolio.race`` span with spawn/outcome events
     and relayed per-worker progress (sequential fallback: a plain
     ``cdcl.solve`` span per configuration).
+
+    ``proof_dir`` turns the race into a *certified* one: workers
+    stream DRUP proofs there, an UNSAT claim must pass the
+    independent checker before it can win (failures degrade that
+    worker to ``DISCREPANT`` and the race continues), and the winning
+    result carries a :class:`~repro.verify.certificate.Certificate`.
     """
     if processes is None:
         processes = os.cpu_count() or 1
@@ -231,7 +303,8 @@ def solve_portfolio(formula: CNFFormula,
 
     if processes == 1 or len(configs) == 1:
         return _solve_sequential(formula, configs, max_conflicts,
-                                 budget, tracer=tracer)
+                                 budget, tracer=tracer,
+                                 proof_dir=proof_dir)
 
     race_budget = merge_legacy_caps(budget, max_conflicts=max_conflicts)
     supervisor = Supervisor(configs, budget=race_budget or Budget(),
@@ -239,6 +312,7 @@ def solve_portfolio(formula: CNFFormula,
                             hang_timeout=hang_timeout,
                             fault_plan=fault_plan,
                             progress_interval=progress_interval,
+                            proof_dir=proof_dir,
                             tracer=tracer)
     report = supervisor.run(formula)
     finished = [w.name for w in report.workers

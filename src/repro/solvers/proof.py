@@ -17,6 +17,16 @@ that an *independent* checker can validate:
 modifying it (the same hook philosophy as the Section 5 layer);
 :func:`check_rup_proof` is the independent validator the test suite
 runs against every UNSAT answer.
+
+.. note::
+   The in-memory :class:`Proof` transcript is O(all-learned-clauses)
+   in RAM and exists for unit tests and small ablations.  Long or
+   production runs should stream instead: :mod:`repro.verify.drat`
+   appends add/delete lines to a file with O(1) solver-side memory,
+   and :mod:`repro.verify.checker` validates the result with fully
+   independent propagation.  Since PR 5 this logger is itself a thin
+   adapter over that streaming layer (one instrumentation path, two
+   sinks).
 """
 
 from __future__ import annotations
@@ -45,49 +55,50 @@ class Proof:
         return len(self.steps)
 
 
+class _TranscriptSink:
+    """Adapter sink: folds the streaming hooks into a :class:`Proof`.
+
+    ``delete`` is a deliberate no-op -- the in-memory transcript keeps
+    every derived clause even after the solver's GC drops it, because
+    the transcript's contract is *derivation order*, not database
+    state (and :func:`check_rup_proof` never deletes).
+    """
+
+    def __init__(self, proof: Proof) -> None:
+        self.proof = proof
+
+    def add(self, literals: Sequence[int]) -> None:
+        self.proof.steps.append(Clause(literals))
+
+    def delete(self, literals: Sequence[int]) -> None:
+        pass
+
+    def conclude(self) -> None:
+        self.proof.complete = True
+
+    def close(self) -> None:
+        pass
+
+
 def attach_proof_logger(solver) -> Proof:
     """Instrument *solver* (a CDCLSolver) to log learned clauses.
 
-    Wraps the internal attach/analyze paths through the public
-    ``heuristic.on_conflict`` observation channel is not enough (it
-    sees literals, not persistence), so the logger intercepts
-    ``_attach`` and unit learning.  Returns the live :class:`Proof`.
+    Since PR 5 this delegates to
+    :func:`repro.verify.drat.attach_proof_stream` with an in-memory
+    transcript sink: one instrumentation path feeds both this
+    unit-test transcript and the O(1)-memory streaming file sinks.
+    Returns the live :class:`Proof`.
 
     Clauses are integer ids into the solver's flat
-    :class:`~repro.solvers.clause_arena.ClauseArena`; the logger
+    :class:`~repro.solvers.clause_arena.ClauseArena`; the stream
     snapshots the literals at attach time (``arena.lits_of``), so
     later GC compactions -- which renumber ids and recycle buffer
     space -- can never corrupt an already-logged step.
     """
+    from repro.verify.drat import attach_proof_stream
+
     proof = Proof()
-    original_attach = solver._attach
-    original_handle = solver._handle_conflict
-    original_search = solver._search
-
-    def logging_attach(cid, learned):
-        if learned:
-            proof.steps.append(Clause(solver.arena.lits_of(cid)))
-        original_attach(cid, learned)
-
-    def logging_handle(conflict):
-        # Unit implicates bypass _attach (they go to the pending-unit
-        # list); log them here so derivation order is preserved --
-        # later steps may depend on them.
-        before = len(solver._pending_units)
-        original_handle(conflict)
-        for lit in solver._pending_units[before:]:
-            proof.steps.append(Clause([lit]))
-
-    def logging_search(assumptions):
-        from repro.solvers.result import Status
-        status = original_search(assumptions)
-        if status is Status.UNSATISFIABLE and not assumptions:
-            proof.complete = True
-        return status
-
-    solver._attach = logging_attach
-    solver._handle_conflict = logging_handle
-    solver._search = logging_search
+    attach_proof_stream(solver, _TranscriptSink(proof))
     return proof
 
 

@@ -116,6 +116,12 @@ class SolverResult:
     status: Status
     assignment: Optional[Assignment] = None
     stats: SolverStats = field(default_factory=SolverStats)
+    #: Optional :class:`repro.verify.certificate.Certificate` --
+    #: populated by the certified pipelines (``certified_solve``, the
+    #: supervised portfolio under ``proof_dir``, the apps under
+    #: ``--certify``); None for plain solve calls.  Typed ``Any`` to
+    #: keep this leaf module free of a verify-layer import.
+    certificate: Optional[Any] = None
 
     @property
     def is_sat(self) -> bool:

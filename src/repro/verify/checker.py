@@ -1,0 +1,343 @@
+"""Independent forward DRUP proof checker.
+
+This module validates the proofs :mod:`repro.verify.drat` emits -- and
+it deliberately shares **no code** with the solver stack.  It imports
+nothing from ``repro.solvers``: it has its own truth-value array, its
+own trail, its own two-watched-literal propagation, its own clause
+store.  A checker that reused the solver's BCP would faithfully
+reproduce the solver's bugs and certify nothing (see DESIGN.md,
+"Certified results").  The *formula* argument is duck-typed: anything
+with ``num_vars`` that iterates to literal sequences works.
+
+Checking is forward DRUP:
+
+* an **add** line ``l1 .. lk 0`` is valid iff asserting the negation
+  of every literal and unit-propagating over the current clause
+  database yields a conflict (the clause is a RUP consequence);
+* a **delete** line ``d l1 .. lk 0`` removes one clause with that
+  literal set from the database (clauses are matched as sets -- the
+  emitter's watched-literal normalization permutes stored order);
+* the proof certifies UNSAT when the **empty clause** (a line ``0``)
+  is reached, i.e. the database propagates to conflict outright.
+
+Every rejection carries a ``line N:``-prefixed diagnostic so a
+corrupted or truncated file is pinpointed, not just refused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class CheckOutcome:
+    """Result of checking one proof against one formula."""
+
+    valid: bool
+    steps_checked: int = 0
+    adds: int = 0
+    deletes: int = 0
+    #: True when the empty clause was reached (UNSAT certified).
+    concluded: bool = False
+    #: ``line N:``-prefixed diagnostic when invalid.
+    error: Optional[str] = None
+    #: 1-based proof line (or step index) of the failure.
+    line: Optional[int] = None
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+
+class _ParseError(Exception):
+    def __init__(self, line: int, message: str) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+class _Propagation:
+    """Self-contained two-watched-literal unit propagation.
+
+    Truth values are a flat signed array indexed by variable (0 =
+    unassigned); watch lists are keyed by the watched literal and
+    visited when its negation is assigned; deleted clauses are swept
+    from watch lists lazily.  Root-level assignments are persistent
+    (they only grow); RUP checks push assumptions on the trail and
+    undo back to the saved mark.
+    """
+
+    __slots__ = ("_value", "_trail", "_qhead", "_clauses", "_watch",
+                 "_by_key", "root_conflict", "num_vars")
+
+    def __init__(self, num_vars: int) -> None:
+        self.num_vars = num_vars
+        self._value: List[int] = [0] * (num_vars + 1)
+        self._trail: List[int] = []
+        self._qhead = 0
+        #: cid -> literal list; None once deleted.
+        self._clauses: List[Optional[List[int]]] = []
+        self._watch: Dict[int, List[int]] = {}
+        #: sorted-literal-set key -> live cids (deletion matching).
+        self._by_key: Dict[Tuple[int, ...], List[int]] = {}
+        self.root_conflict = False
+
+    # -- assignment primitives ------------------------------------
+
+    def grow(self, var: int) -> None:
+        if var > self.num_vars:
+            self._value.extend([0] * (var - self.num_vars))
+            self.num_vars = var
+
+    def _val(self, lit: int) -> Optional[bool]:
+        v = self._value[lit if lit > 0 else -lit]
+        if v == 0:
+            return None
+        return (v > 0) == (lit > 0)
+
+    def _assign(self, lit: int) -> None:
+        self._value[lit if lit > 0 else -lit] = 1 if lit > 0 else -1
+        self._trail.append(lit)
+
+    def _watchers(self, lit: int) -> List[int]:
+        bucket = self._watch.get(lit)
+        if bucket is None:
+            bucket = self._watch[lit] = []
+        return bucket
+
+    # -- clause database ------------------------------------------
+
+    def add_clause(self, literals: Sequence[int]) -> None:
+        """Insert a clause and restore the root propagation fixpoint.
+
+        Callers must have RUP-checked the clause first when that
+        matters; insertion itself never fails.  Tautologies are stored
+        (so they stay deletable) but never watched -- they cannot
+        propagate.  An empty or root-falsified clause sets
+        ``root_conflict``.
+        """
+        lits = list(dict.fromkeys(literals))
+        cid = len(self._clauses)
+        self._clauses.append(lits)
+        key = tuple(sorted(lits))
+        self._by_key.setdefault(key, []).append(cid)
+
+        litset = set(lits)
+        if any(-lit in litset for lit in lits):
+            return                      # tautology: inert
+        if not lits:
+            self.root_conflict = True
+            return
+        free = [lit for lit in lits if self._val(lit) is not False]
+        if not free:
+            self.root_conflict = True
+            return
+        if any(self._val(lit) is True for lit in free):
+            # Satisfied by a persistent root assignment: it can never
+            # propagate anything new, so it needs no watches.
+            return
+        if len(free) == 1:
+            self._assign(free[0])
+            if self.propagate() is not None:
+                self.root_conflict = True
+            return
+        # Watch two non-false literals (slots 0 and 1).
+        j = lits.index(free[0])
+        lits[0], lits[j] = lits[j], lits[0]
+        k = lits.index(free[1], 1)
+        lits[1], lits[k] = lits[k], lits[1]
+        self._watchers(lits[0]).append(cid)
+        self._watchers(lits[1]).append(cid)
+
+    def delete_clause(self, literals: Sequence[int]) -> bool:
+        """Remove one clause matching *literals* as a set; False when
+        no live clause matches (watch entries die lazily)."""
+        key = tuple(sorted(dict.fromkeys(literals)))
+        bucket = self._by_key.get(key)
+        if not bucket:
+            return False
+        cid = bucket.pop()
+        self._clauses[cid] = None
+        return True
+
+    # -- propagation ----------------------------------------------
+
+    def propagate(self) -> Optional[int]:
+        """Unit propagation to fixpoint; returns a conflicting cid."""
+        trail = self._trail
+        clauses = self._clauses
+        while self._qhead < len(trail):
+            p = trail[self._qhead]
+            self._qhead += 1
+            watchers = self._watch.get(-p)
+            if not watchers:
+                continue
+            i = 0
+            while i < len(watchers):
+                cid = watchers[i]
+                lits = clauses[cid]
+                if lits is None:        # deleted: sweep lazily
+                    watchers[i] = watchers[-1]
+                    watchers.pop()
+                    continue
+                if lits[0] == -p:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                fval = self._val(first)
+                if fval is True:
+                    i += 1
+                    continue
+                for k in range(2, len(lits)):
+                    if self._val(lits[k]) is not False:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watchers(lits[1]).append(cid)
+                        watchers[i] = watchers[-1]
+                        watchers.pop()
+                        break
+                else:
+                    if fval is False:
+                        return cid      # conflict
+                    self._assign(first)
+                    i += 1
+        return None
+
+    def rup_check(self, literals: Sequence[int]) -> bool:
+        """Is the clause a RUP consequence of the current database?
+
+        Asserts the negation of every literal, propagates, and undoes
+        back to the root trail.  A literal already true at root (its
+        negation contradicts the database) or a tautologous pair both
+        count as the required conflict.
+        """
+        mark = len(self._trail)
+        conflict = False
+        for lit in literals:
+            v = self._val(lit)
+            if v is True:
+                conflict = True
+                break
+            if v is False:
+                continue
+            self._assign(-lit)
+        if not conflict:
+            conflict = self.propagate() is not None
+        value = self._value
+        for lit in self._trail[mark:]:
+            value[lit if lit > 0 else -lit] = 0
+        del self._trail[mark:]
+        self._qhead = mark
+        return conflict
+
+
+def _parse_proof_line(lineno: int, raw: str
+                      ) -> Optional[Tuple[str, List[int]]]:
+    """One DRUP line -> ``(kind, literals)``; None for blank/comment.
+
+    Raises :class:`_ParseError` with a precise diagnostic for
+    malformed tokens, a missing terminating 0, or an embedded 0.
+    """
+    text = raw.strip()
+    if not text or text[0] == "c":
+        return None
+    kind = "a"
+    if text[0] == "d":
+        if len(text) > 1 and not text[1].isspace():
+            raise _ParseError(lineno, f"malformed token {text.split()[0]!r}")
+        kind = "d"
+        text = text[1:]
+    nums: List[int] = []
+    for token in text.split():
+        try:
+            nums.append(int(token))
+        except ValueError:
+            raise _ParseError(lineno, f"malformed literal {token!r}")
+    if not nums or nums[-1] != 0:
+        raise _ParseError(lineno, "missing terminating 0")
+    if 0 in nums[:-1]:
+        raise _ParseError(lineno, "literal 0 inside the clause body")
+    return kind, nums[:-1]
+
+
+def _check(formula, steps: Iterable[Tuple[int, str, Sequence[int]]],
+           require_empty: bool) -> CheckOutcome:
+    engine = _Propagation(getattr(formula, "num_vars", 0))
+    for clause in formula:
+        lits = list(clause)
+        for lit in lits:
+            engine.grow(lit if lit > 0 else -lit)
+        engine.add_clause(lits)
+    if engine.propagate() is not None:
+        engine.root_conflict = True
+
+    outcome = CheckOutcome(valid=False)
+    last_line = 0
+    for lineno, kind, lits in steps:
+        last_line = lineno
+        for lit in lits:
+            engine.grow(lit if lit > 0 else -lit)
+        if kind == "d":
+            if not engine.delete_clause(lits):
+                outcome.error = (f"line {lineno}: deletion of a clause "
+                                 f"not in the database")
+                outcome.line = lineno
+                return outcome
+            outcome.deletes += 1
+        else:
+            if not engine.root_conflict and not engine.rup_check(lits):
+                outcome.error = (f"line {lineno}: clause is not a RUP "
+                                 f"consequence of the database")
+                outcome.line = lineno
+                return outcome
+            engine.add_clause(lits)
+            outcome.adds += 1
+            if not lits:
+                outcome.concluded = True
+        outcome.steps_checked += 1
+        if outcome.concluded:
+            break                       # UNSAT certified; ignore tail
+
+    if require_empty and not outcome.concluded:
+        outcome.error = (f"line {last_line}: proof ends without the "
+                         f"empty clause (truncated?)")
+        outcome.line = last_line
+        return outcome
+    outcome.valid = True
+    return outcome
+
+
+def check_proof_steps(formula, events: Iterable[Tuple[str, Sequence[int]]],
+                      require_empty: bool = True) -> CheckOutcome:
+    """Check in-memory proof *events* (``("a"|"d", literals)`` pairs,
+    e.g. :attr:`repro.verify.drat.MemoryProofSink.events`)."""
+    numbered = ((index + 1, kind, lits)
+                for index, (kind, lits) in enumerate(events))
+    return _check(formula, numbered, require_empty)
+
+
+def check_proof_lines(formula, lines: Iterable[str],
+                      require_empty: bool = True) -> CheckOutcome:
+    """Check an iterable of DRUP text lines against *formula*."""
+    def steps():
+        for lineno, raw in enumerate(lines, start=1):
+            parsed = _parse_proof_line(lineno, raw)
+            if parsed is not None:
+                yield lineno, parsed[0], parsed[1]
+    try:
+        return _check(formula, steps(), require_empty)
+    except _ParseError as exc:
+        return CheckOutcome(valid=False, error=str(exc), line=exc.line)
+
+
+def check_proof_file(formula, path: str,
+                     require_empty: bool = True) -> CheckOutcome:
+    """Check the DRUP file at *path* against *formula*.
+
+    A missing or unreadable file is an invalid proof (with the OS
+    error as diagnostic), never an exception: certification callers
+    must treat it as "cannot defend this answer".
+    """
+    try:
+        with open(path, "r", encoding="ascii", errors="replace") as fh:
+            return check_proof_lines(formula, fh, require_empty)
+    except OSError as exc:
+        return CheckOutcome(valid=False,
+                            error=f"unreadable proof file: {exc}")

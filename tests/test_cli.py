@@ -245,3 +245,88 @@ class TestObservability:
         count, problems = validate_trace_file(trace)
         assert problems == []
         assert count >= 2
+
+
+class TestCertification:
+    def test_solve_certify_unsat(self, tmp_path, capsys):
+        path = str(tmp_path / "unsat.cnf")
+        save_dimacs(pigeonhole(4), path)
+        code = main(["solve", path, "--certify",
+                     "--proof-dir", str(tmp_path / "proofs")])
+        out = capsys.readouterr().out
+        assert code == 20
+        assert "c certificate: proof verified" in out
+        assert "s UNSATISFIABLE" in out
+        import os
+        assert os.path.exists(str(tmp_path / "proofs" / "unsat.drup"))
+
+    def test_solve_certify_sat_audits_model(self, tmp_path, capsys):
+        formula = random_ksat_at_ratio(10, ratio=3.0, seed=0)
+        path = str(tmp_path / "sat.cnf")
+        save_dimacs(formula, path)
+        assert main(["solve", path, "--certify"]) == 10
+        out = capsys.readouterr().out
+        assert "c certificate: model verified" in out
+
+    def test_solve_certify_refuses_preprocess(self, tmp_path, capsys):
+        path = str(tmp_path / "unsat.cnf")
+        save_dimacs(pigeonhole(3), path)
+        assert main(["solve", path, "--certify",
+                     "--preprocess"]) == 2
+
+    def test_check_valid_proof(self, tmp_path, capsys):
+        path = str(tmp_path / "unsat.cnf")
+        proof = str(tmp_path / "proofs" / "unsat.drup")
+        save_dimacs(pigeonhole(4), path)
+        main(["solve", path, "--certify",
+              "--proof-dir", str(tmp_path / "proofs")])
+        capsys.readouterr()
+        assert main(["check", path, proof]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("VALID:")
+        assert "empty clause derived" in out
+
+    def test_check_corrupted_proof_rejected(self, tmp_path, capsys):
+        path = str(tmp_path / "unsat.cnf")
+        proof = str(tmp_path / "bogus.drup")
+        save_dimacs(pigeonhole(3), path)
+        with open(proof, "w") as fh:
+            fh.write("999 0\n0\n")
+        assert main(["check", path, proof]) == 1
+        out = capsys.readouterr().out
+        assert "INVALID: line 1:" in out
+
+    def test_cec_certify(self, tmp_path, capsys):
+        a, b = str(tmp_path / "a.bench"), str(tmp_path / "b.bench")
+        save_bench(ripple_carry_adder(3), a)
+        save_bench(ripple_carry_adder(3), b)
+        code = main(["cec", a, b, "--certify",
+                     "--proof-dir", str(tmp_path / "proofs")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "certificate: proof verified" in out
+
+    def test_atpg_certify_reports_proofs(self, c17_path, capsys):
+        code = main(["atpg", c17_path, "--certify"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "redundancy proofs checked" in out
+
+    def test_bmc_certify_per_depth(self, tmp_path, capsys):
+        bench = str(tmp_path / "counter.bench")
+        save_bench(binary_counter(2), bench)
+        code = main(["bmc", bench, "--output", "rollover",
+                     "--depth", "2", "--certify",
+                     "--proof-dir", str(tmp_path / "proofs")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "per-depth unreachability proofs checked" in out
+        import os
+        assert os.path.exists(str(tmp_path / "proofs" / "depth0.drup"))
+
+    def test_fuzz_clean_run(self, tmp_path, capsys):
+        code = main(["fuzz", "--iterations", "5", "--seed", "3",
+                     "--out-dir", str(tmp_path / "repros")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 failure(s)" in out

@@ -204,3 +204,69 @@ class TestReportShape:
         assert result.report is not None
         assert result.report.status is result.status
         assert _no_orphans()
+
+
+class TestRespawnPerturbation:
+    def test_perturbed_shifts_seed_and_randomness(self):
+        config = default_portfolio(1)[0]
+        again = config.perturbed(1)
+        assert again.name == config.name       # identity is kept
+        assert again.seed != config.seed
+        assert again.random_freq >= 0.02
+        assert config.perturbed(0) is config
+        assert config.perturbed(2).seed != again.seed
+
+    def test_respawned_attempt_runs_a_different_seed(self):
+        """A deterministically-crashing config must not burn its
+        retries re-running the identical search: the spawn events of
+        a crashed worker carry distinct seeds per attempt."""
+        from repro.obs import ListSink, Tracer
+
+        sink = ListSink()
+        plan = FaultPlan.crash_all_once(2)
+        report = Supervisor(default_portfolio(2), backoff_seconds=0.01,
+                            fault_plan=plan,
+                            tracer=Tracer(sink)).run(pigeonhole(3))
+        # The verdict required at least one respawn (everyone crashed
+        # first); the race may settle before every slot gets its turn,
+        # so assert on the winner's spawn events specifically.
+        winner = report.winner_index
+        spawns = [e for e in sink.events
+                  if e["kind"] == "event"
+                  and e["name"] == "portfolio.spawn"
+                  and e["attrs"]["worker"] == winner]
+        assert len(spawns) == 2
+        seeds = [e["attrs"]["seed"] for e in spawns]
+        assert seeds[0] != seeds[1]
+        assert _no_orphans()
+
+
+class TestCertifiedRace:
+    def test_unsat_claims_are_proof_checked(self, tmp_path):
+        report = Supervisor(default_portfolio(2),
+                            proof_dir=str(tmp_path)
+                            ).run(pigeonhole(3))
+        assert report.status is Status.UNSATISFIABLE
+        assert report.result.certificate is not None
+        assert report.result.certificate.valid
+        assert _no_orphans()
+
+    def test_false_unsat_goes_discrepant_and_race_continues(
+            self, tmp_path):
+        """A worker lying UNSAT (well-formed payload, no proof) is
+        caught by the proof audit: DISCREPANT, with the checker's
+        diagnostic, while the honest worker settles the race."""
+        formula = _sat_formula()
+        plan = FaultPlan(false_unsat={0: 1})
+        report = Supervisor(default_portfolio(2), max_retries=1,
+                            backoff_seconds=0.01, fault_plan=plan,
+                            proof_dir=str(tmp_path)).run(formula)
+        assert report.status is Status.SATISFIABLE
+        assert_model_satisfies(formula, report.result.assignment)
+        liar = report.workers[0]
+        assert liar.outcome is WorkerOutcome.DISCREPANT
+        assert liar.discrepancy
+        summary = report.loss_summary()[liar.name]
+        assert "proof failed the independent check" in summary
+        assert "unreadable proof file" in summary
+        assert _no_orphans()
