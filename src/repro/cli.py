@@ -95,14 +95,26 @@ def _cmd_solve(args) -> int:
 
     budget = _budget_from_args(args)
     tracer = getattr(args, "obs_tracer", None)
-    if args.certify and args.preprocess:
-        print("error: --certify is incompatible with --preprocess "
-              "(the proof would certify the preprocessed formula, not "
-              "the input)", file=sys.stderr)
+    if args.certify and args.preprocess and args.portfolio:
+        print("error: --certify with --preprocess is not supported "
+              "under --portfolio (worker proofs cannot share the "
+              "preprocessing prefix)", file=sys.stderr)
         return 2
+    inprocess_config = None
+    if args.inprocess:
+        from repro.solvers.inprocess import InprocessConfig
+        from repro.solvers.kernels import resolve_kernel
+        try:
+            resolve_kernel(args.kernel)
+        except RuntimeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        inprocess_config = InprocessConfig(
+            interval=args.inprocess_interval, kernel=args.kernel)
     formula = load_dimacs(args.file)
     lift = None
-    if args.preprocess:
+    certified_preprocess = args.certify and args.preprocess
+    if args.preprocess and not certified_preprocess:
         pre = preprocess(formula)
         if pre.unsat:
             print("s UNSATISFIABLE")
@@ -124,7 +136,8 @@ def _cmd_solve(args) -> int:
             result = solve_portfolio(formula, processes=args.portfolio,
                                      max_conflicts=args.max_conflicts,
                                      budget=budget, tracer=tracer,
-                                     proof_dir=race_dir)
+                                     proof_dir=race_dir,
+                                     inprocess=inprocess_config)
         finally:
             if ephemeral_dir is not None:
                 shutil.rmtree(ephemeral_dir, ignore_errors=True)
@@ -144,10 +157,12 @@ def _cmd_solve(args) -> int:
         result = certified_solve(formula, proof_path=proof_path,
                                  tracer=tracer,
                                  max_conflicts=args.max_conflicts,
-                                 budget=budget)
+                                 budget=budget,
+                                 preprocess=certified_preprocess,
+                                 inprocess=inprocess_config)
     else:
         solver = CDCLSolver(formula, max_conflicts=args.max_conflicts,
-                            budget=budget)
+                            budget=budget, inprocess=inprocess_config)
         solver.tracer = tracer
         if args.stats_json:
             # Search-quality histograms ride the single-engine path
@@ -354,9 +369,14 @@ def _cmd_optimize(args) -> int:
 
 def _cmd_profile(args) -> int:
     from repro.obs.profile import profile_trace
+    from repro.solvers.kernels import capability
 
     text, problems = profile_trace(args.file)
     print(text)
+    cap = capability()
+    numpy_note = (f"numpy {cap['numpy_version']}" if cap["numpy"]
+                  else "numpy not installed")
+    print(f"kernels: default={cap['default_kernel']} ({numpy_note})")
     return 1 if problems else 0
 
 
@@ -410,6 +430,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run Preprocess() incl. equivalency "
                             "reasoning first")
     solve.add_argument("--max-conflicts", type=int, default=None)
+    solve.add_argument("--inprocess", action="store_true",
+                       help="periodic in-search simplification "
+                            "(subsumption, vivification, bounded "
+                            "variable elimination, equivalent-literal "
+                            "substitution) on the clause arena")
+    solve.add_argument("--inprocess-interval", type=int, default=2000,
+                       metavar="CONFLICTS",
+                       help="conflicts between inprocessing runs "
+                            "(default: 2000)")
+    solve.add_argument("--kernel", choices=("auto", "numpy", "python"),
+                       default="auto",
+                       help="simplification kernel implementation "
+                            "(auto = numpy when installed)")
     solve.add_argument("--portfolio", type=int, default=0, metavar="N",
                        help="race N diversified CDCL configurations "
                             "in parallel (0 = single engine)")

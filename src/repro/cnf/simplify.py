@@ -164,43 +164,28 @@ def remove_duplicates(formula: CNFFormula) -> SimplifyResult:
 def remove_subsumed(formula: CNFFormula) -> SimplifyResult:
     """Drop clauses subsumed by a (strictly shorter or equal) clause.
 
-    Quadratic in the worst case but pruned with a literal-occurrence
-    index; adequate for the formula sizes this library targets.
+    Delegates to the signature-based sweep in
+    :func:`repro.solvers.kernels.subsumption_pairs` (shared with the
+    inprocessing engine, numpy-accelerated when available): candidates
+    come from literal-occurrence lists and are pruned by a 64-bit
+    signature superset test before the exact subset check.  Exact
+    duplicates count as subsumed (the earlier copy survives); kept
+    clauses preserve input order.
     """
-    clauses = sorted(set(formula.clauses), key=len)
-    occurrences: Dict[int, List[int]] = {}
-    kept: List[Optional[Clause]] = list(clauses)
+    # Lazy import: repro.solvers already imports repro.cnf, so a
+    # module-level import here would be circular.
+    from repro.solvers.kernels import subsumption_pairs
 
-    for idx, clause in enumerate(clauses):
-        # A kept (shorter-or-equal) clause subsumes this one when its
-        # literals are a subset; any such clause shares every one of
-        # its literals with this clause, so scanning the occurrence
-        # lists of this clause's literals finds all candidates.
-        subsumed = False
-        lits = set(clause)
-        candidates = set()
-        for lit in clause:
-            candidates.update(occurrences.get(lit, ()))
-        for j in candidates:
-            other = kept[j]
-            if other is not None and set(other) <= lits:
-                subsumed = True
-                break
-        if subsumed:
-            kept[idx] = None
-            continue
-        for lit in clause:
-            occurrences.setdefault(lit, []).append(idx)
-
+    clauses = formula.clauses
+    subsumed = {idx for idx, _ in
+                subsumption_pairs([list(c) for c in clauses])}
     out = CNFFormula(formula.num_vars)
-    removed = formula.num_clauses
-    for clause in kept:
-        if clause is not None:
+    for idx, clause in enumerate(clauses):
+        if idx not in subsumed:
             out.add_clause(clause)
-            removed -= 1
     for var, name in formula.names.items():
         out.set_name(var, name)
-    return SimplifyResult(out, {}, removed, 0)
+    return SimplifyResult(out, {}, len(subsumed), 0)
 
 
 def simplify(formula: CNFFormula, *, units: bool = True,
@@ -245,3 +230,88 @@ def simplify(formula: CNFFormula, *, units: bool = True,
         if not changed:
             break
     return SimplifyResult(current, forced, removed_clauses, removed_literals)
+
+
+def simplify_with_proof(formula: CNFFormula, sink,
+                        *, subsumption: bool = True) -> SimplifyResult:
+    """Preprocessing that DRUP-logs every transformation into *sink*.
+
+    Restricted to the RUP-composable passes -- unit propagation,
+    tautology / duplicate / subsumption removal -- so the emitted
+    lines verify against the *original* formula and any solver proof
+    appended afterwards (computed on the reduced formula) stays valid:
+    RUP is monotone, and the checker's database after this prefix is
+    exactly the reduced formula (plus persistent root assignments).
+    Pure-literal elimination is deliberately excluded -- it preserves
+    satisfiability but is not a RUP consequence, so it cannot ride a
+    DRUP stream.
+
+    Emission order per transformation: derived units are adds (each
+    one a UP consequence of the formula plus the units before it);
+    a clause stripped of falsified literals is added in its shortened
+    form *before* the original is deleted; satisfied, tautological,
+    duplicate and subsumed clauses are plain deletions.  When unit
+    propagation refutes the formula outright the stream is concluded
+    with the empty clause (the contradiction is UP-reachable, so the
+    checker's own propagation has already latched a root conflict).
+
+    Returns the usual :class:`SimplifyResult`; ``forced`` holds the
+    propagated units for model lifting (``formula`` keeps the original
+    ``num_vars``, so variable numbering is unchanged).
+    """
+    unit_result = propagate_units(formula)
+    forced = dict(unit_result.forced)
+    for var, value in forced.items():
+        sink.add((var if value else -var,))
+    if unit_result.unsat:
+        sink.conclude()
+        return SimplifyResult(None, forced,
+                              unit_result.removed_clauses,
+                              unit_result.removed_literals)
+
+    removed_clauses = 0
+    removed_literals = 0
+    survivors: List[Clause] = []
+    seen: Set[Clause] = set()
+    for clause in formula:
+        kept: List[int] = []
+        satisfied = False
+        for lit in clause:
+            value = forced.get(variable(lit))
+            if value is None:
+                kept.append(lit)
+            elif value == (lit > 0):
+                satisfied = True
+                break
+        if satisfied or clause.is_tautology():
+            sink.delete(list(clause))
+            removed_clauses += 1
+            continue
+        if len(kept) != len(clause):
+            sink.add(kept)
+            sink.delete(list(clause))
+            removed_literals += len(clause) - len(kept)
+            clause = Clause(kept)
+        if clause in seen:
+            sink.delete(list(clause))
+            removed_clauses += 1
+            continue
+        seen.add(clause)
+        survivors.append(clause)
+
+    if subsumption:
+        from repro.solvers.kernels import subsumption_pairs
+        subsumed = {idx for idx, _ in
+                    subsumption_pairs([list(c) for c in survivors])}
+        for idx in subsumed:
+            sink.delete(list(survivors[idx]))
+        removed_clauses += len(subsumed)
+        survivors = [c for idx, c in enumerate(survivors)
+                     if idx not in subsumed]
+
+    out = CNFFormula(formula.num_vars)
+    for clause in survivors:
+        out.add_clause(clause)
+    for var, name in formula.names.items():
+        out.set_name(var, name)
+    return SimplifyResult(out, forced, removed_clauses, removed_literals)

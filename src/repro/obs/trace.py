@@ -47,7 +47,8 @@ EVENT_KINDS = frozenset(
 #: Required attributes of *known* named ``event`` lines.  The schema
 #: stays open -- an unknown event name validates freely -- but a known
 #: name must carry at least these attrs with the tagged type ("int" is
-#: an integer, "number" admits floats; bools never qualify).  This is
+#: an integer, "number" admits floats, "str" is a string; bools never
+#: qualify as int/number).  This is
 #: what keeps producers (the CDCL engine's GC/restart events) and
 #: consumers (``repro profile``'s clause-DB section) from drifting
 #: apart silently.
@@ -61,6 +62,22 @@ NAMED_EVENT_ATTRS: Dict[str, Dict[str, str]] = {
         "fill": "number",          # live_ints / peak_lits
     },
     "cdcl.restart": {"restarts": "int", "conflicts": "int"},
+    # One inprocessing run (repro.solvers.inprocess): clauses removed
+    # outright, clauses rewritten shorter, flat-buffer literal slots
+    # reclaimed, variables eliminated, root units derived, total
+    # conflicts when the run fired, surviving arena clauses, run wall
+    # time, and which kernel implementation ran ("numpy"|"python").
+    "cdcl.inprocess": {
+        "removed": "int",
+        "strengthened": "int",
+        "reclaimed_lits": "int",
+        "eliminated": "int",
+        "units": "int",
+        "conflicts": "int",
+        "clauses": "int",
+        "seconds": "number",
+        "kernel": "str",
+    },
     # One independent proof/model check (repro.verify): proof steps
     # processed, proof bytes on disk, checker wall time, and the
     # verdict (1 = valid, 0 = rejected; int because bools don't
@@ -325,7 +342,12 @@ def validate_event(event: Any) -> List[str]:
                         f"event {name!r} requires attr {attr!r}")
                     continue
                 value = attrs[attr]
-                if isinstance(value, bool) or not isinstance(
+                if tag == "str":
+                    if not isinstance(value, str):
+                        problems.append(
+                            f"event {name!r} attr {attr!r} must be "
+                            f"a string, got {value!r}")
+                elif isinstance(value, bool) or not isinstance(
                         value, int if tag == "int" else (int, float)):
                     problems.append(
                         f"event {name!r} attr {attr!r} must be "

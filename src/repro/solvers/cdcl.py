@@ -44,7 +44,7 @@ from __future__ import annotations
 
 import time
 from typing import (Callable, Dict, Iterable, List, Optional, Sequence,
-                    Tuple, Union)
+                    Set, Tuple, Union)
 
 from repro.cnf.assignment import Assignment
 from repro.cnf.clause import Clause
@@ -91,8 +91,11 @@ class CDCLSolver:
     deletion_interval:
         conflicts between learned-database collections.
     minimize_learned:
-        self-subsumption minimization of recorded clauses (drop a
-        literal whose antecedent is covered by the clause itself).
+        recursive self-subsumption minimization of recorded clauses
+        (drop a literal whose antecedent subgraph is covered by the
+        clause itself, level-0 facts and other redundant literals).
+        On by default: shorter clauses propagate more and shrink the
+        learned database; disable to get the raw first-UIP cut.
     phase_saving:
         re-decide variables with their last assigned polarity.
     max_conflicts, max_decisions:
@@ -104,6 +107,17 @@ class CDCLSolver:
         per-call counter caps, soft memory ceiling.  Enforced through
         the cooperative checkpoint in ``_propagate`` (amortised, see
         DESIGN.md); exhaustion yields ``Status.UNKNOWN``.
+    inprocess:
+        in-search simplification (paper Section 6): an
+        :class:`repro.solvers.inprocess.InprocessConfig`, ``True`` for
+        the defaults, or ``None``/``False`` (default) for none.  The
+        engine runs every ``interval`` conflicts at decision level 0;
+        its work is charged to the same budget meter, and its clause
+        rewrites stream through the proof hooks so certification keeps
+        working.  Variables removed by elimination/equivalence must
+        not reappear in later assumptions or added clauses
+        (incremental users pass ``InprocessConfig(bve=False,
+        equivalence=False)``).
     """
 
     def __init__(self, formula: CNFFormula,
@@ -115,11 +129,12 @@ class CDCLSolver:
                  deletion: str = "keep",
                  deletion_bound: int = 20,
                  deletion_interval: int = 1000,
-                 minimize_learned: bool = False,
+                 minimize_learned: bool = True,
                  phase_saving: bool = False,
                  max_conflicts: Optional[int] = None,
                  max_decisions: Optional[int] = None,
-                 budget: Optional[Budget] = None):
+                 budget: Optional[Budget] = None,
+                 inprocess=None):
         if backtrack_mode not in ("nonchronological", "chronological"):
             raise ValueError(f"bad backtrack_mode {backtrack_mode!r}")
         if conflict_cut not in ("1uip", "decision"):
@@ -141,6 +156,14 @@ class CDCLSolver:
         self.max_conflicts = max_conflicts
         self.max_decisions = max_decisions
         self.budget = budget
+        if inprocess is True:
+            from repro.solvers.inprocess import InprocessConfig
+            inprocess = InprocessConfig()
+        self.inprocess_config = inprocess or None
+        #: Lazily-built :class:`repro.solvers.inprocess.Inprocessor`
+        #: (first ``_solve`` call); holds the reconstruction stack for
+        #: eliminated variables, so it persists across solve calls.
+        self._inprocessor = None
         self.stats = SolverStats()
         self._saved_phase: Dict[int, bool] = {}
         #: Per-call budget meter; None when neither a budget nor a
@@ -175,6 +198,12 @@ class CDCLSolver:
         #: deletion lines so checker-side propagation stays bounded.
         self.on_proof_delete: \
             Optional[Callable[[List[List[int]]], None]] = None
+        #: Proof hook: called with a literal list when the inprocessing
+        #: engine derives a clause that does not flow through
+        #: ``_attach(learned=True)`` -- strengthened *original* clauses,
+        #: BVE resolvents, root units.  ``attach_proof_stream`` points
+        #: it at the sink's ``add``.
+        self.on_proof_add: Optional[Callable[[Sequence[int]], None]] = None
 
         self._num_vars = formula.num_vars
         n = self._num_vars + 1
@@ -184,6 +213,9 @@ class CDCLSolver:
         self._trail: List[int] = []
         self._trail_lim: List[int] = []
         self._qhead = 0
+        #: Conflict-analysis marker buffer, reused across conflicts
+        #: (``_analyze_1uip`` restores it to all-zero before returning).
+        self._seen = bytearray(n)
         #: The clause database: one flat literal buffer addressed by
         #: integer clause ids (see repro.solvers.clause_arena).
         self.arena = ClauseArena()
@@ -243,6 +275,8 @@ class CDCLSolver:
         if self._trail_lim:
             raise RuntimeError("add_clause only allowed at level 0")
         clause = Clause(literals)
+        if self._inprocessor is not None:
+            self._inprocessor.check_literals(list(clause), "added clauses")
         for lit in clause:
             var = abs(lit)
             if var > self._num_vars:
@@ -499,7 +533,13 @@ class CDCLSolver:
         backtrack level.
         """
         learned: List[int] = [0]          # placeholder for the UIP
-        seen = [False] * (self._num_vars + 1)
+        # Persistent marker buffer: the walk below clears every bit it
+        # sets (resolved variables as they pop off the trail, clause
+        # members before returning), so reuse across conflicts saves an
+        # O(num_vars) allocation per conflict.
+        seen = self._seen
+        if len(seen) <= self._num_vars:
+            seen = self._seen = bytearray(self._num_vars + 1)
         level = self._level
         trail = self._trail
         antecedents = self._antecedent
@@ -546,6 +586,8 @@ class CDCLSolver:
             else:
                 reason_lits = antecedent
         learned[0] = -lit
+        for q in learned[1:]:             # leave the buffer all-zero
+            seen[q if q > 0 else -q] = 0
 
         if self.minimize_learned and len(learned) > 2:
             learned = self._self_subsume(learned)
@@ -561,31 +603,71 @@ class CDCLSolver:
         return learned, backtrack
 
     def _self_subsume(self, learned: List[int]) -> List[int]:
-        """Local learned-clause minimization (self-subsumption).
+        """Recursive learned-clause minimization (self-subsumption).
 
         A non-asserting literal q is redundant when every other
-        literal of q's antecedent is at level 0 or already present in
-        the clause: resolving the clause with that antecedent on
-        var(q) then strictly shrinks it.
+        literal of q's antecedent is at level 0, already present in
+        the clause, or itself redundant -- the transitive closure of
+        the local self-subsumption rule, so each drop is still a chain
+        of resolutions against antecedent clauses (the minimized
+        clause remains a RUP consequence and proofs stay checkable).
+        The implication graph is acyclic (reasons precede their
+        implied literal on the trail), so the walk terminates; a
+        shared verdict cache keeps the whole clause near-linear, and a
+        64-bit level mask prunes branches that reach a decision level
+        contributing nothing to the clause (a standard sound
+        over-approximation: such branches can never resolve away).
         """
-        members = set(learned)
+        level = self._level
+        antecedents = self._antecedent
+        members = {q if q > 0 else -q for q in learned}
+        mask = 0
+        for q in learned[1:]:
+            mask |= 1 << (level[q if q > 0 else -q] & 63)
+        #: var -> True (redundant) / False (poison), shared across the
+        #: clause's literals so each implication-graph node settles once.
+        verdict: Dict[int, bool] = {}
         kept = [learned[0]]
         for q in learned[1:]:
-            antecedent = self._antecedent[abs(q)]
-            if antecedent is None:
-                kept.append(q)
-                continue
-            redundant = True
-            for r in self._reason_lits(antecedent):
-                if abs(r) == abs(q):
-                    continue
-                if self._level[abs(r)] == 0 or r in members:
-                    continue
-                redundant = False
-                break
-            if not redundant:
+            var = q if q > 0 else -q
+            if antecedents[var] is None or \
+                    not self._lit_redundant(var, members, mask, verdict):
                 kept.append(q)
         return kept
+
+    def _lit_redundant(self, var: int, members: Set[int], mask: int,
+                       verdict: Dict[int, bool]) -> bool:
+        """Iterative DFS over *var*'s antecedent subgraph: True when
+        every path bottoms out in level-0 assignments or clause
+        members.  Poison verdicts propagate to the whole stack (an
+        irredundant reason literal dooms every ancestor)."""
+        level = self._level
+        antecedents = self._antecedent
+        cached = verdict.get(var)
+        if cached is not None:
+            return cached
+        stack = [(var, iter(self._reason_lits(antecedents[var])))]
+        while stack:
+            top_var, reasons = stack[-1]
+            for r in reasons:
+                rvar = r if r > 0 else -r
+                if rvar == top_var:
+                    continue              # the implied literal itself
+                lv = level[rvar]
+                if lv == 0 or rvar in members or verdict.get(rvar):
+                    continue
+                reason = antecedents[rvar]
+                if (reason is None or verdict.get(rvar) is False
+                        or not (mask >> (lv & 63)) & 1):
+                    for pvar, _ in stack:
+                        verdict[pvar] = False
+                    return False
+                stack.append((rvar, iter(self._reason_lits(reason))))
+                break
+            else:
+                verdict[top_var] = True
+                stack.pop()
+        return True
 
     def _analyze_decision_cut(self, conflict: int
                               ) -> Tuple[List[int], int]:
@@ -639,6 +721,73 @@ class CDCLSolver:
         return (self.value_of_literal(lit) is True
                 and self._antecedent[abs(lit)] == cid)
 
+    def _drop_clauses(self, doomed: set) -> int:
+        """Remove *doomed* arena clauses as a compacting collection;
+        returns the number of buffer ints reclaimed.
+
+        This is the shared GC protocol (used by the deletion policy in
+        ``_reduce_learned`` and by the inprocessing engine's commits):
+        proof-delete the doomed literals while their ids still mean
+        something, compact the arena, rewrite every stored id --
+        registries, antecedent slots -- through the remap, and rebuild
+        the watch tables, so the hot path never sees a dead id.
+        Unlike the deletion policy, inprocessing may drop *original*
+        clauses (subsumed/eliminated) and clauses acting as root
+        antecedents; dropped registry entries are filtered out and a
+        dead antecedent becomes ``None`` (level-0 assignments are
+        permanent facts, so conflict analysis never needs their
+        reasons).
+        """
+        if not doomed:
+            return 0
+        arena = self.arena
+        aoff = arena.off
+        aend = arena.end
+        alits = arena.lits
+        if self.on_proof_delete is not None:
+            # Snapshot literals now: compact() recycles the buffer and
+            # renumbers ids, after which these cids mean nothing.
+            self.on_proof_delete(
+                [list(alits[aoff[cid]:aend[cid]]) for cid in doomed])
+        self.stats.deleted_clauses += len(doomed)
+        reclaimed = sum(aend[cid] - aoff[cid] for cid in doomed)
+        remap = arena.compact(doomed)
+
+        self._clauses = [remap[cid] for cid in self._clauses
+                         if remap[cid] >= 0]
+        self._learned = [remap[cid] for cid in self._learned
+                         if remap[cid] >= 0]
+        antecedent = self._antecedent
+        for var in range(len(antecedent)):
+            reason = antecedent[var]
+            if type(reason) is int:
+                mapped = remap[reason]
+                antecedent[var] = mapped if mapped >= 0 else None
+
+        # Rebuild the watch tables from the surviving clauses' first
+        # two slots: the buffer copy preserved literal order, so this
+        # reproduces exactly the live watch state minus the dead ids.
+        n = self._num_vars + 1
+        watches: List[List[int]] = [[] for _ in range(2 * n)]
+        bins: List[List[Tuple[int, int]]] = [[] for _ in range(2 * n)]
+        alits = arena.lits
+        aoff = arena.off
+        aend = arena.end
+        for cid in range(len(aoff)):
+            base = aoff[cid]
+            if aend[cid] - base == 2:
+                a, b = alits[base], alits[base + 1]
+                bins[_lit_index(a)].append((b, cid))
+                bins[_lit_index(b)].append((a, cid))
+            else:
+                watches[_lit_index(alits[base])].append(cid)
+                watches[_lit_index(alits[base + 1])].append(cid)
+        self._watches = watches
+        self._bins = bins
+        if arena.peak_lits > self.stats.arena_peak_lits:
+            self.stats.arena_peak_lits = arena.peak_lits
+        return reclaimed
+
     def _reduce_learned(self) -> None:
         """Apply the configured deletion policy (paper properties 2-3)
         as a compacting collection.
@@ -673,48 +822,7 @@ class CDCLSolver:
         if not doomed:
             return
 
-        if self.on_proof_delete is not None:
-            # Snapshot literals now: compact() recycles the buffer and
-            # renumbers ids, after which these cids mean nothing.
-            self.on_proof_delete(
-                [list(alits[aoff[cid]:aend[cid]]) for cid in doomed])
-        self.stats.deleted_clauses += len(doomed)
-        reclaimed = sum(aend[cid] - aoff[cid] for cid in doomed)
-        remap = arena.compact(doomed)
-
-        # Rewrite every stored id through the remap.  All originals,
-        # binaries and locked clauses survive, so every id reachable
-        # from the registries or a live antecedent slot maps >= 0.
-        self._clauses = [remap[cid] for cid in self._clauses]
-        self._learned = [remap[cid] for cid in self._learned
-                         if remap[cid] >= 0]
-        antecedent = self._antecedent
-        for var in range(len(antecedent)):
-            reason = antecedent[var]
-            if type(reason) is int:
-                antecedent[var] = remap[reason]
-
-        # Rebuild the watch tables from the surviving clauses' first
-        # two slots: the buffer copy preserved literal order, so this
-        # reproduces exactly the live watch state minus the dead ids.
-        n = self._num_vars + 1
-        watches: List[List[int]] = [[] for _ in range(2 * n)]
-        bins: List[List[Tuple[int, int]]] = [[] for _ in range(2 * n)]
-        alits = arena.lits
-        aoff = arena.off
-        aend = arena.end
-        for cid in range(len(aoff)):
-            base = aoff[cid]
-            if aend[cid] - base == 2:
-                a, b = alits[base], alits[base + 1]
-                bins[_lit_index(a)].append((b, cid))
-                bins[_lit_index(b)].append((a, cid))
-            else:
-                watches[_lit_index(alits[base])].append(cid)
-                watches[_lit_index(alits[base + 1])].append(cid)
-        self._watches = watches
-        self._bins = bins
-
+        reclaimed = self._drop_clauses(doomed)
         stats = self.stats
         stats.gc_runs += 1
         stats.gc_reclaimed_ints += reclaimed
@@ -829,6 +937,11 @@ class CDCLSolver:
 
     def _solve(self, assumptions: Sequence[int]) -> SolverResult:
         started = time.perf_counter()
+        if self.inprocess_config is not None and self._inprocessor is None:
+            from repro.solvers.inprocess import Inprocessor
+            self._inprocessor = Inprocessor(self, self.inprocess_config)
+        if self._inprocessor is not None:
+            self._inprocessor.check_literals(assumptions, "assumptions")
         self.heuristic.setup(self.formula)
         self._arm_meter()
         try:
@@ -848,6 +961,12 @@ class CDCLSolver:
         for var in range(1, self._num_vars + 1):
             if self._values[var] is not None:
                 model.assign(var, self._values[var])
+        if self._inprocessor is not None:
+            # Replay the reconstruction stack: variables removed by
+            # elimination/equivalence get values satisfying their
+            # saved occurrence clauses (overwriting any junk value a
+            # decision gave an unconstrained variable).
+            self._inprocessor.extend_model(model)
         return model
 
     def _budget_blown(self) -> bool:
@@ -872,6 +991,8 @@ class CDCLSolver:
 
         conflicts_since_restart = 0
         conflicts_since_reduce = 0
+        conflicts_since_inprocess = 0
+        inprocessor = self._inprocessor
 
         while True:
             conflict = self._propagate()
@@ -905,6 +1026,17 @@ class CDCLSolver:
                 if conflicts_since_reduce >= self.deletion_interval:
                     conflicts_since_reduce = 0
                     self._reduce_learned()
+                conflicts_since_inprocess += 1
+                if (inprocessor is not None
+                        and conflicts_since_inprocess
+                        >= inprocessor.config.interval):
+                    conflicts_since_inprocess = 0
+                    self._cancel_until(0)
+                    status = inprocessor.run(assumptions)
+                    if status is not None:
+                        return status
+                    if self._budget_blown():
+                        return Status.UNKNOWN
                 continue
 
             if self.early_sat_check is not None and self.early_sat_check():

@@ -170,8 +170,7 @@ class LiteralHeap:
         rank = self._rank
         heap = self._heap
         push = heapq.heappush
-        for index in range(start, len(trail)):
-            lit = trail[index]
+        for lit in trail[start:]:
             var = lit if lit > 0 else -lit
             if var not in live:
                 s = score.get(var)

@@ -37,6 +37,23 @@ class IncrementalSolver:
                  restart_policy: Optional[RestartPolicy] = None,
                  max_conflicts_per_call: Optional[int] = None,
                  **cdcl_kwargs):
+        inprocess = cdcl_kwargs.get("inprocess")
+        if inprocess:
+            # Incremental use means clauses and assumptions arrive
+            # *after* inprocessing may have run, and they are free to
+            # mention any allocated variable.  Variable-eliminating
+            # passes (BVE, equivalent-literal substitution) would make
+            # such clauses illegal (CDCLSolver.add_clause refuses
+            # eliminated variables), so they are forced off here; the
+            # clause-only passes (subsumption, self-subsumption,
+            # vivification, root simplification) remain available.
+            from dataclasses import replace
+
+            from repro.solvers.inprocess import InprocessConfig
+            if inprocess is True:
+                inprocess = InprocessConfig()
+            cdcl_kwargs["inprocess"] = replace(
+                inprocess, bve=False, equivalence=False)
         self._formula = formula.copy() if formula is not None \
             else CNFFormula()
         self._max_conflicts_per_call = max_conflicts_per_call

@@ -115,6 +115,7 @@ def model_certificate(formula, assignment) -> Certificate:
 
 def certified_solve(formula, proof_path: Optional[str] = None,
                     tracer=None, sink_factory=FileProofSink,
+                    preprocess: bool = False,
                     **cdcl_kwargs):
     """Solve *formula* with end-to-end certification.
 
@@ -131,11 +132,18 @@ def certified_solve(formula, proof_path: Optional[str] = None,
       ``certificate.reason`` (an invalid proof keeps its file for
       post-mortem when *proof_path* was explicit).
 
+    ``preprocess=True`` runs the proof-logged preprocessing subset
+    (:func:`repro.cnf.simplify.simplify_with_proof`) into the same
+    sink before solving the reduced formula, so the combined stream
+    still verifies against the *original* formula; SAT models are
+    lifted back through the forced assignments and audited against
+    the original.
+
     ``sink_factory`` exists for fault injection: tests substitute a
     sink that corrupts the stream to pin the demotion path.
     """
     from repro.solvers.cdcl import CDCLSolver
-    from repro.solvers.result import SolverResult, Status
+    from repro.solvers.result import SolverResult, SolverStats, Status
 
     if cdcl_kwargs.get("learning") is False:
         raise ValueError("certified_solve requires clause learning: "
@@ -145,15 +153,45 @@ def certified_solve(formula, proof_path: Optional[str] = None,
         handle, proof_path = tempfile.mkstemp(suffix=".drup",
                                               prefix="repro-proof-")
         os.close(handle)
-    solver = CDCLSolver(formula, **cdcl_kwargs)
+    sink = sink_factory(proof_path)
+    target = formula
+    forced = {}
+    if preprocess:
+        from repro.cnf.simplify import simplify_with_proof
+        pre = simplify_with_proof(formula, sink)
+        if pre.unsat:
+            # Preprocessing refuted the formula; the sink already
+            # holds the concluding empty clause.  Check the stream
+            # against the original formula like any other UNSAT.
+            sink.close()
+            certificate = check_unsat_proof(formula, proof_path, tracer)
+            certificate.deletions = sink.deletes
+            if ephemeral:
+                _remove(proof_path)
+                certificate.proof_path = None
+            status = (Status.UNSATISFIABLE if certificate.valid
+                      else Status.UNKNOWN)
+            result = SolverResult(status, None, SolverStats())
+            result.certificate = certificate
+            return result
+        target = pre.formula
+        forced = pre.forced
+    solver = CDCLSolver(target, **cdcl_kwargs)
     if tracer is not None:
         solver.tracer = tracer
-    sink = sink_factory(proof_path)
     attach_proof_stream(solver, sink)
     try:
         result = solver.solve()
     finally:
         sink.close()
+
+    if result.status is Status.SATISFIABLE and forced:
+        # Lift the model of the reduced formula back to the original:
+        # propagated-unit variables take their forced values
+        # (overwriting whatever the search assigned to the now
+        # unconstrained variables).
+        for var, value in forced.items():
+            result.assignment.assign(var, value)
 
     if result.status is Status.UNSATISFIABLE:
         certificate = check_unsat_proof(formula, proof_path, tracer)

@@ -176,7 +176,11 @@ def attach_proof_stream(solver, sink: ProofSink) -> ProofSink:
     pending-unit diff around ``_handle_conflict``, GC deletions via the
     engine's ``on_proof_delete`` hook, and the concluding empty clause
     when ``_search`` returns UNSATISFIABLE with no assumptions (an
-    assumption-relative UNSAT is not a proof of the formula).
+    assumption-relative UNSAT is not a proof of the formula).  The
+    engine's ``on_proof_add`` hook is pointed at ``sink.add`` so the
+    inprocessing engine can log strengthened *original* clauses and
+    derived units (its learned-clause rewrites already flow through
+    the instrumented ``_attach``).
     """
     original_attach = solver._attach
     original_handle = solver._handle_conflict
@@ -208,6 +212,7 @@ def attach_proof_stream(solver, sink: ProofSink) -> ProofSink:
     solver._handle_conflict = streaming_handle
     solver._search = streaming_search
     solver.on_proof_delete = streaming_delete
+    solver.on_proof_add = sink.add
     return sink
 
 

@@ -81,7 +81,8 @@ class CDCLEngine(Engine):
                  deletion_interval: int = 1000,
                  minimize_learned: bool = False,
                  phase_saving: bool = False,
-                 max_conflicts: Optional[int] = None):
+                 max_conflicts: Optional[int] = None,
+                 inprocess_interval: Optional[int] = None):
         self.name = name
         self.params = dict(
             heuristic=heuristic, seed=seed, random_freq=random_freq,
@@ -89,7 +90,8 @@ class CDCLEngine(Engine):
             deletion=deletion, deletion_bound=deletion_bound,
             deletion_interval=deletion_interval,
             minimize_learned=minimize_learned,
-            phase_saving=phase_saving, max_conflicts=max_conflicts)
+            phase_saving=phase_saving, max_conflicts=max_conflicts,
+            inprocess_interval=inprocess_interval)
         self.proof_events = None
 
     def run(self, formula: CNFFormula) -> SolverResult:
@@ -98,6 +100,10 @@ class CDCLEngine(Engine):
         from repro.solvers.restarts import make_restart_policy
 
         p = self.params
+        inprocess = None
+        if p["inprocess_interval"] is not None:
+            from repro.solvers.inprocess import InprocessConfig
+            inprocess = InprocessConfig(interval=p["inprocess_interval"])
         solver = CDCLSolver(
             formula,
             heuristic=make_heuristic(p["heuristic"], seed=p["seed"],
@@ -108,7 +114,8 @@ class CDCLEngine(Engine):
             deletion_interval=p["deletion_interval"],
             minimize_learned=p["minimize_learned"],
             phase_saving=p["phase_saving"],
-            max_conflicts=p["max_conflicts"])
+            max_conflicts=p["max_conflicts"],
+            inprocess=inprocess)
         sink = attach_proof_stream(solver, MemoryProofSink())
         result = solver.solve()
         self.proof_events = sink.events
@@ -170,8 +177,14 @@ def default_engines(rng: random.Random) -> List[Engine]:
     restart = rng.choice(["none", "fixed", "geometric", "luby"])
     deletion = rng.choice(["keep", "size", "relevance"])
     max_conflicts = rng.choice([None, None, None, 150])
+    # Half the rounds run with in-search inprocessing enabled at an
+    # aggressive interval so the differential harness also exercises
+    # the simplification passes (subsumption / vivification / BVE /
+    # equivalence substitution) against the reference engines.
+    inprocess_interval = rng.choice([None, None, 4, 16])
     cdcl = CDCLEngine(
-        name=f"cdcl-{heuristic}-{restart}-{deletion}",
+        name=f"cdcl-{heuristic}-{restart}-{deletion}"
+             + ("-inp" if inprocess_interval is not None else ""),
         heuristic=heuristic, seed=rng.randrange(1 << 30),
         random_freq=rng.choice([0.0, 0.02, 0.1]),
         restart=restart, restart_interval=rng.choice([16, 64, 256]),
@@ -179,7 +192,8 @@ def default_engines(rng: random.Random) -> List[Engine]:
         deletion_interval=rng.choice([25, 100, 1000]),
         minimize_learned=rng.random() < 0.5,
         phase_saving=rng.random() < 0.5,
-        max_conflicts=max_conflicts)
+        max_conflicts=max_conflicts,
+        inprocess_interval=inprocess_interval)
     return [cdcl,
             DPLLEngine(max_decisions=rng.choice([None, None, 20000])),
             RecursiveLearningEngine(depth=rng.choice([1, 2]))]

@@ -268,11 +268,32 @@ class TestCertification:
         out = capsys.readouterr().out
         assert "c certificate: model verified" in out
 
-    def test_solve_certify_refuses_preprocess(self, tmp_path, capsys):
+    def test_solve_certify_composes_with_preprocess(self, tmp_path,
+                                                    capsys):
+        # Proof-logged preprocessing shares the solver's DRUP stream,
+        # so the combined proof verifies against the original formula.
         path = str(tmp_path / "unsat.cnf")
         save_dimacs(pigeonhole(3), path)
-        assert main(["solve", path, "--certify",
-                     "--preprocess"]) == 2
+        assert main(["solve", path, "--certify", "--preprocess"]) == 20
+        out = capsys.readouterr().out
+        assert "c certificate: proof verified" in out
+
+    def test_solve_certify_preprocess_refused_under_portfolio(
+            self, tmp_path, capsys):
+        # Portfolio workers each stream their own proof; they cannot
+        # share one preprocessing prefix, so the combination refuses.
+        path = str(tmp_path / "unsat.cnf")
+        save_dimacs(pigeonhole(3), path)
+        assert main(["solve", path, "--certify", "--preprocess",
+                     "--portfolio", "2"]) == 2
+
+    def test_solve_inprocess_certified(self, tmp_path, capsys):
+        path = str(tmp_path / "unsat.cnf")
+        save_dimacs(pigeonhole(4), path)
+        assert main(["solve", path, "--certify", "--inprocess",
+                     "--inprocess-interval", "10"]) == 20
+        out = capsys.readouterr().out
+        assert "c certificate: proof verified" in out
 
     def test_check_valid_proof(self, tmp_path, capsys):
         path = str(tmp_path / "unsat.cnf")
