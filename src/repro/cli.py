@@ -17,6 +17,10 @@ Wraps the library's main flows for shell use:
   diagnostic).
 * ``fuzz`` -- differential fuzzing of the solver stack with shrunk
   on-disk reproducers for any failure.
+* ``serve`` -- run the fault-tolerant SAT-as-a-service endpoint
+  (NDJSON over TCP; see :mod:`repro.service`).
+* ``submit`` -- client for ``serve``: submit a DIMACS file, query
+  STATUS, ping, or drain the server.
 
 ``solve``, ``atpg``, ``cec`` and ``bmc`` accept ``--trace FILE`` to
 record a JSONL event trace (:mod:`repro.obs`); ``solve --stats-json``
@@ -27,13 +31,18 @@ verdict must then carry a DRUP proof validated by the independent
 checker, SAT models are audited, and an answer whose evidence fails
 the check is *demoted* to unknown -- never reported as proved.
 
-Exit codes follow the SAT-competition convention for ``solve``
-(10 = SAT, 20 = UNSAT, 0 = unknown) and 0/1 = pass/fail elsewhere.
+Exit codes follow the SAT-competition convention for ``solve`` and
+``submit`` (10 = SAT, 20 = UNSAT, 0 = unknown-because-the-budget-ran-
+out), extended with 30 for an UNKNOWN that exists only because a
+claimed answer failed certification (a demotion is a bug report, not
+a timeout, and scripts must be able to tell them apart); rejected or
+malformed service submissions exit 2, and 0/1 = pass/fail elsewhere.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -184,7 +193,16 @@ def _cmd_solve(args) -> int:
     else:
         print("s UNKNOWN")
         literals = None
-        code = 0
+        # Distinguish "ran out of budget" (0) from "an answer was
+        # claimed but its certificate failed the independent check"
+        # (30): the latter is evidence of a defect, and callers
+        # gating CI on this command must not mistake it for a
+        # timeout.
+        certificate = result.certificate
+        if certificate is not None and certificate.valid is False:
+            code = 30
+        else:
+            code = 0
     if literals is not None:
         print(f"v {literals} 0")
     if args.stats_json:
@@ -417,6 +435,134 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import json
+
+    from repro.service.admission import ServiceConfig
+    from repro.service.server import run_server
+
+    fault_plan = None
+    if args.fault_plan:
+        from repro.runtime.faults import ServiceFaultPlan
+        try:
+            fault_plan = ServiceFaultPlan.from_dict(
+                json.loads(args.fault_plan))
+        except (json.JSONDecodeError, TypeError, ValueError) as exc:
+            print(f"error: bad --fault-plan: {exc}", file=sys.stderr)
+            return 2
+    config = ServiceConfig(
+        max_workers=args.workers,
+        queue_depth=args.queue_depth,
+        max_hardness=args.max_hardness,
+        default_deadline=args.default_deadline,
+        grace_seconds=args.grace_seconds)
+
+    def ready(bound):
+        print(f"listening on {bound[0]}:{bound[1]}", flush=True)
+
+    try:
+        asyncio.run(run_server(config, args.host, args.port,
+                               fault_plan=fault_plan,
+                               tracer=getattr(args, "obs_tracer", None),
+                               ready=ready))
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 1
+    print("drained and stopped")
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.service.client import ServiceClient
+
+    dimacs = None
+    if args.file is not None:
+        try:
+            with open(args.file, "r", encoding="utf-8") as handle:
+                dimacs = handle.read()
+        except OSError as exc:
+            print(f"error: cannot read {args.file}: {exc}",
+                  file=sys.stderr)
+            return 2
+    try:
+        client = ServiceClient(args.host, args.port,
+                               timeout=args.client_timeout)
+    except OSError as exc:
+        print(f"error: cannot reach {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        if args.ping:
+            response = client.ping()
+            print(response["kind"])
+            return 0 if response.get("kind") == "pong" else 2
+        if args.status:
+            import json
+            print(json.dumps(client.status(), indent=2, sort_keys=True))
+            return 0
+        if args.shutdown:
+            response = client.shutdown(grace=args.grace_seconds)
+            print(f"drained {response.get('drained', 0)} job(s), "
+                  f"cancelled {response.get('cancelled', 0)}")
+            return 0
+        if dimacs is None:
+            print("error: a CNF file (or --status/--ping/--shutdown) "
+                  "is required", file=sys.stderr)
+            return 2
+        job_id = args.id or os.path.basename(args.file)
+        response = client.submit(
+            job_id, dimacs=dimacs, tenant=args.tenant,
+            deadline=args.deadline, max_conflicts=args.max_conflicts,
+            certify=args.certify, use_cache=not args.no_cache)
+    except BrokenPipeError:
+        raise           # stdout's consumer went away, not the server
+    except (ConnectionError, OSError) as exc:
+        print(f"error: connection lost: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        client.close()
+    kind = response.get("kind")
+    if kind == "rejected":
+        print(f"REJECTED [{response.get('code')}]: "
+              f"{response.get('reason')}")
+        return 2
+    if kind != "result":
+        print(f"ERROR [{response.get('code')}]: "
+              f"{response.get('reason')}", file=sys.stderr)
+        return 2
+    body = response["body"]
+    cached = " (cached)" if response.get("cached") else ""
+    if body.get("certificate") is not None:
+        cert = body["certificate"]
+        if cert.get("kind") == "proof":
+            summary = (f"proof verified, {cert.get('steps')} step(s)"
+                       if cert.get("valid")
+                       else f"proof INVALID: {cert.get('reason')}")
+        elif cert.get("kind") == "model":
+            summary = ("model verified" if cert.get("valid")
+                       else f"model INVALID: {cert.get('reason')}")
+        else:
+            summary = cert.get("reason") or "none"
+        print(f"c certificate: {summary}")
+    if body.get("degraded"):
+        print(f"c degraded: {body.get('degraded_reason')} "
+              f"after {body.get('attempts')} attempt(s)")
+        if body.get("partial"):
+            partial = body["partial"]
+            print(f"c partial: attempt {partial.get('attempt')} at "
+                  f"{partial.get('elapsed')}s")
+    status = body["status"]
+    print(f"s {status}{cached}")
+    if status == "SATISFIABLE":
+        model = body.get("model") or []
+        print("v " + " ".join(str(lit) for lit in model) + " 0")
+        return 10
+    if status == "UNSATISFIABLE":
+        return 20
+    return 30 if body.get("degraded_reason") == "certification" else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -550,6 +696,65 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print a progress line every N rounds "
                            "(0 = silent)")
     fuzz.set_defaults(handler=_cmd_fuzz)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the SAT-as-a-service endpoint (NDJSON over TCP)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=9123,
+                       help="TCP port (0 = ephemeral, printed on "
+                            "startup)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent solve processes")
+    serve.add_argument("--queue-depth", type=int, default=8,
+                       help="queued jobs allowed per tenant before "
+                            "load shedding")
+    serve.add_argument("--max-hardness", type=float, default=5000.0,
+                       metavar="SCORE",
+                       help="admission ceiling on the static hardness "
+                            "estimate (vars x phase-transition "
+                            "closeness)")
+    serve.add_argument("--default-deadline", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="wall budget for jobs without their own")
+    serve.add_argument("--grace-seconds", type=float, default=10.0,
+                       help="drain window of a shutdown request")
+    serve.add_argument("--fault-plan", default=None, metavar="JSON",
+                       help="scripted ServiceFaultPlan for chaos "
+                            "testing, e.g. "
+                            "'{\"crashes\": {\"job-1\": 1}}'")
+    _add_obs_flags(serve)
+    serve.set_defaults(handler=_cmd_serve)
+
+    submit = commands.add_parser(
+        "submit",
+        help="submit a DIMACS file to a running 'repro serve'")
+    submit.add_argument("file", nargs="?", default=None)
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=9123)
+    submit.add_argument("--tenant", default="default",
+                        help="fairness bucket this job bills to")
+    submit.add_argument("--id", default=None,
+                        help="job id (default: the file name)")
+    submit.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-job wall budget, retries included")
+    submit.add_argument("--max-conflicts", type=int, default=None)
+    submit.add_argument("--certify", action="store_true",
+                        help="require a checked proof / audited model")
+    submit.add_argument("--no-cache", action="store_true",
+                        help="bypass the server's result cache")
+    submit.add_argument("--client-timeout", type=float, default=60.0,
+                        metavar="SECONDS",
+                        help="socket timeout waiting for the response")
+    submit.add_argument("--grace-seconds", type=float, default=None,
+                        help="drain window passed with --shutdown")
+    submit.add_argument("--status", action="store_true",
+                        help="print the server STATUS as JSON")
+    submit.add_argument("--ping", action="store_true")
+    submit.add_argument("--shutdown", action="store_true",
+                        help="drain the server and stop it")
+    submit.set_defaults(handler=_cmd_submit)
     return parser
 
 
@@ -561,6 +766,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     args.obs_tracer = tracer
     try:
         return args.handler(args)
+    except BrokenPipeError:
+        # Downstream closed stdout early (| head, | grep -q).  Follow
+        # the shell's SIGPIPE convention: 128 + SIGPIPE, no traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
     finally:
         if tracer is not None:
             tracer.close()

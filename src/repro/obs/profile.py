@@ -78,6 +78,10 @@ def build_report(events: List[Dict[str, Any]],
                                  "strengthened": 0, "reclaimed_lits": 0,
                                  "eliminated": 0, "units": 0,
                                  "seconds": 0.0, "kernel": None}
+    service: Dict[str, Any] = {"results": 0, "statuses": {},
+                               "cached": 0, "degraded": 0,
+                               "attempts": 0, "retries": 0,
+                               "wall_seconds": 0.0, "rejects": {}}
     last_ts = 0.0
 
     for event in events:
@@ -168,6 +172,34 @@ def build_report(events: List[Dict[str, Any]],
                     kernel = attrs.get("kernel")
                     if isinstance(kernel, str):
                         inprocess["kernel"] = kernel
+            elif name == "service.result":
+                attrs = event.get("attrs")
+                if isinstance(attrs, dict):
+                    service["results"] += 1
+                    status = attrs.get("status")
+                    if isinstance(status, str):
+                        service["statuses"][status] = \
+                            service["statuses"].get(status, 0) + 1
+                    for src, dst in (("cached", "cached"),
+                                     ("degraded", "degraded"),
+                                     ("attempts", "attempts")):
+                        value = attrs.get(src)
+                        if isinstance(value, int) \
+                                and not isinstance(value, bool):
+                            service[dst] += value
+                    wall = attrs.get("wall_seconds")
+                    if isinstance(wall, (int, float)) \
+                            and not isinstance(wall, bool):
+                        service["wall_seconds"] += float(wall)
+            elif name == "service.reject":
+                attrs = event.get("attrs")
+                if isinstance(attrs, dict):
+                    code = attrs.get("code")
+                    if isinstance(code, str):
+                        service["rejects"][code] = \
+                            service["rejects"].get(code, 0) + 1
+            elif name == "service.retry":
+                service["retries"] += 1
             elif name == "verify.check":
                 attrs = event.get("attrs")
                 if isinstance(attrs, dict):
@@ -199,7 +231,7 @@ def build_report(events: List[Dict[str, Any]],
     return {"num_events": len(events), "problems": list(problems),
             "wall": last_ts, "spans": spans, "progress": progress,
             "events": counts, "clause_db": gc, "certification": verify,
-            "inprocessing": inprocess}
+            "inprocessing": inprocess, "service": service}
 
 
 def _fmt(value: float) -> str:
@@ -303,6 +335,25 @@ def render_report(report: Dict[str, Any]) -> str:
         lines.append(f"  variables: {inprocess['eliminated']:,} "
                      f"eliminated, {inprocess['units']:,} root units "
                      f"derived")
+
+    service = report.get("service") or {}
+    if service.get("results") or service.get("rejects"):
+        lines.append("")
+        lines.append("service (solve jobs):")
+        if service.get("results"):
+            statuses = ", ".join(
+                f"{count} {status}" for status, count in
+                sorted(service["statuses"].items()))
+            lines.append(f"  answered: {service['results']} "
+                         f"({statuses})")
+            avg = service["wall_seconds"] / service["results"]
+            lines.append(
+                f"  latency: {_fmt(avg)}s avg; "
+                f"{service['cached']} cache hit(s), "
+                f"{service['degraded']} degraded, "
+                f"{service['retries']} retried attempt(s)")
+        for code, count in sorted(service.get("rejects", {}).items()):
+            lines.append(f"  shed: {count} x {code}")
 
     verify = report.get("certification") or {}
     if verify.get("checks"):

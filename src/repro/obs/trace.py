@@ -78,6 +78,24 @@ NAMED_EVENT_ATTRS: Dict[str, Dict[str, str]] = {
         "seconds": "number",
         "kernel": "str",
     },
+    # The solve service (repro.service): one terminal event per
+    # answered job (status/attempts/cache/degradation), one per shed
+    # job.  "cached"/"degraded" are 0/1 ints (bools don't qualify).
+    "service.result": {
+        "job": "str",
+        "tenant": "str",
+        "status": "str",
+        "attempts": "int",
+        "cached": "int",
+        "degraded": "int",
+        "wall_seconds": "number",
+    },
+    "service.reject": {
+        "job": "str",
+        "tenant": "str",
+        "code": "str",
+        "reason": "str",
+    },
     # One independent proof/model check (repro.verify): proof steps
     # processed, proof bytes on disk, checker wall time, and the
     # verdict (1 = valid, 0 = rejected; int because bools don't

@@ -24,7 +24,7 @@ from repro.runtime.budget import (
     merge_legacy_caps,
     process_rss_mb,
 )
-from repro.runtime.faults import FaultPlan
+from repro.runtime.faults import FaultPlan, ServiceFaultPlan
 from repro.runtime.supervisor import (
     PortfolioReport,
     Supervisor,
@@ -38,6 +38,7 @@ __all__ = [
     "DEFAULT_CHECK_INTERVAL",
     "FaultPlan",
     "PortfolioReport",
+    "ServiceFaultPlan",
     "Supervisor",
     "WorkerOutcome",
     "WorkerReport",

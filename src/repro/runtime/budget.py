@@ -105,20 +105,48 @@ class Budget:
                 and self.max_decisions is None and self.max_flips is None
                 and self.max_memory_mb is None)
 
-    def remaining_after(self, elapsed: float) -> "Budget":
+    def remaining_after(self, elapsed: float,
+                        spent: Optional[SolverStats] = None) -> "Budget":
         """The budget left once *elapsed* wall seconds were consumed.
 
-        Counter caps and the memory ceiling pass through unchanged;
-        the deadline shrinks (never below zero).  Used to hand the
-        tail of an app-level budget to the next solver call.
+        The deadline shrinks by *elapsed* (never below zero); with
+        *spent* -- the search counters a previous attempt already
+        burned -- the counter caps shrink too, so a retried or
+        respawned call can never spend more total effort than the
+        caller's original envelope.  The memory ceiling passes through
+        unchanged (RSS is a reading, not an allowance).  Used to hand
+        the tail of an app-level budget to the next solver call and to
+        respawn/retry paths (portfolio supervisor, solve service).
         """
-        if self.wall_seconds is None:
+        if self.wall_seconds is None and spent is None:
             return self
-        return Budget(wall_seconds=max(0.0, self.wall_seconds - elapsed),
-                      max_conflicts=self.max_conflicts,
-                      max_decisions=self.max_decisions,
-                      max_flips=self.max_flips,
+
+        def shrink(cap: Optional[int], used: int) -> Optional[int]:
+            if cap is None:
+                return None
+            return max(0, cap - max(0, used))
+
+        conflicts = decisions = flips = 0
+        if spent is not None:
+            conflicts = spent.conflicts
+            decisions = spent.decisions
+            flips = spent.flips
+        wall = self.wall_seconds
+        if wall is not None:
+            wall = max(0.0, wall - elapsed)
+        return Budget(wall_seconds=wall,
+                      max_conflicts=shrink(self.max_conflicts, conflicts),
+                      max_decisions=shrink(self.max_decisions, decisions),
+                      max_flips=shrink(self.max_flips, flips),
                       max_memory_mb=self.max_memory_mb)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when some configured limit has already hit zero --
+        a call started under this budget can only return UNKNOWN, so
+        retry loops should stop scheduling instead."""
+        return (self.wall_seconds == 0.0 or self.max_conflicts == 0
+                or self.max_decisions == 0 or self.max_flips == 0)
 
     def meter(self, baseline: Optional[SolverStats] = None,
               on_checkpoint: Optional[Callable[[], None]] = None,

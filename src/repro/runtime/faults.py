@@ -37,6 +37,12 @@ HANG = "hang"
 GARBAGE = "garbage"
 FALSE_UNSAT = "false_unsat"
 
+#: Additional service-level fault kinds
+#: (:meth:`ServiceFaultPlan.action`).
+KILL_MIDJOB = "kill_midjob"   # die after making observable progress
+POISON = "poison"             # malformed payload on the result pipe
+DELAY = "delay"               # server-side delayed response
+
 
 @dataclass(frozen=True)
 class FaultPlan:
@@ -93,6 +99,85 @@ class FaultPlan:
     def hang_all(cls, num_workers: int) -> "FaultPlan":
         """Every worker hangs -- the canonical deadline scenario."""
         return cls(hangs=frozenset(range(num_workers)))
+
+
+@dataclass(frozen=True)
+class ServiceFaultPlan:
+    """Scripted misbehaviour for the solve service, keyed by
+    ``(job id, attempt)`` -- the service twin of :class:`FaultPlan`.
+
+    The service's recovery surface is wider than the portfolio's:
+    besides crash-at-start and hang, a worker can die *mid-job* after
+    heartbeating and reporting progress (exercising partial-result
+    degradation), a payload can arrive poisoned, and a response can be
+    deliberately delayed server-side (exercising client deadlines).
+    All counts are "number of leading attempts", so ``{"job-3": 1}``
+    fails job-3's first attempt and lets its retry succeed.
+
+    Parameters
+    ----------
+    crashes:
+        job id -> leading attempts that die at solve start.
+    kills:
+        job id -> leading attempts that die mid-job, after
+        ``kill_after_checkpoints`` cooperative checkpoints (so the
+        server has seen heartbeats and progress snapshots first).
+    hangs:
+        job id -> leading attempts that spin without heartbeating.
+    poisons:
+        job id -> leading attempts that send a malformed payload.
+    delays:
+        job id -> seconds the *server* stalls before replying
+        (applies to every attempt; models a slow result path).
+    kill_after_checkpoints:
+        checkpoints a ``kills`` attempt survives before dying.
+    """
+
+    crashes: Dict[str, int] = field(default_factory=dict)
+    kills: Dict[str, int] = field(default_factory=dict)
+    hangs: Dict[str, int] = field(default_factory=dict)
+    poisons: Dict[str, int] = field(default_factory=dict)
+    delays: Dict[str, float] = field(default_factory=dict)
+    kill_after_checkpoints: int = 2
+
+    def __post_init__(self):
+        for name in ("crashes", "kills", "hangs", "poisons", "delays"):
+            object.__setattr__(self, name, dict(getattr(self, name)))
+
+    def action(self, job_id: str, attempt: int) -> Optional[str]:
+        """The scripted worker fault for this (job, attempt), or None.
+
+        ``delays`` are not returned here -- they are a server-side
+        response action, read via :meth:`delay`.
+        """
+        if attempt < self.crashes.get(job_id, 0):
+            return CRASH
+        if attempt < self.kills.get(job_id, 0):
+            return KILL_MIDJOB
+        if attempt < self.hangs.get(job_id, 0):
+            return HANG
+        if attempt < self.poisons.get(job_id, 0):
+            return POISON
+        return None
+
+    def delay(self, job_id: str) -> float:
+        """Seconds the server should stall before replying to *job*."""
+        return self.delays.get(job_id, 0.0)
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ServiceFaultPlan":
+        """Build a plan from a JSON-shaped dict (CLI ``--fault-plan``).
+
+        Unknown keys raise: a chaos plan that silently drops actions
+        would make CI green for the wrong reason.
+        """
+        known = {"crashes", "kills", "hangs", "poisons", "delays",
+                 "kill_after_checkpoints"}
+        extra = set(payload) - known
+        if extra:
+            raise ValueError(f"unknown ServiceFaultPlan keys "
+                             f"{sorted(extra)}")
+        return cls(**payload)
 
 
 def execute_fault(action: str, index: int, channel) -> None:

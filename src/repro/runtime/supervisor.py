@@ -404,9 +404,16 @@ class Supervisor:
         deadline_hit = False
 
         def spawn(slot: _Slot, now: float) -> None:
-            worker_budget = self.budget
-            if deadline is not None:
-                worker_budget = self.budget.remaining_after(now - started)
+            # A respawn gets the *remaining* budget, never a fresh
+            # one: the deadline shrinks by the race time already
+            # elapsed, and the counter caps shrink by the effort the
+            # slot's previous attempts demonstrably burned (their
+            # last progress snapshots) -- retries can never spend
+            # more total effort than the caller's original envelope.
+            spent = _slot_spent(slot) if slot.attempts > 0 else None
+            worker_budget = self.budget.remaining_after(
+                now - started if deadline is not None else 0.0,
+                spent=spent)
             # Respawns run a *perturbed* configuration: a config that
             # crashes deterministically would otherwise burn all its
             # backoff retries re-crashing identically.
@@ -744,6 +751,26 @@ class Supervisor:
             result=SolverResult(Status.UNKNOWN), workers=workers,
             wall_seconds=now - started, deadline_hit=deadline_hit,
             total_respawns=respawns)
+
+
+def _slot_spent(slot: "_Slot") -> Optional[SolverStats]:
+    """Search effort a slot's previous attempts are known to have
+    consumed: the last progress snapshot of each attempt, summed.
+
+    A crashed attempt reports no final stats, so its latest snapshot
+    is the best (under-)estimate of what it burned; underestimating
+    only makes the respawn budget too generous by one progress
+    interval, never too tight.  None when no snapshot ever arrived.
+    """
+    latest: Dict[int, Dict] = {}
+    for sample in slot.timeline:
+        latest[sample["attempt"]] = sample["stats"]
+    if not latest:
+        return None
+    total = SolverStats()
+    for stats_dict in latest.values():
+        total.merge(stats_from_dict(stats_dict))
+    return total
 
 
 def _is_progress(payload) -> bool:

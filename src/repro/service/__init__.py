@@ -1,0 +1,58 @@
+"""Fault-tolerant SAT-as-a-service layer (``repro.service``).
+
+Production EDA flows do not call a solver function; they call a
+*service* that must stay predictable when a worker segfaults, a
+tenant floods the queue, or a job is simply too hard for its
+deadline.  This package provides that layer on the machinery the
+runtime already has (budgets, supervision, fault injection, proofs):
+
+* :mod:`repro.service.protocol` -- the NDJSON wire contract;
+* :mod:`repro.service.admission` -- bounded per-tenant queues,
+  weighted deficit round-robin dispatch, hardness shedding;
+* :mod:`repro.service.cache` -- LRU of terminal result bodies keyed
+  by the canonical formula hash;
+* :mod:`repro.service.worker` -- the per-attempt solve process;
+* :mod:`repro.service.server` -- the asyncio :class:`SolveServer`:
+  retry with inherited budgets, graceful degradation, drain-based
+  shutdown, STATUS introspection;
+* :mod:`repro.service.client` -- the blocking TCP client and the
+  in-process test client.
+"""
+
+from repro.service.admission import (
+    ServiceConfig,
+    TenantQueues,
+    estimate_hardness,
+)
+from repro.service.cache import ResultCache
+from repro.service.client import InProcessClient, ServiceClient
+from repro.service.protocol import (
+    BAD_REQUEST,
+    REJECTED_OVERLOAD,
+    SHUTTING_DOWN,
+    ProtocolError,
+    SubmitRequest,
+    decode_message,
+    encode_message,
+    parse_submit,
+)
+from repro.service.server import SolveServer, run_server
+
+__all__ = [
+    "BAD_REQUEST",
+    "InProcessClient",
+    "ProtocolError",
+    "REJECTED_OVERLOAD",
+    "ResultCache",
+    "SHUTTING_DOWN",
+    "ServiceClient",
+    "ServiceConfig",
+    "SolveServer",
+    "SubmitRequest",
+    "TenantQueues",
+    "decode_message",
+    "encode_message",
+    "estimate_hardness",
+    "parse_submit",
+    "run_server",
+]

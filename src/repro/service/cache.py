@@ -1,0 +1,76 @@
+"""Result cache keyed by the canonical formula hash.
+
+EDA clients are repetitive: an ATPG loop re-proves the same redundant
+fault after a netlist no-op, a CEC regression re-submits yesterday's
+miters.  The cache keys on
+:func:`repro.cnf.canonical.canonical_key` -- clause order, literal
+order, duplicate literals and variable-numbering gaps all hash
+identically -- joined with the ``certify`` flag, because a certified
+answer and an uncertified one are different products even for the
+same formula.
+
+The cached unit is the response *body* dict exactly as first
+computed, so a hit replays a byte-identical body (the chaos suite
+asserts ``json.dumps(body, sort_keys=True)`` equality).  Only
+decisive, non-degraded bodies are stored: caching an UNKNOWN would
+freeze a transient budget exhaustion into a permanent answer.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+Key = Tuple[str, bool]
+
+
+class ResultCache:
+    """A small LRU of terminal result bodies."""
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Key, Dict[str, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Key) -> Optional[Dict[str, Any]]:
+        """The stored body for *key* (refreshing recency), or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Key, body: Dict[str, Any]) -> None:
+        """Store *body* under *key*, evicting the LRU entry if full."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = body
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before any lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-shaped snapshot for STATUS responses."""
+        return {"size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": round(self.hit_rate, 4)}

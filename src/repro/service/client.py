@@ -1,0 +1,137 @@
+"""Clients for the solve service.
+
+:class:`ServiceClient` is the blocking TCP client the CLI uses: one
+socket, NDJSON lines out, responses matched by the ``id`` they echo
+(so several submissions may be pipelined before reading any result).
+
+:class:`InProcessClient` embeds a :class:`SolveServer` in a private
+event loop and drives it synchronously -- no socket, no background
+thread.  ``run_until_complete`` pumps the same loop the server's
+dispatcher runs on, so a blocking-looking ``submit`` still lets the
+server dispatch, supervise workers, and retry underneath.  Tests use
+it to exercise the full service stack deterministically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Any, Dict, List, Optional
+
+from repro.service.protocol import decode_message, encode_message
+from repro.service.server import SolveServer
+
+
+class ServiceClient:
+    """Blocking NDJSON-over-TCP client (the ``repro submit`` CLI)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 9123,
+                 timeout: Optional[float] = 60.0):
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._file = self._sock.makefile("rb")
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request and block for the response matching its
+        ``id`` (out-of-order responses for other ids are buffered
+        out; this client sends one request at a time, so in practice
+        the first response is the match)."""
+        self._sock.sendall(encode_message(payload))
+        wanted = payload.get("id")
+        while True:
+            line = self._file.readline()
+            if not line:
+                raise ConnectionError("server closed the connection")
+            response = decode_message(line)
+            if wanted is None or response.get("id") == wanted:
+                return response
+
+    def submit(self, job_id: str, *, dimacs: Optional[str] = None,
+               clauses: Optional[List[List[int]]] = None,
+               num_vars: Optional[int] = None,
+               tenant: str = "default",
+               deadline: Optional[float] = None,
+               max_conflicts: Optional[int] = None,
+               certify: bool = False,
+               use_cache: bool = True) -> Dict[str, Any]:
+        """Submit one job and block for its terminal response."""
+        payload: Dict[str, Any] = {"op": "submit", "id": job_id,
+                                   "tenant": tenant,
+                                   "certify": certify,
+                                   "use_cache": use_cache}
+        if dimacs is not None:
+            payload["dimacs"] = dimacs
+        if clauses is not None:
+            payload["clauses"] = clauses
+            payload["num_vars"] = num_vars
+        if deadline is not None:
+            payload["deadline"] = deadline
+        if max_conflicts is not None:
+            payload["max_conflicts"] = max_conflicts
+        return self.request(payload)
+
+    def status(self) -> Dict[str, Any]:
+        return self.request({"op": "status", "id": "status"})
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request({"op": "ping", "id": "ping"})
+
+    def shutdown(self,
+                 grace: Optional[float] = None) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"op": "shutdown", "id": "shutdown"}
+        if grace is not None:
+            payload["grace"] = grace
+        return self.request(payload)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class InProcessClient:
+    """A :class:`SolveServer` driven synchronously on a private loop."""
+
+    def __init__(self, config=None, *, fault_plan=None,
+                 solver_config=None, tracer=None):
+        self._loop = asyncio.new_event_loop()
+        self.server = SolveServer(config, fault_plan=fault_plan,
+                                  solver_config=solver_config,
+                                  tracer=tracer)
+        self._loop.run_until_complete(self.server.start())
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Serve one request to completion on the embedded loop."""
+        return self._loop.run_until_complete(
+            self.server.handle_message(payload))
+
+    # The submit/status/ping/shutdown conveniences mirror
+    # ServiceClient so tests can swap transports freely.
+    submit = ServiceClient.submit
+    status = ServiceClient.status
+    ping = ServiceClient.ping
+
+    def shutdown(self,
+                 grace: Optional[float] = None) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"op": "shutdown", "id": "shutdown"}
+        if grace is not None:
+            payload["grace"] = grace
+        return self.request(payload)
+
+    def close(self) -> None:
+        if not self.server._closed:
+            self.shutdown(grace=0.0)
+        self._loop.close()
+
+    def __enter__(self) -> "InProcessClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

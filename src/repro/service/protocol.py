@@ -1,0 +1,178 @@
+"""Wire protocol of the solve service: newline-delimited JSON.
+
+One request or response is one JSON object on one line (NDJSON) --
+trivially streamable over an asyncio TCP connection, debuggable with
+``nc`` and ``jq``, and free of any framing library.  Requests carry an
+``op``; responses carry a ``kind`` and echo the request ``id`` so a
+client may pipeline submissions over one connection and match answers
+by id.
+
+Request ops
+-----------
+
+``submit``
+    decide a formula.  The formula travels either as a DIMACS string
+    (``"dimacs"``) or as explicit ``"clauses"`` + ``"num_vars"``.
+    Optional: ``tenant`` (fairness bucket, default ``"default"``),
+    ``deadline`` (seconds of wall clock for this job),
+    ``max_conflicts`` (counter cap), ``certify`` (require a checked
+    DRUP proof / audited model), ``use_cache`` (default true).
+``status``
+    queue depths, active jobs with heartbeat ages, cache statistics.
+``ping``
+    liveness probe.
+``shutdown``
+    drain the queues and stop accepting work.
+
+Response kinds
+--------------
+
+``result``   terminal verdict (the ``body`` sub-object is the unit
+             the result cache stores, so a cache hit replays a
+             byte-identical body); ``rejected`` (admission control or
+             drain, with a ``code``); ``error`` (malformed request);
+             ``status``; ``pong``; ``shutdown``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Rejection / error codes carried in ``rejected`` and ``error``
+#: responses.  REJECTED_OVERLOAD is the explicit load-shedding answer
+#: -- a client that receives it knows the service is up and chose not
+#: to take the job, as opposed to a timeout that could mean anything.
+REJECTED_OVERLOAD = "REJECTED_OVERLOAD"
+SHUTTING_DOWN = "SHUTTING_DOWN"
+BAD_REQUEST = "BAD_REQUEST"
+
+#: Request operations understood by the server.
+OPS = ("submit", "status", "ping", "shutdown")
+
+
+class ProtocolError(ValueError):
+    """A request that violates the wire contract (-> BAD_REQUEST)."""
+
+
+def encode_message(payload: Dict[str, Any]) -> bytes:
+    """One NDJSON line (UTF-8, trailing newline) for *payload*."""
+    return (json.dumps(payload, separators=(",", ":"), sort_keys=True)
+            + "\n").encode("utf-8")
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    """Parse one NDJSON line into a dict.
+
+    Raises :class:`ProtocolError` on anything that is not a single
+    JSON object -- the server answers those with ``BAD_REQUEST``
+    instead of dying or closing the connection.
+    """
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"not a JSON line: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("request must be a JSON object")
+    return payload
+
+
+@dataclass
+class SubmitRequest:
+    """A validated ``submit`` request (see module docstring)."""
+
+    job_id: str
+    tenant: str
+    clause_lits: List[Tuple[int, ...]]
+    num_vars: int
+    deadline: Optional[float] = None
+    max_conflicts: Optional[int] = None
+    certify: bool = False
+    use_cache: bool = True
+    raw: Dict[str, Any] = field(default_factory=dict, repr=False)
+
+
+def _require_str(payload: Dict[str, Any], key: str,
+                 default: Optional[str] = None) -> str:
+    value = payload.get(key, default)
+    if not isinstance(value, str) or not value:
+        raise ProtocolError(f"{key!r} must be a non-empty string")
+    return value
+
+
+def _optional_number(payload: Dict[str, Any], key: str,
+                     integral: bool = False) -> Optional[float]:
+    value = payload.get(key)
+    if value is None:
+        return None
+    types = int if integral else (int, float)
+    if not isinstance(value, types) or isinstance(value, bool) \
+            or value <= 0:
+        kind = "a positive integer" if integral else "a positive number"
+        raise ProtocolError(f"{key!r} must be {kind}")
+    return value
+
+
+def _optional_bool(payload: Dict[str, Any], key: str,
+                   default: bool) -> bool:
+    value = payload.get(key, default)
+    if not isinstance(value, bool):
+        raise ProtocolError(f"{key!r} must be a boolean")
+    return value
+
+
+def parse_submit(payload: Dict[str, Any]) -> SubmitRequest:
+    """Validate a ``submit`` payload into a :class:`SubmitRequest`.
+
+    Everything a remote client sends is untrusted: the formula is
+    re-validated structurally here (and the service additionally
+    audits any SAT model against these clauses before believing it).
+    """
+    job_id = _require_str(payload, "id")
+    tenant = _require_str(payload, "tenant", default="default")
+
+    if "dimacs" in payload:
+        text = payload["dimacs"]
+        if not isinstance(text, str):
+            raise ProtocolError("'dimacs' must be a string")
+        from repro.cnf.dimacs import parse_dimacs
+        try:
+            formula = parse_dimacs(text)
+        except ValueError as exc:
+            raise ProtocolError(f"bad DIMACS: {exc}") from None
+        clause_lits = [tuple(clause) for clause in formula.clauses]
+        num_vars = formula.num_vars
+    elif "clauses" in payload:
+        clauses = payload["clauses"]
+        num_vars = payload.get("num_vars")
+        if not isinstance(num_vars, int) or isinstance(num_vars, bool) \
+                or num_vars < 0:
+            raise ProtocolError("'num_vars' must be an int >= 0")
+        if not isinstance(clauses, list):
+            raise ProtocolError("'clauses' must be a list of lists")
+        clause_lits = []
+        for clause in clauses:
+            if not isinstance(clause, list) or not all(
+                    isinstance(lit, int) and not isinstance(lit, bool)
+                    and lit != 0 and abs(lit) <= num_vars
+                    for lit in clause):
+                raise ProtocolError(
+                    "each clause must be a list of non-zero literals "
+                    "within num_vars")
+            clause_lits.append(tuple(clause))
+    else:
+        raise ProtocolError(
+            "submit requires 'dimacs' or 'clauses'+'num_vars'")
+
+    return SubmitRequest(
+        job_id=job_id,
+        tenant=tenant,
+        clause_lits=clause_lits,
+        num_vars=num_vars,
+        deadline=_optional_number(payload, "deadline"),
+        max_conflicts=_optional_number(payload, "max_conflicts",
+                                       integral=True),
+        certify=_optional_bool(payload, "certify", False),
+        use_cache=_optional_bool(payload, "use_cache", True),
+        raw=dict(payload))

@@ -1,0 +1,765 @@
+"""The asyncio solve server: fair admission, supervised workers,
+retry with inherited budgets, graceful degradation and drain.
+
+One :class:`SolveServer` owns the tenant queues, the result cache and
+a pool of at most ``max_workers`` concurrently running solve
+processes.  The control plane is a single asyncio event loop; the
+data plane is one ``multiprocessing`` process per job *attempt*,
+supervised from the loop through the same primitives the portfolio
+supervisor uses (a private result pipe, a heartbeat cell, termination
+on hang) but without blocking: the loop polls pipes with
+``poll(0)`` between ``await asyncio.sleep(poll_interval)`` ticks, so
+a hundred waiting clients cost nothing while two workers solve.
+
+The failure contract, end to end:
+
+* every accepted job receives exactly one terminal response --
+  result, or an explicit rejection; a crash, hang or poisoned payload
+  mid-job never strands the client;
+* a retried attempt runs under ``Budget.remaining_after(elapsed,
+  spent=...)`` of the *original* envelope -- wall clock shrinks by
+  time already burned and counter caps shrink by the effort prior
+  attempts demonstrably spent (their last progress snapshots), so
+  retries can never exceed what the caller asked for;
+* retry backoff is bounded-exponential with deterministic per-job
+  jitter (seeded from the job id, so chaos runs replay exactly);
+* when every attempt fails, the response is a *structured partial
+  result*: status UNKNOWN, ``degraded`` true with the failure kind,
+  and the last progress snapshot the dying worker reported;
+* certified jobs (``certify``) must pass the independent DRUP check
+  (UNSAT) or the model audit (SAT); a failed check *demotes* the
+  answer to UNKNOWN with ``degraded_reason = "certification"`` --
+  the service never forwards an answer it cannot defend;
+* shutdown drains: queued and running jobs finish within
+  ``grace_seconds``, stragglers are cancelled with a terminal
+  degraded response, and new submissions are rejected with
+  ``SHUTTING_DOWN`` throughout.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import random
+import shutil
+import tempfile
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.cnf.canonical import clauses_key
+from repro.cnf.formula import CNFFormula
+from repro.runtime.budget import Budget
+from repro.runtime.faults import ServiceFaultPlan
+from repro.runtime.supervisor import (
+    _DEATH_GRACE,
+    _model_satisfies,
+    stats_from_dict,
+)
+from repro.service.admission import (
+    ServiceConfig,
+    TenantQueues,
+    estimate_hardness,
+)
+from repro.service.cache import ResultCache
+from repro.service.protocol import (
+    BAD_REQUEST,
+    REJECTED_OVERLOAD,
+    SHUTTING_DOWN,
+    ProtocolError,
+    SubmitRequest,
+    encode_message,
+    decode_message,
+    parse_submit,
+)
+from repro.service.worker import _job_worker_main
+from repro.solvers.portfolio import PortfolioConfig
+from repro.solvers.result import SolverStats, Status
+
+
+class _Attempt:
+    """Outcome of one supervised worker attempt."""
+
+    __slots__ = ("kind", "status_name", "model", "stats", "partial",
+                 "proof_path")
+
+    def __init__(self, kind: str, status_name: Optional[str] = None,
+                 model: Optional[Dict[int, bool]] = None,
+                 stats: Optional[Dict[str, Any]] = None,
+                 partial: Optional[Dict[str, Any]] = None,
+                 proof_path: Optional[str] = None):
+        self.kind = kind          # result | crash | hang | poison |
+        self.status_name = status_name              # deadline
+        self.model = model
+        self.stats = stats
+        self.partial = partial
+        self.proof_path = proof_path
+
+
+class _Job:
+    """Server-side state of one accepted submission."""
+
+    __slots__ = ("request", "key", "future", "submitted_at",
+                 "dispatched_at", "heartbeat", "attempt_started",
+                 "task", "partial")
+
+    def __init__(self, request: SubmitRequest, key,
+                 future: "asyncio.Future"):
+        self.request = request
+        self.key = key
+        self.future = future
+        self.submitted_at = time.monotonic()
+        self.dispatched_at: Optional[float] = None
+        self.heartbeat = None            # current attempt's mp.Value
+        self.attempt_started: Optional[float] = None
+        self.task: Optional["asyncio.Task"] = None
+        self.partial: Optional[Dict[str, Any]] = None
+
+
+class SolveServer:
+    """See the module docstring for the full contract.
+
+    Parameters
+    ----------
+    config:
+        :class:`~repro.service.admission.ServiceConfig` tunables.
+    fault_plan:
+        scripted chaos (:class:`repro.runtime.faults.ServiceFaultPlan`)
+        keyed by job id -- crash/kill/hang/poison execute inside the
+        worker, delays stall the server's response.
+    solver_config:
+        the engine configuration jobs run under (default: a plain
+        VSIDS/luby CDCL).  Retried attempts run its ``perturbed``
+        variant, exactly like portfolio respawns.
+    tracer:
+        optional :class:`repro.obs.trace.Tracer`; the service emits
+        ``service.submit`` / ``service.reject`` / ``service.dispatch``
+        / ``service.retry`` / ``service.result`` /
+        ``service.shutdown`` events.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None, *,
+                 fault_plan: Optional[ServiceFaultPlan] = None,
+                 solver_config: Optional[PortfolioConfig] = None,
+                 tracer=None):
+        self.config = config or ServiceConfig()
+        self.fault_plan = fault_plan
+        self.tracer = tracer
+        self.solver_config = solver_config or PortfolioConfig(
+            name="service-cdcl")
+        self._queues = TenantQueues(self.config.queue_depth, self.config)
+        self._cache = ResultCache(self.config.cache_size)
+        self._active: Dict[str, _Job] = {}
+        self._pending_ids: set = set()
+        self._slots = asyncio.Semaphore(self.config.max_workers)
+        self._wake = asyncio.Event()
+        self._draining = False
+        self._closed = False
+        self._dispatcher: Optional["asyncio.Task"] = None
+        self._proof_dir: Optional[str] = None
+        self._jobs_done = 0
+        self._jobs_rejected = 0
+        self._retries = 0
+        self._cancelled = 0
+        self._started_at = time.monotonic()
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        """Arm the dispatcher (idempotent; requires a running loop)."""
+        if self._dispatcher is None:
+            self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    async def shutdown(self,
+                       grace: Optional[float] = None) -> Dict[str, Any]:
+        """Drain and stop: new submissions are rejected immediately,
+        queued and running jobs get ``grace`` seconds to finish, and
+        stragglers are cancelled with a terminal degraded response."""
+        self._draining = True
+        grace = self.config.grace_seconds if grace is None else grace
+        deadline = time.monotonic() + grace
+        while ((self._active or len(self._queues))
+               and time.monotonic() < deadline):
+            self._wake.set()
+            await asyncio.sleep(self.config.poll_interval)
+        cancelled = 0
+        # Queued-but-never-dispatched stragglers: reject explicitly.
+        while True:
+            job = self._queues.next_job()
+            if job is None:
+                break
+            cancelled += 1
+            self._pending_ids.discard(job.request.job_id)
+            if not job.future.done():
+                job.future.set_result(self._rejection(
+                    job.request.job_id, SHUTTING_DOWN,
+                    "server drained before this job was dispatched",
+                    tenant=job.request.tenant))
+        # Running stragglers: cancel; _run_job resolves their futures
+        # with a degraded terminal body.
+        for job in list(self._active.values()):
+            if job.task is not None and not job.task.done():
+                cancelled += 1
+                job.task.cancel()
+        waited = time.monotonic()
+        while self._active and time.monotonic() - waited < 5.0:
+            await asyncio.sleep(self.config.poll_interval)
+        self._closed = True
+        self._wake.set()
+        if self._dispatcher is not None:
+            await self._dispatcher
+            self._dispatcher = None
+        if self._proof_dir is not None:
+            shutil.rmtree(self._proof_dir, ignore_errors=True)
+            self._proof_dir = None
+        if self.tracer is not None:
+            self.tracer.event("service.shutdown",
+                              drained=self._jobs_done,
+                              cancelled=cancelled)
+        return {"kind": "shutdown", "drained": self._jobs_done,
+                "cancelled": cancelled}
+
+    # -- request handling ----------------------------------------------
+
+    async def handle_message(self,
+                             payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Serve one decoded request; always returns a response dict.
+
+        This is the transport-independent core: the TCP handler and
+        the in-process test client both call it.
+        """
+        await self.start()
+        op = payload.get("op")
+        request_id = payload.get("id")
+        if op == "ping":
+            return {"kind": "pong", "id": request_id}
+        if op == "status":
+            return self._status_response(request_id)
+        if op == "shutdown":
+            report = await self.shutdown(payload.get("grace"))
+            report["id"] = request_id
+            return report
+        if op == "submit":
+            return await self._handle_submit(payload)
+        return {"kind": "error", "id": request_id, "code": BAD_REQUEST,
+                "reason": f"unknown op {op!r}"}
+
+    async def _handle_submit(self,
+                             payload: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            request = parse_submit(payload)
+        except ProtocolError as exc:
+            return {"kind": "error", "id": payload.get("id"),
+                    "code": BAD_REQUEST, "reason": str(exc)}
+        if self.tracer is not None:
+            self.tracer.event("service.submit", job=request.job_id,
+                              tenant=request.tenant,
+                              vars=request.num_vars,
+                              clauses=len(request.clause_lits),
+                              certify=int(request.certify))
+        if self._draining:
+            return self._rejection(request.job_id, SHUTTING_DOWN,
+                                   "server is draining",
+                                   tenant=request.tenant)
+
+        key = (clauses_key(request.clause_lits, request.num_vars),
+               request.certify)
+        if request.use_cache:
+            body = self._cache.get(key)
+            if body is not None:
+                self._emit_result(request, body, cached=True,
+                                  wall=0.0)
+                await self._apply_delay(request.job_id)
+                return {"kind": "result", "id": request.job_id,
+                        "cached": True, "body": body}
+
+        if request.job_id in self._pending_ids:
+            return {"kind": "error", "id": request.job_id,
+                    "code": BAD_REQUEST,
+                    "reason": "a job with this id is already pending"}
+        hardness = estimate_hardness(request.num_vars,
+                                     len(request.clause_lits))
+        if (self.config.max_hardness is not None
+                and hardness > self.config.max_hardness):
+            return self._rejection(
+                request.job_id, REJECTED_OVERLOAD,
+                f"estimated hardness {hardness:.0f} exceeds the "
+                f"admission ceiling {self.config.max_hardness:.0f}",
+                tenant=request.tenant)
+
+        job = _Job(request, key,
+                   asyncio.get_running_loop().create_future())
+        if not self._queues.push(request.tenant, job):
+            return self._rejection(
+                request.job_id, REJECTED_OVERLOAD,
+                f"tenant {request.tenant!r} queue is full "
+                f"({self.config.queue_depth} deep)",
+                tenant=request.tenant)
+        self._pending_ids.add(request.job_id)
+        self._wake.set()
+        response = await job.future
+        await self._apply_delay(request.job_id)
+        return response
+
+    def _rejection(self, job_id: Optional[str], code: str,
+                   reason: str, tenant: str = "default"
+                   ) -> Dict[str, Any]:
+        self._jobs_rejected += 1
+        if self.tracer is not None:
+            self.tracer.event("service.reject", job=job_id or "?",
+                              tenant=tenant, code=code, reason=reason)
+        return {"kind": "rejected", "id": job_id, "code": code,
+                "reason": reason}
+
+    async def _apply_delay(self, job_id: str) -> None:
+        if self.fault_plan is None:
+            return
+        delay = self.fault_plan.delay(job_id)
+        if delay > 0:
+            await asyncio.sleep(delay)
+
+    def _status_response(self,
+                         request_id: Optional[str]) -> Dict[str, Any]:
+        now = time.monotonic()
+        active = []
+        for job in self._active.values():
+            entry = {"id": job.request.job_id,
+                     "tenant": job.request.tenant,
+                     "running_seconds": round(
+                         now - (job.dispatched_at or now), 3)}
+            if job.heartbeat is not None:
+                entry["heartbeat_age"] = round(
+                    now - job.heartbeat.value, 3)
+            active.append(entry)
+        return {"kind": "status", "id": request_id,
+                "draining": self._draining,
+                "uptime_seconds": round(now - self._started_at, 3),
+                "queues": self._queues.depths(),
+                "queued": len(self._queues),
+                "workers": {"max": self.config.max_workers,
+                            "busy": len(self._active)},
+                "active": active,
+                "cache": self._cache.stats(),
+                "jobs": {"done": self._jobs_done,
+                         "rejected": self._jobs_rejected,
+                         "retries": self._retries,
+                         "cancelled": self._cancelled}}
+
+    # -- dispatch ------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            if self._closed:
+                return
+            while len(self._queues):
+                await self._slots.acquire()
+                job = self._queues.next_job()
+                if job is None:
+                    self._slots.release()
+                    break
+                job.dispatched_at = time.monotonic()
+                self._active[job.request.job_id] = job
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "service.dispatch", job=job.request.job_id,
+                        tenant=job.request.tenant,
+                        queued_seconds=round(
+                            job.dispatched_at - job.submitted_at, 4))
+                job.task = asyncio.create_task(self._run_job(job))
+
+    async def _run_job(self, job: _Job) -> None:
+        request = job.request
+        try:
+            body = await self._execute(job)
+        except asyncio.CancelledError:
+            self._cancelled += 1
+            body = self._failure_body(job, "shutdown",
+                                      attempts=1)
+        except Exception as exc:      # pragma: no cover - last resort
+            body = self._failure_body(job, f"internal: {exc}",
+                                      attempts=1)
+        finally:
+            self._slots.release()
+            self._active.pop(request.job_id, None)
+            self._pending_ids.discard(request.job_id)
+            self._wake.set()
+        self._jobs_done += 1
+        if (request.use_cache
+                and body["status"] in ("SATISFIABLE", "UNSATISFIABLE")
+                and not body["degraded"]):
+            self._cache.put(job.key, body)
+        self._emit_result(request, body,
+                          cached=False,
+                          wall=time.monotonic() - job.submitted_at)
+        if not job.future.done():
+            job.future.set_result({"kind": "result",
+                                   "id": request.job_id,
+                                   "cached": False, "body": body})
+
+    def _emit_result(self, request: SubmitRequest,
+                     body: Dict[str, Any], cached: bool,
+                     wall: float) -> None:
+        if self.tracer is not None:
+            self.tracer.event(
+                "service.result", job=request.job_id,
+                tenant=request.tenant, status=body["status"],
+                attempts=body["attempts"], cached=int(cached),
+                degraded=int(body["degraded"]),
+                wall_seconds=round(wall, 4))
+
+    # -- job execution -------------------------------------------------
+
+    async def _execute(self, job: _Job) -> Dict[str, Any]:
+        """The retry loop: attempts under a shrinking budget."""
+        config = self.config
+        request = job.request
+        total = Budget(
+            wall_seconds=(request.deadline
+                          if request.deadline is not None
+                          else config.default_deadline),
+            max_conflicts=request.max_conflicts)
+        started = time.monotonic()
+        spent: Optional[SolverStats] = None
+        failure = "budget"
+        jitter = random.Random(f"{request.job_id}-backoff")
+        for attempt in range(config.max_attempts):
+            budget = total.remaining_after(time.monotonic() - started,
+                                           spent=spent)
+            if budget.exhausted:
+                failure = "budget"
+                break
+            outcome = await self._run_attempt(job, attempt, budget)
+            if outcome.partial is not None:
+                job.partial = outcome.partial
+                burned = stats_from_dict(outcome.partial["stats"])
+                if spent is None:
+                    spent = burned
+                else:
+                    spent.merge(burned)
+            if outcome.kind == "result":
+                return self._result_body(job, attempt + 1, outcome)
+            failure = outcome.kind
+            if outcome.kind == "deadline":
+                break
+            if attempt + 1 >= config.max_attempts:
+                break
+            self._retries += 1
+            delay = min(config.backoff_cap,
+                        config.backoff_seconds * (2 ** attempt))
+            delay *= 1.0 + 0.5 * jitter.random()
+            if total.wall_seconds is not None:
+                remaining = (total.wall_seconds
+                             - (time.monotonic() - started))
+                delay = max(0.0, min(delay, remaining))
+            if self.tracer is not None:
+                self.tracer.event("service.retry",
+                                  job=request.job_id,
+                                  attempt=attempt + 1,
+                                  failure=failure,
+                                  backoff_seconds=round(delay, 4))
+            await asyncio.sleep(delay)
+        attempts = min(config.max_attempts,
+                       max(1, attempt + (0 if failure == "budget"
+                                         else 1)))
+        return self._failure_body(job, failure, attempts=attempts)
+
+    async def _run_attempt(self, job: _Job, attempt: int,
+                           budget: Budget) -> _Attempt:
+        """Spawn and supervise one worker process, without blocking
+        the event loop."""
+        config = self.config
+        request = job.request
+        ctx = multiprocessing.get_context()
+        reader, writer = ctx.Pipe(duplex=False)
+        heartbeat = ctx.Value("d", time.monotonic())
+        job.heartbeat = heartbeat
+        job.attempt_started = time.monotonic()
+        fault_action = None
+        kill_after = 2
+        if self.fault_plan is not None:
+            fault_action = self.fault_plan.action(request.job_id,
+                                                  attempt)
+            kill_after = self.fault_plan.kill_after_checkpoints
+        proof_path = None
+        if request.certify:
+            proof_path = os.path.join(
+                self._ensure_proof_dir(),
+                f"job{abs(hash(request.job_id))}-a{attempt}.drup")
+        solver_config = self.solver_config
+        if attempt > 0:
+            solver_config = solver_config.perturbed(attempt)
+        proc = ctx.Process(
+            target=_job_worker_main,
+            args=(request.job_id, attempt, request.clause_lits,
+                  request.num_vars, solver_config, budget, heartbeat,
+                  writer, fault_action, kill_after,
+                  config.progress_interval, proof_path,
+                  config.worker_check_interval),
+            daemon=True)
+        proc.start()
+        writer.close()
+        started = time.monotonic()
+        deadline = (None if budget.wall_seconds is None
+                    else started + budget.wall_seconds
+                    + config.poll_interval)
+        partial: Optional[Dict[str, Any]] = None
+        died_at: Optional[float] = None
+        try:
+            while True:
+                now = time.monotonic()
+                try:
+                    while reader.poll(0):
+                        payload = reader.recv()
+                        parsed = self._parse_payload(
+                            request, payload, partial, proof_path)
+                        if parsed is None:
+                            continue          # stale attempt echo
+                        if isinstance(parsed, dict):
+                            partial = parsed  # progress snapshot
+                            continue
+                        if parsed.kind != "result":
+                            proc.terminate()
+                        parsed.partial = partial
+                        return parsed
+                except (EOFError, OSError):
+                    pass              # sender gone; liveness decides
+                if deadline is not None and now >= deadline:
+                    proc.terminate()
+                    return _Attempt("deadline", partial=partial)
+                if not proc.is_alive():
+                    if died_at is None:
+                        died_at = now
+                    elif now - died_at >= _DEATH_GRACE:
+                        return _Attempt("crash", partial=partial)
+                else:
+                    died_at = None
+                    if now - heartbeat.value > config.hang_timeout:
+                        proc.terminate()
+                        return _Attempt("hang", partial=partial)
+                await asyncio.sleep(config.poll_interval)
+        finally:
+            job.heartbeat = None
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5.0)
+            if proc.is_alive():       # pragma: no cover
+                proc.kill()
+                proc.join(timeout=5.0)
+            reader.close()
+
+    def _parse_payload(self, request: SubmitRequest, payload,
+                       partial, proof_path):
+        """Audit one worker pipe payload.
+
+        Returns a progress dict, a terminal :class:`_Attempt`
+        (``result`` for a believed verdict, ``poison`` for anything
+        malformed -- the sender loses all trust), or None for a stale
+        echo that should be skipped.
+        """
+        if (isinstance(payload, tuple) and len(payload) == 5
+                and payload[0] == "progress"):
+            _tag, job_id, attempt, elapsed, stats_dict = payload
+            if (job_id != request.job_id
+                    or not isinstance(attempt, int)
+                    or not isinstance(elapsed, (int, float))
+                    or isinstance(elapsed, bool) or elapsed < 0
+                    or not isinstance(stats_dict, dict)):
+                return _Attempt("poison")
+            return {"attempt": attempt, "elapsed": round(
+                float(elapsed), 4),
+                "stats": stats_from_dict(stats_dict).as_dict()}
+        if (isinstance(payload, tuple) and len(payload) == 6
+                and payload[0] == "result"):
+            _tag, job_id, attempt, status_name, model, stats = payload
+            if (job_id != request.job_id
+                    or status_name not in Status.__members__
+                    or not isinstance(stats, dict)):
+                return _Attempt("poison")
+            if model is not None:
+                if not isinstance(model, dict) or not all(
+                        isinstance(k, int) and isinstance(v, bool)
+                        for k, v in model.items()):
+                    return _Attempt("poison")
+            if Status[status_name] is Status.SATISFIABLE:
+                if model is None or not _model_satisfies(
+                        request.clause_lits, model):
+                    return _Attempt("poison")
+            return _Attempt("result", status_name=status_name,
+                            model=model,
+                            stats=stats_from_dict(stats).as_dict(),
+                            proof_path=proof_path)
+        return _Attempt("poison")
+
+    # -- terminal bodies -----------------------------------------------
+
+    def _result_body(self, job: _Job, attempts: int,
+                     outcome: _Attempt) -> Dict[str, Any]:
+        request = job.request
+        status = Status[outcome.status_name]
+        degraded = False
+        reason = None
+        certificate = None
+        if request.certify:
+            formula = CNFFormula(num_vars=request.num_vars,
+                                 clauses=request.clause_lits)
+            if status is Status.UNSATISFIABLE:
+                from repro.verify.certificate import check_unsat_proof
+                cert = check_unsat_proof(
+                    formula, outcome.proof_path or "", self.tracer)
+                certificate = {"kind": cert.kind, "valid": cert.valid,
+                               "steps": cert.steps,
+                               "reason": cert.reason}
+                if not cert.valid:
+                    # Demotion, not a flip: an UNSAT whose proof the
+                    # independent checker rejects is not an answer.
+                    status = Status.UNKNOWN
+                    degraded = True
+                    reason = "certification"
+            elif status is Status.SATISFIABLE:
+                from repro.cnf.assignment import Assignment
+                from repro.verify.certificate import model_certificate
+                cert = model_certificate(
+                    formula, Assignment(dict(outcome.model)))
+                certificate = {"kind": cert.kind, "valid": cert.valid,
+                               "steps": 0, "reason": cert.reason}
+                if not cert.valid:   # pragma: no cover - pre-audited
+                    status = Status.UNKNOWN
+                    degraded = True
+                    reason = "certification"
+            else:
+                certificate = {"kind": "none", "valid": None,
+                               "steps": 0,
+                               "reason": "no verdict to certify"}
+        if outcome.proof_path is not None:
+            try:
+                os.remove(outcome.proof_path)
+            except OSError:
+                pass
+        if status is Status.UNKNOWN and not degraded:
+            degraded = True
+            reason = "budget"
+        model_lits = None
+        if status is Status.SATISFIABLE:
+            model_lits = [var if value else -var
+                          for var, value in sorted(
+                              outcome.model.items())]
+        return {"status": status.name,
+                "model": model_lits,
+                "stats": outcome.stats,
+                "attempts": attempts,
+                "degraded": degraded,
+                "degraded_reason": reason,
+                "partial": None,
+                "certificate": certificate}
+
+    def _failure_body(self, job: _Job, reason: str,
+                      attempts: int) -> Dict[str, Any]:
+        """The graceful-degradation terminal: UNKNOWN plus the last
+        progress snapshot the failing worker managed to report."""
+        return {"status": Status.UNKNOWN.name,
+                "model": None,
+                "stats": (job.partial or {}).get("stats"),
+                "attempts": attempts,
+                "degraded": True,
+                "degraded_reason": reason,
+                "partial": job.partial,
+                "certificate": None}
+
+    def _ensure_proof_dir(self) -> str:
+        if self._proof_dir is None:
+            self._proof_dir = tempfile.mkdtemp(prefix="repro-service-")
+        return self._proof_dir
+
+    # -- TCP transport -------------------------------------------------
+
+    async def serve_tcp(self, host: str = "127.0.0.1",
+                        port: int = 0) -> "asyncio.AbstractServer":
+        """Bind a TCP endpoint speaking the NDJSON protocol.
+
+        Returns the asyncio server (its first socket carries the
+        bound port when ``port=0``); the caller owns its lifetime.
+        A ``shutdown`` request drains the solve pool but the TCP
+        listener is closed by the caller (``run_server`` does both).
+        """
+        await self.start()
+        return await asyncio.start_server(self._handle_connection,
+                                          host, port)
+
+    async def _handle_connection(self, reader, writer) -> None:
+        lock = asyncio.Lock()
+        pending: set = set()
+
+        async def respond(payload: Dict[str, Any]) -> None:
+            response = await self.handle_message(payload)
+            async with lock:
+                try:
+                    writer.write(encode_message(response))
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    pass
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    payload = decode_message(line)
+                except ProtocolError as exc:
+                    await respond_error(writer, lock, str(exc))
+                    continue
+                # Each request runs in its own task so submissions
+                # pipeline over one connection; clients match
+                # responses by id.
+                task = asyncio.create_task(respond(payload))
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+        finally:
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+async def respond_error(writer, lock: "asyncio.Lock",
+                        reason: str) -> None:
+    """Write one BAD_REQUEST line for an undecodable request."""
+    async with lock:
+        try:
+            writer.write(encode_message(
+                {"kind": "error", "id": None, "code": BAD_REQUEST,
+                 "reason": reason}))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def run_server(config: Optional[ServiceConfig] = None,
+                     host: str = "127.0.0.1", port: int = 9123, *,
+                     fault_plan: Optional[ServiceFaultPlan] = None,
+                     tracer=None,
+                     ready=None) -> None:
+    """Run a TCP solve server until a ``shutdown`` request arrives.
+
+    ``ready`` (optional callable) receives the bound ``(host, port)``
+    once listening -- the CLI prints it, tests grab the ephemeral
+    port.
+    """
+    server = SolveServer(config, fault_plan=fault_plan, tracer=tracer)
+    tcp = await server.serve_tcp(host, port)
+    bound = tcp.sockets[0].getsockname()[:2]
+    if ready is not None:
+        ready(bound)
+    try:
+        while not server._closed:
+            await asyncio.sleep(server.config.poll_interval)
+    finally:
+        tcp.close()
+        await tcp.wait_closed()

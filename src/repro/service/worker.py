@@ -1,0 +1,121 @@
+"""The service's solve worker: one process per job attempt.
+
+``_job_worker_main`` is the picklable entry point of a worker
+process.  It mirrors the portfolio worker
+(:func:`repro.runtime.supervisor._worker_main`) but is keyed by job
+id rather than worker index, writes its heartbeat to a dedicated
+``multiprocessing.Value`` and runs with a low cooperative-checkpoint
+interval, because service jobs are frequently small: a worker that
+checkpoints only every 4096 propagations would finish an easy
+instance without ever heartbeating, reporting progress, or honouring
+a mid-job fault.
+
+Payloads over the worker's private pipe:
+
+* ``("progress", job_id, attempt, elapsed, stats_dict)`` -- the
+  snapshot the server keeps as the job's last-known partial state
+  (and returns to the client when every attempt fails);
+* ``("result", job_id, attempt, status_name, model, stats_dict)`` --
+  the terminal payload; *model* is ``{var: bool}`` or None.
+
+Scripted faults (:class:`repro.runtime.faults.ServiceFaultPlan`):
+``crash`` dies via ``os._exit`` before touching the formula; ``hang``
+spins without heartbeating; ``poison`` sends a malformed payload and
+exits cleanly; ``kill_midjob`` solves normally until
+*kill_after_checkpoints* cooperative checkpoints have passed, pushes
+one final progress snapshot so the server demonstrably holds partial
+state, then dies -- the degradation path the tentpole exists to make
+testable.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.cnf.formula import CNFFormula
+from repro.runtime.budget import Budget
+from repro.runtime.faults import CRASH, HANG, KILL_MIDJOB, POISON
+from repro.runtime.supervisor import stats_to_dict
+
+#: Exit code of a scripted mid-job kill (distinct from the portfolio
+#: crash fault's 17, for post-mortem clarity in process tables).
+_KILL_EXIT = 23
+
+
+def _job_worker_main(job_id: str, attempt: int,
+                     clause_lits: List[Tuple[int, ...]], num_vars: int,
+                     config, budget: Optional[Budget],
+                     heartbeat, channel,
+                     fault_action: Optional[str],
+                     kill_after_checkpoints: int,
+                     progress_interval: float,
+                     proof_path: Optional[str],
+                     check_interval: int) -> None:
+    """Solve one job attempt and report over *channel* (see module
+    docstring for payload shapes and fault semantics)."""
+    if fault_action == CRASH:
+        os._exit(17)
+    if fault_action == HANG:
+        while True:           # pragma: no cover - killed externally
+            time.sleep(0.05)
+    if fault_action == POISON:
+        # Wrong shape AND a bogus status name: must fail the server's
+        # payload audit, never parse as a verdict.
+        channel.send(("garbage", job_id, "NOT_A_STATUS"))
+        channel.close()
+        return
+
+    heartbeat.value = time.monotonic()
+    started = time.monotonic()
+    formula = CNFFormula(num_vars=num_vars, clauses=clause_lits)
+    solver = config.build_solver(formula, budget=budget)
+    solver.checkpoint_interval = check_interval
+    sink = None
+    if proof_path is not None:
+        from repro.verify.drat import FileProofSink, attach_proof_stream
+        sink = attach_proof_stream(solver, FileProofSink(proof_path))
+
+    last_sent = [started]
+    ticks = [0]
+
+    def send_progress(now: float) -> None:
+        try:
+            channel.send(("progress", job_id, attempt, now - started,
+                          stats_to_dict(solver.stats)))
+        except (BrokenPipeError, OSError):
+            pass              # server gone; keep solving regardless
+
+    def checkpoint() -> None:
+        now = time.monotonic()
+        heartbeat.value = now
+        ticks[0] += 1
+        if now - last_sent[0] >= progress_interval:
+            last_sent[0] = now
+            send_progress(now)
+        if (fault_action == KILL_MIDJOB
+                and ticks[0] >= kill_after_checkpoints):
+            # Guarantee the server holds a partial snapshot before
+            # the death it is about to observe.
+            send_progress(now)
+            os._exit(_KILL_EXIT)
+
+    solver.on_checkpoint = checkpoint
+    result = solver.solve()
+    if sink is not None:
+        from repro.solvers.result import Status
+        sink.close()
+        if result.status is not Status.UNSATISFIABLE:
+            try:
+                os.remove(proof_path)
+            except OSError:
+                pass
+    heartbeat.value = time.monotonic()
+    model: Optional[Dict[int, bool]] = None
+    if result.assignment is not None:
+        model = {var: result.assignment.value_of(var)
+                 for var in result.assignment.assigned_variables()}
+    channel.send(("result", job_id, attempt, result.status.name,
+                  model, stats_to_dict(result.stats)))
+    channel.close()

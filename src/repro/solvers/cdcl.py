@@ -179,6 +179,10 @@ class CDCLSolver:
         #: Cooperative-checkpoint hook: fired every few thousand
         #: propagations while solving (portfolio worker heartbeats).
         self.on_checkpoint: Optional[Callable[[], None]] = None
+        #: Work units between checkpoint probes; ``None`` keeps the
+        #: engine default.  Service workers lower it so heartbeats
+        #: (and scripted mid-job faults) fire even on small formulas.
+        self.checkpoint_interval: Optional[int] = None
         #: Optional :class:`repro.obs.trace.Tracer`.  Spans wrap the
         #: solve call; progress snapshots ride the cooperative
         #: checkpoint above, so attaching a tracer adds NOTHING to the
@@ -915,7 +919,7 @@ class CDCLSolver:
         path then pays a single None-test per propagate call)."""
         tracer = self.tracer
         hook = self.on_checkpoint
-        interval = DEFAULT_CHECK_INTERVAL
+        interval = self.checkpoint_interval or DEFAULT_CHECK_INTERVAL
         if tracer is not None:
             reporter = self._progress_reporter(tracer)
             if hook is None:

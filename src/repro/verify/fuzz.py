@@ -38,6 +38,7 @@ import tempfile
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.cnf.canonical import renumber
 from repro.cnf.dimacs import save_dimacs
 from repro.cnf.formula import CNFFormula
 from repro.cnf.generators import random_ksat
@@ -339,14 +340,11 @@ def shrink_formula(formula: CNFFormula,
 
     shrunk = build(clauses)
     # Compact the variable space: reproducers read better as 1..k.
-    used = sorted({abs(lit) for cl in clauses for lit in cl})
-    if used and (used != list(range(1, len(used) + 1))
-                 or len(used) < num_vars):
-        mapping = {var: new for new, var in enumerate(used, start=1)}
-        renamed = CNFFormula(
-            num_vars=len(used),
-            clauses=[tuple(mapping[abs(l)] * (1 if l > 0 else -1)
-                           for l in cl) for cl in clauses])
+    # The renumbering is the shared repro.cnf.canonical helper -- the
+    # same transformation that feeds the service's cache key.
+    renamed, mapping = renumber(shrunk)
+    if mapping and (renamed.num_vars < num_vars
+                    or any(old != new for old, new in mapping.items())):
         if predicate(renamed):
             return renamed
     return shrunk

@@ -55,6 +55,46 @@ class TestBudgetValueObject:
         counters = Budget(max_conflicts=7)
         assert counters.remaining_after(5.0) is counters
 
+    def test_remaining_after_threads_spent_counters(self):
+        # A retried call (supervisor respawn, service retry) hands the
+        # prior attempt's consumed counters through `spent`: caps
+        # shrink so the retry can never exceed the original envelope.
+        budget = Budget(wall_seconds=10.0, max_conflicts=100,
+                        max_decisions=500, max_flips=50,
+                        max_memory_mb=64.0)
+        spent = SolverStats()
+        spent.conflicts = 30
+        spent.decisions = 100
+        spent.flips = 60          # overshoot clamps at zero
+        tail = budget.remaining_after(4.0, spent=spent)
+        assert tail.wall_seconds == pytest.approx(6.0)
+        assert tail.max_conflicts == 70
+        assert tail.max_decisions == 400
+        assert tail.max_flips == 0
+        assert tail.max_memory_mb == 64.0   # a reading, not an allowance
+
+    def test_remaining_after_spent_without_deadline(self):
+        # Counter-only budgets shrink too (the old code returned the
+        # budget unchanged whenever no deadline was set).
+        budget = Budget(max_conflicts=100)
+        spent = SolverStats()
+        spent.conflicts = 99
+        assert budget.remaining_after(0.0, spent=spent) \
+            .max_conflicts == 1
+        # uncapped axes stay uncapped
+        assert budget.remaining_after(0.0, spent=spent) \
+            .max_decisions is None
+
+    def test_exhausted_property(self):
+        assert not Budget().exhausted
+        assert not Budget(wall_seconds=1.0, max_conflicts=5).exhausted
+        assert Budget(wall_seconds=0.0).exhausted
+        assert Budget(max_conflicts=0).exhausted
+        spent = SolverStats()
+        spent.conflicts = 10
+        assert Budget(max_conflicts=10) \
+            .remaining_after(0.0, spent=spent).exhausted
+
     def test_meter_requires_positive_interval(self):
         with pytest.raises(ValueError):
             Budget().meter(check_interval=0)

@@ -351,3 +351,105 @@ class TestCertification:
         out = capsys.readouterr().out
         assert code == 0
         assert "0 failure(s)" in out
+
+
+class TestSolveExitCodes:
+    def test_budget_unknown_is_exit_zero(self, tmp_path, capsys):
+        path = str(tmp_path / "hard.cnf")
+        save_dimacs(pigeonhole(6), path)
+        assert main(["solve", path, "--max-conflicts", "2",
+                     "--certify"]) == 0
+        assert "s UNKNOWN" in capsys.readouterr().out
+
+    def test_certification_failure_is_exit_thirty(self, tmp_path,
+                                                  capsys, monkeypatch):
+        # An UNSAT claim whose proof fails the independent check is
+        # demoted to UNKNOWN -- and that UNKNOWN is distinguishable
+        # from a benign budget UNKNOWN by exit code 30.
+        from repro.verify.checker import CheckOutcome
+        monkeypatch.setattr(
+            "repro.verify.certificate.check_proof_file",
+            lambda formula, path: CheckOutcome(
+                valid=False, error="forced failure"))
+        path = str(tmp_path / "unsat.cnf")
+        save_dimacs(pigeonhole(3), path)
+        assert main(["solve", path, "--certify"]) == 30
+        out = capsys.readouterr().out
+        assert "s UNKNOWN" in out
+        assert "proof INVALID" in out
+
+
+class TestServiceCLI:
+    @pytest.fixture
+    def server_port(self):
+        import asyncio
+        import threading
+        from repro.service import ServiceConfig
+        from repro.service.server import run_server
+
+        config = ServiceConfig(max_workers=1, poll_interval=0.01,
+                               backoff_seconds=0.01)
+        bound = {}
+        ready = threading.Event()
+
+        def _note(addr):
+            bound["port"] = addr[1]
+            ready.set()
+
+        thread = threading.Thread(
+            target=lambda: asyncio.run(
+                run_server(config, port=0, ready=_note)),
+            daemon=True)
+        thread.start()
+        assert ready.wait(10.0), "service did not come up"
+        yield bound["port"]
+        main(["submit", "--port", str(bound["port"]), "--shutdown"])
+        thread.join(10.0)
+
+    def test_submit_sat_unsat_and_cache(self, tmp_path, capsys,
+                                        server_port):
+        port = str(server_port)
+        sat = str(tmp_path / "sat.cnf")
+        unsat = str(tmp_path / "unsat.cnf")
+        save_dimacs(random_ksat_at_ratio(10, ratio=3.0, seed=0), sat)
+        save_dimacs(pigeonhole(3), unsat)
+
+        assert main(["submit", sat, "--port", port]) == 10
+        out = capsys.readouterr().out
+        assert "s SATISFIABLE" in out
+        assert out.splitlines()[-1].startswith("v ")
+
+        assert main(["submit", unsat, "--port", port,
+                     "--certify"]) == 20
+        out = capsys.readouterr().out
+        assert "s UNSATISFIABLE" in out
+        assert "c certificate: proof verified" in out
+
+        # Same formula again: served from the cache.
+        assert main(["submit", sat, "--port", port,
+                     "--id", "repeat"]) == 10
+        assert "(cached)" in capsys.readouterr().out
+
+    def test_submit_status_and_ping(self, capsys, server_port):
+        import json
+        port = str(server_port)
+        assert main(["submit", "--port", port, "--ping"]) == 0
+        capsys.readouterr()
+        assert main(["submit", "--port", port, "--status"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["kind"] == "status"
+        assert status["workers"]["max"] == 1
+
+    def test_submit_overload_is_exit_two(self, tmp_path, capsys):
+        # No server listening on a fresh ephemeral port: the client
+        # reports the connection failure as an error, exit 2.
+        import socket
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        free_port = probe.getsockname()[1]
+        probe.close()
+        path = str(tmp_path / "sat.cnf")
+        save_dimacs(random_ksat_at_ratio(8, ratio=3.0, seed=1), path)
+        assert main(["submit", path, "--port",
+                     str(free_port)]) == 2
+        assert "error" in capsys.readouterr().err

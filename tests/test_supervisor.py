@@ -145,6 +145,86 @@ class TestCrashRecovery:
 
 
 @pytest.mark.slow
+class TestRespawnBudgetThreading:
+    """A respawned worker must get the *remaining* budget, never the
+    original one (satellite fix: retries can't exceed the caller's
+    total envelope)."""
+
+    def test_respawn_receives_shrunk_deadline(self, tmp_path,
+                                              monkeypatch):
+        # Record every worker attempt's budget by wrapping the worker
+        # entry point; the fork start method carries the patched
+        # module global into the children.
+        import repro.runtime.supervisor as sup
+
+        log = tmp_path / "budgets.jsonl"
+        real_worker = sup._worker_main
+
+        def recording_worker(index, attempt, clause_lits, num_vars,
+                             config, budget, *args, **kwargs):
+            import json
+            with open(log, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps({
+                    "attempt": attempt,
+                    "wall": None if budget is None
+                    else budget.wall_seconds,
+                    "max_conflicts": None if budget is None
+                    else budget.max_conflicts}) + "\n")
+            return real_worker(index, attempt, clause_lits, num_vars,
+                               config, budget, *args, **kwargs)
+
+        monkeypatch.setattr(sup, "_worker_main", recording_worker)
+        from repro.runtime.budget import Budget
+        report = Supervisor(default_portfolio(1),
+                            budget=Budget(wall_seconds=30.0,
+                                          max_conflicts=100_000),
+                            fault_plan=FaultPlan.crash_all_once(1),
+                            backoff_seconds=0.05).run(_sat_formula())
+        assert report.status is Status.SATISFIABLE
+        import json
+        records = sorted((json.loads(line)
+                          for line in log.read_text().splitlines()),
+                         key=lambda r: r["attempt"])
+        assert [r["attempt"] for r in records] == [0, 1]
+        assert records[0]["wall"] == pytest.approx(30.0, abs=0.5)
+        # The respawn ran >= backoff_seconds later: its deadline must
+        # have shrunk, not reset to the original 30 s.
+        assert records[1]["wall"] < records[0]["wall"]
+        assert records[1]["max_conflicts"] == 100_000  # nothing spent
+        assert _no_orphans()
+
+    def test_slot_spent_sums_last_snapshot_per_attempt(self):
+        from repro.runtime.supervisor import _Slot, _slot_spent
+
+        slot = _Slot(0, default_portfolio(1)[0])
+        assert _slot_spent(slot) is None
+        slot.timeline = [
+            {"attempt": 0, "elapsed": 0.1,
+             "stats": {"conflicts": 10, "decisions": 20, "flips": 0}},
+            {"attempt": 0, "elapsed": 0.2,
+             "stats": {"conflicts": 25, "decisions": 50, "flips": 0}},
+            {"attempt": 1, "elapsed": 0.1,
+             "stats": {"conflicts": 5, "decisions": 8, "flips": 0}},
+        ]
+        spent = _slot_spent(slot)
+        # Latest snapshot per attempt, summed across attempts.
+        assert spent.conflicts == 30
+        assert spent.decisions == 58
+
+    def test_respawn_budget_shrinks_counter_caps(self):
+        from repro.runtime.budget import Budget
+        from repro.runtime.supervisor import _Slot, _slot_spent
+
+        slot = _Slot(0, default_portfolio(1)[0])
+        slot.timeline = [{"attempt": 0, "elapsed": 0.3,
+                          "stats": {"conflicts": 40, "decisions": 90,
+                                    "flips": 0}}]
+        budget = Budget(max_conflicts=100, max_decisions=200)
+        tail = budget.remaining_after(0.0, spent=_slot_spent(slot))
+        assert tail.max_conflicts == 60
+        assert tail.max_decisions == 110
+
+
 class TestHangDetection:
     def test_all_hung_times_out_within_deadline(self):
         """Acceptance: all workers hung -> UNKNOWN with per-worker
