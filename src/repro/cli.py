@@ -60,12 +60,27 @@ def _budget_from_args(args):
 
 def _tracer_from_args(args):
     """Build a :class:`repro.obs.Tracer` writing JSONL to the
-    ``--trace`` target (None when the flag is absent or unset)."""
+    ``--trace`` target (None when the flag is absent or unset).
+
+    ``repro serve`` opts into a buffered, size-rotated sink (its
+    trace lives for the server's whole lifetime); every other command
+    keeps the crash-safe flush-per-line default.  The tracer opens
+    with a ``trace.meta`` event so ``repro profile`` can rebase this
+    trace against others when merging.
+    """
     target = getattr(args, "trace", None)
     if target is None:
         return None
     from repro.obs import JsonlSink, Tracer
-    return Tracer(JsonlSink(target))
+    max_mb = getattr(args, "trace_max_mb", None)
+    sink = JsonlSink(
+        target,
+        buffered=bool(getattr(args, "trace_buffered", False)),
+        max_bytes=(int(max_mb * 1024 * 1024)
+                   if max_mb else None))
+    tracer = Tracer(sink)
+    tracer.emit_meta()
+    return tracer
 
 
 def _add_obs_flags(subparser) -> None:
@@ -386,10 +401,10 @@ def _cmd_optimize(args) -> int:
 
 
 def _cmd_profile(args) -> int:
-    from repro.obs.profile import profile_trace
+    from repro.obs.profile import profile_traces
     from repro.solvers.kernels import capability
 
-    text, problems = profile_trace(args.file)
+    text, problems = profile_traces(args.files)
     print(text)
     cap = capability()
     numpy_note = (f"numpy {cap['numpy_version']}" if cap["numpy"]
@@ -457,6 +472,10 @@ def _cmd_serve(args) -> int:
         max_hardness=args.max_hardness,
         default_deadline=args.default_deadline,
         grace_seconds=args.grace_seconds)
+    worker_trace_dir = args.worker_trace_dir
+    if worker_trace_dir is None and args.trace is not None \
+            and not args.no_worker_traces:
+        worker_trace_dir = args.trace + ".workers"
 
     def ready(bound):
         print(f"listening on {bound[0]}:{bound[1]}", flush=True)
@@ -465,12 +484,51 @@ def _cmd_serve(args) -> int:
         asyncio.run(run_server(config, args.host, args.port,
                                fault_plan=fault_plan,
                                tracer=getattr(args, "obs_tracer", None),
+                               worker_trace_dir=worker_trace_dir,
                                ready=ready))
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
         return 1
     print("drained and stopped")
     return 0
+
+
+def _progress_printer():
+    """A per-frame renderer for ``repro submit --stream``.
+
+    On a TTY each frame repaints one status line in place; piped
+    output gets one ``c progress ...`` line per frame (DIMACS-comment
+    prefixed, so downstream result parsing is unaffected).
+    """
+    tty = sys.stdout.isatty()
+    saw_frame = [False]
+
+    def show(frame):
+        snap = frame.get("snapshot", {})
+        rate = snap.get("propagations_per_sec", 0)
+        line = (f"c progress #{frame.get('seq')} "
+                f"attempt {frame.get('attempt')} "
+                f"{frame.get('elapsed', 0):.1f}s: "
+                f"{snap.get('conflicts', 0):,} conflicts, "
+                f"{snap.get('propagations', 0):,} props "
+                f"({rate:,.0f}/s), "
+                f"{snap.get('restarts', 0)} restarts")
+        if "arena_fill" in snap:
+            line += f", arena {snap['arena_fill']:.2f}"
+        if tty:
+            sys.stdout.write("\r\x1b[K" + line)
+            saw_frame[0] = True
+        else:
+            sys.stdout.write(line + "\n")
+        sys.stdout.flush()
+
+    def finish():
+        if tty and saw_frame[0]:
+            sys.stdout.write("\n")
+            sys.stdout.flush()
+
+    show.finish = finish
+    return show
 
 
 def _cmd_submit(args) -> int:
@@ -493,28 +551,38 @@ def _cmd_submit(args) -> int:
               file=sys.stderr)
         return 2
     try:
-        if args.ping:
+        if args.ping or args.op == "ping":
             response = client.ping()
             print(response["kind"])
             return 0 if response.get("kind") == "pong" else 2
-        if args.status:
+        if args.status or args.op == "status":
             import json
             print(json.dumps(client.status(), indent=2, sort_keys=True))
             return 0
-        if args.shutdown:
+        if args.op == "metrics":
+            response = client.metrics()
+            if response.get("kind") != "metrics":
+                print(f"ERROR [{response.get('code')}]: "
+                      f"{response.get('reason')}", file=sys.stderr)
+                return 2
+            sys.stdout.write(response.get("text", ""))
+            return 0
+        if args.shutdown or args.op == "shutdown":
             response = client.shutdown(grace=args.grace_seconds)
             print(f"drained {response.get('drained', 0)} job(s), "
                   f"cancelled {response.get('cancelled', 0)}")
             return 0
         if dimacs is None:
-            print("error: a CNF file (or --status/--ping/--shutdown) "
-                  "is required", file=sys.stderr)
+            print("error: a CNF file (or --status/--ping/--shutdown/"
+                  "--op) is required", file=sys.stderr)
             return 2
         job_id = args.id or os.path.basename(args.file)
+        on_progress = _progress_printer() if args.stream else None
         response = client.submit(
             job_id, dimacs=dimacs, tenant=args.tenant,
             deadline=args.deadline, max_conflicts=args.max_conflicts,
-            certify=args.certify, use_cache=not args.no_cache)
+            certify=args.certify, use_cache=not args.no_cache,
+            stream=args.stream, on_progress=on_progress)
     except BrokenPipeError:
         raise           # stdout's consumer went away, not the server
     except (ConnectionError, OSError) as exc:
@@ -522,6 +590,8 @@ def _cmd_submit(args) -> int:
         return 2
     finally:
         client.close()
+    if on_progress is not None:
+        on_progress.finish()
     kind = response.get("kind")
     if kind == "rejected":
         print(f"REJECTED [{response.get('code')}]: "
@@ -561,6 +631,25 @@ def _cmd_submit(args) -> int:
     if status == "UNSATISFIABLE":
         return 20
     return 30 if body.get("degraded_reason") == "certification" else 0
+
+
+def _cmd_top(args) -> int:
+    from repro.service.client import ServiceClient
+    from repro.service.top import run_top
+
+    try:
+        client = ServiceClient(args.host, args.port,
+                               timeout=args.client_timeout)
+    except OSError as exc:
+        print(f"error: cannot reach {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    iterations = 1 if args.once else args.iterations
+    try:
+        return run_top(client, interval=args.interval,
+                       iterations=iterations, clear=not args.once)
+    finally:
+        client.close()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -664,8 +753,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     profile = commands.add_parser(
         "profile",
-        help="per-phase effort report from a --trace JSONL file")
-    profile.add_argument("file")
+        help="per-phase effort report from --trace JSONL files; "
+             "several files (server + worker traces) are merged "
+             "into one correlated timeline")
+    profile.add_argument("files", nargs="+", metavar="FILE")
     profile.set_defaults(handler=_cmd_profile)
 
     check = commands.add_parser(
@@ -724,7 +815,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "testing, e.g. "
                             "'{\"crashes\": {\"job-1\": 1}}'")
     _add_obs_flags(serve)
-    serve.set_defaults(handler=_cmd_serve)
+    serve.add_argument("--trace-max-mb", type=float, default=64.0,
+                       metavar="MB",
+                       help="rotate the server --trace file when it "
+                            "exceeds this size (old file kept as "
+                            "FILE.1; 0 disables rotation)")
+    serve.add_argument("--worker-trace-dir", default=None,
+                       metavar="DIR",
+                       help="per-attempt worker trace files go here "
+                            "(default: '<trace>.workers' when "
+                            "--trace is set); merge with 'repro "
+                            "profile TRACE DIR/*.jsonl'")
+    serve.add_argument("--no-worker-traces", action="store_true",
+                       help="suppress the default worker trace dir "
+                            "even when --trace is set")
+    # A server trace is long-lived: buffered writes, not per-line
+    # flushes (solver traces elsewhere keep the crash-safe default).
+    serve.set_defaults(handler=_cmd_serve, trace_buffered=True)
 
     submit = commands.add_parser(
         "submit",
@@ -749,12 +856,43 @@ def build_parser() -> argparse.ArgumentParser:
                         help="socket timeout waiting for the response")
     submit.add_argument("--grace-seconds", type=float, default=None,
                         help="drain window passed with --shutdown")
+    submit.add_argument("--stream", action="store_true",
+                        help="receive live mid-solve progress frames "
+                             "(rendered as a repainting status line "
+                             "on a TTY, 'c progress' lines when "
+                             "piped)")
+    submit.add_argument("--op", default=None,
+                        choices=("metrics", "status", "ping",
+                                 "shutdown"),
+                        help="send a non-submit op instead of a job; "
+                             "'metrics' prints the Prometheus "
+                             "exposition text")
     submit.add_argument("--status", action="store_true",
                         help="print the server STATUS as JSON")
     submit.add_argument("--ping", action="store_true")
     submit.add_argument("--shutdown", action="store_true",
                         help="drain the server and stop it")
     submit.set_defaults(handler=_cmd_submit)
+
+    top = commands.add_parser(
+        "top",
+        help="live dashboard of a running 'repro serve' (per-tenant "
+             "queues, deficits, workers, throughput, cache)")
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=9123)
+    top.add_argument("--interval", type=float, default=2.0,
+                     metavar="SECONDS",
+                     help="refresh period")
+    top.add_argument("--iterations", type=int, default=None,
+                     metavar="N",
+                     help="stop after N refreshes (default: until "
+                          "interrupted)")
+    top.add_argument("--once", action="store_true",
+                     help="render one frame without clearing the "
+                          "screen and exit (scripts, smoke tests)")
+    top.add_argument("--client-timeout", type=float, default=10.0,
+                     metavar="SECONDS")
+    top.set_defaults(handler=_cmd_top)
     return parser
 
 

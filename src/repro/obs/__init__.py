@@ -18,11 +18,15 @@ service needs:
   search shape (propagation-burst lengths, backjump distances,
   learned-clause sizes, LBD), snapshotted into ``SolverStats.metrics``
   and serializable to JSON.
-* :mod:`repro.obs.profile` -- replay of a recorded trace into a
+* :mod:`repro.obs.profile` -- replay of recorded traces into a
   human-readable per-phase effort report (the ``repro profile``
-  subcommand).
+  subcommand), including merged server+worker traces correlated into
+  per-job timelines.
+* :mod:`repro.obs.export` -- Prometheus text exposition of metrics
+  snapshots (the service's ``metrics`` op) plus a format linter.
 """
 
+from repro.obs.export import lint_exposition, render_prometheus
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -31,7 +35,14 @@ from repro.obs.metrics import (
     SearchMetrics,
     merge_snapshots,
 )
-from repro.obs.profile import build_report, profile_trace, render_report
+from repro.obs.profile import (
+    build_job_timelines,
+    build_report,
+    profile_trace,
+    profile_traces,
+    read_traces,
+    render_report,
+)
 from repro.obs.trace import (
     EVENT_KINDS,
     JsonlSink,
@@ -53,9 +64,14 @@ __all__ = [
     "NullSink",
     "SearchMetrics",
     "Tracer",
+    "build_job_timelines",
     "build_report",
+    "lint_exposition",
     "merge_snapshots",
     "profile_trace",
+    "profile_traces",
+    "read_traces",
+    "render_prometheus",
     "render_report",
     "validate_event",
     "validate_trace_file",

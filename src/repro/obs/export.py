@@ -1,0 +1,259 @@
+"""Prometheus text exposition for metrics snapshots.
+
+:func:`render_prometheus` turns the plain-dict snapshots produced by
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` (and merged by
+:func:`~repro.obs.metrics.merge_snapshots`) into the Prometheus text
+format (version 0.0.4) -- the lingua franca every metrics scraper
+understands, so the service's ``metrics`` protocol op needs no new
+dependency to be scrapeable.
+
+Snapshot names may carry labels inline, ``base{key="value",...}``;
+metrics sharing a base name form one *family* and get one ``# TYPE``
+line.  This keeps the registry itself label-free (it stays a flat
+name->metric dict) while letting the service register per-tenant
+series like ``service.queue_wait_seconds{tenant="acme"}``.
+
+Mapping rules:
+
+- dots (and any other character outside ``[a-zA-Z0-9_:]``) in the base
+  name become ``_``;
+- counters get a ``_total`` suffix (unless already present);
+- gauges render verbatim;
+- histograms render the standard cumulative ``_bucket{le="..."}``
+  series (one per bound plus ``+Inf``) and ``_sum``/``_count``;
+- output is deterministic: families sorted by name, label sets sorted
+  within a family.
+
+:func:`lint_exposition` is the matching format checker CI runs over a
+live scrape.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+__all__ = ["render_prometheus", "lint_exposition"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_LABELED = re.compile(r"^(?P<base>[^{]+)\{(?P<labels>.*)\}$")
+_METRIC_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})? "
+    r"(?P<value>[^ ]+)$")
+_LABEL_PAIR = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"$')
+
+
+def _sanitize(base: str) -> str:
+    name = _NAME_OK.sub("_", base)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _split_name(name: str) -> Tuple[str, str]:
+    """``"a.b{t=\"x\"}"`` -> ``("a_b", '{t="x"}')``."""
+    match = _LABELED.match(name)
+    if match is None:
+        return _sanitize(name), ""
+    return _sanitize(match.group("base")), "{%s}" % match.group("labels")
+
+
+def _merge_labels(labels: str, extra: str) -> str:
+    """Combine a ``{...}`` label block with one extra ``k="v"`` pair."""
+    if not labels:
+        return "{%s}" % extra
+    return labels[:-1] + "," + extra + "}"
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if math.isnan(value):
+            return "NaN"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    return str(value)
+
+
+def render_prometheus(snapshots: Mapping[str, Dict[str, Any]],
+                      prefix: str = "") -> str:
+    """Render metric *snapshots* as Prometheus exposition text.
+
+    *snapshots* maps metric names (possibly label-carrying, see module
+    docstring) to the dicts ``MetricsRegistry.snapshot`` produces.
+    *prefix* is prepended to every family name (e.g. ``"repro_"``).
+    Returns the full exposition, newline-terminated; unknown snapshot
+    types are skipped rather than fatal so an old scraper survives a
+    newer registry.
+    """
+    # family base name -> (prom_type, [(labels, snap)])
+    families: Dict[str, Tuple[str, List[Tuple[str, Dict[str, Any]]]]] = {}
+    for name in sorted(snapshots):
+        snap = snapshots[name]
+        kind = snap.get("type")
+        if kind == "counter":
+            prom_type = "counter"
+        elif kind == "gauge":
+            prom_type = "gauge"
+        elif kind == "histogram":
+            prom_type = "histogram"
+        else:
+            continue
+        base, labels = _split_name(name)
+        base = _sanitize(prefix) + base if prefix else base
+        if prom_type == "counter" and not base.endswith("_total"):
+            base += "_total"
+        fam = families.get(base)
+        if fam is None:
+            families[base] = (prom_type, [(labels, snap)])
+        elif fam[0] == prom_type:
+            fam[1].append((labels, snap))
+        # a base name claimed by two types: first type wins, the
+        # conflicting series is dropped (render must stay total)
+
+    lines: List[str] = []
+    for base in sorted(families):
+        prom_type, series = families[base]
+        lines.append(f"# TYPE {base} {prom_type}")
+        for labels, snap in sorted(series):
+            if prom_type in ("counter", "gauge"):
+                lines.append(f"{base}{labels} {_fmt(snap['value'])}")
+                continue
+            # histogram: cumulative buckets + sum/count
+            cumulative = 0
+            buckets = snap.get("buckets") or []
+            bounds = snap.get("bounds") or []
+            for bound, count in zip(bounds, buckets):
+                cumulative += count
+                lines.append(
+                    f"{base}_bucket"
+                    f"{_merge_labels(labels, _le_pair(bound))} "
+                    f"{cumulative}")
+            if len(buckets) == len(bounds) + 1:
+                cumulative += buckets[-1]
+            inf_pair = 'le="+Inf"'
+            lines.append(
+                f"{base}_bucket{_merge_labels(labels, inf_pair)} "
+                f"{cumulative}")
+            lines.append(f"{base}_sum{labels} {_fmt(snap.get('sum', 0))}")
+            lines.append(
+                f"{base}_count{labels} {_fmt(snap.get('count', 0))}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _le_pair(bound: Any) -> str:
+    """The ``le="..."`` pair for one histogram bound."""
+    return 'le="%s"' % _fmt(float(bound))
+
+
+def lint_exposition(text: str) -> List[str]:
+    """Problems with Prometheus exposition *text* (empty = valid).
+
+    A pragmatic subset of the format spec, strong enough to catch
+    every mistake a renderer bug could produce: malformed metric
+    lines, samples without a preceding ``# TYPE``, duplicate TYPE
+    lines, non-numeric values, counters not ending in ``_total``, and
+    non-monotonic histogram buckets.
+    """
+    problems: List[str] = []
+    typed: Dict[str, str] = {}
+    bucket_last: Dict[str, float] = {}
+    if text and not text.endswith("\n"):
+        problems.append("exposition must end with a newline")
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary",
+                    "untyped"):
+                problems.append(f"line {lineno}: malformed TYPE line")
+                continue
+            name = parts[2]
+            if name in typed:
+                problems.append(
+                    f"line {lineno}: duplicate TYPE for {name}")
+            typed[name] = parts[3]
+            if parts[3] == "counter" and not name.endswith("_total"):
+                problems.append(
+                    f"line {lineno}: counter {name} lacks _total")
+            continue
+        if line.startswith("#"):
+            continue               # HELP/comments: fine, unchecked
+        match = _METRIC_LINE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: malformed sample: "
+                            f"{line[:60]!r}")
+            continue
+        name, labels, value = (match.group("name"),
+                               match.group("labels"),
+                               match.group("value"))
+        family = _family_of(name, typed)
+        if family is None:
+            problems.append(
+                f"line {lineno}: sample {name} without TYPE")
+        if labels:
+            for pair in _split_pairs(labels[1:-1]):
+                if not _LABEL_PAIR.match(pair):
+                    problems.append(
+                        f"line {lineno}: bad label pair {pair!r}")
+        parsed = _parse_value(value)
+        if parsed is None:
+            problems.append(
+                f"line {lineno}: non-numeric value {value!r}")
+        elif (family is not None and name.endswith("_bucket")
+                and typed.get(family) == "histogram"):
+            key = name + (labels or "")
+            key = re.sub(r'le="[^"]*",?', "", key)
+            last = bucket_last.get(key)
+            if last is not None and parsed < last:
+                problems.append(
+                    f"line {lineno}: histogram buckets of {name} "
+                    f"not monotonic")
+            bucket_last[key] = parsed
+    return problems
+
+
+def _family_of(name: str, typed: Dict[str, str]) -> Optional[str]:
+    if name in typed:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[:-len(suffix)] in typed:
+            return name[:-len(suffix)]
+    return None
+
+
+def _split_pairs(body: str) -> List[str]:
+    # label values contain no escapes in our renderer; split on commas
+    # outside quotes to stay robust against values with commas.
+    pairs, depth, start = [], False, 0
+    for index, char in enumerate(body):
+        if char == '"':
+            depth = not depth
+        elif char == "," and not depth:
+            pairs.append(body[start:index])
+            start = index + 1
+    if body[start:]:
+        pairs.append(body[start:])
+    return pairs
+
+
+def _parse_value(value: str) -> Optional[float]:
+    if value in ("+Inf", "-Inf", "NaN"):
+        return math.inf if value == "+Inf" else (
+            -math.inf if value == "-Inf" else math.nan)
+    try:
+        return float(value)
+    except ValueError:
+        return None

@@ -1,4 +1,4 @@
-"""Replay a recorded JSONL trace into a per-phase effort report.
+"""Replay recorded JSONL traces into a per-phase effort report.
 
 This is the consumer half of :mod:`repro.obs.trace`: given a trace
 file, aggregate the spans into where-did-the-time-go totals, fold the
@@ -10,12 +10,23 @@ arena-occupancy peaks from progress snapshots, reclaim totals from
 faults, BMC depths).  The ``repro profile`` CLI subcommand prints
 :func:`render_report`'s text and exits non-zero when the trace
 violates the documented schema.
+
+Given *several* traces -- the server's plus the per-attempt worker
+files it points at -- :func:`read_traces` merges them onto one time
+axis (rebasing each trace's relative timestamps by the wall-clock
+epoch its ``trace.meta`` event recorded) and :func:`build_report`
+correlates them into per-job timelines: every event carrying a
+``job`` attr (server-side ``service.*`` events, worker-side spans
+stamped by the tracer's *context*) lands in that job's timeline, so
+the report shows queue wait, each solve attempt, retries, streamed
+progress and the reply as one story per job.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Tuple
+import os
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.obs.trace import validate_event
 
@@ -53,6 +64,163 @@ def read_trace(path: str) -> Tuple[List[Dict[str, Any]], List[str]]:
             if isinstance(event, dict):
                 events.append(event)
     return events, problems
+
+
+def _trace_epoch(events: List[Dict[str, Any]]) -> Optional[float]:
+    """The wall-clock instant of ``ts == 0``, from ``trace.meta``."""
+    for event in events:
+        if event.get("kind") == "event" \
+                and event.get("name") == "trace.meta":
+            attrs = event.get("attrs")
+            if isinstance(attrs, dict):
+                epoch = attrs.get("epoch_unix")
+                if isinstance(epoch, (int, float)) \
+                        and not isinstance(epoch, bool):
+                    return float(epoch)
+    return None
+
+
+def read_traces(paths: List[str]
+                ) -> Tuple[List[Dict[str, Any]], List[str]]:
+    """Read several trace files onto one merged time axis.
+
+    Each file is parsed and schema-validated exactly like
+    :func:`read_trace` (problems are prefixed with the file name when
+    more than one file is given).  Events are then rebased: a trace
+    whose ``trace.meta`` event recorded ``epoch_unix`` has that offset
+    (relative to the earliest epoch across the set) added to every
+    ``ts``, so server and worker events interleave in true wall-clock
+    order.  After validation -- the top-level schema is closed -- each
+    event's attrs gain a ``source`` entry naming the originating file,
+    and the merged list is sorted by ``ts``.
+
+    With a single path this is :func:`read_trace` plus the ``source``
+    annotation; timestamps are never shifted.
+    """
+    per_file: List[Tuple[str, List[Dict[str, Any]],
+                         Optional[float]]] = []
+    problems: List[str] = []
+    for path in paths:
+        events, file_problems = read_trace(path)
+        label = os.path.basename(path)
+        if len(paths) > 1:
+            problems.extend(f"{label}: {p}" for p in file_problems)
+        else:
+            problems.extend(file_problems)
+        per_file.append((label, events, _trace_epoch(events)))
+
+    epochs = [epoch for _, _, epoch in per_file if epoch is not None]
+    base = min(epochs) if epochs else None
+    if len(per_file) > 1:
+        for label, events, epoch in per_file:
+            if epoch is None and events:
+                problems.append(
+                    f"{label}: no trace.meta event; timestamps "
+                    f"merged without rebasing")
+
+    merged: List[Dict[str, Any]] = []
+    for label, events, epoch in per_file:
+        offset = (epoch - base) if (len(per_file) > 1
+                                    and epoch is not None
+                                    and base is not None) else 0.0
+        for event in events:
+            ts = event.get("ts")
+            if offset and isinstance(ts, (int, float)) \
+                    and not isinstance(ts, bool):
+                event["ts"] = round(float(ts) + offset, 6)
+            attrs = event.get("attrs")
+            if isinstance(attrs, dict):
+                attrs.setdefault("source", label)
+            merged.append(event)
+    merged.sort(key=lambda e: e.get("ts")
+                if isinstance(e.get("ts"), (int, float))
+                and not isinstance(e.get("ts"), bool) else 0.0)
+    return merged, problems
+
+
+def _num(value: Any) -> Optional[float]:
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    return None
+
+
+def build_job_timelines(events: List[Dict[str, Any]]
+                        ) -> Dict[str, Dict[str, Any]]:
+    """Correlate merged server+worker events into per-job timelines.
+
+    Any event whose attrs carry a string ``job`` contributes:
+    server-side ``service.submit``/``dispatch``/``retry``/
+    ``progress``/``result``/``reject`` events fill the lifecycle
+    fields, and worker-side ``cdcl.solve`` ``span_end`` events (which
+    carry ``job``/``attempt`` via the worker tracer's context) become
+    the per-attempt solve entries.  Jobs are returned in first-seen
+    (submission) order; callers iterate the dict directly.
+    """
+    jobs: Dict[str, Dict[str, Any]] = {}
+
+    def timeline(job: str) -> Dict[str, Any]:
+        return jobs.setdefault(job, {
+            "tenant": None, "submitted_ts": None,
+            "queued_seconds": None, "dispatched_ts": None,
+            "retries": [], "progress_frames": 0,
+            "last_progress": None, "attempts": [],
+            "result": None, "rejected": None})
+
+    for event in events:
+        attrs = event.get("attrs")
+        if not isinstance(attrs, dict):
+            continue
+        job = attrs.get("job")
+        if not isinstance(job, str):
+            continue
+        name = event.get("name")
+        kind = event.get("kind")
+        ts = _num(event.get("ts"))
+        entry = timeline(job)
+        tenant = attrs.get("tenant")
+        if isinstance(tenant, str):
+            entry["tenant"] = tenant
+        if kind == "event" and name == "service.submit":
+            if entry["submitted_ts"] is None:
+                entry["submitted_ts"] = ts
+        elif kind == "event" and name == "service.dispatch":
+            entry["dispatched_ts"] = ts
+            queued = _num(attrs.get("queued_seconds"))
+            if queued is not None:
+                entry["queued_seconds"] = queued
+        elif kind == "event" and name == "service.retry":
+            entry["retries"].append({
+                "attempt": attrs.get("attempt"),
+                "failure": attrs.get("failure"),
+                "backoff_seconds": _num(attrs.get("backoff_seconds")),
+            })
+        elif kind == "event" and name == "service.progress":
+            entry["progress_frames"] += 1
+            entry["last_progress"] = {
+                key: attrs.get(key) for key in
+                ("attempt", "seq", "elapsed", "conflicts",
+                 "propagations") if key in attrs}
+        elif kind == "event" and name == "service.result":
+            entry["result"] = {
+                "ts": ts, "status": attrs.get("status"),
+                "attempts": attrs.get("attempts"),
+                "cached": attrs.get("cached"),
+                "degraded": attrs.get("degraded"),
+                "wall_seconds": _num(attrs.get("wall_seconds")),
+            }
+        elif kind == "event" and name == "service.reject":
+            entry["rejected"] = {"code": attrs.get("code"),
+                                 "reason": attrs.get("reason")}
+        elif kind == "span_end" and name == "cdcl.solve":
+            entry["attempts"].append({
+                "attempt": attrs.get("attempt"),
+                "ts": ts,
+                "duration": _num(attrs.get("duration")),
+                "status": attrs.get("status"),
+                "conflicts": attrs.get("conflicts"),
+                "source": attrs.get("source"),
+            })
+    return jobs
 
 
 def build_report(events: List[Dict[str, Any]],
@@ -231,7 +399,8 @@ def build_report(events: List[Dict[str, Any]],
     return {"num_events": len(events), "problems": list(problems),
             "wall": last_ts, "spans": spans, "progress": progress,
             "events": counts, "clause_db": gc, "certification": verify,
-            "inprocessing": inprocess, "service": service}
+            "inprocessing": inprocess, "service": service,
+            "jobs": build_job_timelines(events)}
 
 
 def _fmt(value: float) -> str:
@@ -355,6 +524,13 @@ def render_report(report: Dict[str, Any]) -> str:
         for code, count in sorted(service.get("rejects", {}).items()):
             lines.append(f"  shed: {count} x {code}")
 
+    jobs = report.get("jobs") or {}
+    if jobs:
+        lines.append("")
+        lines.append("job timelines (server/worker correlated):")
+        for job, entry in jobs.items():
+            lines.extend(_render_job(job, entry))
+
     verify = report.get("certification") or {}
     if verify.get("checks"):
         lines.append("")
@@ -391,8 +567,100 @@ def render_report(report: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def _render_job(job: str, entry: Dict[str, Any]) -> List[str]:
+    lines: List[str] = []
+    tenant = entry.get("tenant")
+    head = f"  {job}" + (f" [{tenant}]" if tenant else "")
+    submitted = entry.get("submitted_ts")
+    if submitted is not None:
+        head += f": submitted t={_fmt(submitted)}s"
+    lines.append(head)
+    if entry.get("rejected"):
+        rej = entry["rejected"]
+        lines.append(f"    rejected: {rej.get('code')} "
+                     f"({rej.get('reason')})")
+        return lines
+    if entry.get("dispatched_ts") is not None:
+        queued = entry.get("queued_seconds")
+        wait = f"queued {_fmt(queued)}s -> " if queued is not None \
+            else ""
+        lines.append(f"    {wait}dispatched "
+                     f"t={_fmt(entry['dispatched_ts'])}s")
+    retries = {r.get("attempt"): r for r in entry.get("retries", [])}
+    for attempt in entry.get("attempts", []):
+        num = attempt.get("attempt")
+        desc = f"    attempt {num}" if num is not None \
+            else "    solve"
+        if attempt.get("duration") is not None:
+            desc += f": solve {_fmt(attempt['duration'])}s"
+        if attempt.get("status"):
+            desc += f" -> {attempt['status']}"
+        conflicts = attempt.get("conflicts")
+        if isinstance(conflicts, int) \
+                and not isinstance(conflicts, bool):
+            desc += f" ({conflicts:,} conflicts)"
+        if attempt.get("source"):
+            desc += f" [{attempt['source']}]"
+        lines.append(desc)
+        # service.retry carries the 1-based number of the attempt
+        # that just failed; render it between that attempt and the
+        # next one.
+        retry = retries.get(num)
+        if retry:
+            backoff = retry.get("backoff_seconds")
+            lines.append(
+                f"    retry after {retry.get('failure')}"
+                + (f" (backoff {_fmt(backoff)}s)"
+                   if backoff is not None else ""))
+    if not entry.get("attempts"):
+        for retry in entry.get("retries", []):
+            lines.append(
+                f"    retry after {retry.get('failure')} "
+                f"(attempt {retry.get('attempt')})")
+    if entry.get("progress_frames"):
+        last = entry.get("last_progress") or {}
+        tail = ""
+        conflicts = last.get("conflicts")
+        if isinstance(conflicts, int) \
+                and not isinstance(conflicts, bool):
+            tail = f" (last at {conflicts:,} conflicts)"
+        lines.append(f"    {entry['progress_frames']} progress "
+                     f"frame(s) streamed{tail}")
+    result = entry.get("result")
+    if result:
+        desc = f"    result {result.get('status')}"
+        if result.get("ts") is not None:
+            desc += f" t={_fmt(result['ts'])}s"
+        extras = []
+        if result.get("wall_seconds") is not None:
+            extras.append(f"wall {_fmt(result['wall_seconds'])}s")
+        attempts = result.get("attempts")
+        if isinstance(attempts, int) \
+                and not isinstance(attempts, bool):
+            extras.append(f"{attempts} attempt(s)")
+        if result.get("cached"):
+            extras.append("cache hit")
+        if result.get("degraded"):
+            extras.append("degraded")
+        if extras:
+            desc += " (" + ", ".join(extras) + ")"
+        lines.append(desc)
+    return lines
+
+
 def profile_trace(path: str) -> Tuple[str, List[str]]:
     """Read, aggregate and render *path*; returns ``(text, problems)``."""
-    events, problems = read_trace(path)
+    return profile_traces([path])
+
+
+def profile_traces(paths: List[str]) -> Tuple[str, List[str]]:
+    """Merge, aggregate and render several trace files.
+
+    The multi-file form of :func:`profile_trace`: server and worker
+    traces are merged onto one time axis (see :func:`read_traces`)
+    before aggregation, so the rendered report's job timelines
+    correlate both sides.  Returns ``(text, problems)``.
+    """
+    events, problems = read_traces(paths)
     report = build_report(events, problems)
     return render_report(report), problems

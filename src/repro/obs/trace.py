@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import io
 import json
+import os
 import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
@@ -90,6 +91,28 @@ NAMED_EVENT_ATTRS: Dict[str, Dict[str, str]] = {
         "degraded": "int",
         "wall_seconds": "number",
     },
+    # One streamed progress frame relayed to a client mid-solve
+    # (PR 8): which job/attempt, the frame sequence number, worker
+    # elapsed seconds, and the headline effort counters the frame
+    # carried.
+    "service.progress": {
+        "job": "str",
+        "tenant": "str",
+        "attempt": "int",
+        "seq": "int",
+        "elapsed": "number",
+        "conflicts": "int",
+        "propagations": "int",
+    },
+    # One Prometheus exposition served through the ``metrics``
+    # protocol op: metric families rendered and payload size.
+    "service.metrics": {
+        "families": "int",
+        "bytes": "int",
+    },
+    "trace.meta": {
+        "epoch_unix": "number",    # wall-clock instant of ts == 0
+    },
     "service.reject": {
         "job": "str",
         "tenant": "str",
@@ -142,26 +165,78 @@ class ListSink:
 class JsonlSink:
     """Writes one compact JSON object per line to a path or file.
 
-    Lines are flushed as they are written so a trace survives the
-    process dying mid-solve -- exactly when a trace is most wanted.
+    By default lines are flushed as they are written so a trace
+    survives the process dying mid-solve -- exactly when a solver
+    trace is most wanted.  A long-lived ``repro serve`` is the
+    opposite trade: one ``write()+flush()`` syscall pair per event for
+    days on end, on a trace whose tail (not whose last line) matters.
+    Two opt-ins cover it:
+
+    ``buffered=True``
+        skip the per-line flush and let the ``io`` layer batch writes
+        (``flush()``/``close()`` still force everything out);
+    ``max_bytes=N``
+        size-capped rotation for *path* targets: when the live file
+        would exceed ``N`` bytes it is renamed to ``<path>.1`` (an
+        older ``.1`` is dropped) and a fresh file is opened, so a
+        server trace occupies at most ~``2 * max_bytes`` on disk.
+
+    Rotation requires owning the file, so ``max_bytes`` with a
+    file-object target raises.
     """
 
-    def __init__(self, target: Union[str, io.TextIOBase]):
+    def __init__(self, target: Union[str, io.TextIOBase], *,
+                 buffered: bool = False,
+                 max_bytes: Optional[int] = None):
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
         if isinstance(target, (str, bytes)):
+            self._path: Optional[str] = os.fspath(target)
             self._file = open(target, "w", encoding="utf-8")
             self._owned = True
         else:
+            if max_bytes is not None:
+                raise ValueError(
+                    "max_bytes rotation requires a path target")
+            self._path = None
             self._file = target
             self._owned = False
+        self._buffered = buffered
+        self._max_bytes = max_bytes
+        self._bytes = 0
+        self.rotations = 0
         self._closed = False
 
     def emit(self, event: Dict[str, Any]) -> None:
         """Serialize *event* as one JSONL line."""
         if self._closed:
             return
-        self._file.write(json.dumps(event, separators=(",", ":"),
-                                    sort_keys=True) + "\n")
-        self._file.flush()
+        line = json.dumps(event, separators=(",", ":"),
+                          sort_keys=True) + "\n"
+        if (self._max_bytes is not None
+                and self._bytes > 0
+                and self._bytes + len(line) > self._max_bytes):
+            self._rotate()
+        self._file.write(line)
+        self._bytes += len(line)
+        if not self._buffered:
+            self._file.flush()
+
+    def _rotate(self) -> None:
+        """Rename the live file to ``<path>.1`` and start a new one."""
+        self._file.close()
+        try:
+            os.replace(self._path, self._path + ".1")
+        except OSError:       # pragma: no cover - rename raced away
+            pass
+        self._file = open(self._path, "w", encoding="utf-8")
+        self._bytes = 0
+        self.rotations += 1
+
+    def flush(self) -> None:
+        """Force buffered lines out (no-op when closed)."""
+        if not self._closed:
+            self._file.flush()
 
     def close(self) -> None:
         """Flush and close the underlying file (idempotent)."""
@@ -197,18 +272,34 @@ class Tracer:
         lower it to make progress events deterministic on tiny
         formulas.
 
-    A tracer is single-process, single-thread state; portfolio worker
-    processes do not trace -- their progress travels to the supervisor
-    as heartbeat payloads and is traced supervisor-side.
+    context:
+        optional dict of scalar attrs merged into **every** emitted
+        event (explicit attrs win on collision).  This is the
+        trace-context propagation hook: a service worker constructs
+        its tracer with ``context={"job": job_id, "attempt": n}`` so
+        every span/event in its per-attempt trace file carries the
+        correlation keys ``repro profile`` needs to merge it with the
+        server's trace.
+
+    A tracer is single-process, single-thread state; service worker
+    processes each own a tracer writing their own per-attempt file,
+    and portfolio sub-workers do not trace -- their progress travels
+    to the supervisor as heartbeat payloads and is traced
+    supervisor-side.
     """
 
     def __init__(self, sink, progress_interval: float = 0.05,
-                 checkpoint_interval: Optional[int] = None):
+                 checkpoint_interval: Optional[int] = None,
+                 context: Optional[Dict[str, Any]] = None):
         if progress_interval < 0:
             raise ValueError("progress_interval must be >= 0")
         self.sink = sink
         self.progress_interval = progress_interval
         self.checkpoint_interval = checkpoint_interval
+        self.context: Dict[str, Any] = dict(context or {})
+        #: wall-clock instant of ``ts == 0`` for this tracer; lets a
+        #: merger rebase several traces onto one shared time axis.
+        self.epoch_unix = time.time()
         self._epoch = time.monotonic()
         self._next_span = 0
         self._stack: List[int] = []
@@ -223,6 +314,8 @@ class Tracer:
     def _emit(self, kind: str, name: str, span: Optional[int],
               attrs: Dict[str, Any],
               parent: Optional[Tuple[Optional[int]]] = None) -> None:
+        if self.context:
+            attrs = {**self.context, **attrs}
         event: Dict[str, Any] = {
             "ts": round(self.now(), 6),
             "kind": kind,
@@ -276,6 +369,17 @@ class Tracer:
         self._last_progress[name] = now
         self._emit("progress", name, self._current_span(), dict(attrs))
         return True
+
+    def emit_meta(self) -> None:
+        """Emit a ``trace.meta`` event carrying :attr:`epoch_unix`
+        (and the context attrs, like every event).
+
+        Opt-in rather than automatic so short in-process traces stay
+        free of it; anything that writes a trace *file* destined for
+        cross-trace merging (``repro serve``, service workers,
+        ``repro run --trace``) calls this first.
+        """
+        self.event("trace.meta", epoch_unix=round(self.epoch_unix, 6))
 
     def close(self) -> None:
         """Close the sink (idempotent)."""

@@ -16,7 +16,13 @@ runtime already has (budgets, supervision, fault injection, proofs):
   retry with inherited budgets, graceful degradation, drain-based
   shutdown, STATUS introspection;
 * :mod:`repro.service.client` -- the blocking TCP client and the
-  in-process test client.
+  in-process test client;
+* :mod:`repro.service.metrics` -- per-tenant service metrics
+  (queue-wait/solve-latency histograms, WDRR deficits, admission and
+  retry counters, cache hit rate) rendered by the ``metrics``
+  protocol op as Prometheus text;
+* :mod:`repro.service.top` -- the ``repro top`` terminal dashboard
+  polling STATUS + metrics.
 """
 
 from repro.service.admission import (
@@ -26,6 +32,7 @@ from repro.service.admission import (
 )
 from repro.service.cache import ResultCache
 from repro.service.client import InProcessClient, ServiceClient
+from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
     BAD_REQUEST,
     REJECTED_OVERLOAD,
@@ -35,6 +42,7 @@ from repro.service.protocol import (
     decode_message,
     encode_message,
     parse_submit,
+    validate_progress_frame,
 )
 from repro.service.server import SolveServer, run_server
 
@@ -47,6 +55,7 @@ __all__ = [
     "SHUTTING_DOWN",
     "ServiceClient",
     "ServiceConfig",
+    "ServiceMetrics",
     "SolveServer",
     "SubmitRequest",
     "TenantQueues",
@@ -55,4 +64,5 @@ __all__ = [
     "estimate_hardness",
     "parse_submit",
     "run_server",
+    "validate_progress_frame",
 ]

@@ -64,6 +64,11 @@ class ServiceConfig:
     poll_interval: float = 0.02
     #: Seconds between a worker's progress snapshots over its pipe.
     progress_interval: float = 0.1
+    #: Minimum seconds between two ``progress`` frames streamed to a
+    #: client per job (server-side throttle; worker snapshots arriving
+    #: denser than this are still folded into STATUS, just not
+    #: relayed).  ``0`` relays every snapshot.
+    stream_interval: float = 0.25
     #: Work units between worker cooperative checkpoints.  Far lower
     #: than the engines' default: service jobs are often small, and
     #: heartbeats/fault hooks must fire even on easy instances.
@@ -170,6 +175,11 @@ class TenantQueues:
         """Current queue depth per tenant (empty tenants included)."""
         return {tenant: len(queue)
                 for tenant, queue in self._queues.items()}
+
+    def deficits(self) -> Dict[str, float]:
+        """Current WDRR deficit per tenant (observability only)."""
+        return {tenant: round(deficit, 4)
+                for tenant, deficit in self._deficit.items()}
 
     def __len__(self) -> int:
         return sum(len(queue) for queue in self._queues.values())

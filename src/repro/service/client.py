@@ -31,11 +31,17 @@ class ServiceClient:
                                               timeout=timeout)
         self._file = self._sock.makefile("rb")
 
-    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+    def request(self, payload: Dict[str, Any],
+                on_progress=None) -> Dict[str, Any]:
         """Send one request and block for the response matching its
         ``id`` (out-of-order responses for other ids are buffered
         out; this client sends one request at a time, so in practice
-        the first response is the match)."""
+        the first response is the match).
+
+        Non-terminal ``progress`` frames matching the id are passed
+        to *on_progress* (or dropped without one) and never end the
+        wait -- only a terminal kind does.
+        """
         self._sock.sendall(encode_message(payload))
         wanted = payload.get("id")
         while True:
@@ -43,8 +49,13 @@ class ServiceClient:
             if not line:
                 raise ConnectionError("server closed the connection")
             response = decode_message(line)
-            if wanted is None or response.get("id") == wanted:
-                return response
+            if wanted is not None and response.get("id") != wanted:
+                continue
+            if response.get("kind") == "progress":
+                if on_progress is not None:
+                    on_progress(response)
+                continue
+            return response
 
     def submit(self, job_id: str, *, dimacs: Optional[str] = None,
                clauses: Optional[List[List[int]]] = None,
@@ -53,12 +64,20 @@ class ServiceClient:
                deadline: Optional[float] = None,
                max_conflicts: Optional[int] = None,
                certify: bool = False,
-               use_cache: bool = True) -> Dict[str, Any]:
-        """Submit one job and block for its terminal response."""
+               use_cache: bool = True,
+               stream: bool = False,
+               on_progress=None) -> Dict[str, Any]:
+        """Submit one job and block for its terminal response.
+
+        With ``stream=True`` the server pushes mid-solve ``progress``
+        frames; each is handed to *on_progress* as it arrives.
+        """
         payload: Dict[str, Any] = {"op": "submit", "id": job_id,
                                    "tenant": tenant,
                                    "certify": certify,
                                    "use_cache": use_cache}
+        if stream:
+            payload["stream"] = True
         if dimacs is not None:
             payload["dimacs"] = dimacs
         if clauses is not None:
@@ -68,10 +87,14 @@ class ServiceClient:
             payload["deadline"] = deadline
         if max_conflicts is not None:
             payload["max_conflicts"] = max_conflicts
-        return self.request(payload)
+        return self.request(payload, on_progress=on_progress)
 
     def status(self) -> Dict[str, Any]:
         return self.request({"op": "status", "id": "status"})
+
+    def metrics(self) -> Dict[str, Any]:
+        """Scrape the Prometheus exposition (``kind: metrics``)."""
+        return self.request({"op": "metrics", "id": "metrics"})
 
     def ping(self) -> Dict[str, Any]:
         return self.request({"op": "ping", "id": "ping"})
@@ -107,15 +130,26 @@ class InProcessClient:
                                   tracer=tracer)
         self._loop.run_until_complete(self.server.start())
 
-    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        """Serve one request to completion on the embedded loop."""
-        return self._loop.run_until_complete(
-            self.server.handle_message(payload))
+    def request(self, payload: Dict[str, Any],
+                on_progress=None) -> Dict[str, Any]:
+        """Serve one request to completion on the embedded loop.
 
-    # The submit/status/ping/shutdown conveniences mirror
+        ``progress`` frames are delivered to *on_progress*
+        synchronously, from inside the loop, before the terminal
+        response returns -- same ordering contract as the TCP client.
+        """
+        send_frame = None
+        if on_progress is not None:
+            async def send_frame(frame):
+                on_progress(frame)
+        return self._loop.run_until_complete(
+            self.server.handle_message(payload, send_frame))
+
+    # The submit/status/metrics/ping/shutdown conveniences mirror
     # ServiceClient so tests can swap transports freely.
     submit = ServiceClient.submit
     status = ServiceClient.status
+    metrics = ServiceClient.metrics
     ping = ServiceClient.ping
 
     def shutdown(self,

@@ -16,9 +16,16 @@ Request ops
     Optional: ``tenant`` (fairness bucket, default ``"default"``),
     ``deadline`` (seconds of wall clock for this job),
     ``max_conflicts`` (counter cap), ``certify`` (require a checked
-    DRUP proof / audited model), ``use_cache`` (default true).
+    DRUP proof / audited model), ``use_cache`` (default true),
+    ``stream`` (default false: opt into mid-solve ``progress``
+    frames on this connection before the terminal response).
 ``status``
     queue depths, active jobs with heartbeat ages, cache statistics.
+``metrics``
+    the service's metrics registry rendered as Prometheus exposition
+    text (``{"kind": "metrics", "text": ...}``) -- per-tenant
+    queue-wait/solve-latency histograms, admission/retry counters,
+    cache hit rate, worker gauges, merged solver search metrics.
 ``ping``
     liveness probe.
 ``shutdown``
@@ -31,7 +38,16 @@ Response kinds
              the result cache stores, so a cache hit replays a
              byte-identical body); ``rejected`` (admission control or
              drain, with a ``code``); ``error`` (malformed request);
-             ``status``; ``pong``; ``shutdown``.
+             ``status``; ``metrics``; ``pong``; ``shutdown``.
+
+``progress`` is the one *non-terminal* kind: a streamed job may
+receive any number of progress frames (each echoing the job ``id``)
+before exactly one terminal response.  A frame carries ``seq``
+(monotonic per job), ``attempt``, ``elapsed`` seconds, and a
+``snapshot`` of solver effort (conflicts, decisions, propagations,
+restarts, propagations/s, arena fill).  Clients that did not set
+``stream: true`` never see one.  :func:`validate_progress_frame` is
+the schema check used by tests and the streaming CI smoke.
 """
 
 from __future__ import annotations
@@ -49,7 +65,11 @@ SHUTTING_DOWN = "SHUTTING_DOWN"
 BAD_REQUEST = "BAD_REQUEST"
 
 #: Request operations understood by the server.
-OPS = ("submit", "status", "ping", "shutdown")
+OPS = ("submit", "status", "metrics", "ping", "shutdown")
+
+#: Required numeric attrs of a progress frame's ``snapshot``.
+SNAPSHOT_COUNTERS = ("conflicts", "decisions", "propagations",
+                     "restarts")
 
 
 class ProtocolError(ValueError):
@@ -90,6 +110,7 @@ class SubmitRequest:
     max_conflicts: Optional[int] = None
     certify: bool = False
     use_cache: bool = True
+    stream: bool = False
     raw: Dict[str, Any] = field(default_factory=dict, repr=False)
 
 
@@ -175,4 +196,51 @@ def parse_submit(payload: Dict[str, Any]) -> SubmitRequest:
                                        integral=True),
         certify=_optional_bool(payload, "certify", False),
         use_cache=_optional_bool(payload, "use_cache", True),
+        stream=_optional_bool(payload, "stream", False),
         raw=dict(payload))
+
+
+def validate_progress_frame(frame: Any) -> List[str]:
+    """Problems with one streamed ``progress`` frame (empty = valid).
+
+    A frame must be an object with ``kind == "progress"``, a string
+    ``id``, integer ``seq >= 0`` and ``attempt >= 1``, numeric
+    ``elapsed >= 0``, and a ``snapshot`` object carrying the
+    :data:`SNAPSHOT_COUNTERS` as non-negative ints plus optional
+    numeric ``propagations_per_sec`` and ``arena_fill`` readings.
+    """
+    problems: List[str] = []
+    if not isinstance(frame, dict):
+        return [f"frame is {type(frame).__name__}, not an object"]
+    if frame.get("kind") != "progress":
+        problems.append("kind must be 'progress'")
+    if not isinstance(frame.get("id"), str) or not frame.get("id"):
+        problems.append("'id' must be a non-empty string")
+    seq = frame.get("seq")
+    if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+        problems.append("'seq' must be an int >= 0")
+    attempt = frame.get("attempt")
+    if not isinstance(attempt, int) or isinstance(attempt, bool) \
+            or attempt < 1:
+        problems.append("'attempt' must be an int >= 1")
+    elapsed = frame.get("elapsed")
+    if not isinstance(elapsed, (int, float)) \
+            or isinstance(elapsed, bool) or elapsed < 0:
+        problems.append("'elapsed' must be a number >= 0")
+    snapshot = frame.get("snapshot")
+    if not isinstance(snapshot, dict):
+        problems.append("'snapshot' must be an object")
+        return problems
+    for key in SNAPSHOT_COUNTERS:
+        value = snapshot.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) \
+                or value < 0:
+            problems.append(
+                f"snapshot.{key} must be an int >= 0")
+    for key in ("propagations_per_sec", "arena_fill"):
+        value = snapshot.get(key)
+        if value is not None and (
+                not isinstance(value, (int, float))
+                or isinstance(value, bool) or value < 0):
+            problems.append(f"snapshot.{key} must be a number >= 0")
+    return problems

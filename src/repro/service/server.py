@@ -62,6 +62,7 @@ from repro.service.admission import (
     estimate_hardness,
 )
 from repro.service.cache import ResultCache
+from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
     BAD_REQUEST,
     REJECTED_OVERLOAD,
@@ -101,7 +102,8 @@ class _Job:
 
     __slots__ = ("request", "key", "future", "submitted_at",
                  "dispatched_at", "heartbeat", "attempt_started",
-                 "task", "partial")
+                 "task", "partial", "send_frame", "stream_seq",
+                 "last_frame_at", "last_frame_totals")
 
     def __init__(self, request: SubmitRequest, key,
                  future: "asyncio.Future"):
@@ -114,6 +116,14 @@ class _Job:
         self.attempt_started: Optional[float] = None
         self.task: Optional["asyncio.Task"] = None
         self.partial: Optional[Dict[str, Any]] = None
+        # Streaming state (set only for stream:true jobs on a
+        # transport that can push frames).
+        self.send_frame = None           # async callable or None
+        self.stream_seq = 0
+        self.last_frame_at: Optional[float] = None
+        # (attempt, elapsed, propagations) of the last relayed frame,
+        # the baseline for the propagations/s delta.
+        self.last_frame_totals = (0, 0.0, 0)
 
 
 class SolveServer:
@@ -134,17 +144,25 @@ class SolveServer:
     tracer:
         optional :class:`repro.obs.trace.Tracer`; the service emits
         ``service.submit`` / ``service.reject`` / ``service.dispatch``
-        / ``service.retry`` / ``service.result`` /
+        / ``service.retry`` / ``service.progress`` /
+        ``service.result`` / ``service.metrics`` /
         ``service.shutdown`` events.
+    worker_trace_dir:
+        optional directory; when set, every worker attempt writes its
+        own JSONL trace (``<job>-a<attempt>.jsonl``) there, stamped
+        with ``job``/``attempt`` context so ``repro profile`` can
+        merge them with the server's trace.
     """
 
     def __init__(self, config: Optional[ServiceConfig] = None, *,
                  fault_plan: Optional[ServiceFaultPlan] = None,
                  solver_config: Optional[PortfolioConfig] = None,
-                 tracer=None):
+                 tracer=None, worker_trace_dir: Optional[str] = None):
         self.config = config or ServiceConfig()
         self.fault_plan = fault_plan
         self.tracer = tracer
+        self.worker_trace_dir = worker_trace_dir
+        self.metrics = ServiceMetrics()
         self.solver_config = solver_config or PortfolioConfig(
             name="service-cdcl")
         self._queues = TenantQueues(self.config.queue_depth, self.config)
@@ -221,12 +239,15 @@ class SolveServer:
 
     # -- request handling ----------------------------------------------
 
-    async def handle_message(self,
-                             payload: Dict[str, Any]) -> Dict[str, Any]:
+    async def handle_message(self, payload: Dict[str, Any],
+                             send_frame=None) -> Dict[str, Any]:
         """Serve one decoded request; always returns a response dict.
 
         This is the transport-independent core: the TCP handler and
-        the in-process test client both call it.
+        the in-process test client both call it.  *send_frame* is an
+        optional async callable the transport provides for pushing
+        non-terminal ``progress`` frames; without one, ``stream:
+        true`` submissions run normally, just unstreamed.
         """
         await self.start()
         op = payload.get("op")
@@ -235,17 +256,19 @@ class SolveServer:
             return {"kind": "pong", "id": request_id}
         if op == "status":
             return self._status_response(request_id)
+        if op == "metrics":
+            return self._metrics_response(request_id)
         if op == "shutdown":
             report = await self.shutdown(payload.get("grace"))
             report["id"] = request_id
             return report
         if op == "submit":
-            return await self._handle_submit(payload)
+            return await self._handle_submit(payload, send_frame)
         return {"kind": "error", "id": request_id, "code": BAD_REQUEST,
                 "reason": f"unknown op {op!r}"}
 
-    async def _handle_submit(self,
-                             payload: Dict[str, Any]) -> Dict[str, Any]:
+    async def _handle_submit(self, payload: Dict[str, Any],
+                             send_frame=None) -> Dict[str, Any]:
         try:
             request = parse_submit(payload)
         except ProtocolError as exc:
@@ -257,6 +280,7 @@ class SolveServer:
                               vars=request.num_vars,
                               clauses=len(request.clause_lits),
                               certify=int(request.certify))
+        self.metrics.record_submit(request.tenant)
         if self._draining:
             return self._rejection(request.job_id, SHUTTING_DOWN,
                                    "server is draining",
@@ -289,6 +313,8 @@ class SolveServer:
 
         job = _Job(request, key,
                    asyncio.get_running_loop().create_future())
+        if request.stream and send_frame is not None:
+            job.send_frame = send_frame
         if not self._queues.push(request.tenant, job):
             return self._rejection(
                 request.job_id, REJECTED_OVERLOAD,
@@ -305,6 +331,7 @@ class SolveServer:
                    reason: str, tenant: str = "default"
                    ) -> Dict[str, Any]:
         self._jobs_rejected += 1
+        self.metrics.record_reject(tenant, code)
         if self.tracer is not None:
             self.tracer.event("service.reject", job=job_id or "?",
                               tenant=tenant, code=code, reason=reason)
@@ -335,6 +362,7 @@ class SolveServer:
                 "draining": self._draining,
                 "uptime_seconds": round(now - self._started_at, 3),
                 "queues": self._queues.depths(),
+                "deficits": self._queues.deficits(),
                 "queued": len(self._queues),
                 "workers": {"max": self.config.max_workers,
                             "busy": len(self._active)},
@@ -344,6 +372,24 @@ class SolveServer:
                          "rejected": self._jobs_rejected,
                          "retries": self._retries,
                          "cancelled": self._cancelled}}
+
+    def _metrics_response(self,
+                          request_id: Optional[str]) -> Dict[str, Any]:
+        """The ``metrics`` op: refresh point-in-time gauges, render
+        the merged snapshot as Prometheus exposition text."""
+        from repro.obs.export import render_prometheus
+        self.metrics.set_queues(self._queues.depths(),
+                                self._queues.deficits())
+        self.metrics.set_workers(len(self._active),
+                                 self.config.max_workers)
+        self.metrics.set_cache(self._cache.stats())
+        snapshot = self.metrics.snapshot()
+        text = render_prometheus(snapshot)
+        if self.tracer is not None:
+            self.tracer.event("service.metrics",
+                              families=len(snapshot),
+                              bytes=len(text))
+        return {"kind": "metrics", "id": request_id, "text": text}
 
     # -- dispatch ------------------------------------------------------
 
@@ -361,6 +407,9 @@ class SolveServer:
                     break
                 job.dispatched_at = time.monotonic()
                 self._active[job.request.job_id] = job
+                self.metrics.record_queue_wait(
+                    job.request.tenant,
+                    job.dispatched_at - job.submitted_at)
                 if self.tracer is not None:
                     self.tracer.event(
                         "service.dispatch", job=job.request.job_id,
@@ -401,6 +450,14 @@ class SolveServer:
     def _emit_result(self, request: SubmitRequest,
                      body: Dict[str, Any], cached: bool,
                      wall: float) -> None:
+        self.metrics.record_result(request.tenant, body["status"],
+                                   wall, cached)
+        if not cached:
+            # Roll the worker's search-shape histograms into the
+            # service-wide solver aggregate (a cached replay carries
+            # a copy of metrics already absorbed once).
+            stats = body.get("stats") or {}
+            self.metrics.absorb_solver_metrics(stats.get("metrics"))
         if self.tracer is not None:
             self.tracer.event(
                 "service.result", job=request.job_id,
@@ -446,6 +503,7 @@ class SolveServer:
             if attempt + 1 >= config.max_attempts:
                 break
             self._retries += 1
+            self.metrics.record_retry(request.tenant)
             delay = min(config.backoff_cap,
                         config.backoff_seconds * (2 ** attempt))
             delay *= 1.0 + 0.5 * jitter.random()
@@ -487,6 +545,13 @@ class SolveServer:
             proof_path = os.path.join(
                 self._ensure_proof_dir(),
                 f"job{abs(hash(request.job_id))}-a{attempt}.drup")
+        trace_path = None
+        if self.worker_trace_dir is not None:
+            os.makedirs(self.worker_trace_dir, exist_ok=True)
+            safe = "".join(c if c.isalnum() or c in "-_" else "_"
+                           for c in request.job_id)[:80]
+            trace_path = os.path.join(self.worker_trace_dir,
+                                      f"{safe}-a{attempt}.jsonl")
         solver_config = self.solver_config
         if attempt > 0:
             solver_config = solver_config.perturbed(attempt)
@@ -496,7 +561,7 @@ class SolveServer:
                   request.num_vars, solver_config, budget, heartbeat,
                   writer, fault_action, kill_after,
                   config.progress_interval, proof_path,
-                  config.worker_check_interval),
+                  config.worker_check_interval, trace_path),
             daemon=True)
         proc.start()
         writer.close()
@@ -518,6 +583,7 @@ class SolveServer:
                             continue          # stale attempt echo
                         if isinstance(parsed, dict):
                             partial = parsed  # progress snapshot
+                            await self._stream_progress(job, parsed)
                             continue
                         if parsed.kind != "result":
                             proc.terminate()
@@ -549,6 +615,60 @@ class SolveServer:
                 proc.join(timeout=5.0)
             reader.close()
 
+    async def _stream_progress(self, job: _Job,
+                               progress: Dict[str, Any]) -> None:
+        """Relay one audited worker snapshot as a ``progress`` frame
+        (throttled to ``config.stream_interval`` per job)."""
+        if job.send_frame is None:
+            return
+        now = time.monotonic()
+        if (job.last_frame_at is not None
+                and now - job.last_frame_at
+                < self.config.stream_interval):
+            return
+        job.last_frame_at = now
+        stats = progress.get("stats") or {}
+        attempt = progress["attempt"]
+        elapsed = progress["elapsed"]
+        propagations = stats.get("propagations") or 0
+        last_attempt, last_elapsed, last_props = job.last_frame_totals
+        if last_attempt == attempt and elapsed > last_elapsed:
+            rate = ((propagations - last_props)
+                    / (elapsed - last_elapsed))
+        elif elapsed > 0:
+            rate = propagations / elapsed
+        else:
+            rate = 0.0
+        job.last_frame_totals = (attempt, elapsed, propagations)
+        snapshot = {
+            "conflicts": stats.get("conflicts") or 0,
+            "decisions": stats.get("decisions") or 0,
+            "propagations": propagations,
+            "restarts": stats.get("restarts") or 0,
+            "propagations_per_sec": round(max(rate, 0.0), 1),
+        }
+        extras = progress.get("extras") or {}
+        fill = extras.get("arena_fill")
+        if isinstance(fill, (int, float)) \
+                and not isinstance(fill, bool):
+            snapshot["arena_fill"] = fill
+        frame = {"kind": "progress", "id": job.request.job_id,
+                 "seq": job.stream_seq, "attempt": attempt + 1,
+                 "elapsed": elapsed, "snapshot": snapshot}
+        job.stream_seq += 1
+        self.metrics.record_progress_frame(job.request.tenant)
+        if self.tracer is not None:
+            self.tracer.event(
+                "service.progress", job=job.request.job_id,
+                tenant=job.request.tenant, attempt=attempt + 1,
+                seq=frame["seq"], elapsed=elapsed,
+                conflicts=snapshot["conflicts"],
+                propagations=propagations)
+        try:
+            await job.send_frame(frame)
+        except (ConnectionError, OSError):
+            job.send_frame = None   # client gone; stop relaying
+
     def _parse_payload(self, request: SubmitRequest, payload,
                        partial, proof_path):
         """Audit one worker pipe payload.
@@ -558,18 +678,25 @@ class SolveServer:
         malformed -- the sender loses all trust), or None for a stale
         echo that should be skipped.
         """
-        if (isinstance(payload, tuple) and len(payload) == 5
+        if (isinstance(payload, tuple) and len(payload) in (5, 6)
                 and payload[0] == "progress"):
-            _tag, job_id, attempt, elapsed, stats_dict = payload
+            _tag, job_id, attempt, elapsed, stats_dict = payload[:5]
+            extras = payload[5] if len(payload) == 6 else {}
             if (job_id != request.job_id
                     or not isinstance(attempt, int)
                     or not isinstance(elapsed, (int, float))
                     or isinstance(elapsed, bool) or elapsed < 0
-                    or not isinstance(stats_dict, dict)):
+                    or not isinstance(stats_dict, dict)
+                    or not isinstance(extras, dict)):
                 return _Attempt("poison")
             return {"attempt": attempt, "elapsed": round(
                 float(elapsed), 4),
-                "stats": stats_from_dict(stats_dict).as_dict()}
+                "stats": stats_from_dict(stats_dict).as_dict(),
+                "extras": {
+                    key: value for key, value in extras.items()
+                    if isinstance(key, str)
+                    and isinstance(value, (int, float))
+                    and not isinstance(value, bool)}}
         if (isinstance(payload, tuple) and len(payload) == 6
                 and payload[0] == "result"):
             _tag, job_id, attempt, status_name, model, stats = payload
@@ -691,8 +818,15 @@ class SolveServer:
         lock = asyncio.Lock()
         pending: set = set()
 
+        async def send_frame(frame: Dict[str, Any]) -> None:
+            # Non-terminal progress frames share the response lock so
+            # pipelined writers never interleave mid-line.
+            async with lock:
+                writer.write(encode_message(frame))
+                await writer.drain()
+
         async def respond(payload: Dict[str, Any]) -> None:
-            response = await self.handle_message(payload)
+            response = await self.handle_message(payload, send_frame)
             async with lock:
                 try:
                     writer.write(encode_message(response))
@@ -744,7 +878,7 @@ async def respond_error(writer, lock: "asyncio.Lock",
 async def run_server(config: Optional[ServiceConfig] = None,
                      host: str = "127.0.0.1", port: int = 9123, *,
                      fault_plan: Optional[ServiceFaultPlan] = None,
-                     tracer=None,
+                     tracer=None, worker_trace_dir: Optional[str] = None,
                      ready=None) -> None:
     """Run a TCP solve server until a ``shutdown`` request arrives.
 
@@ -752,7 +886,8 @@ async def run_server(config: Optional[ServiceConfig] = None,
     once listening -- the CLI prints it, tests grab the ephemeral
     port.
     """
-    server = SolveServer(config, fault_plan=fault_plan, tracer=tracer)
+    server = SolveServer(config, fault_plan=fault_plan, tracer=tracer,
+                         worker_trace_dir=worker_trace_dir)
     tcp = await server.serve_tcp(host, port)
     bound = tcp.sockets[0].getsockname()[:2]
     if ready is not None:

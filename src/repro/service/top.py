@@ -1,0 +1,162 @@
+"""``repro top``: a live terminal dashboard for the solve service.
+
+Curses-free by design -- one ANSI clear-and-home per refresh, plain
+text otherwise -- so it works in any terminal, over ssh, and its
+renderer is a pure function tests call directly.  Each tick polls
+STATUS (queues, deficits, workers, active jobs, cache, job counters)
+and the ``metrics`` op (for per-tenant solve-latency averages), and
+derives throughput from the done-counter delta between refreshes.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["parse_exposition", "render_dashboard", "run_top"]
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? (?P<value>[^ ]+)$")
+_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+
+
+def parse_exposition(text: str
+                     ) -> Dict[str, List[Tuple[Dict[str, str], float]]]:
+    """Prometheus text -> ``{name: [(labels, value), ...]}``.
+
+    A deliberately small reader for the dashboard's own scrapes; it
+    skips comments and anything unparseable (the full format checker
+    lives in :func:`repro.obs.export.lint_exposition`).
+    """
+    series: Dict[str, List[Tuple[Dict[str, str], float]]] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            continue
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            continue
+        labels = dict(_PAIR.findall(match.group("labels") or ""))
+        series.setdefault(match.group("name"), []).append(
+            (labels, value))
+    return series
+
+
+def _tenant_values(series, name: str) -> Dict[str, float]:
+    return {labels.get("tenant", ""): value
+            for labels, value in series.get(name, [])}
+
+
+def render_dashboard(status: Dict[str, Any],
+                     metrics_text: str = "",
+                     throughput: Optional[float] = None,
+                     now: Optional[float] = None) -> str:
+    """Render one dashboard frame from a STATUS response (and,
+    optionally, a metrics scrape) as plain text."""
+    series = parse_exposition(metrics_text)
+    lines: List[str] = []
+    uptime = status.get("uptime_seconds", 0.0)
+    workers = status.get("workers", {})
+    state = "DRAINING" if status.get("draining") else "serving"
+    lines.append(
+        f"repro top -- {state}, up {uptime:,.0f}s | workers "
+        f"{workers.get('busy', 0)}/{workers.get('max', 0)} busy"
+        + (f" | {throughput:.2f} jobs/s" if throughput is not None
+           else ""))
+
+    jobs = status.get("jobs", {})
+    cache = status.get("cache", {})
+    hit_rate = cache.get("hit_rate")
+    lines.append(
+        f"jobs: {jobs.get('done', 0)} done, "
+        f"{jobs.get('rejected', 0)} rejected, "
+        f"{jobs.get('retries', 0)} retries, "
+        f"{jobs.get('cancelled', 0)} cancelled | cache: "
+        f"{cache.get('size', 0)}/{cache.get('capacity', 0)} entries, "
+        f"{cache.get('hits', 0)} hits"
+        + (f" ({100.0 * hit_rate:.0f}%)"
+           if isinstance(hit_rate, (int, float)) else ""))
+
+    queues = status.get("queues", {})
+    deficits = status.get("deficits", {})
+    latency_sum = _tenant_values(series,
+                                 "service_solve_latency_seconds_sum")
+    latency_count = _tenant_values(
+        series, "service_solve_latency_seconds_count")
+    tenants = sorted(set(queues) | set(deficits)
+                     | set(latency_count))
+    if tenants:
+        lines.append("")
+        lines.append(f"{'tenant':<16} {'queued':>6} {'deficit':>8} "
+                     f"{'solved':>7} {'avg s':>8}")
+        for tenant in tenants:
+            count = latency_count.get(tenant, 0.0)
+            avg = (latency_sum.get(tenant, 0.0) / count
+                   if count else None)
+            lines.append(
+                f"{tenant:<16} {queues.get(tenant, 0):>6} "
+                f"{deficits.get(tenant, 0.0):>8.2f} "
+                f"{int(count):>7} "
+                + (f"{avg:>8.3f}" if avg is not None else f"{'-':>8}"))
+
+    active = status.get("active", [])
+    lines.append("")
+    if active:
+        lines.append(f"active jobs ({len(active)}):")
+        for entry in active:
+            beat = entry.get("heartbeat_age")
+            lines.append(
+                f"  {entry.get('id', '?'):<24} "
+                f"[{entry.get('tenant', '?')}] "
+                f"running {entry.get('running_seconds', 0.0):.1f}s"
+                + (f", heartbeat {beat:.1f}s ago"
+                   if isinstance(beat, (int, float)) else ""))
+    else:
+        lines.append("active jobs: none")
+    return "\n".join(lines)
+
+
+def run_top(client, interval: float = 2.0,
+            iterations: Optional[int] = None,
+            clear: bool = True, out=None) -> int:
+    """Poll *client* (anything with ``status()``/``metrics()``) and
+    repaint until interrupted or *iterations* refreshes have run.
+
+    Returns 0; a lost connection mid-loop returns 3 after reporting.
+    """
+    import sys
+    out = out or sys.stdout
+    last: Optional[Tuple[float, int]] = None   # (time, jobs done)
+    ticks = 0
+    try:
+        while iterations is None or ticks < iterations:
+            try:
+                status = client.status()
+                metrics_text = client.metrics().get("text", "")
+            except (ConnectionError, OSError) as exc:
+                out.write(f"connection lost: {exc}\n")
+                return 3
+            now = time.monotonic()
+            done = status.get("jobs", {}).get("done", 0)
+            throughput = None
+            if last is not None and now > last[0]:
+                throughput = max(0.0, (done - last[1])
+                                 / (now - last[0]))
+            last = (now, done)
+            frame = render_dashboard(status, metrics_text, throughput)
+            if clear:
+                out.write("\x1b[2J\x1b[H")
+            out.write(frame + "\n")
+            out.flush()
+            ticks += 1
+            if iterations is not None and ticks >= iterations:
+                break
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        pass
+    return 0

@@ -12,11 +12,22 @@ a mid-job fault.
 
 Payloads over the worker's private pipe:
 
-* ``("progress", job_id, attempt, elapsed, stats_dict)`` -- the
-  snapshot the server keeps as the job's last-known partial state
-  (and returns to the client when every attempt fails);
+* ``("progress", job_id, attempt, elapsed, stats_dict, extras)`` --
+  the snapshot the server keeps as the job's last-known partial state
+  (returned to the client when every attempt fails, and relayed as a
+  ``progress`` frame to clients that submitted with ``stream:
+  true``).  *extras* carries instantaneous readings that have no
+  ``SolverStats`` field -- currently ``arena_fill``;
 * ``("result", job_id, attempt, status_name, model, stats_dict)`` --
   the terminal payload; *model* is ``{var: bool}`` or None.
+
+Each attempt attaches a :class:`~repro.obs.metrics.SearchMetrics` so
+search-shape histograms ride home inside ``stats_dict["metrics"]``
+(both mid-solve and terminal), and -- when the server passes a
+*trace_path* -- its own :class:`~repro.obs.trace.Tracer` whose
+*context* stamps every span/event with ``job``/``attempt``, writing a
+per-attempt JSONL file that ``repro profile`` merges with the
+server's trace into one correlated timeline.
 
 Scripted faults (:class:`repro.runtime.faults.ServiceFaultPlan`):
 ``crash`` dies via ``os._exit`` before touching the formula; ``hang``
@@ -52,7 +63,8 @@ def _job_worker_main(job_id: str, attempt: int,
                      kill_after_checkpoints: int,
                      progress_interval: float,
                      proof_path: Optional[str],
-                     check_interval: int) -> None:
+                     check_interval: int,
+                     trace_path: Optional[str] = None) -> None:
     """Solve one job attempt and report over *channel* (see module
     docstring for payload shapes and fault semantics)."""
     if fault_action == CRASH:
@@ -72,6 +84,18 @@ def _job_worker_main(job_id: str, attempt: int,
     formula = CNFFormula(num_vars=num_vars, clauses=clause_lits)
     solver = config.build_solver(formula, budget=budget)
     solver.checkpoint_interval = check_interval
+    from repro.obs.metrics import SearchMetrics
+    solver.metrics = SearchMetrics()
+    tracer = None
+    if trace_path is not None:
+        from repro.obs.trace import JsonlSink, Tracer
+        # Context attempts are 1-based, matching the protocol's
+        # progress frames and the server's service.retry events.
+        tracer = Tracer(JsonlSink(trace_path),
+                        context={"job": job_id,
+                                 "attempt": attempt + 1})
+        tracer.emit_meta()
+        solver.tracer = tracer
     sink = None
     if proof_path is not None:
         from repro.verify.drat import FileProofSink, attach_proof_stream
@@ -81,9 +105,17 @@ def _job_worker_main(job_id: str, attempt: int,
     ticks = [0]
 
     def send_progress(now: float) -> None:
+        # Fold the live search-shape histograms into the stats dict so
+        # mid-solve snapshots (not just the terminal result) carry
+        # them home for the service-wide solver aggregate.
+        solver.stats.metrics = solver.metrics.snapshot()
+        extras = {}
+        arena = getattr(solver, "arena", None)
+        if arena is not None:
+            extras["arena_fill"] = round(arena.fill_ratio(), 4)
         try:
             channel.send(("progress", job_id, attempt, now - started,
-                          stats_to_dict(solver.stats)))
+                          stats_to_dict(solver.stats), extras))
         except (BrokenPipeError, OSError):
             pass              # server gone; keep solving regardless
 
@@ -112,6 +144,8 @@ def _job_worker_main(job_id: str, attempt: int,
             except OSError:
                 pass
     heartbeat.value = time.monotonic()
+    if tracer is not None:
+        tracer.close()
     model: Optional[Dict[int, bool]] = None
     if result.assignment is not None:
         model = {var: result.assignment.value_of(var)

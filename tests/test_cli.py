@@ -453,3 +453,117 @@ class TestServiceCLI:
         assert main(["submit", path, "--port",
                      str(free_port)]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestObservabilityCLI:
+    """The PR-8 surface: submit --stream/--op, repro top, profile
+    over merged server+worker traces, serve trace flags."""
+
+    @pytest.fixture
+    def obs_server(self, tmp_path):
+        import asyncio
+        import threading
+        from repro.service import ServiceConfig
+        from repro.service.server import run_server
+
+        trace_path = str(tmp_path / "server.jsonl")
+        worker_dir = str(tmp_path / "server.jsonl.workers")
+        from repro.obs import JsonlSink, Tracer
+        tracer = Tracer(JsonlSink(trace_path))
+        tracer.emit_meta()
+        config = ServiceConfig(max_workers=1, poll_interval=0.01,
+                               progress_interval=0.0,
+                               stream_interval=0.0,
+                               worker_check_interval=16,
+                               backoff_seconds=0.01)
+        bound = {}
+        ready = threading.Event()
+
+        def _note(addr):
+            bound["port"] = addr[1]
+            ready.set()
+
+        thread = threading.Thread(
+            target=lambda: asyncio.run(
+                run_server(config, port=0, ready=_note,
+                           tracer=tracer,
+                           worker_trace_dir=worker_dir)),
+            daemon=True)
+        thread.start()
+        assert ready.wait(10.0), "service did not come up"
+        yield {"port": bound["port"], "trace": trace_path,
+               "worker_dir": worker_dir}
+        main(["submit", "--port", str(bound["port"]), "--shutdown"])
+        thread.join(10.0)
+        tracer.close()
+
+    def test_streamed_submit_prints_progress_lines(self, tmp_path,
+                                                   capsys,
+                                                   obs_server):
+        port = str(obs_server["port"])
+        unsat = str(tmp_path / "ph.cnf")
+        save_dimacs(pigeonhole(6), unsat)
+        assert main(["submit", unsat, "--port", port, "--stream",
+                     "--no-cache"]) == 20
+        out = capsys.readouterr().out
+        progress = [line for line in out.splitlines()
+                    if line.startswith("c progress #")]
+        assert progress, out
+        assert "conflicts" in progress[0]
+        # The terminal verdict still lands after the stream.
+        assert out.splitlines()[-1] == "s UNSATISFIABLE"
+
+    def test_op_metrics_prints_parseable_exposition(self, tmp_path,
+                                                    capsys,
+                                                    obs_server):
+        from repro.obs import lint_exposition
+        port = str(obs_server["port"])
+        sat = str(tmp_path / "sat.cnf")
+        save_dimacs(random_ksat_at_ratio(10, ratio=3.0, seed=0), sat)
+        assert main(["submit", sat, "--port", port]) == 10
+        capsys.readouterr()
+        assert main(["submit", "--port", port, "--op",
+                     "metrics"]) == 0
+        text = capsys.readouterr().out
+        assert lint_exposition(text) == []
+        assert "service_solve_latency_seconds_bucket" in text
+        assert "service_cache_hit_rate" in text
+
+    def test_top_once_renders_dashboard(self, capsys, obs_server):
+        port = str(obs_server["port"])
+        assert main(["top", "--port", port, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top --" in out
+        assert "workers" in out
+        # --once never clears the screen (script-friendly).
+        assert "\x1b[2J" not in out
+
+    def test_profile_merges_server_and_worker_traces(self, tmp_path,
+                                                     capsys,
+                                                     obs_server):
+        import glob
+        import os
+        port = str(obs_server["port"])
+        unsat = str(tmp_path / "ph.cnf")
+        save_dimacs(pigeonhole(5), unsat)
+        assert main(["submit", unsat, "--port", port, "--id",
+                     "traced", "--no-cache"]) == 20
+        worker_files = sorted(glob.glob(
+            os.path.join(obs_server["worker_dir"], "*.jsonl")))
+        assert worker_files
+        capsys.readouterr()
+        assert main(["profile", obs_server["trace"]]
+                    + worker_files) == 0
+        out = capsys.readouterr().out
+        assert "job timelines (server/worker correlated):" in out
+        assert "traced" in out
+        assert "attempt 1: solve" in out
+
+    def test_top_unreachable_server_is_exit_two(self, capsys):
+        import socket
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        free_port = probe.getsockname()[1]
+        probe.close()
+        assert main(["top", "--port", str(free_port), "--once"]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,173 @@
+"""Unit tests for repro.obs.export: the Prometheus text renderer
+over registry snapshots and the matching exposition linter."""
+
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    lint_exposition,
+    render_prometheus,
+)
+
+
+def sample_snapshots():
+    registry = MetricsRegistry()
+    registry.counter("service.submits").inc(3)
+    registry.gauge("service.workers_busy").set(2)
+    registry.histogram("service.queue_wait_seconds",
+                       bounds=(0.01, 0.1, 1.0)).observe(0.05)
+    return registry.snapshot()
+
+
+class TestRenderPrometheus:
+    def test_counter_gets_total_suffix_and_type_line(self):
+        text = render_prometheus(sample_snapshots())
+        assert "# TYPE service_submits_total counter" in text
+        assert "service_submits_total 3" in text
+
+    def test_existing_total_suffix_not_doubled(self):
+        snap = {"hits_total": {"type": "counter", "value": 1}}
+        text = render_prometheus(snap)
+        assert "hits_total 1" in text
+        assert "hits_total_total" not in text
+
+    def test_gauge_renders_verbatim(self):
+        text = render_prometheus(sample_snapshots())
+        assert "# TYPE service_workers_busy gauge" in text
+        assert "service_workers_busy 2" in text
+
+    def test_histogram_cumulative_buckets_and_moments(self):
+        hist = Histogram(bounds=(1, 4, 16))
+        for value in (0, 1, 2, 4, 5, 100):
+            hist.observe(value)
+        text = render_prometheus({"h": hist.snapshot()})
+        # per-bucket counts 2,2,1 + overflow 1 -> cumulative 2,4,5,6
+        assert 'h_bucket{le="1"} 2' in text
+        assert 'h_bucket{le="4"} 4' in text
+        assert 'h_bucket{le="16"} 5' in text
+        assert 'h_bucket{le="+Inf"} 6' in text
+        assert "h_sum 112" in text
+        assert "h_count 6" in text
+
+    def test_labeled_series_share_one_family(self):
+        snap = {
+            'service.results{tenant="a"}': {"type": "counter",
+                                            "value": 1},
+            'service.results{tenant="b"}': {"type": "counter",
+                                            "value": 2},
+        }
+        text = render_prometheus(snap)
+        assert text.count("# TYPE service_results_total counter") == 1
+        assert 'service_results_total{tenant="a"} 1' in text
+        assert 'service_results_total{tenant="b"} 2' in text
+
+    def test_histogram_labels_merge_with_le(self):
+        hist = Histogram(bounds=(1,))
+        hist.observe(0.5)
+        text = render_prometheus(
+            {'wait{tenant="acme"}': hist.snapshot()})
+        assert 'wait_bucket{tenant="acme",le="1"} 1' in text
+        assert 'wait_bucket{tenant="acme",le="+Inf"} 1' in text
+        assert 'wait_sum{tenant="acme"} 0.5' in text
+
+    def test_dots_sanitized_and_prefix_applied(self):
+        snap = {"solver.learned_clause.size": {"type": "gauge",
+                                               "value": 7}}
+        text = render_prometheus(snap, prefix="repro_")
+        assert "repro_solver_learned_clause_size 7" in text
+
+    def test_unknown_snapshot_types_skipped(self):
+        snap = {"weird": {"type": "mystery", "value": 1},
+                "ok": {"type": "gauge", "value": 2}}
+        text = render_prometheus(snap)
+        assert "weird" not in text
+        assert "ok 2" in text
+
+    def test_type_conflict_first_family_wins(self):
+        snap = {'x{t="a"}': {"type": "gauge", "value": 1},
+                'x{t="b"}': {"type": "histogram", "count": 1,
+                             "sum": 1.0, "bounds": [1],
+                             "buckets": [1, 0]}}
+        text = render_prometheus(snap)
+        assert text.count("# TYPE x") == 1
+
+    def test_deterministic_and_newline_terminated(self):
+        snapshots = sample_snapshots()
+        text = render_prometheus(snapshots)
+        assert text == render_prometheus(dict(
+            reversed(list(snapshots.items()))))
+        assert text.endswith("\n")
+        assert render_prometheus({}) == ""
+
+    def test_rendered_output_lints_clean(self):
+        assert lint_exposition(
+            render_prometheus(sample_snapshots())) == []
+
+
+class TestLintExposition:
+    def test_accepts_empty(self):
+        assert lint_exposition("") == []
+
+    def test_missing_trailing_newline(self):
+        problems = lint_exposition("# TYPE a gauge\na 1")
+        assert any("newline" in p for p in problems)
+
+    def test_sample_without_type_line(self):
+        problems = lint_exposition("orphan 1\n")
+        assert any("without TYPE" in p for p in problems)
+
+    def test_counter_without_total_suffix(self):
+        problems = lint_exposition("# TYPE hits counter\nhits 1\n")
+        assert any("_total" in p for p in problems)
+
+    def test_duplicate_type_line(self):
+        text = "# TYPE a gauge\na 1\n# TYPE a gauge\n"
+        assert any("duplicate" in p for p in lint_exposition(text))
+
+    def test_non_numeric_value(self):
+        text = "# TYPE a gauge\na fast\n"
+        assert any("non-numeric" in p for p in lint_exposition(text))
+
+    def test_special_values_allowed(self):
+        text = ("# TYPE a gauge\n"
+                "a +Inf\na -Inf\na NaN\n")
+        assert lint_exposition(text) == []
+
+    def test_bad_label_pair(self):
+        text = '# TYPE a gauge\na{tenant=unquoted} 1\n'
+        assert any("label" in p for p in lint_exposition(text))
+
+    def test_malformed_sample_line(self):
+        text = "# TYPE a gauge\n{nothing} 1\n"
+        assert any("malformed" in p for p in lint_exposition(text))
+
+    def test_histogram_bucket_monotonicity(self):
+        good = ("# TYPE h histogram\n"
+                'h_bucket{le="1"} 2\nh_bucket{le="+Inf"} 3\n'
+                "h_sum 4\nh_count 3\n")
+        assert lint_exposition(good) == []
+        bad = ("# TYPE h histogram\n"
+               'h_bucket{le="1"} 5\nh_bucket{le="+Inf"} 3\n'
+               "h_sum 4\nh_count 3\n")
+        assert any("monotonic" in p for p in lint_exposition(bad))
+
+    def test_bucket_series_tracked_per_label_set(self):
+        # Two tenants' cumulative counts interleave; each is
+        # monotonic on its own and must not be compared cross-tenant.
+        text = ("# TYPE h histogram\n"
+                'h_bucket{tenant="a",le="1"} 9\n'
+                'h_bucket{tenant="a",le="+Inf"} 9\n'
+                'h_bucket{tenant="b",le="1"} 2\n'
+                'h_bucket{tenant="b",le="+Inf"} 2\n'
+                'h_sum{tenant="a"} 1\nh_count{tenant="a"} 9\n'
+                'h_sum{tenant="b"} 1\nh_count{tenant="b"} 2\n')
+        assert lint_exposition(text) == []
+
+    def test_every_mutation_of_a_real_render_is_caught(self):
+        text = render_prometheus(sample_snapshots())
+        lines = text.splitlines()
+        mutations = []
+        for index, line in enumerate(lines):
+            if line.startswith("# TYPE"):
+                mutations.append(lines[:index] + lines[index + 1:])
+        for mutated in mutations:
+            assert lint_exposition("\n".join(mutated) + "\n") != []

@@ -1,12 +1,18 @@
-"""Unit tests for repro.obs.profile: trace aggregation and the
-rendered effort report."""
+"""Unit tests for repro.obs.profile: trace aggregation, the rendered
+effort report, multi-trace merging, and per-job server/worker
+timeline correlation."""
+
+import json
 
 from repro.cnf.generators import pigeonhole
 from repro.obs import (
     JsonlSink,
     Tracer,
+    build_job_timelines,
     build_report,
     profile_trace,
+    profile_traces,
+    read_traces,
     render_report,
 )
 from repro.obs.profile import read_trace
@@ -115,3 +121,167 @@ class TestFileRoundTrip:
         text, problems = profile_trace(path)
         assert problems
         assert "schema problem" in text
+
+
+# ----------------------------------------------------------------------
+# Multi-trace merging and job timelines (server/worker correlation)
+# ----------------------------------------------------------------------
+
+def _write_trace(path, events):
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event) + "\n")
+    return str(path)
+
+
+def _meta(ts, epoch, **context):
+    return {"ts": ts, "kind": "event", "name": "trace.meta",
+            "span": None, "attrs": {"epoch_unix": epoch, **context}}
+
+
+def _server_trace(tmp_path):
+    job = {"job": "j", "tenant": "acme"}
+    return _write_trace(tmp_path / "server.jsonl", [
+        _meta(0.0, 1000.0),
+        {"ts": 0.1, "kind": "event", "name": "service.submit",
+         "span": None, "attrs": {**job, "vars": 10, "clauses": 30}},
+        {"ts": 0.2, "kind": "event", "name": "service.dispatch",
+         "span": None, "attrs": {**job, "queued_seconds": 0.1}},
+        {"ts": 0.7, "kind": "event", "name": "service.progress",
+         "span": None, "attrs": {**job, "attempt": 1, "seq": 0,
+                                 "elapsed": 0.5, "conflicts": 10,
+                                 "propagations": 100}},
+        {"ts": 1.0, "kind": "event", "name": "service.retry",
+         "span": None, "attrs": {"job": "j", "attempt": 1,
+                                 "failure": "crash",
+                                 "backoff_seconds": 0.01}},
+        {"ts": 2.2, "kind": "event", "name": "service.result",
+         "span": None, "attrs": {**job, "status": "SATISFIABLE",
+                                 "attempts": 2, "cached": 0,
+                                 "degraded": 0, "wall_seconds": 2.0}},
+    ])
+
+
+def _worker_trace(tmp_path, name, epoch, attempt, duration, status,
+                  conflicts):
+    context = {"job": "j", "attempt": attempt}
+    return _write_trace(tmp_path / name, [
+        _meta(0.0, epoch, **context),
+        {"ts": 0.0, "kind": "span_begin", "name": "cdcl.solve",
+         "span": 0, "parent": None, "attrs": dict(context)},
+        {"ts": duration, "kind": "span_end", "name": "cdcl.solve",
+         "span": 0, "attrs": {**context, "duration": duration,
+                              "status": status,
+                              "conflicts": conflicts}},
+    ])
+
+
+def _correlated_traces(tmp_path):
+    return [
+        _server_trace(tmp_path),
+        _worker_trace(tmp_path, "j-a0.jsonl", 1000.2, 1, 0.7,
+                      "UNKNOWN", 12),
+        _worker_trace(tmp_path, "j-a1.jsonl", 1001.1, 2, 1.0,
+                      "SATISFIABLE", 30),
+    ]
+
+
+class TestReadTraces:
+    def test_single_file_annotates_source_without_rebasing(
+            self, tmp_path):
+        events, problems = read_traces([_server_trace(tmp_path)])
+        assert problems == []
+        assert all(e["attrs"]["source"] == "server.jsonl"
+                   for e in events)
+        assert events[1]["ts"] == 0.1     # untouched
+
+    def test_epochs_rebase_onto_one_axis(self, tmp_path):
+        events, problems = read_traces(_correlated_traces(tmp_path))
+        assert problems == []
+        # Worker 2's span_end: ts 1.0 + (1001.1 - 1000.0) = 2.1.
+        ends = [e for e in events if e["kind"] == "span_end"]
+        by_source = {e["attrs"]["source"]: e for e in ends}
+        assert abs(by_source["j-a0.jsonl"]["ts"] - 0.9) < 1e-6
+        assert abs(by_source["j-a1.jsonl"]["ts"] - 2.1) < 1e-6
+        # Merged stream is sorted by rebased ts.
+        stamps = [e["ts"] for e in events]
+        assert stamps == sorted(stamps)
+
+    def test_missing_meta_noted_not_fatal(self, tmp_path):
+        bare = _write_trace(tmp_path / "bare.jsonl", [
+            {"ts": 0.5, "kind": "event", "name": "tick",
+             "span": None, "attrs": {}}])
+        events, problems = read_traces(
+            [_server_trace(tmp_path), bare])
+        assert any("no trace.meta" in p for p in problems)
+        assert any(e["attrs"]["source"] == "bare.jsonl"
+                   for e in events)
+
+
+class TestJobTimelines:
+    def timeline(self, tmp_path):
+        events, problems = read_traces(_correlated_traces(tmp_path))
+        assert problems == []
+        return build_job_timelines(events)["j"]
+
+    def test_lifecycle_fields(self, tmp_path):
+        entry = self.timeline(tmp_path)
+        assert entry["tenant"] == "acme"
+        assert abs(entry["submitted_ts"] - 0.1) < 1e-6
+        assert entry["queued_seconds"] == 0.1
+        assert entry["progress_frames"] == 1
+        assert entry["last_progress"]["conflicts"] == 10
+        assert entry["result"]["status"] == "SATISFIABLE"
+        assert entry["result"]["attempts"] == 2
+
+    def test_worker_attempts_attributed_by_context(self, tmp_path):
+        entry = self.timeline(tmp_path)
+        assert [a["attempt"] for a in entry["attempts"]] == [1, 2]
+        first, second = entry["attempts"]
+        assert first["source"] == "j-a0.jsonl"
+        assert first["status"] == "UNKNOWN"
+        assert second["source"] == "j-a1.jsonl"
+        assert second["conflicts"] == 30
+
+    def test_retries_recorded(self, tmp_path):
+        entry = self.timeline(tmp_path)
+        assert entry["retries"] == [{"attempt": 1,
+                                     "failure": "crash",
+                                     "backoff_seconds": 0.01}]
+
+    def test_rejected_job_timeline(self):
+        events = [{"ts": 0.1, "kind": "event",
+                   "name": "service.reject", "span": None,
+                   "attrs": {"job": "shed", "tenant": "t",
+                             "code": "REJECTED_OVERLOAD",
+                             "reason": "queue full"}}]
+        entry = build_job_timelines(events)["shed"]
+        assert entry["rejected"]["code"] == "REJECTED_OVERLOAD"
+
+    def test_events_without_job_attr_ignored(self):
+        events = [{"ts": 0.1, "kind": "event", "name": "tick",
+                   "span": None, "attrs": {"n": 1}}]
+        assert build_job_timelines(events) == {}
+
+
+class TestCorrelatedRender:
+    def test_timeline_section_tells_one_story(self, tmp_path):
+        text, problems = profile_traces(_correlated_traces(tmp_path))
+        assert problems == []
+        assert "job timelines (server/worker correlated):" in text
+        assert "j [acme]: submitted" in text
+        assert "queued 0.100s -> dispatched" in text
+        assert "attempt 1: solve 0.700s -> UNKNOWN" in text
+        assert "[j-a0.jsonl]" in text
+        assert "retry after crash" in text
+        assert "attempt 2: solve 1.000s -> SATISFIABLE" in text
+        assert "1 progress frame(s) streamed" in text
+        assert "result SATISFIABLE" in text
+        # The retry renders between the failed attempt and the next.
+        assert text.index("retry after crash") \
+            < text.index("attempt 2:")
+
+    def test_profile_trace_single_path_unchanged(self, tmp_path):
+        text, problems = profile_trace(_server_trace(tmp_path))
+        assert problems == []
+        assert "service (solve jobs):" in text

@@ -174,6 +174,166 @@ class TestJsonlSink:
         assert len(problems) >= 2
 
 
+class _CountingFile:
+    """A text-file stand-in that counts flush calls."""
+
+    def __init__(self):
+        self.chunks = []
+        self.flushes = 0
+
+    def write(self, data):
+        self.chunks.append(data)
+
+    def flush(self):
+        self.flushes += 1
+
+    def close(self):
+        pass
+
+
+class TestJsonlSinkBuffering:
+    EVENT = {"ts": 0.0, "kind": "event", "name": "x", "span": None,
+             "attrs": {}}
+
+    def test_default_flushes_every_line(self):
+        target = _CountingFile()
+        sink = JsonlSink(target)
+        for _ in range(3):
+            sink.emit(dict(self.EVENT))
+        assert target.flushes == 3
+
+    def test_buffered_skips_per_line_flush(self):
+        target = _CountingFile()
+        sink = JsonlSink(target, buffered=True)
+        for _ in range(3):
+            sink.emit(dict(self.EVENT))
+        assert target.flushes == 0
+        sink.flush()
+        assert target.flushes == 1
+
+    def test_buffered_path_target_round_trips(self, tmp_path):
+        path = str(tmp_path / "buffered.jsonl")
+        sink = JsonlSink(path, buffered=True)
+        for n in range(10):
+            sink.emit({**self.EVENT, "attrs": {"n": n}})
+        sink.close()
+        count, problems = validate_trace_file(path)
+        assert count == 10
+        assert problems == []
+
+
+class TestJsonlSinkRotation:
+    def emit_n(self, sink, n):
+        for index in range(n):
+            sink.emit({"ts": float(index), "kind": "event",
+                       "name": "tick", "span": None,
+                       "attrs": {"n": index}})
+
+    def test_rotates_at_size_cap(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = JsonlSink(path, max_bytes=512)
+        self.emit_n(sink, 40)
+        sink.close()
+        assert sink.rotations >= 1
+        import os
+        assert os.path.exists(path + ".1")
+        assert os.path.getsize(path) <= 512
+        assert os.path.getsize(path + ".1") <= 512
+
+    def test_rotated_halves_both_parse_and_keep_the_tail(self,
+                                                         tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = JsonlSink(path, max_bytes=400)
+        self.emit_n(sink, 30)
+        sink.close()
+        # Older generations are dropped by design; the live file and
+        # one predecessor remain, both valid, ending at the newest
+        # event.
+        total = 0
+        for part in (path + ".1", path):
+            count, problems = validate_trace_file(part)
+            assert problems == []
+            total += count
+        assert 0 < total <= 30
+        with open(path, "r", encoding="utf-8") as handle:
+            last = json.loads(handle.readlines()[-1])
+        assert last["attrs"]["n"] == 29
+
+    def test_single_oversized_line_still_written(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = JsonlSink(path, max_bytes=16)
+        sink.emit({"ts": 0.0, "kind": "event", "name": "big" * 20,
+                   "span": None, "attrs": {}})
+        sink.close()
+        count, problems = validate_trace_file(path)
+        assert count == 1 and problems == []
+
+    def test_no_cap_never_rotates(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = JsonlSink(path)
+        self.emit_n(sink, 50)
+        sink.close()
+        import os
+        assert sink.rotations == 0
+        assert not os.path.exists(path + ".1")
+
+    def test_bad_max_bytes_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlSink(str(tmp_path / "t.jsonl"), max_bytes=0)
+
+    def test_rotation_requires_a_path_target(self):
+        with pytest.raises(ValueError):
+            JsonlSink(_CountingFile(), max_bytes=1024)
+
+
+class TestTracerContext:
+    def test_context_stamped_on_every_event(self):
+        sink = ListSink()
+        tracer = Tracer(sink, context={"job": "j1", "attempt": 1})
+        with tracer.span("cdcl.solve"):
+            tracer.event("tick", n=3)
+        assert_valid(sink.events)
+        for event in sink.events:
+            assert event["attrs"]["job"] == "j1"
+            assert event["attrs"]["attempt"] == 1
+
+    def test_explicit_attrs_beat_context(self):
+        sink = ListSink()
+        tracer = Tracer(sink, context={"job": "ctx"})
+        tracer.event("tick", job="explicit")
+        assert sink.events[0]["attrs"]["job"] == "explicit"
+
+    def test_no_context_adds_nothing(self):
+        sink = ListSink()
+        Tracer(sink).event("tick")
+        assert sink.events[0]["attrs"] == {}
+
+    def test_emit_meta_validates_and_carries_epoch(self):
+        sink = ListSink()
+        tracer = Tracer(sink, context={"job": "j"})
+        tracer.emit_meta()
+        assert_valid(sink.events)
+        meta = sink.events[0]
+        assert meta["name"] == "trace.meta"
+        assert abs(meta["attrs"]["epoch_unix"]
+                   - tracer.epoch_unix) < 1e-3
+        assert meta["attrs"]["job"] == "j"
+
+    def test_service_observability_events_validate(self):
+        sink = ListSink()
+        tracer = Tracer(sink)
+        tracer.event("service.progress", job="j", tenant="t",
+                     attempt=1, seq=0, elapsed=0.5, conflicts=10,
+                     propagations=100)
+        tracer.event("service.metrics", families=12, bytes=4096)
+        assert_valid(sink.events)
+        # Dropping a required attr must fail validation.
+        broken = dict(sink.events[0])
+        broken["attrs"] = {k: v for k, v in broken["attrs"].items()
+                           if k != "seq"}
+        assert validate_event(broken) != []
+
+
 class TestSolverEmission:
     def test_cdcl_spans_progress_and_restarts(self):
         formula = pigeonhole(5)

@@ -645,5 +645,368 @@ class TestChaos:
                 assert (json.dumps(original["body"], sort_keys=True)
                         == json.dumps(replayed["body"],
                                       sort_keys=True))
-        assert status["cache"]["hits"] >= 15
+        # The full cache-stats surface STATUS now exposes: totals are
+        # internally consistent even after a fault storm.
+        cache = status["cache"]
+        assert set(cache) == {"size", "capacity", "hits", "misses",
+                              "evictions", "hit_rate"}
+        assert cache["hits"] >= 15
+        assert cache["misses"] >= len(jobs)   # every first solve missed
+        assert 0 <= cache["size"] <= cache["capacity"]
+        assert cache["evictions"] >= 0
+        lookups = cache["hits"] + cache["misses"]
+        assert abs(cache["hit_rate"] - cache["hits"] / lookups) < 1e-3
         assert status["jobs"]["retries"] >= 5
+
+
+# ----------------------------------------------------------------------
+# Observability: streamed progress, metrics exposition, repro top
+# ----------------------------------------------------------------------
+
+class TestProgressFrameSchema:
+    def frame(self, **override):
+        frame = {"kind": "progress", "id": "j", "seq": 0,
+                 "attempt": 1, "elapsed": 0.5,
+                 "snapshot": {"conflicts": 10, "decisions": 20,
+                              "propagations": 300, "restarts": 1,
+                              "propagations_per_sec": 600.0,
+                              "arena_fill": 0.4}}
+        frame.update(override)
+        return frame
+
+    def test_valid_frame_passes(self):
+        from repro.service import validate_progress_frame
+        assert validate_progress_frame(self.frame()) == []
+
+    def test_optional_readings_may_be_absent(self):
+        from repro.service import validate_progress_frame
+        frame = self.frame(snapshot={"conflicts": 0, "decisions": 0,
+                                     "propagations": 0,
+                                     "restarts": 0})
+        assert validate_progress_frame(frame) == []
+
+    def test_mutations_rejected(self):
+        from repro.service import validate_progress_frame
+        snapshot = self.frame()["snapshot"]
+        mutations = [
+            "not a dict",
+            self.frame(kind="result"),
+            self.frame(id=""),
+            self.frame(seq=-1),
+            self.frame(seq=True),
+            self.frame(attempt=0),
+            self.frame(elapsed=-0.1),
+            self.frame(elapsed="fast"),
+            self.frame(snapshot=None),
+            self.frame(snapshot={**snapshot, "conflicts": -1}),
+            self.frame(snapshot={**snapshot, "propagations": 1.5}),
+            self.frame(snapshot={k: v for k, v in snapshot.items()
+                                 if k != "restarts"}),
+            self.frame(snapshot={**snapshot, "arena_fill": "full"}),
+        ]
+        for mutated in mutations:
+            assert validate_progress_frame(mutated) != [], mutated
+
+
+class TestStreamedProgress:
+    def stream_config(self, **overrides):
+        return fast_config(stream_interval=0.0, **overrides)
+
+    def collect(self, client, job_id, formula, **kwargs):
+        timeline = []
+        response = client.submit(
+            job_id, **clause_payload(formula), stream=True,
+            on_progress=lambda f: timeline.append(("frame", f)),
+            **kwargs)
+        timeline.append(("terminal", response))
+        return timeline, response
+
+    def test_streamed_job_yields_valid_frames_before_result(self):
+        from repro.service import validate_progress_frame
+        with InProcessClient(self.stream_config()) as client:
+            timeline, response = self.collect(
+                client, "ph", pigeonhole(6), use_cache=False)
+        frames = [f for kind, f in timeline if kind == "frame"]
+        assert frames, "no progress frames for a non-trivial job"
+        assert timeline[-1][0] == "terminal"
+        # Every frame precedes the terminal response and validates.
+        assert all(kind == "frame" for kind, _ in timeline[:-1])
+        for frame in frames:
+            assert validate_progress_frame(frame) == [], frame
+            assert frame["id"] == "ph"
+        assert response["body"]["status"] == "UNSATISFIABLE"
+
+    def test_seq_monotonic_and_counters_nondecreasing(self):
+        with InProcessClient(self.stream_config()) as client:
+            timeline, _ = self.collect(client, "ph", pigeonhole(6),
+                                       use_cache=False)
+        frames = [f for kind, f in timeline if kind == "frame"]
+        assert [f["seq"] for f in frames] == list(range(len(frames)))
+        for attr in ("conflicts", "propagations"):
+            values = [f["snapshot"][attr] for f in frames
+                      if f["attempt"] == frames[-1]["attempt"]]
+            assert values == sorted(values)
+
+    def test_unstreamed_submit_sees_no_frames(self):
+        frames = []
+        with InProcessClient(self.stream_config()) as client:
+            response = client.submit(
+                "plain", **clause_payload(pigeonhole(6)),
+                use_cache=False, on_progress=frames.append)
+        assert response["kind"] == "result"
+        assert frames == []
+
+    def test_throttle_limits_relay_rate(self):
+        # A coarse stream_interval must relay far fewer frames than
+        # the worker produced (whose own interval is 0.0 here).
+        with InProcessClient(self.stream_config()) as client:
+            eager, _ = self.collect(client, "a", pigeonhole(6),
+                                    use_cache=False)
+        with InProcessClient(
+                fast_config(stream_interval=3600.0)) as client:
+            throttled, _ = self.collect(client, "b", pigeonhole(6),
+                                        use_cache=False)
+        eager_frames = sum(1 for kind, _ in eager if kind == "frame")
+        throttled_frames = sum(1 for kind, _ in throttled
+                               if kind == "frame")
+        # The first frame always relays; after that the server
+        # withholds until stream_interval has passed.
+        assert 1 <= throttled_frames <= 2
+        assert eager_frames > throttled_frames
+
+    def test_parse_submit_stream_flag(self):
+        request = parse_submit({"op": "submit", "id": "j",
+                                "dimacs": "p cnf 1 1\n1 0\n",
+                                "stream": True})
+        assert request.stream is True
+        assert parse_submit({"op": "submit", "id": "j",
+                             "dimacs": "p cnf 1 1\n1 0\n"}).stream \
+            is False
+        with pytest.raises(ProtocolError):
+            parse_submit({"op": "submit", "id": "j",
+                          "dimacs": "p cnf 1 1\n1 0\n",
+                          "stream": "yes"})
+
+
+class TestMetricsExposition:
+    def scrape(self, client):
+        response = client.metrics()
+        assert response["kind"] == "metrics"
+        return response["text"]
+
+    def test_scrape_lints_and_carries_tenant_series(self):
+        from repro.obs import lint_exposition
+        from repro.service.top import parse_exposition
+        formula = random_ksat(14, 42, seed=21)
+        with InProcessClient(fast_config(max_hardness=5000.0)) \
+                as client:
+            client.submit("m1", **clause_payload(formula),
+                          tenant="acme")
+            client.submit("m2", **clause_payload(formula),
+                          tenant="acme")            # cache hit
+            client.submit("m3", **clause_payload(
+                random_ksat(30, 90, seed=22)), tenant="big")
+            text = self.scrape(client)
+        assert lint_exposition(text) == []
+        series = parse_exposition(text)
+        latency = {labels["tenant"]: value for labels, value in
+                   series["service_solve_latency_seconds_count"]}
+        assert latency["acme"] == 2.0
+        assert latency["big"] == 1.0
+        # parse_exposition returns [({}, value)] for label-free series.
+        assert series["service_cache_hits_total"][0][1] == 1.0
+        assert series["service_cache_hit_rate"][0][1] > 0.0
+        assert series["service_workers_max"][0][1] == 2.0
+
+    def test_rejects_counted_by_code(self):
+        from repro.service.top import parse_exposition
+        formula = random_ksat(30, 90, seed=0)
+        with InProcessClient(fast_config(max_hardness=5.0)) as client:
+            shed = client.submit("huge", **clause_payload(formula))
+            assert shed["kind"] == "rejected"
+            text = self.scrape(client)
+        series = parse_exposition(text)
+        rejects = {(labels["tenant"], labels["code"]): value
+                   for labels, value in
+                   series["service_rejects_total"]}
+        assert rejects[("default", REJECTED_OVERLOAD)] == 1.0
+
+    def test_worker_search_metrics_absorbed_into_solver_aggregate(
+            self):
+        from repro.service.top import parse_exposition
+        # Pigeonhole guarantees conflicts, so the learned-clause
+        # histograms cannot come back empty.
+        with InProcessClient(fast_config()) as client:
+            client.submit("s1", **clause_payload(pigeonhole(5)),
+                          use_cache=False)
+            text = self.scrape(client)
+        series = parse_exposition(text)
+        # SearchMetrics histograms ride home in the result stats and
+        # merge into solver_-prefixed families.
+        assert series["solver_propagation_burst_count"][0][1] > 0
+        assert series["solver_learned_clause_size_count"][0][1] > 0
+
+    def test_progress_frames_counted(self):
+        from repro.service.top import parse_exposition
+        config = fast_config(stream_interval=0.0)
+        with InProcessClient(config) as client:
+            client.submit("ph", **clause_payload(pigeonhole(6)),
+                          use_cache=False, stream=True,
+                          on_progress=lambda f: None)
+            text = self.scrape(client)
+        series = parse_exposition(text)
+        assert series["service_progress_frames_total"][0][1] >= 1.0
+
+    def test_status_reports_wdrr_deficits(self):
+        with InProcessClient(fast_config()) as client:
+            client.submit("d", **clause_payload(
+                random_ksat(12, 36, seed=3)))
+            status = client.status()
+        assert isinstance(status["deficits"], dict)
+
+
+class TestObservabilityTraceEvents:
+    def test_progress_and_metrics_events_validate(self):
+        from repro.obs import ListSink, Tracer
+        from repro.obs.trace import validate_event
+
+        sink = ListSink()
+        config = fast_config(stream_interval=0.0)
+        with InProcessClient(config, tracer=Tracer(sink)) as client:
+            client.submit("ph", **clause_payload(pigeonhole(6)),
+                          use_cache=False, stream=True,
+                          on_progress=lambda f: None)
+            client.metrics()
+        problems = [p for event in sink.events
+                    for p in validate_event(event)]
+        assert problems == []
+        names = [event["name"] for event in sink.events]
+        assert "service.progress" in names
+        assert "service.metrics" in names
+        progress = next(e for e in sink.events
+                        if e["name"] == "service.progress")
+        assert progress["attrs"]["job"] == "ph"
+        assert progress["attrs"]["attempt"] >= 1
+        metrics_event = next(e for e in sink.events
+                             if e["name"] == "service.metrics")
+        assert metrics_event["attrs"]["bytes"] > 0
+        assert metrics_event["attrs"]["families"] > 0
+
+
+class TestWorkerTraceCorrelation:
+    def test_profile_merges_server_and_worker_traces(self, tmp_path):
+        from repro.obs import JsonlSink, Tracer, profile_traces
+
+        server_path = str(tmp_path / "server.jsonl")
+        worker_dir = str(tmp_path / "workers")
+        tracer = Tracer(JsonlSink(server_path))
+        tracer.emit_meta()
+        formula = random_ksat(20, 85, seed=6)
+
+        async def scenario():
+            server = SolveServer(fast_config(), tracer=tracer,
+                                 worker_trace_dir=worker_dir)
+            await server.start()
+            response = await server.handle_message(
+                {"op": "submit", "id": "traced", "use_cache": False,
+                 **clause_payload(formula)})
+            await server.shutdown(grace=2.0)
+            return response
+
+        response = asyncio.run(scenario())
+        tracer.close()
+        assert response["kind"] == "result"
+        import glob
+        import os
+        worker_files = sorted(glob.glob(
+            os.path.join(worker_dir, "*.jsonl")))
+        assert worker_files, "worker wrote no trace file"
+        text, problems = profile_traces([server_path] + worker_files)
+        assert problems == []
+        assert "job timelines (server/worker correlated):" in text
+        assert "traced" in text
+        assert "attempt 1: solve" in text
+        basename = os.path.basename(worker_files[0])
+        assert f"[{basename}]" in text
+
+
+class TestTopDashboard:
+    STATUS = {"kind": "status", "draining": False,
+              "uptime_seconds": 125.0,
+              "queues": {"acme": 2}, "deficits": {"acme": 1.5},
+              "queued": 2,
+              "workers": {"max": 4, "busy": 3},
+              "active": [{"id": "job-9", "tenant": "acme",
+                          "running_seconds": 3.25,
+                          "heartbeat_age": 0.1}],
+              "cache": {"size": 5, "capacity": 256, "hits": 3,
+                        "misses": 7, "evictions": 0,
+                        "hit_rate": 0.3},
+              "jobs": {"done": 10, "rejected": 1, "retries": 2,
+                       "cancelled": 0}}
+    METRICS = ("# TYPE service_solve_latency_seconds histogram\n"
+               'service_solve_latency_seconds_sum{tenant="acme"} 4\n'
+               'service_solve_latency_seconds_count{tenant="acme"}'
+               " 8\n")
+
+    def test_parse_exposition(self):
+        from repro.service.top import parse_exposition
+        series = parse_exposition(self.METRICS)
+        assert series[
+            "service_solve_latency_seconds_count"] == \
+            [({"tenant": "acme"}, 8.0)]
+        # Comments and garbage are skipped, not fatal.
+        assert parse_exposition("# a comment\nnot a sample\n") == {}
+
+    def test_render_dashboard_sections(self):
+        from repro.service.top import render_dashboard
+        text = render_dashboard(self.STATUS, self.METRICS,
+                                throughput=1.25)
+        assert "serving" in text
+        assert "workers 3/4 busy" in text
+        assert "1.25 jobs/s" in text
+        assert "10 done, 1 rejected, 2 retries" in text
+        assert "3 hits (30%)" in text
+        assert "acme" in text
+        assert "0.500" in text          # 4s / 8 solves average
+        assert "job-9" in text
+        assert "heartbeat 0.1s ago" in text
+
+    def test_render_without_metrics_or_activity(self):
+        from repro.service.top import render_dashboard
+        status = dict(self.STATUS, active=[], queues={}, deficits={},
+                      draining=True)
+        text = render_dashboard(status)
+        assert "DRAINING" in text
+        assert "active jobs: none" in text
+
+    def test_run_top_polls_and_returns(self):
+        import io
+        from repro.service.top import run_top
+        with InProcessClient(fast_config()) as client:
+            client.submit("t", **clause_payload(
+                random_ksat(12, 36, seed=9)))
+            out = io.StringIO()
+            code = run_top(client, interval=0.0, iterations=2,
+                           clear=False, out=out)
+        assert code == 0
+        rendered = out.getvalue()
+        assert rendered.count("repro top --") == 2
+        assert "1 done" in rendered
+
+    def test_run_top_reports_lost_connection(self):
+        import io
+
+        from repro.service.top import run_top
+
+        class DeadClient:
+            def status(self):
+                raise ConnectionError("gone")
+
+            def metrics(self):
+                raise ConnectionError("gone")
+
+        out = io.StringIO()
+        assert run_top(DeadClient(), iterations=1, clear=False,
+                       out=out) == 3
+        assert "connection lost" in out.getvalue()
