@@ -161,7 +161,8 @@ def _cmd_solve(args) -> int:
                                      max_conflicts=args.max_conflicts,
                                      budget=budget, tracer=tracer,
                                      proof_dir=race_dir,
-                                     inprocess=inprocess_config)
+                                     inprocess=inprocess_config,
+                                     propagation=args.bcp)
         finally:
             if ephemeral_dir is not None:
                 shutil.rmtree(ephemeral_dir, ignore_errors=True)
@@ -183,10 +184,12 @@ def _cmd_solve(args) -> int:
                                  max_conflicts=args.max_conflicts,
                                  budget=budget,
                                  preprocess=certified_preprocess,
-                                 inprocess=inprocess_config)
+                                 inprocess=inprocess_config,
+                                 propagation=args.bcp)
     else:
         solver = CDCLSolver(formula, max_conflicts=args.max_conflicts,
-                            budget=budget, inprocess=inprocess_config)
+                            budget=budget, inprocess=inprocess_config,
+                            propagation=args.bcp)
         solver.tracer = tracer
         if args.stats_json:
             # Search-quality histograms ride the single-engine path
@@ -409,7 +412,10 @@ def _cmd_profile(args) -> int:
     cap = capability()
     numpy_note = (f"numpy {cap['numpy_version']}" if cap["numpy"]
                   else "numpy not installed")
-    print(f"kernels: default={cap['default_kernel']} ({numpy_note})")
+    backends = "/".join(cap["propagation_backends"])
+    print(f"kernels: default={cap['default_kernel']} ({numpy_note}); "
+          f"propagation={backends} "
+          f"(default={cap['default_propagation']})")
     return 1 if problems else 0
 
 
@@ -678,6 +684,15 @@ def build_parser() -> argparse.ArgumentParser:
                        default="auto",
                        help="simplification kernel implementation "
                             "(auto = numpy when installed)")
+    solve.add_argument("--bcp",
+                       choices=("auto", "watch", "numpy", "python"),
+                       default="auto",
+                       help="propagation backend: watch = two-literal "
+                            "watching (default), numpy/python = batch "
+                            "counter kernel over the arena occurrence "
+                            "index (numpy falls back to python when "
+                            "not installed); under --portfolio this "
+                            "overrides every slot")
     solve.add_argument("--portfolio", type=int, default=0, metavar="N",
                        help="race N diversified CDCL configurations "
                             "in parallel (0 = single engine)")

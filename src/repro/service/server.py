@@ -358,8 +358,10 @@ class SolveServer:
                 entry["heartbeat_age"] = round(
                     now - job.heartbeat.value, 3)
             active.append(entry)
+        from repro.solvers.kernels import capability
         return {"kind": "status", "id": request_id,
                 "draining": self._draining,
+                "kernels": capability(),
                 "uptime_seconds": round(now - self._started_at, 3),
                 "queues": self._queues.depths(),
                 "deficits": self._queues.deficits(),

@@ -1,0 +1,617 @@
+"""Counter-based batch BCP over the clause arena (PR 9).
+
+The two-watched-literal scheme in ``CDCLSolver._propagate`` is the
+right default for CDCL: it touches only the clauses *watching* a
+falsified literal and pays nothing on backtracking.  Its cost model is
+Python-loop-bound, though -- every watcher visit is interpreter work.
+This module provides the alternative the ROADMAP's "vectorized BCP"
+item calls for: **counter-based propagation** on the arena's flat
+buffer, where each falsified literal updates a per-clause
+non-false-literal counter over a CSR-style literal->clause occurrence
+index in one vectorized operation, and unit/conflict clauses fall out
+of an array compare.  With numpy the per-literal work is a handful of
+slice gathers/scatters regardless of occurrence-list length, which
+wins exactly where watch-mode hurts: deletion-heavy instances whose
+learned database makes occurrence (and watch) lists long.  A
+pure-stdlib kernel with *identical semantics* backs the same
+discipline everywhere numpy is absent.
+
+Canonical propagation order (the pinning contract)
+--------------------------------------------------
+Both counter kernels implement one deterministic batch discipline,
+processing the implication *frontier* (the unprocessed trail suffix)
+per step rather than one literal at a time:
+
+* the frontier is first closed under binary implication, literal by
+  literal in trail (enqueue) order, each literal's pairs firing in
+  attach order (the engine's shared ``_bins`` fast path, identical
+  pairs and order to watch-mode) -- binary consequences join the same
+  frontier;
+* the counters of every clause occurrence of the whole frontier are
+  then updated in one bulk scatter;
+* candidate clauses -- touched by the batch with at most one
+  non-falsified literal left -- are examined in ascending clause-id
+  order with immediate assignment; the literals this implies form the
+  next frontier.
+
+The numpy and python kernels therefore produce **byte-identical
+search paths** -- same trail, same antecedents, same conflicts -- and
+the cross-kernel pinning suite (``tests/test_bcp.py``) asserts exactly
+that.  Watch-mode examines a clause at the pop of its *watched*
+falsified literal instead, which is history-dependent (watches migrate
+toward late-falsified literals); within an implication batch the two
+disciplines order multi-unit pops differently, so watch-vs-counter
+paths provably coincide only where order cannot matter -- conflict-free
+propagation (BCP closure is confluent) and binary-implication
+reasoning.  DESIGN.md ("PR 9: counter-based vs watched propagation")
+carries the full argument; the pinning suite checks watch-vs-counter
+equality on exactly that class, and verdict equality everywhere.
+
+Index lifecycle
+---------------
+The occurrence index is built from the arena at solver construction,
+appended incrementally on every ``_attach`` (O(len(clause)), learned
+clauses land in per-literal overflow lists merged into the CSR body
+once they outgrow it), rebuilt from scratch by the arena-GC hook
+(``_drop_clauses`` calls ``on_gc`` after the remap, so compaction
+renumbering can never leave a stale id behind), and patched by the
+inprocessor's detach/reattach protocol (a detached clause keeps its
+counters but is skipped at examination time, mirroring its removal
+from the watch lists).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+try:  # pragma: no cover - exercised via propagation_available()
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: Propagation backend names accepted by ``CDCLSolver(propagation=)``.
+#: ``"python"`` pins the counter discipline to the stdlib kernel even
+#: when numpy is present (cross-kernel parity tests, CI matrix) --
+#: mirroring ``kernels.KERNEL_NAMES``.
+PROPAGATION_NAMES = ("auto", "watch", "numpy", "python")
+
+#: Slack sentinel for clauses the counter path never examines
+#: (binaries ride the shared ``_bins`` fast path).
+_BINARY_SLACK = 1 << 30
+
+
+def propagation_available() -> Tuple[str, ...]:
+    """The propagation backends this interpreter can actually run:
+    always ``"watch"``, plus ``"numpy"`` (numpy importable) or its
+    stdlib stand-in ``"python"``."""
+    return ("watch", "numpy") if _np is not None else ("watch", "python")
+
+
+def resolve_propagation(name: str = "auto") -> str:
+    """Normalize a ``propagation=`` request to the backend that runs.
+
+    ``"auto"`` resolves to ``"watch"`` -- the watch scheme stays the
+    engine default (it pays nothing on backtracking, which dominates
+    incremental use; see DESIGN.md).  ``"numpy"`` selects the counter
+    kernel, degrading to the semantically identical pure-python
+    counter kernel when numpy is missing -- unlike the simplification
+    kernels this does *not* raise, because the counter discipline
+    itself (not the runtime) is what callers select: portfolio slot
+    tags, the fuzzer panel and CI's numpy-absent matrix all rely on
+    ``propagation="numpy"`` meaning "counter BCP, best kernel
+    available".  The resolved name is reported everywhere results are
+    recorded (``SolverStats.bcp_backend``, the ``cdcl.bcp`` trace
+    attr, the perf harness), so records never lie about what ran.
+    """
+    if name not in PROPAGATION_NAMES:
+        raise ValueError(f"unknown propagation backend {name!r}; "
+                         f"expected one of {PROPAGATION_NAMES}")
+    if name in ("auto", "watch"):
+        return "watch"
+    if name == "python":
+        return "python"
+    return "numpy" if _np is not None else "python"
+
+
+class CounterPropagator:
+    """Counter-based BCP engine bolted behind ``CDCLSolver``'s
+    ``_propagate`` interface (same trail/antecedent/level contracts).
+
+    State invariant: ``slack[cid]`` is the clause's literal count
+    minus the number of its literals falsified by *processed* trail
+    entries (``trail[:counted]``).  Assign-time values are only read
+    at examination time, so enqueued-but-unpopped literals never
+    perturb the counters -- that is what makes the discipline
+    deterministic and kernel-independent.
+    """
+
+    __slots__ = ("s", "kernel", "counted", "detached",
+                 # numpy kernel state
+                 "_occ_start", "_occ_cids", "_slack", "_ncl",
+                 "_extra", "_extra_count",
+                 # python kernel state
+                 "_occ_list", "_slack_list")
+
+    def __init__(self, solver, kernel: str) -> None:
+        if kernel not in ("numpy", "python"):
+            raise ValueError(f"bad counter kernel {kernel!r}")
+        if kernel == "numpy" and _np is None:  # pragma: no cover
+            raise RuntimeError("numpy propagation kernel requested "
+                               "but numpy is not installed")
+        self.s = solver
+        self.kernel = kernel
+        #: Trail entries whose falsifications are folded into the
+        #: counters (== the engine's queue head between calls).
+        self.counted = 0
+        #: Clause ids excluded from examination (inprocessor's
+        #: vivification detach protocol); counters keep updating.
+        self.detached: Set[int] = set()
+        self._occ_start = None
+        self._occ_cids = None
+        self._slack = None
+        self._ncl = 0
+        self._extra: Dict[int, List[int]] = {}
+        self._extra_count = 0
+        self._occ_list: List[List[int]] = []
+        self._slack_list: List[int] = []
+        self.rebuild()
+
+    # ------------------------------------------------------------------
+    # Index construction and maintenance
+    # ------------------------------------------------------------------
+
+    def _false_count(self, lits) -> int:
+        """Falsified literals of *lits* under the current assignment.
+        Used at attach/rebuild time, when ``counted`` covers the whole
+        trail (the engine only attaches at a fully propagated state),
+        so value-based counting equals popped-based counting."""
+        values = self.s._values
+        count = 0
+        for q in lits:
+            v = values[q if q > 0 else -q]
+            if v is not None and v != (q > 0):
+                count += 1
+        return count
+
+    def rebuild(self) -> None:
+        """Full rebuild of occurrence index + slack counters from the
+        arena and the current assignment (construction, GC remaps, and
+        overflow-list merges all land here)."""
+        arena = self.s.arena
+        nslots = 2 * (self.s._num_vars + 1)
+        if self.kernel == "numpy":
+            self._rebuild_numpy(arena, nslots)
+        else:
+            self._rebuild_python(arena, nslots)
+
+    def _rebuild_numpy(self, arena, nslots: int) -> None:
+        np = _np
+        ncl = len(arena.off)
+        self._ncl = ncl
+        self._extra = {}
+        self._extra_count = 0
+        if ncl == 0:
+            self._occ_start = np.zeros(nslots + 1, dtype=np.int64)
+            self._occ_cids = np.zeros(0, dtype=np.int64)
+            self._slack = np.zeros(16, dtype=np.int64)
+            return
+        alits = np.asarray(arena.lits, dtype=np.int64)
+        off = np.asarray(arena.off, dtype=np.int64)
+        end = np.asarray(arena.end, dtype=np.int64)
+        sizes = end - off
+        avars = np.abs(alits)
+        slots = np.where(alits > 0, avars + avars, 1 + avars + avars)
+
+        # Falsified-literal mask from the processed trail prefix (the
+        # engine rebuilds only at fully propagated states, where the
+        # prefix equals the assignment; see _false_count).
+        vcode = np.zeros(self.s._num_vars + 1, dtype=np.int8)
+        prefix = self.s._trail[:self.counted]
+        if prefix:
+            tarr = np.asarray(prefix, dtype=np.int64)
+            vcode[np.abs(tarr)] = np.where(tarr > 0, 1, -1).astype(np.int8)
+        lit_false = vcode[avars] == np.where(alits > 0, -1, 1)
+
+        false_per_clause = np.add.reduceat(
+            lit_false.astype(np.int64), off)
+        long = sizes >= 3
+        slack = np.where(long, sizes - false_per_clause, _BINARY_SLACK)
+        capacity = max(16, 2 * ncl)
+        self._slack = np.empty(capacity, dtype=np.int64)
+        self._slack[:ncl] = slack
+
+        keep = np.repeat(long, sizes)
+        kslots = slots[keep]
+        kcids = np.repeat(np.arange(ncl, dtype=np.int64), sizes)[keep]
+        # Stable sort by slot: buffer positions ascend with clause id,
+        # so each slot's slice comes out in ascending-cid order -- the
+        # canonical examination order.
+        order = np.argsort(kslots, kind="stable")
+        self._occ_cids = kcids[order]
+        counts = np.bincount(kslots, minlength=nslots)
+        start = np.zeros(nslots + 1, dtype=np.int64)
+        np.cumsum(counts, out=start[1:])
+        self._occ_start = start
+
+    def _rebuild_python(self, arena, nslots: int) -> None:
+        alits = arena.lits
+        aoff = arena.off
+        aend = arena.end
+        # Falsified set from the *processed* trail prefix, not the
+        # assignment: the GC hook fires while the asserting literal is
+        # enqueued but unpopped, and counting it here would make its
+        # eventual pop decrement the same clauses twice (the numpy
+        # rebuild draws from the same prefix).
+        falsified = {-lit for lit in self.s._trail[:self.counted]}
+        occ: List[List[int]] = [[] for _ in range(nslots)]
+        slack: List[int] = []
+        for cid in range(len(aoff)):
+            base = aoff[cid]
+            e = aend[cid]
+            if e - base < 3:
+                slack.append(_BINARY_SLACK)
+                continue
+            slack.append((e - base)
+                         - sum(1 for k in range(base, e)
+                               if alits[k] in falsified))
+            for k in range(base, e):
+                q = alits[k]
+                occ[q + q if q > 0 else 1 - q - q].append(cid)
+        self._occ_list = occ
+        self._slack_list = slack
+
+    def on_attach(self, cid: int) -> None:
+        """Incremental append for one new arena clause: O(len(clause)).
+
+        Learned clauses land in per-literal overflow lists (numpy
+        kernel) or directly in the occurrence lists (python kernel);
+        arena ids are strictly increasing between rebuilds, so the
+        canonical ascending-cid candidate order is append order."""
+        arena = self.s.arena
+        base = arena.off[cid]
+        e = arena.end[cid]
+        size = e - base
+        lits = arena.lits[base:e]
+        if self.kernel == "python":
+            slack_list = self._slack_list
+            while len(slack_list) < cid:
+                slack_list.append(_BINARY_SLACK)
+            slack_list.append(
+                _BINARY_SLACK if size < 3
+                else size - self._false_count(lits))
+            if size < 3:
+                return
+            occ = self._occ_list
+            need = 2 * (self.s._num_vars + 1)
+            if len(occ) < need:
+                occ.extend([] for _ in range(need - len(occ)))
+            for q in lits:
+                occ[q + q if q > 0 else 1 - q - q].append(cid)
+            return
+
+        if cid >= len(self._slack):
+            grown = _np.empty(max(16, 2 * (cid + 1)), dtype=_np.int64)
+            grown[:self._ncl] = self._slack[:self._ncl]
+            self._slack = grown
+        while self._ncl < cid:          # ids are arena-sequential
+            self._slack[self._ncl] = _BINARY_SLACK
+            self._ncl += 1
+        self._slack[cid] = (_BINARY_SLACK if size < 3
+                            else size - self._false_count(lits))
+        self._ncl = cid + 1
+        if size < 3:
+            return
+        extra = self._extra
+        for q in lits:
+            extra.setdefault(
+                q + q if q > 0 else 1 - q - q, []).append(cid)
+        self._extra_count += size
+        # Overflow lists are walked in interpreted code; once they
+        # rival the CSR body, fold them in (one vectorized rebuild).
+        if self._extra_count > max(4096, len(self._occ_cids) // 2):
+            self.rebuild()
+
+    def on_grow(self) -> None:
+        """New variables entered via ``add_clause``: widen the slot
+        tables (CSR misses for new slots fall through to the overflow
+        dict, so the numpy kernel needs no copy here)."""
+        if self.kernel == "python":
+            need = 2 * (self.s._num_vars + 1)
+            occ = self._occ_list
+            if len(occ) < need:
+                occ.extend([] for _ in range(need - len(occ)))
+
+    def on_gc(self) -> None:
+        """Arena compaction hook (runs after the engine rewrote every
+        stored id through the GC remap): ids were renumbered, so the
+        index is rebuilt from the surviving arena.  Detached clauses
+        are always doomed by the pass that detached them before its
+        commit, so the skip set empties here by construction."""
+        self.detached.clear()
+        self.rebuild()
+
+    def on_detach(self, cid: int) -> None:
+        self.detached.add(cid)
+
+    def on_reattach(self, cid: int) -> None:
+        self.detached.discard(cid)
+
+    def on_cancel(self, target: int) -> None:
+        """Backtracking: roll the counters of every *processed* erased
+        trail entry back (unprocessed entries never touched them).
+        Called by ``_cancel_until`` while the trail is still intact."""
+        counted = self.counted
+        if counted <= target:
+            return
+        trail = self.s._trail
+        if self.kernel == "python":
+            occ = self._occ_list
+            slack = self._slack_list
+            nslots = len(occ)
+            for i in range(target, counted):
+                lit = trail[i]
+                fidx = lit + lit + 1 if lit > 0 else -(lit + lit)
+                if fidx < nslots:
+                    for cid in occ[fidx]:
+                        slack[cid] += 1
+        else:
+            occ_start = self._occ_start
+            occ_cids = self._occ_cids
+            slack = self._slack
+            nslots = len(occ_start) - 1
+            extra = self._extra
+            ncl = self._ncl
+            # One bulk scatter for the whole erased range: gather the
+            # occurrence slices, histogram them, add back in one go --
+            # backtracking must stay cheap or the counter scheme loses
+            # its propagation wins to _cancel_until.
+            slices = []
+            for i in range(target, counted):
+                lit = trail[i]
+                fidx = lit + lit + 1 if lit > 0 else -(lit + lit)
+                if fidx < nslots:
+                    a = occ_start[fidx]
+                    b = occ_start[fidx + 1]
+                    if b > a:
+                        slices.append(occ_cids[a:b])
+                ex = extra.get(fidx)
+                if ex is not None:
+                    for cid in ex:
+                        slack[cid] += 1
+            if slices:
+                touched = slices[0] if len(slices) == 1 \
+                    else _np.concatenate(slices)
+                slack[:ncl] += _np.bincount(touched, minlength=ncl)
+        self.counted = target
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+
+    def propagate(self) -> Optional[int]:
+        """Counter-based batch BCP; drop-in for
+        ``CDCLSolver._propagate``.
+
+        Each outer step takes the whole implication frontier: binary
+        implications fire first (the engine's shared ``_bins`` fast
+        path, closing the frontier), then every frontier literal's
+        occurrence slice lands in one bulk histogram scatter over the
+        clause counters, and an array compare finds the candidate
+        clauses.  Only threshold-crossing candidates reach interpreted
+        examination code, so the per-literal numpy overhead is
+        amortised across the batch.
+        """
+        s = self.s
+        values = s._values
+        trail = s._trail
+        bins = s._bins
+        level = s._level
+        antecedent = s._antecedent
+        saved_phase = s._saved_phase if s.phase_saving else None
+        on_assign = s.on_assign
+        meter = s._meter
+        metrics = s.metrics
+        stats = s.stats
+        dl = len(s._trail_lim)
+        numpy_mode = self.kernel == "numpy"
+        if numpy_mode:
+            np = _np
+            occ_start = self._occ_start
+            occ_cids = self._occ_cids
+            slack = self._slack
+            nslots = len(occ_start) - 1
+            extra = self._extra
+            ncl = self._ncl
+        else:
+            occ_list = self._occ_list
+            slack = self._slack_list
+            nslots = len(occ_list)
+        counted = self.counted
+        propagations = 0
+        conflict = -1
+
+        while counted < len(trail):
+            # --- Phase 1: binary closure over the frontier (shared
+            # structure: same pairs, same order, same semantics as
+            # watch-mode); binary consequences extend the frontier.
+            bstart = counted
+            while counted < len(trail):
+                lit = trail[counted]
+                counted += 1
+                fidx = lit + lit + 1 if lit > 0 else -(lit + lit)
+                for other, cid in bins[fidx]:
+                    ovar = other if other > 0 else -other
+                    value = values[ovar]
+                    if value is None:
+                        values[ovar] = other > 0
+                        level[ovar] = dl
+                        antecedent[ovar] = cid
+                        trail.append(other)
+                        propagations += 1
+                        if saved_phase is not None:
+                            saved_phase[ovar] = other > 0
+                        if on_assign is not None:
+                            on_assign(other)
+                    elif value != (other > 0):
+                        conflict = cid
+                        # This pop never reaches the occurrence
+                        # scatter below: leave it outside the counted
+                        # prefix so the slack invariant (counters ==
+                        # trail[:counted]) holds.
+                        counted -= 1
+                        break
+                if conflict >= 0:
+                    break
+
+            # --- Phase 2: one bulk counter update for the whole
+            # batch.  This runs even on the binary-conflict path (the
+            # invariant covers every counted literal); examination is
+            # skipped there -- candidate slacks all rise again when
+            # the conflict's backtrack erases this level.
+            batch = trail[bstart:counted]
+            candidates: List[int] = []
+            if numpy_mode:
+                if len(batch) == 1:
+                    # Single-literal frontier: one fancy-indexed
+                    # gather/scatter beats the histogram.
+                    lit = batch[0]
+                    fidx = lit + lit + 1 if lit > 0 else -(lit + lit)
+                    if fidx < nslots:
+                        a = occ_start[fidx]
+                        b = occ_start[fidx + 1]
+                        if b > a:
+                            view = occ_cids[a:b]
+                            sl = slack[view] - 1
+                            slack[view] = sl
+                            hits = view[sl <= 1]
+                            if hits.size:
+                                candidates = hits.tolist()
+                    ex = extra.get(fidx)
+                    if ex is not None:
+                        for cid in ex:
+                            nv = slack[cid] - 1
+                            slack[cid] = nv
+                            if nv <= 1:
+                                candidates.append(cid)
+                elif batch:
+                    slices = []
+                    touched_extra: List[int] = []
+                    for lit in batch:
+                        fidx = lit + lit + 1 if lit > 0 \
+                            else -(lit + lit)
+                        if fidx < nslots:
+                            a = occ_start[fidx]
+                            b = occ_start[fidx + 1]
+                            if b > a:
+                                slices.append(occ_cids[a:b])
+                        ex = extra.get(fidx)
+                        if ex is not None:
+                            for cid in ex:
+                                slack[cid] -= 1
+                                touched_extra.append(cid)
+                    if slices:
+                        touched = slices[0] if len(slices) == 1 \
+                            else np.concatenate(slices)
+                        counts = np.bincount(touched, minlength=ncl)
+                        head = slack[:ncl]
+                        head -= counts
+                        hits = np.nonzero((counts > 0)
+                                          & (head <= 1))[0]
+                        if hits.size:
+                            candidates = hits.tolist()
+                    if touched_extra:
+                        # Overflow cids all postdate the CSR body, so
+                        # appending the sorted survivors keeps the
+                        # canonical ascending-cid order.
+                        candidates.extend(sorted(
+                            cid for cid in set(touched_extra)
+                            if slack[cid] <= 1))
+            else:
+                cand_set = set()
+                for lit in batch:
+                    fidx = lit + lit + 1 if lit > 0 else -(lit + lit)
+                    if fidx < nslots:
+                        for cid in occ_list[fidx]:
+                            nv = slack[cid] - 1
+                            slack[cid] = nv
+                            if nv <= 1:
+                                cand_set.add(cid)
+                if cand_set:
+                    candidates = sorted(cand_set)
+
+            if conflict >= 0:
+                break
+            if not candidates:
+                continue
+
+            conflict, made = self._examine(candidates, dl)
+            propagations += made
+            if conflict >= 0:
+                break
+
+        self.counted = counted
+        if conflict >= 0:
+            s._qhead = len(trail)
+        else:
+            s._qhead = counted
+        stats.propagations += propagations
+        if meter is not None:
+            meter.spend(propagations + 1)
+        if metrics is not None:
+            metrics.burst(propagations)
+        return conflict if conflict >= 0 else None
+
+    def _examine(self, candidates: List[int], dl: int
+                 ) -> Tuple[int, int]:
+        """Examine threshold-crossing clauses in ascending-cid order
+        with immediate assignment; returns ``(conflict_cid | -1,
+        implications made)``.
+
+        A candidate has at most one non-popped-false literal, hence at
+        most one unassigned one: a true literal means satisfied (skip),
+        an unassigned one means unit (enqueue), neither means conflict.
+        Clauses can re-cross the threshold on later pops (slack 1 -> 0)
+        and are then harmlessly re-examined -- by that point they are
+        satisfied, or the conflict is real.
+        """
+        s = self.s
+        values = s._values
+        trail = s._trail
+        level = s._level
+        antecedent = s._antecedent
+        arena = s.arena
+        alits = arena.lits
+        aoff = arena.off
+        aend = arena.end
+        saved_phase = s._saved_phase if s.phase_saving else None
+        on_assign = s.on_assign
+        detached = self.detached
+        made = 0
+        for cid in candidates:
+            if detached and cid in detached:
+                continue
+            unit = 0
+            satisfied = False
+            for k in range(aoff[cid], aend[cid]):
+                q = alits[k]
+                value = values[q if q > 0 else -q]
+                if value is None:
+                    unit = q
+                elif value == (q > 0):
+                    satisfied = True
+                    break
+            if satisfied:
+                continue
+            if unit == 0:
+                return cid, made
+            uvar = unit if unit > 0 else -unit
+            values[uvar] = unit > 0
+            level[uvar] = dl
+            antecedent[uvar] = cid
+            trail.append(unit)
+            made += 1
+            if saved_phase is not None:
+                saved_phase[uvar] = unit > 0
+            if on_assign is not None:
+                on_assign(unit)
+        return -1, made

@@ -362,6 +362,11 @@ class Inprocessor:
         base = arena.off[cid]
         s._watches[_lit_index(arena.lits[base])].remove(cid)
         s._watches[_lit_index(arena.lits[base + 1])].remove(cid)
+        if s._bcp is not None:
+            # Counter backend: keep the counters ticking but skip the
+            # clause at examination time (the occurrence-index analog
+            # of leaving the watch lists).
+            s._bcp.on_detach(cid)
 
     def _reattach(self, cid: int) -> None:
         s = self.solver
@@ -369,6 +374,8 @@ class Inprocessor:
         base = arena.off[cid]
         s._watches[_lit_index(arena.lits[base])].append(cid)
         s._watches[_lit_index(arena.lits[base + 1])].append(cid)
+        if s._bcp is not None:
+            s._bcp.on_reattach(cid)
 
     def _spend(self, cost: int) -> None:
         meter = self.solver._meter

@@ -1,0 +1,232 @@
+"""Cross-backend BCP pinning suite (PR 9).
+
+The batch counter kernels (``repro.solvers.bcp``) promise *byte-
+identical search paths* between the numpy and pure-python
+implementations -- same decisions, conflicts, propagations, and the
+same per-clause slack counters at every quiescent point.  Watch-mode
+is a different discipline (watch examination order is history-
+dependent), so against it only verdict equality holds in general,
+plus full path equality on conflict-free propagation where BCP
+closure is confluent.  These tests pin exactly those contracts,
+including across arena-GC compactions and incremental solving.
+"""
+
+import pytest
+
+from repro.cnf.formula import CNFFormula
+from repro.cnf.generators import pigeonhole, random_ksat_at_ratio
+from repro.solvers.bcp import (
+    PROPAGATION_NAMES,
+    propagation_available,
+    resolve_propagation,
+)
+from repro.solvers.cdcl import CDCLSolver
+from repro.solvers.heuristics import VSIDSHeuristic
+from repro.solvers.restarts import make_restart_policy
+from repro.solvers.result import Status
+
+
+def _solver(formula, backend, **kw):
+    return CDCLSolver(formula, heuristic=VSIDSHeuristic(seed=0),
+                      restart_policy=make_restart_policy("luby", 64),
+                      phase_saving=True, propagation=backend, **kw)
+
+
+def _path(stats):
+    """The search-path fingerprint the counter kernels must share."""
+    return (stats.decisions, stats.conflicts, stats.propagations,
+            stats.learned_clauses, stats.restarts, stats.backtracks)
+
+
+def _slack_vector(solver):
+    """The propagator's per-clause slack counters, kernel-agnostic."""
+    bcp = solver._bcp
+    if bcp.kernel == "python":
+        return [int(x) for x in bcp._slack_list]
+    return [int(x) for x in bcp._slack[:bcp._ncl]]
+
+
+DELETION = dict(deletion="size", deletion_bound=5, deletion_interval=150)
+
+INSTANCES = [
+    ("rksat-90", lambda: random_ksat_at_ratio(90, 4.27, 3, seed=7)),
+    ("rksat-sat-100", lambda: random_ksat_at_ratio(100, 4.0, 3,
+                                                   seed=100)),
+    ("php-5", lambda: pigeonhole(5)),
+]
+
+CONFIGS = [
+    ("plain", {}),
+    ("deletion", DELETION),
+]
+
+
+class TestResolve:
+    def test_auto_is_watch(self):
+        assert resolve_propagation("auto") == "watch"
+        assert resolve_propagation("watch") == "watch"
+        assert resolve_propagation() == "watch"
+
+    def test_python_always_available(self):
+        assert resolve_propagation("python") == "python"
+
+    def test_numpy_degrades_not_raises(self):
+        # "numpy" means "counter discipline, best kernel available":
+        # it must resolve to a counter kernel either way, never raise.
+        assert resolve_propagation("numpy") in ("numpy", "python")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_propagation("gpu")
+
+    def test_available_names_are_valid(self):
+        backends = propagation_available()
+        assert backends[0] == "watch"
+        assert len(backends) == 2
+        assert all(b in PROPAGATION_NAMES for b in backends)
+
+    def test_backend_recorded_in_stats(self):
+        formula = random_ksat_at_ratio(30, 3.0, 3, seed=1)
+        for backend in ("watch", "python", "numpy"):
+            result = _solver(formula, backend).solve()
+            assert result.stats.bcp_backend == \
+                resolve_propagation(backend)
+
+
+class TestCounterKernelParity:
+    """numpy and python counter kernels: byte-identical search paths
+    AND identical per-clause counter vectors, with and without an
+    active deletion policy (arena GC rebuilds the occurrence index)."""
+
+    @pytest.mark.parametrize("iname,build",
+                             INSTANCES, ids=[n for n, _ in INSTANCES])
+    @pytest.mark.parametrize("cname,kw",
+                             CONFIGS, ids=[n for n, _ in CONFIGS])
+    def test_paths_and_counters_pinned(self, iname, build, cname, kw):
+        formula = build()
+        runs = {}
+        for backend in ("numpy", "python"):
+            solver = _solver(formula, backend, **kw)
+            result = solver.solve()
+            runs[backend] = (result, solver)
+        np_result, np_solver = runs["numpy"]
+        py_result, py_solver = runs["python"]
+        assert np_result.status is py_result.status
+        assert _path(np_result.stats) == _path(py_result.stats)
+        assert np_solver._bcp.counted == py_solver._bcp.counted
+        assert _slack_vector(np_solver) == _slack_vector(py_solver)
+        # Watch-mode must agree on the verdict (paths may differ).
+        watch_result = _solver(formula, "watch", **kw).solve()
+        assert watch_result.status is np_result.status
+        if np_result.status is Status.SATISFIABLE:
+            assert formula.is_satisfied_by(np_result.assignment)
+            assert formula.is_satisfied_by(watch_result.assignment)
+
+    def test_assumption_parity(self):
+        formula = pigeonhole(5)
+        assumptions = [1, -2]
+        paths = {}
+        for backend in ("watch", "numpy", "python"):
+            result = _solver(formula, backend).solve(assumptions)
+            paths[backend] = (result.status, _path(result.stats))
+        assert paths["numpy"] == paths["python"]
+        assert paths["watch"][0] is paths["numpy"][0]
+
+
+class TestWatchCounterConflictFree:
+    """Where order cannot matter -- conflict-free propagation, whose
+    closure is confluent -- watch-mode and the counter kernels must
+    agree bit for bit: same model, same propagation count, zero
+    conflicts everywhere."""
+
+    def _chain_formula(self, n=30):
+        formula = CNFFormula(n + 2)
+        formula.add_clause([1])                       # root unit
+        for i in range(1, n):
+            formula.add_clause([-i, i + 1])           # binary chain
+        # Ternary clauses engage the counter path proper (binaries
+        # ride the shared _bins fast path in every backend).
+        formula.add_clause([-1, -2, n + 1])
+        formula.add_clause([-(n // 2), -n, n + 2])
+        return formula
+
+    def test_identical_closure(self):
+        formula = self._chain_formula()
+        outcomes = {}
+        for backend in ("watch", "numpy", "python"):
+            result = _solver(formula, backend).solve()
+            assert result.status is Status.SATISFIABLE
+            assert result.stats.conflicts == 0
+            outcomes[backend] = (
+                result.stats.propagations,
+                tuple(sorted(result.assignment.to_literals())))
+        assert outcomes["watch"] == outcomes["numpy"]
+        assert outcomes["numpy"] == outcomes["python"]
+
+
+class TestArenaGCInterleaving:
+    """The occurrence index must survive compaction renumbering: a
+    deletion policy aggressive enough to force mid-solve GC, solved on
+    the numpy backend, still refutes -- and still matches the python
+    kernel's path and counters exactly."""
+
+    def test_forced_compaction_mid_solve(self):
+        kw = dict(deletion="size", deletion_bound=4,
+                  deletion_interval=100)
+        solvers = {}
+        for backend in ("numpy", "python"):
+            solver = _solver(pigeonhole(6), backend, **kw)
+            result = solver.solve()
+            assert result.status is Status.UNSATISFIABLE
+            assert result.stats.gc_runs >= 1, \
+                "config failed to force a mid-solve compaction"
+            solvers[backend] = (result, solver)
+        np_result, np_solver = solvers["numpy"]
+        py_result, py_solver = solvers["python"]
+        assert _path(np_result.stats) == _path(py_result.stats)
+        assert np_result.stats.gc_runs == py_result.stats.gc_runs
+        assert _slack_vector(np_solver) == _slack_vector(py_solver)
+
+    def test_incremental_across_compactions(self):
+        """Clause addition between solve calls (incremental O(len)
+        appends, overflow lists) interleaved with >= 2 arena
+        compactions, on the numpy backend vs the python kernel."""
+        from repro.solvers.incremental import IncrementalSolver
+
+        base = pigeonhole(6)
+        clauses = [list(c) for c in base.clauses]
+        split = len(clauses) - 6
+        engines = {}
+        for backend in ("numpy", "python"):
+            inc = IncrementalSolver(
+                heuristic=VSIDSHeuristic(seed=0),
+                restart_policy=make_restart_policy("luby", 64),
+                phase_saving=True, propagation=backend,
+                deletion="size", deletion_bound=4,
+                deletion_interval=100)
+            while inc.num_vars < base.num_vars:
+                inc.new_var()
+            inc.add_clauses(clauses[:split])
+            statuses = [inc.solve().status]
+            inc.add_clauses(clauses[split:])
+            statuses.append(inc.solve().status)
+            assert statuses[-1] is Status.UNSATISFIABLE
+            assert inc.total_stats.gc_runs >= 2, \
+                "expected at least two compactions across the calls"
+            engines[backend] = (tuple(statuses),
+                                _path(inc.total_stats),
+                                inc.total_stats.gc_runs)
+        assert engines["numpy"] == engines["python"]
+
+
+class TestPortfolioSlot:
+    def test_default_portfolio_has_bcp_slots(self):
+        from repro.solvers.portfolio import default_portfolio
+        configs = default_portfolio(8)
+        tagged = [c for c in configs if "-bcp" in c.name]
+        assert tagged, "no -bcp slot in the default portfolio"
+        assert all(c.propagation == "numpy" for c in tagged)
+        assert configs[0].propagation == "watch"
+        formula = random_ksat_at_ratio(20, 3.0, 3, seed=3)
+        solver = tagged[0].build_solver(formula)
+        assert solver.bcp_backend in ("numpy", "python")
