@@ -491,6 +491,7 @@ def _cmd_serve(args) -> int:
                                fault_plan=fault_plan,
                                tracer=getattr(args, "obs_tracer", None),
                                worker_trace_dir=worker_trace_dir,
+                               journal=args.journal,
                                ready=ready))
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
@@ -578,17 +579,24 @@ def _cmd_submit(args) -> int:
             print(f"drained {response.get('drained', 0)} job(s), "
                   f"cancelled {response.get('cancelled', 0)}")
             return 0
-        if dimacs is None:
+        if args.reattach is not None:
+            on_progress = _progress_printer() if args.stream else None
+            response = client.query(args.reattach,
+                                    stream=args.stream,
+                                    on_progress=on_progress)
+        elif dimacs is None:
             print("error: a CNF file (or --status/--ping/--shutdown/"
-                  "--op) is required", file=sys.stderr)
+                  "--reattach/--op) is required", file=sys.stderr)
             return 2
-        job_id = args.id or os.path.basename(args.file)
-        on_progress = _progress_printer() if args.stream else None
-        response = client.submit(
-            job_id, dimacs=dimacs, tenant=args.tenant,
-            deadline=args.deadline, max_conflicts=args.max_conflicts,
-            certify=args.certify, use_cache=not args.no_cache,
-            stream=args.stream, on_progress=on_progress)
+        else:
+            job_id = args.id or os.path.basename(args.file)
+            on_progress = _progress_printer() if args.stream else None
+            response = client.submit(
+                job_id, dimacs=dimacs, tenant=args.tenant,
+                deadline=args.deadline,
+                max_conflicts=args.max_conflicts,
+                certify=args.certify, use_cache=not args.no_cache,
+                stream=args.stream, on_progress=on_progress)
     except BrokenPipeError:
         raise           # stdout's consumer went away, not the server
     except (ConnectionError, OSError) as exc:
@@ -829,6 +837,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="scripted ServiceFaultPlan for chaos "
                             "testing, e.g. "
                             "'{\"crashes\": {\"job-1\": 1}}'")
+    serve.add_argument("--journal", default=None, metavar="FILE",
+                       help="append-only JSONL job journal; an "
+                            "existing file is replayed on startup "
+                            "(accepted-but-unfinished jobs re-run, "
+                            "finished ones answer 'repro submit "
+                            "--reattach' idempotently)")
     _add_obs_flags(serve)
     serve.add_argument("--trace-max-mb", type=float, default=64.0,
                        metavar="MB",
@@ -876,6 +890,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "(rendered as a repainting status line "
                              "on a TTY, 'c progress' lines when "
                              "piped)")
+    submit.add_argument("--reattach", default=None, metavar="JOB_ID",
+                        help="recover the verdict of a previously "
+                             "submitted job instead of sending a new "
+                             "one (works across server restarts when "
+                             "the server runs with --journal; combine "
+                             "with --stream to re-join a running "
+                             "job's progress frames)")
     submit.add_argument("--op", default=None,
                         choices=("metrics", "status", "ping",
                                  "shutdown"),

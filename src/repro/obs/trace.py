@@ -129,6 +129,23 @@ NAMED_EVENT_ATTRS: Dict[str, Dict[str, str]] = {
         "check_seconds": "number",
         "valid": "int",
     },
+    # Crash recovery (PR 10): one event per search-state checkpoint a
+    # solver exports (clauses/units captured and the conflict count at
+    # capture time)...
+    "checkpoint.export": {
+        "clauses": "int",
+        "units": "int",
+        "conflicts": "int",
+    },
+    # ...and one per warm restart that consumed a checkpoint: learned
+    # clauses+units re-admitted through the RUP import gate, clauses
+    # the gate dropped, unit imports, and saved phases restored.
+    "checkpoint.resume": {
+        "imported": "int",
+        "dropped": "int",
+        "units": "int",
+        "phases": "int",
+    },
 }
 
 #: Exactly the keys a trace event may have (``parent`` only on

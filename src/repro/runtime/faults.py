@@ -43,6 +43,32 @@ KILL_MIDJOB = "kill_midjob"   # die after making observable progress
 POISON = "poison"             # malformed payload on the result pipe
 DELAY = "delay"               # server-side delayed response
 
+#: Crash-recovery fault kinds (PR 10).  ``corrupt_checkpoint`` is a
+#: *modifier*, not an action: the worker solves normally but flips
+#: bytes in every checkpoint blob it piggybacks, so the consumer's
+#: checksummed loader must reject them and the next respawn must fall
+#: back to a cold restart.  ``server_kill`` is server-side: the
+#: process dies via ``os._exit`` right after journaling a job's
+#: accepted submission -- the deterministic stand-in for a SIGKILL
+#: mid-batch that journal replay must recover from.
+CORRUPT_CHECKPOINT = "corrupt_checkpoint"
+SERVER_KILL = "server_kill"
+
+#: Exit code of a scripted ``server_kill`` (distinct from worker
+#: crash 17 and mid-job kill 23 so test harnesses can tell them
+#: apart).
+SERVER_KILL_EXIT = 29
+
+
+def corrupt_blob(blob: bytes) -> bytes:
+    """Deterministically corrupt *blob* (checkpoint wire bytes): the
+    last byte is bit-flipped, which breaks the body digest without
+    changing the length -- the subtlest corruption the loader must
+    still catch."""
+    if not blob:
+        return blob
+    return blob[:-1] + bytes([blob[-1] ^ 0xFF])
+
 
 @dataclass(frozen=True)
 class FaultPlan:
@@ -63,12 +89,27 @@ class FaultPlan:
     false_unsat:
         worker index -> number of leading attempts that claim
         UNSATISFIABLE without solving (and without writing a proof).
+    kills:
+        worker index -> leading attempts that die *mid-job*, after
+        ``kill_after_checkpoints`` cooperative checkpoints -- so the
+        supervisor has already received progress (and piggybacked
+        checkpoints) when the worker dies, which is what warm-restart
+        respawn tests need.
+    corrupt_checkpoints:
+        worker index -> leading attempts whose piggybacked checkpoint
+        blobs are corrupted before sending (the respawn must demote to
+        a cold restart, never crash).
+    kill_after_checkpoints:
+        checkpoints a ``kills`` attempt survives before dying.
     """
 
     crashes: Dict[int, int] = field(default_factory=dict)
     hangs: FrozenSet[int] = field(default_factory=frozenset)
     garbage: Dict[int, int] = field(default_factory=dict)
     false_unsat: Dict[int, int] = field(default_factory=dict)
+    kills: Dict[int, int] = field(default_factory=dict)
+    corrupt_checkpoints: Dict[int, int] = field(default_factory=dict)
+    kill_after_checkpoints: int = 2
 
     def __post_init__(self):
         # Normalize so equal plans compare/pickle identically.
@@ -76,6 +117,9 @@ class FaultPlan:
         object.__setattr__(self, "hangs", frozenset(self.hangs))
         object.__setattr__(self, "garbage", dict(self.garbage))
         object.__setattr__(self, "false_unsat", dict(self.false_unsat))
+        object.__setattr__(self, "kills", dict(self.kills))
+        object.__setattr__(self, "corrupt_checkpoints",
+                           dict(self.corrupt_checkpoints))
 
     def action(self, index: int, attempt: int) -> Optional[str]:
         """The scripted fault for this (worker, attempt), or None."""
@@ -83,11 +127,17 @@ class FaultPlan:
             return HANG
         if attempt < self.crashes.get(index, 0):
             return CRASH
+        if attempt < self.kills.get(index, 0):
+            return KILL_MIDJOB
         if attempt < self.garbage.get(index, 0):
             return GARBAGE
         if attempt < self.false_unsat.get(index, 0):
             return FALSE_UNSAT
         return None
+
+    def corrupts_checkpoint(self, index: int, attempt: int) -> bool:
+        """Should this attempt corrupt its checkpoint blobs?"""
+        return attempt < self.corrupt_checkpoints.get(index, 0)
 
     @classmethod
     def crash_all_once(cls, num_workers: int) -> "FaultPlan":
@@ -131,6 +181,15 @@ class ServiceFaultPlan:
         (applies to every attempt; models a slow result path).
     kill_after_checkpoints:
         checkpoints a ``kills`` attempt survives before dying.
+    corrupt_checkpoints:
+        job id -> leading attempts whose piggybacked checkpoint blobs
+        are corrupted before sending; the retry must fall back to a
+        cold restart without losing the job.
+    server_kills:
+        job id -> nonzero means the *server process* dies via
+        ``os._exit(SERVER_KILL_EXIT)`` immediately after journaling
+        the job's accepted submission (deterministic SIGKILL
+        mid-batch; exercises journal replay on restart).
     """
 
     crashes: Dict[str, int] = field(default_factory=dict)
@@ -139,9 +198,12 @@ class ServiceFaultPlan:
     poisons: Dict[str, int] = field(default_factory=dict)
     delays: Dict[str, float] = field(default_factory=dict)
     kill_after_checkpoints: int = 2
+    corrupt_checkpoints: Dict[str, int] = field(default_factory=dict)
+    server_kills: Dict[str, int] = field(default_factory=dict)
 
     def __post_init__(self):
-        for name in ("crashes", "kills", "hangs", "poisons", "delays"):
+        for name in ("crashes", "kills", "hangs", "poisons", "delays",
+                     "corrupt_checkpoints", "server_kills"):
             object.__setattr__(self, name, dict(getattr(self, name)))
 
     def action(self, job_id: str, attempt: int) -> Optional[str]:
@@ -164,6 +226,14 @@ class ServiceFaultPlan:
         """Seconds the server should stall before replying to *job*."""
         return self.delays.get(job_id, 0.0)
 
+    def corrupts_checkpoint(self, job_id: str, attempt: int) -> bool:
+        """Should this attempt corrupt its checkpoint blobs?"""
+        return attempt < self.corrupt_checkpoints.get(job_id, 0)
+
+    def kills_server(self, job_id: str) -> bool:
+        """Should the server die after journaling *job*'s admission?"""
+        return self.server_kills.get(job_id, 0) > 0
+
     @classmethod
     def from_dict(cls, payload: Dict) -> "ServiceFaultPlan":
         """Build a plan from a JSON-shaped dict (CLI ``--fault-plan``).
@@ -172,7 +242,8 @@ class ServiceFaultPlan:
         would make CI green for the wrong reason.
         """
         known = {"crashes", "kills", "hangs", "poisons", "delays",
-                 "kill_after_checkpoints"}
+                 "kill_after_checkpoints", "corrupt_checkpoints",
+                 "server_kills"}
         extra = set(payload) - known
         if extra:
             raise ValueError(f"unknown ServiceFaultPlan keys "

@@ -46,7 +46,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.cnf.assignment import Assignment
 from repro.cnf.formula import CNFFormula
 from repro.runtime.budget import Budget
-from repro.runtime.faults import FaultPlan, execute_fault
+from repro.runtime.checkpoint import try_load_checkpoint
+from repro.runtime.faults import (KILL_MIDJOB, FaultPlan, corrupt_blob,
+                                  execute_fault)
 from repro.solvers.result import SolverResult, SolverStats, Status
 
 #: Grace period between observing a worker's death and declaring it
@@ -195,7 +197,8 @@ def _worker_main(index: int, attempt: int,
                  heartbeats, channel,
                  fault_plan: Optional[FaultPlan],
                  progress_interval: Optional[float] = None,
-                 proof_path: Optional[str] = None) -> None:
+                 proof_path: Optional[str] = None,
+                 resume_blob: Optional[bytes] = None) -> None:
     """Entry point of one supervised process (module-level: picklable).
 
     The formula travels as literal tuples; the verdict travels back as
@@ -205,17 +208,32 @@ def _worker_main(index: int, attempt: int,
     heartbeating -- which is exactly what hang detection needs.  With a
     *progress_interval*, the same checkpoint also sends periodic
     ``("progress", index, attempt, elapsed, stats_dict)`` snapshots
-    over the pipe -- the supervisor's live per-worker effort timeline.
+    over the pipe -- the supervisor's live per-worker effort timeline --
+    each followed by a ``("checkpoint", index, attempt, blob)``
+    search-state snapshot (:mod:`repro.runtime.checkpoint`) the
+    supervisor holds for warm respawns.
+
+    *resume_blob* is the last such blob of this slot's previous
+    attempt: loaded through the checksummed loader, a valid one seeds
+    the solver (warm restart); a corrupt or truncated one demotes to a
+    cold restart -- a bad checkpoint must never fail the retry.
 
     With a *proof_path* the worker streams a DRUP proof there while
     solving; the supervisor checks it before believing an UNSAT claim.
     A non-UNSAT outcome removes the (partial, useless) file.
     """
+    kill_after: Optional[int] = None
+    corrupting = False
     if fault_plan is not None:
         action = fault_plan.action(index, attempt)
-        if action is not None:
+        if action == KILL_MIDJOB:
+            # Die mid-job, after the supervisor has seen progress and
+            # piggybacked checkpoints (warm-respawn chaos scenario).
+            kill_after = fault_plan.kill_after_checkpoints
+        elif action is not None:
             execute_fault(action, index, channel)
             return                # garbage fault: reported, exit
+        corrupting = fault_plan.corrupts_checkpoint(index, attempt)
 
     def beat() -> None:
         heartbeats[index] = time.monotonic()
@@ -223,7 +241,10 @@ def _worker_main(index: int, attempt: int,
     beat()
     started = time.monotonic()
     formula = CNFFormula(num_vars=num_vars, clauses=clause_lits)
-    solver = config.build_solver(formula, budget=budget)
+    resume_from = try_load_checkpoint(resume_blob)
+    build_kwargs = {} if resume_from is None \
+        else {"resume_from": resume_from}
+    solver = config.build_solver(formula, budget=budget, **build_kwargs)
     sink = None
     if proof_path is not None:
         from repro.verify.drat import FileProofSink, attach_proof_stream
@@ -232,6 +253,7 @@ def _worker_main(index: int, attempt: int,
         solver.on_checkpoint = beat
     else:
         last_sent = [started]
+        sends = [0]
 
         def beat_and_report() -> None:
             now = time.monotonic()
@@ -244,12 +266,24 @@ def _worker_main(index: int, attempt: int,
                     # snapshots report occupancy (the engine itself
                     # only syncs it at GC time and at solve end).
                     solver.stats.arena_peak_lits = arena.peak_lits
+                blob = None
+                export = getattr(solver, "export_checkpoint", None)
+                if export is not None:
+                    blob = export().serialize_bounded()
+                    if blob is not None and corrupting:
+                        blob = corrupt_blob(blob)
                 try:
                     channel.send(("progress", index, attempt,
                                   now - started,
                                   stats_to_dict(solver.stats)))
+                    if blob is not None:
+                        channel.send(("checkpoint", index, attempt,
+                                      blob))
                 except (BrokenPipeError, OSError):
                     pass          # supervisor gone; keep solving
+                sends[0] += 1
+                if kill_after is not None and sends[0] >= kill_after:
+                    os._exit(23)  # scripted mid-job death
         solver.on_checkpoint = beat_and_report
     result = solver.solve()
     if sink is not None:
@@ -275,7 +309,7 @@ class _Slot:
     __slots__ = ("index", "config", "proc", "conn", "attempts",
                  "outcome", "result", "stats", "respawn_at", "died_at",
                  "spawned_at", "finished_at", "timeline", "traced_base",
-                 "proof_path", "discrepancy")
+                 "proof_path", "discrepancy", "last_checkpoint")
 
     def __init__(self, index: int, config):
         self.index = index
@@ -287,6 +321,10 @@ class _Slot:
         self.proof_path: Optional[str] = None
         #: Checker diagnostic when the slot went DISCREPANT.
         self.discrepancy: Optional[str] = None
+        #: Latest piggybacked checkpoint blob (verified only by the
+        #: respawned worker's checksummed loader -- a corrupt blob
+        #: demotes that respawn to a cold restart, see _worker_main).
+        self.last_checkpoint: Optional[bytes] = None
         self.outcome: Optional[WorkerOutcome] = None
         self.result: Optional[SolverResult] = None
         self.stats: Optional[SolverStats] = None
@@ -439,7 +477,10 @@ class Supervisor:
                 args=(slot.index, slot.attempts, clause_lits,
                       formula.num_vars, config, worker_budget,
                       heartbeats, writer, self.fault_plan,
-                      self.progress_interval, proof_path),
+                      self.progress_interval, proof_path,
+                      # Warm respawn: the previous attempt's last
+                      # piggybacked search state (None on attempt 0).
+                      slot.last_checkpoint),
                 daemon=True)
             slot.attempts += 1
             slot.respawn_at = None
@@ -537,7 +578,13 @@ class Supervisor:
                         conn.close()
                         slot.conn = None
                         continue
-                    if _is_progress(payload):
+                    if _is_checkpoint(payload):
+                        # Piggybacked search state for warm respawns;
+                        # shape-audited only -- checksum verification
+                        # is the respawned loader's job.
+                        if not self._record_checkpoint(slot, payload):
+                            reject_payload(slot, now)
+                    elif _is_progress(payload):
                         # Live effort snapshot, not a verdict; fold it
                         # into the timeline (or distrust the sender).
                         if not self._record_progress(slot, payload):
@@ -660,6 +707,21 @@ class Supervisor:
                               "stats": clean})
         return True
 
+    def _record_checkpoint(self, slot: _Slot, payload) -> bool:
+        """Hold a worker's piggybacked checkpoint blob for its next
+        respawn.  Shape violations cost the sender its trust; blob
+        *content* is deliberately not verified here -- the checksummed
+        loader in the respawned worker rejects corruption and demotes
+        to a cold restart (the fault-plan contract)."""
+        _tag, index, attempt, blob = payload
+        if (not isinstance(index, int) or index != slot.index
+                or not isinstance(attempt, int) or attempt < 0
+                or not isinstance(blob, (bytes, bytearray))
+                or len(blob) > _MAX_CHECKPOINT_BLOB):
+            return False
+        slot.last_checkpoint = bytes(blob)
+        return True
+
     # -- payload validation -------------------------------------------
 
     def _payload_valid(self, payload, clause_lits) -> bool:
@@ -777,6 +839,18 @@ def _is_progress(payload) -> bool:
     """Shape test for a worker progress tuple (content audited later)."""
     return (isinstance(payload, tuple) and len(payload) == 5
             and payload[0] == "progress")
+
+
+#: Upper bound on a stored checkpoint blob -- workers already bound
+#: their exports (serialize_bounded), so anything bigger is a
+#: misbehaving sender, not a big search.
+_MAX_CHECKPOINT_BLOB = 1 << 20
+
+
+def _is_checkpoint(payload) -> bool:
+    """Shape test for a piggybacked checkpoint tuple."""
+    return (isinstance(payload, tuple) and len(payload) == 4
+            and payload[0] == "checkpoint")
 
 
 def _model_satisfies(clause_lits, model: Dict[int, bool]) -> bool:

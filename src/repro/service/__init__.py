@@ -22,7 +22,10 @@ runtime already has (budgets, supervision, fault injection, proofs):
   retry counters, cache hit rate) rendered by the ``metrics``
   protocol op as Prometheus text;
 * :mod:`repro.service.top` -- the ``repro top`` terminal dashboard
-  polling STATUS + metrics.
+  polling STATUS + metrics;
+* :mod:`repro.service.journal` -- the durable append-only job journal
+  behind ``repro serve --journal`` (write-ahead submissions and
+  terminal results, crash-safe replay on restart).
 """
 
 from repro.service.admission import (
@@ -32,9 +35,11 @@ from repro.service.admission import (
 )
 from repro.service.cache import ResultCache
 from repro.service.client import InProcessClient, ServiceClient
+from repro.service.journal import JobJournal, replay_journal
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
     BAD_REQUEST,
+    NOT_FOUND,
     REJECTED_OVERLOAD,
     SHUTTING_DOWN,
     ProtocolError,
@@ -49,6 +54,8 @@ from repro.service.server import SolveServer, run_server
 __all__ = [
     "BAD_REQUEST",
     "InProcessClient",
+    "JobJournal",
+    "NOT_FOUND",
     "ProtocolError",
     "REJECTED_OVERLOAD",
     "ResultCache",
@@ -63,6 +70,7 @@ __all__ = [
     "encode_message",
     "estimate_hardness",
     "parse_submit",
+    "replay_journal",
     "run_server",
     "validate_progress_frame",
 ]

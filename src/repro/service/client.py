@@ -89,6 +89,21 @@ class ServiceClient:
             payload["max_conflicts"] = max_conflicts
         return self.request(payload, on_progress=on_progress)
 
+    def query(self, job_id: str, *, stream: bool = False,
+              on_progress=None) -> Dict[str, Any]:
+        """Reattach to a previously submitted job by id.
+
+        Returns the terminal response -- immediately if the job
+        already finished (possibly recovered from the server's
+        journal after a restart), otherwise after blocking until it
+        does.  With ``stream=True`` the server re-joins this
+        connection to the job's progress stream first.
+        """
+        payload: Dict[str, Any] = {"op": "query", "id": job_id}
+        if stream:
+            payload["stream"] = True
+        return self.request(payload, on_progress=on_progress)
+
     def status(self) -> Dict[str, Any]:
         return self.request({"op": "status", "id": "status"})
 
@@ -123,11 +138,11 @@ class InProcessClient:
     """A :class:`SolveServer` driven synchronously on a private loop."""
 
     def __init__(self, config=None, *, fault_plan=None,
-                 solver_config=None, tracer=None):
+                 solver_config=None, tracer=None, journal=None):
         self._loop = asyncio.new_event_loop()
         self.server = SolveServer(config, fault_plan=fault_plan,
                                   solver_config=solver_config,
-                                  tracer=tracer)
+                                  tracer=tracer, journal=journal)
         self._loop.run_until_complete(self.server.start())
 
     def request(self, payload: Dict[str, Any],
@@ -148,6 +163,7 @@ class InProcessClient:
     # The submit/status/metrics/ping/shutdown conveniences mirror
     # ServiceClient so tests can swap transports freely.
     submit = ServiceClient.submit
+    query = ServiceClient.query
     status = ServiceClient.status
     metrics = ServiceClient.metrics
     ping = ServiceClient.ping

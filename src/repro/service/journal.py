@@ -1,0 +1,154 @@
+"""Durable job journal for the solve service (crash recovery).
+
+A server restart used to lose every accepted job: queued work
+vanished, in-flight verdicts were never delivered, and a reconnecting
+client had nothing to ask.  The journal closes that hole with an
+append-only JSONL file written *ahead* of the work it describes:
+
+* ``{"kind": "submitted", "id": ..., "request": {...}, "ts": ...}``
+  -- appended the moment a submission is accepted (admission passed,
+  queued), before the job ever runs;
+* ``{"kind": "result", "id": ..., "response": {...}, "ts": ...}``
+  -- appended when the job reaches a terminal verdict, before the
+  response is released to the client or the cache.
+
+Every write is flushed immediately, so a server killed with SIGKILL
+(or the scripted ``server_kill`` fault) loses at most the record it
+was in the middle of writing -- and :func:`replay_journal` tolerates
+exactly that: a truncated or corrupt trailing line is counted and
+skipped, never fatal.
+
+Replay semantics (:class:`JournalReplay`): a job with a ``result``
+record is *terminal* -- the restarted server re-serves the recorded
+response idempotently (``query`` op / ``repro submit --reattach``)
+and re-seeds its result cache from it, keeping cached replays
+byte-identical across restarts.  A job with only a ``submitted``
+record is *pending* -- the restarted server re-parses the recorded
+request and re-enqueues it, so an accepted job always reaches a
+terminal state, restart or not.  The first ``result`` per job wins:
+replays can never flip a verdict that was already released.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, TextIO
+
+__all__ = ["JobJournal", "JournalReplay", "replay_journal"]
+
+
+@dataclass
+class JournalReplay:
+    """What a journal file says about past jobs."""
+
+    #: job id -> the exact response released for it (first wins).
+    terminal: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: job id -> raw submit request of accepted-but-unfinished jobs,
+    #: in acceptance order (dicts preserve insertion order).
+    pending: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: job id -> raw submit request of *every* journaled submission
+    #: (terminal or not) -- the restarted server recomputes cache
+    #: keys from these to re-seed its result cache.
+    requests: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: Well-formed records read.
+    records: int = 0
+    #: Corrupt or truncated lines skipped.
+    corrupt: int = 0
+
+
+def _valid_record(record: Any) -> bool:
+    if not isinstance(record, dict):
+        return False
+    kind = record.get("kind")
+    if not isinstance(record.get("id"), str):
+        return False
+    if kind == "submitted":
+        return isinstance(record.get("request"), dict)
+    if kind == "result":
+        return isinstance(record.get("response"), dict)
+    return False
+
+
+def replay_journal(path: str) -> JournalReplay:
+    """Parse the journal at *path* (missing file = empty replay)."""
+    replay = JournalReplay()
+    try:
+        fh = open(path, "r", encoding="utf-8")
+    except OSError:
+        return replay
+    with fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                replay.corrupt += 1
+                continue
+            if not _valid_record(record):
+                replay.corrupt += 1
+                continue
+            replay.records += 1
+            job_id = record["id"]
+            if record["kind"] == "submitted":
+                replay.requests.setdefault(job_id, record["request"])
+                if job_id not in replay.terminal:
+                    replay.pending[job_id] = record["request"]
+            else:
+                # First terminal wins: a verdict, once journaled, can
+                # never be flipped by later records.
+                replay.terminal.setdefault(job_id, record["response"])
+                replay.pending.pop(job_id, None)
+    return replay
+
+
+class JobJournal:
+    """Append-only writer half of the journal (see module docstring).
+
+    Opens lazily and appends, so restarting with the same ``--journal
+    FILE`` extends history instead of truncating it.  Write failures
+    are counted, never raised: a full disk degrades durability, it
+    must not take down the solve path.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh: Optional[TextIO] = None
+        self.records_written = 0
+        self.write_errors = 0
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        try:
+            if self._fh is None:
+                self._fh = open(self.path, "a", encoding="utf-8")
+            self._fh.write(json.dumps(record, sort_keys=True,
+                                      separators=(",", ":")) + "\n")
+            # Flush every record: the write-ahead guarantee must
+            # survive os._exit / SIGKILL, which skip all buffers.
+            self._fh.flush()
+            self.records_written += 1
+        except (OSError, ValueError, TypeError):
+            self.write_errors += 1
+
+    def record_submitted(self, job_id: str,
+                         request: Dict[str, Any]) -> None:
+        """Write-ahead record of an accepted submission."""
+        self._append({"kind": "submitted", "id": job_id,
+                      "request": request, "ts": time.time()})
+
+    def record_result(self, job_id: str,
+                      response: Dict[str, Any]) -> None:
+        """Terminal record, written before the response is released."""
+        self._append({"kind": "result", "id": job_id,
+                      "response": response, "ts": time.time()})
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None

@@ -81,10 +81,34 @@ class ServiceMetrics:
                 _labeled("service.cached_results",
                          tenant=tenant)).inc()
 
-    def record_retry(self, tenant: str) -> None:
-        """Count one crash/hang/poison retry."""
+    def record_retry(self, tenant: str,
+                     warm: Optional[bool] = None) -> None:
+        """Count one crash/hang/poison retry.
+
+        *warm* (when known) additionally classifies the respawn:
+        ``True`` means the retry was seeded from a piggybacked search
+        checkpoint, ``False`` means it started cold -- the ratio is
+        the health signal of the crash-recovery path (a warm rate of
+        zero under mid-job kills means checkpoints never arrive or
+        never validate).
+        """
         self.registry.counter(
             _labeled("service.retries", tenant=tenant)).inc()
+        if warm is not None:
+            name = ("service.warm_retries" if warm
+                    else "service.cold_retries")
+            self.registry.counter(_labeled(name, tenant=tenant)).inc()
+
+    def record_checkpoint(self, tenant: str) -> None:
+        """Count one checkpoint blob received from a worker."""
+        self.registry.counter(
+            _labeled("service.checkpoints_received",
+                     tenant=tenant)).inc()
+
+    def record_journal_record(self, kind: str) -> None:
+        """Count one journal append (kind: submitted | result)."""
+        self.registry.counter(
+            _labeled("service.journal_records", kind=kind)).inc()
 
     def record_progress_frame(self, tenant: str) -> None:
         """Count one progress frame streamed to a client."""
@@ -109,6 +133,18 @@ class ServiceMetrics:
         """Refresh the worker-state gauges."""
         self.registry.gauge("service.workers_busy").set(busy)
         self.registry.gauge("service.workers_max").set(capacity)
+
+    def set_journal(self, recovered: int, terminal: int,
+                    write_errors: int) -> None:
+        """Refresh the journal-state gauges: jobs re-enqueued by
+        replay at startup, terminal responses held for idempotent
+        re-serving, and journal write failures (durability holes)."""
+        self.registry.gauge(
+            "service.journal_recovered_jobs").set(recovered)
+        self.registry.gauge(
+            "service.journal_terminal_jobs").set(terminal)
+        self.registry.gauge(
+            "service.journal_write_errors").set(write_errors)
 
     def set_cache(self, stats: Mapping[str, Any]) -> None:
         """Refresh cache counters/gauges from ``ResultCache.stats()``.

@@ -28,6 +28,14 @@ Request ops
     cache hit rate, worker gauges, merged solver search metrics.
 ``ping``
     liveness probe.
+``query``
+    look up a previously submitted job by ``id`` -- the reattach op
+    a disconnected client uses after a server (or its own) crash.
+    A terminal job answers immediately with the journaled/stored
+    ``result``; a queued or running job blocks until its terminal
+    response (optionally re-joining the progress stream with
+    ``stream: true``); an unknown id answers ``error`` with code
+    ``NOT_FOUND``.  Idempotent: querying never re-runs anything.
 ``shutdown``
     drain the queues and stop accepting work.
 
@@ -63,9 +71,13 @@ from typing import Any, Dict, List, Optional, Tuple
 REJECTED_OVERLOAD = "REJECTED_OVERLOAD"
 SHUTTING_DOWN = "SHUTTING_DOWN"
 BAD_REQUEST = "BAD_REQUEST"
+#: A ``query`` for a job id the server has never journaled, queued or
+#: finished -- distinct from BAD_REQUEST so a reattaching client can
+#: tell "you asked wrong" from "I genuinely do not know this job".
+NOT_FOUND = "NOT_FOUND"
 
 #: Request operations understood by the server.
-OPS = ("submit", "status", "metrics", "ping", "shutdown")
+OPS = ("submit", "status", "metrics", "ping", "query", "shutdown")
 
 #: Required numeric attrs of a progress frame's ``snapshot``.
 SNAPSHOT_COUNTERS = ("conflicts", "decisions", "propagations",

@@ -33,7 +33,18 @@ The failure contract, end to end:
 * shutdown drains: queued and running jobs finish within
   ``grace_seconds``, stragglers are cancelled with a terminal
   degraded response, and new submissions are rejected with
-  ``SHUTTING_DOWN`` throughout.
+  ``SHUTTING_DOWN`` throughout;
+* retried attempts warm-start: workers piggyback checksummed search
+  checkpoints (:mod:`repro.runtime.checkpoint`) on their progress
+  pipe, the server keeps the latest blob per job and seeds the next
+  attempt's worker from it -- a corrupt blob is rejected by the
+  worker's loader and that attempt simply starts cold;
+* with ``journal`` set, accepted submissions and terminal results are
+  written ahead to an append-only JSONL file
+  (:mod:`repro.service.journal`); a restarted server replays it,
+  re-enqueueing accepted-but-unfinished jobs and re-serving terminal
+  ones idempotently through the ``query`` op, so even a SIGKILL'd
+  server loses no accepted job and flips no released verdict.
 """
 
 from __future__ import annotations
@@ -50,9 +61,11 @@ from typing import Any, Dict, List, Optional
 from repro.cnf.canonical import clauses_key
 from repro.cnf.formula import CNFFormula
 from repro.runtime.budget import Budget
-from repro.runtime.faults import ServiceFaultPlan
+from repro.runtime.faults import SERVER_KILL_EXIT, ServiceFaultPlan
 from repro.runtime.supervisor import (
     _DEATH_GRACE,
+    _MAX_CHECKPOINT_BLOB,
+    _is_checkpoint,
     _model_satisfies,
     stats_from_dict,
 )
@@ -62,9 +75,11 @@ from repro.service.admission import (
     estimate_hardness,
 )
 from repro.service.cache import ResultCache
+from repro.service.journal import JobJournal, replay_journal
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
     BAD_REQUEST,
+    NOT_FOUND,
     REJECTED_OVERLOAD,
     SHUTTING_DOWN,
     ProtocolError,
@@ -103,7 +118,8 @@ class _Job:
     __slots__ = ("request", "key", "future", "submitted_at",
                  "dispatched_at", "heartbeat", "attempt_started",
                  "task", "partial", "send_frame", "stream_seq",
-                 "last_frame_at", "last_frame_totals")
+                 "last_frame_at", "last_frame_totals",
+                 "last_checkpoint", "recovered")
 
     def __init__(self, request: SubmitRequest, key,
                  future: "asyncio.Future"):
@@ -124,6 +140,13 @@ class _Job:
         # (attempt, elapsed, propagations) of the last relayed frame,
         # the baseline for the propagations/s delta.
         self.last_frame_totals = (0, 0.0, 0)
+        # Latest checkpoint blob piggybacked by any attempt's worker;
+        # seeds the next retry attempt (warm restart).  Stored as-is:
+        # the next worker's checksummed loader is the trust boundary.
+        self.last_checkpoint: Optional[bytes] = None
+        # True when this job was re-enqueued by journal replay (its
+        # future has no submitting client awaiting it).
+        self.recovered = False
 
 
 class SolveServer:
@@ -152,12 +175,20 @@ class SolveServer:
         own JSONL trace (``<job>-a<attempt>.jsonl``) there, stamped
         with ``job``/``attempt`` context so ``repro profile`` can
         merge them with the server's trace.
+    journal:
+        optional path to the append-only JSONL job journal.  Accepted
+        submissions and terminal results are written ahead; on
+        ``start()`` an existing journal is replayed -- pending jobs
+        re-enqueue, terminal ones are re-served idempotently via the
+        ``query`` op, and the result cache is re-seeded so cached
+        replays stay byte-identical across restarts.
     """
 
     def __init__(self, config: Optional[ServiceConfig] = None, *,
                  fault_plan: Optional[ServiceFaultPlan] = None,
                  solver_config: Optional[PortfolioConfig] = None,
-                 tracer=None, worker_trace_dir: Optional[str] = None):
+                 tracer=None, worker_trace_dir: Optional[str] = None,
+                 journal: Optional[str] = None):
         self.config = config or ServiceConfig()
         self.fault_plan = fault_plan
         self.tracer = tracer
@@ -180,13 +211,77 @@ class SolveServer:
         self._retries = 0
         self._cancelled = 0
         self._started_at = time.monotonic()
+        # Crash recovery: durable journal + replayed state.
+        self._journal = JobJournal(journal) if journal else None
+        self._journal_replayed = journal is None
+        self._terminal: Dict[str, Dict[str, Any]] = {}
+        self._by_id: Dict[str, _Job] = {}
+        self._recovered = 0
 
     # -- lifecycle -----------------------------------------------------
 
     async def start(self) -> None:
-        """Arm the dispatcher (idempotent; requires a running loop)."""
+        """Arm the dispatcher (idempotent; requires a running loop).
+
+        With a journal configured, the first call also replays it:
+        futures need a running loop, so recovery cannot happen in
+        ``__init__``.  ``handle_message`` awaits ``start()`` before
+        dispatching any op, so a ``query`` arriving right after a
+        restart deterministically sees the recovered state.
+        """
         if self._dispatcher is None:
             self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        if not self._journal_replayed:
+            self._journal_replayed = True
+            self._recover_from_journal()
+
+    def _recover_from_journal(self) -> None:
+        """Replay the journal: re-serve terminal jobs, re-seed the
+        cache, re-enqueue accepted-but-unfinished jobs."""
+        replay = replay_journal(self._journal.path)
+        self._terminal.update(replay.terminal)
+        reseeded = 0
+        for job_id, response in replay.terminal.items():
+            raw = replay.requests.get(job_id)
+            body = response.get("body")
+            if raw is None or not isinstance(body, dict):
+                continue
+            try:
+                request = parse_submit(raw)
+            except ProtocolError:
+                continue
+            if (request.use_cache
+                    and body.get("status") in ("SATISFIABLE",
+                                               "UNSATISFIABLE")
+                    and not body.get("degraded")):
+                key = (clauses_key(request.clause_lits,
+                                   request.num_vars), request.certify)
+                self._cache.put(key, body)
+                reseeded += 1
+        for job_id, raw in replay.pending.items():
+            try:
+                request = parse_submit(raw)
+            except ProtocolError:
+                continue
+            job = _Job(request, (clauses_key(request.clause_lits,
+                                             request.num_vars),
+                                 request.certify),
+                       asyncio.get_running_loop().create_future())
+            job.recovered = True
+            if not self._queues.push(request.tenant, job):
+                continue          # queue full; stays pending on disk
+            self._pending_ids.add(job_id)
+            self._by_id[job_id] = job
+            self._recovered += 1
+        if self._recovered:
+            self._wake.set()
+        if self.tracer is not None:
+            self.tracer.event("service.journal_replay",
+                              records=replay.records,
+                              corrupt=replay.corrupt,
+                              terminal=len(replay.terminal),
+                              recovered=self._recovered,
+                              cache_reseeded=reseeded)
 
     async def shutdown(self,
                        grace: Optional[float] = None) -> Dict[str, Any]:
@@ -230,6 +325,8 @@ class SolveServer:
         if self._proof_dir is not None:
             shutil.rmtree(self._proof_dir, ignore_errors=True)
             self._proof_dir = None
+        if self._journal is not None:
+            self._journal.close()
         if self.tracer is not None:
             self.tracer.event("service.shutdown",
                               drained=self._jobs_done,
@@ -264,6 +361,8 @@ class SolveServer:
             return report
         if op == "submit":
             return await self._handle_submit(payload, send_frame)
+        if op == "query":
+            return await self._handle_query(payload, send_frame)
         return {"kind": "error", "id": request_id, "code": BAD_REQUEST,
                 "reason": f"unknown op {op!r}"}
 
@@ -281,6 +380,11 @@ class SolveServer:
                               clauses=len(request.clause_lits),
                               certify=int(request.certify))
         self.metrics.record_submit(request.tenant)
+        stored = self._terminal.get(request.job_id)
+        if stored is not None:
+            # Idempotent re-serve: this id already reached a terminal
+            # verdict (possibly before a restart, via the journal).
+            return dict(stored)
         if self._draining:
             return self._rejection(request.job_id, SHUTTING_DOWN,
                                    "server is draining",
@@ -322,10 +426,55 @@ class SolveServer:
                 f"({self.config.queue_depth} deep)",
                 tenant=request.tenant)
         self._pending_ids.add(request.job_id)
+        self._by_id[request.job_id] = job
+        if self._journal is not None:
+            # Write-ahead: the job is accepted (admission passed,
+            # queued) -- journal it before any work happens, so a
+            # server death from here on cannot lose it.
+            self._journal.record_submitted(request.job_id,
+                                           dict(request.raw))
+            self.metrics.record_journal_record("submitted")
+        if (self.fault_plan is not None
+                and self.fault_plan.kills_server(request.job_id)):
+            # Scripted SIGKILL stand-in: die right after journaling
+            # the admission -- the window journal replay must cover.
+            os._exit(SERVER_KILL_EXIT)
         self._wake.set()
         response = await job.future
         await self._apply_delay(request.job_id)
         return response
+
+    async def _handle_query(self, payload: Dict[str, Any],
+                            send_frame=None) -> Dict[str, Any]:
+        """The ``query`` (reattach) op: recover a job's verdict by id.
+
+        Terminal jobs -- including ones finished before a restart and
+        recovered from the journal -- answer immediately with the
+        stored response.  Queued or running jobs block on the same
+        future the submitter would be awaiting (an asyncio future
+        tolerates any number of awaiters); with ``stream: true`` on a
+        pushing transport the caller also re-joins the progress
+        stream.  Never re-runs anything.
+        """
+        job_id = payload.get("id")
+        if not isinstance(job_id, str) or not job_id:
+            return {"kind": "error", "id": None, "code": BAD_REQUEST,
+                    "reason": "'id' must be a non-empty string"}
+        if self.tracer is not None:
+            self.tracer.event("service.query", job=job_id)
+        stored = self._terminal.get(job_id)
+        if stored is not None:
+            return dict(stored)
+        job = self._by_id.get(job_id)
+        if job is not None:
+            if payload.get("stream") is True and send_frame is not None:
+                job.send_frame = send_frame
+            response = await job.future
+            await self._apply_delay(job_id)
+            return response
+        return {"kind": "error", "id": job_id, "code": NOT_FOUND,
+                "reason": f"no terminal, running or journaled job "
+                          f"with id {job_id!r}"}
 
     def _rejection(self, job_id: Optional[str], code: str,
                    reason: str, tenant: str = "default"
@@ -358,8 +507,17 @@ class SolveServer:
                 entry["heartbeat_age"] = round(
                     now - job.heartbeat.value, 3)
             active.append(entry)
+        journal: Dict[str, Any] = {
+            "enabled": self._journal is not None,
+            "recovered": self._recovered,
+            "terminal": len(self._terminal)}
+        if self._journal is not None:
+            journal["path"] = self._journal.path
+            journal["records_written"] = self._journal.records_written
+            journal["write_errors"] = self._journal.write_errors
         from repro.solvers.kernels import capability
         return {"kind": "status", "id": request_id,
+                "journal": journal,
                 "draining": self._draining,
                 "kernels": capability(),
                 "uptime_seconds": round(now - self._started_at, 3),
@@ -385,6 +543,10 @@ class SolveServer:
         self.metrics.set_workers(len(self._active),
                                  self.config.max_workers)
         self.metrics.set_cache(self._cache.stats())
+        self.metrics.set_journal(
+            self._recovered, len(self._terminal),
+            0 if self._journal is None
+            else self._journal.write_errors)
         snapshot = self.metrics.snapshot()
         text = render_prometheus(snapshot)
         if self.tracer is not None:
@@ -444,10 +606,22 @@ class SolveServer:
         self._emit_result(request, body,
                           cached=False,
                           wall=time.monotonic() - job.submitted_at)
+        response = {"kind": "result", "id": request.job_id,
+                    "cached": False, "body": body}
+        if (self._journal is not None
+                and body.get("degraded_reason") != "shutdown"):
+            # Write-ahead of release.  A shutdown-cancelled job is
+            # deliberately NOT journaled terminal: a restart with the
+            # same journal should re-run it, not replay the
+            # cancellation.
+            self._journal.record_result(request.job_id, response)
+            self.metrics.record_journal_record("result")
+        # Terminal store precedes the _by_id pop so a concurrent
+        # query never finds neither.
+        self._terminal[request.job_id] = response
+        self._by_id.pop(request.job_id, None)
         if not job.future.done():
-            job.future.set_result({"kind": "result",
-                                   "id": request.job_id,
-                                   "cached": False, "body": body})
+            job.future.set_result(response)
 
     def _emit_result(self, request: SubmitRequest,
                      body: Dict[str, Any], cached: bool,
@@ -505,7 +679,12 @@ class SolveServer:
             if attempt + 1 >= config.max_attempts:
                 break
             self._retries += 1
-            self.metrics.record_retry(request.tenant)
+            # A retry is "warm" when a checkpoint blob is waiting to
+            # seed the next attempt (whether it validates is the
+            # worker loader's call -- a corrupt blob demotes to cold
+            # inside the worker without a further signal).
+            self.metrics.record_retry(
+                request.tenant, warm=job.last_checkpoint is not None)
             delay = min(config.backoff_cap,
                         config.backoff_seconds * (2 ** attempt))
             delay *= 1.0 + 0.5 * jitter.random()
@@ -538,10 +717,13 @@ class SolveServer:
         job.attempt_started = time.monotonic()
         fault_action = None
         kill_after = 2
+        corrupt_checkpoints = False
         if self.fault_plan is not None:
             fault_action = self.fault_plan.action(request.job_id,
                                                   attempt)
             kill_after = self.fault_plan.kill_after_checkpoints
+            corrupt_checkpoints = self.fault_plan.corrupts_checkpoint(
+                request.job_id, attempt)
         proof_path = None
         if request.certify:
             proof_path = os.path.join(
@@ -563,7 +745,8 @@ class SolveServer:
                   request.num_vars, solver_config, budget, heartbeat,
                   writer, fault_action, kill_after,
                   config.progress_interval, proof_path,
-                  config.worker_check_interval, trace_path),
+                  config.worker_check_interval, trace_path,
+                  job.last_checkpoint, corrupt_checkpoints),
             daemon=True)
         proc.start()
         writer.close()
@@ -579,6 +762,11 @@ class SolveServer:
                 try:
                     while reader.poll(0):
                         payload = reader.recv()
+                        if _is_checkpoint(payload):
+                            if self._record_checkpoint(job, payload):
+                                continue
+                            proc.terminate()
+                            return _Attempt("poison", partial=partial)
                         parsed = self._parse_payload(
                             request, payload, partial, proof_path)
                         if parsed is None:
@@ -670,6 +858,26 @@ class SolveServer:
             await job.send_frame(frame)
         except (ConnectionError, OSError):
             job.send_frame = None   # client gone; stop relaying
+
+    def _record_checkpoint(self, job: _Job, payload) -> bool:
+        """Audit one piggybacked checkpoint payload; keep the blob.
+
+        Shape-audited only (id echo, attempt, bounded bytes): the
+        checksum is deliberately left for the *consuming* worker's
+        loader to verify, because that respawn path must survive a
+        corrupt blob anyway -- verifying here would just hide that
+        path from the corruption fault.
+        """
+        _tag, job_id, attempt, blob = payload
+        if (job_id != job.request.job_id
+                or not isinstance(attempt, int)
+                or isinstance(attempt, bool) or attempt < 0
+                or not isinstance(blob, (bytes, bytearray))
+                or len(blob) > _MAX_CHECKPOINT_BLOB):
+            return False
+        job.last_checkpoint = bytes(blob)
+        self.metrics.record_checkpoint(job.request.tenant)
+        return True
 
     def _parse_payload(self, request: SubmitRequest, payload,
                        partial, proof_path):
@@ -881,15 +1089,18 @@ async def run_server(config: Optional[ServiceConfig] = None,
                      host: str = "127.0.0.1", port: int = 9123, *,
                      fault_plan: Optional[ServiceFaultPlan] = None,
                      tracer=None, worker_trace_dir: Optional[str] = None,
+                     journal: Optional[str] = None,
                      ready=None) -> None:
     """Run a TCP solve server until a ``shutdown`` request arrives.
 
     ``ready`` (optional callable) receives the bound ``(host, port)``
     once listening -- the CLI prints it, tests grab the ephemeral
-    port.
+    port.  ``journal`` enables the durable job journal (replayed on
+    startup; see :class:`SolveServer`).
     """
     server = SolveServer(config, fault_plan=fault_plan, tracer=tracer,
-                         worker_trace_dir=worker_trace_dir)
+                         worker_trace_dir=worker_trace_dir,
+                         journal=journal)
     tcp = await server.serve_tcp(host, port)
     bound = tcp.sockets[0].getsockname()[:2]
     if ready is not None:

@@ -82,6 +82,17 @@ def render_dashboard(status: Dict[str, Any],
         + (f" ({100.0 * hit_rate:.0f}%)"
            if isinstance(hit_rate, (int, float)) else ""))
 
+    journal = status.get("journal") or {}
+    if journal.get("enabled"):
+        line = (f"journal: {journal.get('records_written', 0)} "
+                f"record(s) written, "
+                f"{journal.get('recovered', 0)} recovered, "
+                f"{journal.get('terminal', 0)} terminal held")
+        errors = journal.get("write_errors", 0)
+        if errors:
+            line += f", {errors} WRITE ERROR(S)"
+        lines.append(line)
+
     queues = status.get("queues", {})
     deficits = status.get("deficits", {})
     latency_sum = _tenant_values(series,

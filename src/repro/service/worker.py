@@ -18,6 +18,10 @@ Payloads over the worker's private pipe:
   ``progress`` frame to clients that submitted with ``stream:
   true``).  *extras* carries instantaneous readings that have no
   ``SolverStats`` field -- currently ``arena_fill``;
+* ``("checkpoint", job_id, attempt, blob)`` -- a size-bounded,
+  checksummed search-state snapshot (:mod:`repro.runtime.checkpoint`)
+  sent at the same cadence as progress; the server holds the latest
+  blob and seeds the next retry attempt from it (warm restart);
 * ``("result", job_id, attempt, status_name, model, stats_dict)`` --
   the terminal payload; *model* is ``{var: bool}`` or None.
 
@@ -47,7 +51,9 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.cnf.formula import CNFFormula
 from repro.runtime.budget import Budget
-from repro.runtime.faults import CRASH, HANG, KILL_MIDJOB, POISON
+from repro.runtime.checkpoint import try_load_checkpoint
+from repro.runtime.faults import (CRASH, HANG, KILL_MIDJOB, POISON,
+                                  corrupt_blob)
 from repro.runtime.supervisor import stats_to_dict
 
 #: Exit code of a scripted mid-job kill (distinct from the portfolio
@@ -64,9 +70,19 @@ def _job_worker_main(job_id: str, attempt: int,
                      progress_interval: float,
                      proof_path: Optional[str],
                      check_interval: int,
-                     trace_path: Optional[str] = None) -> None:
+                     trace_path: Optional[str] = None,
+                     resume_blob: Optional[bytes] = None,
+                     corrupt_checkpoints: bool = False) -> None:
     """Solve one job attempt and report over *channel* (see module
-    docstring for payload shapes and fault semantics)."""
+    docstring for payload shapes and fault semantics).
+
+    *resume_blob* is the previous attempt's last piggybacked
+    checkpoint: a valid one warm-starts this attempt, a corrupt or
+    truncated one is rejected by the checksummed loader and this
+    attempt starts cold (never fails).  With *corrupt_checkpoints*
+    (the ``corrupt_checkpoint`` fault modifier) every blob this
+    attempt sends is deterministically damaged first.
+    """
     if fault_action == CRASH:
         os._exit(17)
     if fault_action == HANG:
@@ -82,7 +98,10 @@ def _job_worker_main(job_id: str, attempt: int,
     heartbeat.value = time.monotonic()
     started = time.monotonic()
     formula = CNFFormula(num_vars=num_vars, clauses=clause_lits)
-    solver = config.build_solver(formula, budget=budget)
+    resume_from = try_load_checkpoint(resume_blob)
+    build_kwargs = {} if resume_from is None \
+        else {"resume_from": resume_from}
+    solver = config.build_solver(formula, budget=budget, **build_kwargs)
     solver.checkpoint_interval = check_interval
     from repro.obs.metrics import SearchMetrics
     solver.metrics = SearchMetrics()
@@ -119,6 +138,19 @@ def _job_worker_main(job_id: str, attempt: int,
         except (BrokenPipeError, OSError):
             pass              # server gone; keep solving regardless
 
+    def send_checkpoint() -> None:
+        # Piggyback the transferable search state on the progress
+        # pipe; the server holds the latest blob for warm retries.
+        blob = solver.export_checkpoint().serialize_bounded()
+        if blob is None:
+            return
+        if corrupt_checkpoints:
+            blob = corrupt_blob(blob)
+        try:
+            channel.send(("checkpoint", job_id, attempt, blob))
+        except (BrokenPipeError, OSError):
+            pass              # server gone; keep solving regardless
+
     def checkpoint() -> None:
         now = time.monotonic()
         heartbeat.value = now
@@ -126,11 +158,14 @@ def _job_worker_main(job_id: str, attempt: int,
         if now - last_sent[0] >= progress_interval:
             last_sent[0] = now
             send_progress(now)
+            send_checkpoint()
         if (fault_action == KILL_MIDJOB
                 and ticks[0] >= kill_after_checkpoints):
-            # Guarantee the server holds a partial snapshot before
-            # the death it is about to observe.
+            # Guarantee the server holds a partial snapshot (and a
+            # checkpoint to warm the retry) before the death it is
+            # about to observe.
             send_progress(now)
+            send_checkpoint()
             os._exit(_KILL_EXIT)
 
     solver.on_checkpoint = checkpoint

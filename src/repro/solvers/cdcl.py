@@ -131,6 +131,18 @@ class CDCLSolver:
         not reappear in later assumptions or added clauses
         (incremental users pass ``InprocessConfig(bve=False,
         equivalence=False)``).
+    resume_from:
+        a :class:`repro.runtime.checkpoint.SearchCheckpoint` from a
+        dead attempt on the *same formula* (warm restart).  Applied
+        lazily at the start of the first ``solve`` call -- after any
+        proof stream has been attached -- so the imported learned
+        clauses flow through the (possibly instrumented) ``_attach``
+        and become the DRUP add-prefix of the resumed proof, in
+        derivation order.  Imports are admitted only when RUP against
+        the formula plus prior imports (checker propagation), which
+        keeps resumed certificates checkable and makes the import
+        sound whatever the dead attempt had inprocessed; rejects are
+        counted in ``stats.checkpoint_dropped_clauses``.
     """
 
     def __init__(self, formula: CNFFormula,
@@ -148,7 +160,8 @@ class CDCLSolver:
                  max_decisions: Optional[int] = None,
                  budget: Optional[Budget] = None,
                  inprocess=None,
-                 propagation: str = "auto"):
+                 propagation: str = "auto",
+                 resume_from=None):
         if backtrack_mode not in ("nonchronological", "chronological"):
             raise ValueError(f"bad backtrack_mode {backtrack_mode!r}")
         if conflict_cut not in ("1uip", "decision"):
@@ -185,6 +198,9 @@ class CDCLSolver:
         self._inprocessor = None
         self.stats = SolverStats()
         self._saved_phase: Dict[int, bool] = {}
+        #: Pending warm-restart state; consumed (set to None) by the
+        #: first ``_solve`` call, see :meth:`_import_checkpoint`.
+        self._resume_from = resume_from
         #: Per-call budget meter; None when neither a budget nor a
         #: checkpoint hook is configured (the hot path then pays one
         #: None-test per propagate call).
@@ -1000,6 +1016,9 @@ class CDCLSolver:
         if self._inprocessor is not None:
             self._inprocessor.check_literals(assumptions, "assumptions")
         self.heuristic.setup(self.formula)
+        if self._resume_from is not None:
+            checkpoint, self._resume_from = self._resume_from, None
+            self._import_checkpoint(checkpoint)
         self._arm_meter()
         try:
             status = self._search(list(assumptions))
@@ -1012,6 +1031,90 @@ class CDCLSolver:
         model = self._model() if status is Status.SATISFIABLE else None
         self._cancel_until(0)
         return SolverResult(status, model, self.stats)
+
+    # ------------------------------------------------------------------
+    # Crash-recovery checkpoints (repro.runtime.checkpoint)
+    # ------------------------------------------------------------------
+
+    def export_checkpoint(self, max_clauses: Optional[int] = None):
+        """Snapshot the transferable search state as a
+        :class:`repro.runtime.checkpoint.SearchCheckpoint`.
+
+        Safe to call from the cooperative-checkpoint hook (read-only
+        against search structures): learned clauses in derivation
+        order with LBD/activity (derivation-order *prefix* when capped
+        by *max_clauses*), pending unit implicates, saved phases,
+        normalized heuristic activities and effort counters.
+        """
+        from repro.runtime.checkpoint import (DEFAULT_MAX_CLAUSES,
+                                              SearchCheckpoint)
+        if max_clauses is None:
+            max_clauses = DEFAULT_MAX_CLAUSES
+        arena = self.arena
+        clauses = [(arena.lits_of(cid), int(arena.lbd[cid]),
+                    float(arena.activity[cid]))
+                   for cid in self._learned[:max_clauses]]
+        checkpoint = SearchCheckpoint(
+            num_vars=self._num_vars,
+            clauses=clauses,
+            units=list(self._pending_units),
+            phases=dict(self._saved_phase),
+            activities=self.heuristic.export_activities(),
+            conflicts=self.stats.conflicts,
+            restarts=self.stats.restarts)
+        self.stats.checkpoint_exports += 1
+        if self.tracer is not None:
+            self.tracer.event("checkpoint.export",
+                              clauses=len(clauses),
+                              units=len(checkpoint.units),
+                              conflicts=self.stats.conflicts)
+        return checkpoint
+
+    def _import_checkpoint(self, checkpoint) -> None:
+        """Warm-restart: re-attach a dead attempt's search state.
+
+        Runs at the start of the first solve call, *after* proof
+        instrumentation, so every admitted clause streams its DRUP add
+        line through ``_attach`` / ``on_proof_add`` -- the resumed
+        proof is the imported prefix plus new derivations and the
+        forward checker accepts it unchanged.  The RUP admission gate
+        (:func:`repro.runtime.checkpoint.filter_rup_imports`) drops
+        anything unverifiable; a checkpoint for a different formula
+        size is ignored wholesale.
+        """
+        if checkpoint.num_vars != self._num_vars:
+            return
+        from repro.runtime.checkpoint import filter_rup_imports
+        clauses, units, dropped = filter_rup_imports(self.formula,
+                                                     checkpoint)
+        stats = self.stats
+        stats.warm_resumes += 1
+        stats.checkpoint_dropped_clauses += dropped
+        on_proof_add = self.on_proof_add
+        pending = set(self._pending_units)
+        new_units = 0
+        for lit in units:
+            if lit in pending:
+                continue
+            pending.add(lit)
+            self._pending_units.append(lit)
+            new_units += 1
+            if on_proof_add is not None:
+                on_proof_add([lit])
+        arena = self.arena
+        for lits, lbd, activity in clauses:
+            cid = arena.add(list(lits), learned=True, lbd=lbd)
+            arena.activity[cid] = activity
+            self._attach(cid, learned=True)
+        stats.checkpoint_imported_clauses += len(clauses) + new_units
+        self._saved_phase.update(checkpoint.phases)
+        self.heuristic.absorb_activities(checkpoint.activities)
+        if self.tracer is not None:
+            self.tracer.event("checkpoint.resume",
+                              imported=len(clauses) + new_units,
+                              dropped=dropped,
+                              units=new_units,
+                              phases=len(checkpoint.phases))
 
     def _model(self) -> Assignment:
         model = Assignment()

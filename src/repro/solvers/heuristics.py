@@ -255,6 +255,17 @@ class DecisionHeuristic:
     def on_unassign(self, var: int) -> None:
         """Observe *var* becoming unassigned during backtracking."""
 
+    def export_activities(self) -> Dict[int, float]:
+        """Literal scores worth carrying across a crash-recovery
+        checkpoint (:mod:`repro.runtime.checkpoint`); empty for
+        policies whose state is recomputed by :meth:`setup`."""
+        return {}
+
+    def absorb_activities(self, activities: Dict[int, float]) -> None:
+        """Merge checkpointed literal scores into this policy.  Called
+        after :meth:`setup` (which may have reset internal tables);
+        the default ignores them."""
+
     def on_unassign_batch(self, trail: List[int], start: int) -> None:
         """Observe every variable of ``trail[start:]`` becoming
         unassigned (one call per backjump).  Heap-backed policies
@@ -416,6 +427,31 @@ class VSIDSHeuristic(HeapBackedHeuristic):
         if self._increment > 1e100:      # rescale to avoid overflow
             self._increment *= 1e-100
             heap.rescale(1e-100)
+
+    def export_activities(self) -> Dict[int, float]:
+        """Activities normalized so the maximum is 1.0.  The absolute
+        scale is meaningless across attempts (the increment restarts
+        at ``bump`` after a resume); normalizing keeps imported scores
+        comparable with fresh bumps instead of drowning them."""
+        if not self._activity:
+            return {}
+        top = max(self._activity.values())
+        if top <= 0.0:
+            return {}
+        return {lit: score / top
+                for lit, score in self._activity.items() if score > 0.0}
+
+    def absorb_activities(self, activities: Dict[int, float]) -> None:
+        """Overlay checkpointed scores (each scaled by ``bump``) where
+        they beat the occurrence-count seeds, then rebuild the heap."""
+        if not activities:
+            return
+        table = self._activity
+        for lit, score in activities.items():
+            scaled = score * self.bump
+            if scaled > table.get(lit, 0.0):
+                table[lit] = scaled
+        self._heap.reset(table)
 
 
 def make_heuristic(name: str, seed: Optional[int] = None,

@@ -79,8 +79,13 @@ class PortfolioConfig:
 
     def build_solver(self, formula: CNFFormula,
                      max_conflicts: Optional[int] = None,
-                     budget: Optional[Budget] = None) -> CDCLSolver:
-        """Instantiate the configured engine on *formula*."""
+                     budget: Optional[Budget] = None,
+                     resume_from=None) -> CDCLSolver:
+        """Instantiate the configured engine on *formula*.
+
+        *resume_from* (a ``repro.runtime.checkpoint.SearchCheckpoint``)
+        warm-starts the engine from a dead attempt's search state.
+        """
         inprocess = None
         if self.inprocess:
             from repro.solvers.inprocess import InprocessConfig
@@ -98,6 +103,7 @@ class PortfolioConfig:
             budget=budget,
             inprocess=inprocess,
             propagation=self.propagation,
+            resume_from=resume_from,
         )
 
     def perturbed(self, attempt: int) -> "PortfolioConfig":

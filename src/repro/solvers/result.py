@@ -58,6 +58,15 @@ class SolverStats:
     inprocess_reclaimed_lits: int = 0
     inprocess_eliminated_vars: int = 0
     inprocess_units: int = 0
+    #: Crash-recovery checkpointing (repro.runtime.checkpoint):
+    #: checkpoints exported by this attempt; attempts seeded from a
+    #: checkpoint (0/1 per attempt, summing to warm-resume count
+    #: across merges); learned clauses re-attached from the imported
+    #: checkpoint; imports dropped by the RUP admission gate.
+    checkpoint_exports: int = 0
+    warm_resumes: int = 0
+    checkpoint_imported_clauses: int = 0
+    checkpoint_dropped_clauses: int = 0
     flips: int = 0          # local search
     tries: int = 0          # local search
     time_seconds: float = 0.0

@@ -228,6 +228,53 @@ class _Propagation:
         return conflict
 
 
+class RupDatabase:
+    """Incremental RUP admission over the checker's own propagation.
+
+    Crash-recovery checkpoints (:mod:`repro.runtime.checkpoint`) replay
+    learned clauses from a dead attempt into a fresh solver, and those
+    imports become the *add prefix* of the resumed attempt's DRUP
+    proof.  The forward checker will accept that prefix only if every
+    imported clause is RUP with respect to the formula plus the imports
+    before it -- exactly what :meth:`admit` enforces, using the same
+    engine :func:`check_proof_steps` runs.  A clause that fails here is
+    dropped by the importer (it would fail certification later), which
+    doubles as a soundness firewall: admitted clauses are genuine
+    consequences of the original formula, whatever transformations
+    (e.g. inprocessing) the dead attempt had applied when it learned
+    them.
+
+    The dependency direction is solver -> checker; the checker still
+    imports nothing from the solver stack.
+    """
+
+    __slots__ = ("_engine",)
+
+    def __init__(self, formula) -> None:
+        engine = _Propagation(getattr(formula, "num_vars", 0))
+        for clause in formula:
+            lits = list(clause)
+            for lit in lits:
+                engine.grow(lit if lit > 0 else -lit)
+            engine.add_clause(lits)
+        if engine.propagate() is not None:
+            engine.root_conflict = True
+        self._engine = engine
+
+    def admit(self, literals: Sequence[int]) -> bool:
+        """RUP-check *literals*; on success insert the clause into the
+        database (so later candidates may depend on it) and return
+        True.  A failed check leaves the database unchanged."""
+        engine = self._engine
+        lits = list(literals)
+        for lit in lits:
+            engine.grow(lit if lit > 0 else -lit)
+        if not engine.root_conflict and not engine.rup_check(lits):
+            return False
+        engine.add_clause(lits)
+        return True
+
+
 def _parse_proof_line(lineno: int, raw: str
                       ) -> Optional[Tuple[str, List[int]]]:
     """One DRUP line -> ``(kind, literals)``; None for blank/comment.
